@@ -1,0 +1,32 @@
+//! Criterion bench: queue compaction — ordered single-chain vs.
+//! region-parallel moves (the cost the *no unexpected messages*
+//! relaxation removes).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msg_match::compaction::compact_queue_regions;
+use simt_sim::{Gpu, GpuGeneration};
+
+fn bench_compaction(c: &mut Criterion) {
+    let mut g = c.benchmark_group("compaction");
+    g.sample_size(10);
+    let n = 1024usize;
+    let queue: Vec<u64> = (0..n as u64).map(|i| i | (1 << 63)).collect();
+    let keep: Vec<u32> = (0..n).map(|i| (i % 10 == 0) as u32).collect();
+    g.throughput(Throughput::Elements(n as u64));
+    for regions in [1usize, 16, 32] {
+        g.bench_with_input(
+            BenchmarkId::from_parameter(regions),
+            &(queue.clone(), keep.clone()),
+            |b, (q, k)| {
+                b.iter(|| {
+                    let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+                    compact_queue_regions(&mut gpu, q, k, regions)
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_compaction);
+criterion_main!(benches);

@@ -1,0 +1,67 @@
+//! Criterion bench: the native CPU list-matching baseline — the numbers
+//! behind Section II-C (≈30 M matches/s short queues, < 5 M beyond 512).
+//!
+//! This is real silicon, not simulation: the paper's structural claim is
+//! that list traversal collapses with queue depth, and this bench shows
+//! it on whatever host runs it.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msg_match::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+
+fn bench_cpu_list(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cpu_list_matcher");
+    for len in [16usize, 128, 512, 2048] {
+        let envelopes: Vec<Envelope> = (0..len)
+            .map(|i| Envelope::new((i % 997) as u32, (i / 997) as u32, 0))
+            .collect();
+        let mut order: Vec<usize> = (0..len).collect();
+        order.shuffle(&mut StdRng::seed_from_u64(7));
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(
+            BenchmarkId::new("random_posts", len),
+            &(envelopes.clone(), order.clone()),
+            |b, (envs, ord)| {
+                b.iter(|| {
+                    let mut m = ListMatcher::with_stats(false);
+                    for e in envs {
+                        m.arrive(*e);
+                    }
+                    let mut matched = 0usize;
+                    for &i in ord {
+                        let e = &envs[i];
+                        if m.post(RecvRequest::exact(e.src, e.tag, 0)).is_some() {
+                            matched += 1;
+                        }
+                    }
+                    matched
+                })
+            },
+        );
+        g.bench_with_input(
+            BenchmarkId::new("fifo_posts", len),
+            &envelopes,
+            |b, envs| {
+                b.iter(|| {
+                    let mut m = ListMatcher::with_stats(false);
+                    for e in envs {
+                        m.arrive(*e);
+                    }
+                    let mut matched = 0usize;
+                    for e in envs {
+                        if m.post(RecvRequest::exact(e.src, e.tag, 0)).is_some() {
+                            matched += 1;
+                        }
+                    }
+                    matched
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_cpu_list);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Criterion bench: the two-level hash matcher, with a duplicate-density
+//! ablation (the Figure 6(a) ↔ 6(b) connection).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msg_match::prelude::*;
+use simt_sim::{Gpu, GpuGeneration};
+
+fn bench_hash(c: &mut Criterion) {
+    let mut g = c.benchmark_group("hash_matcher");
+    g.sample_size(10);
+    for len in [1024usize, 4096] {
+        let w = WorkloadSpec::unique_tuples(len, 7).generate();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::new("unique", len), &w, |b, w| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+                HashMatcher::default()
+                    .match_batch(&mut gpu, &w.msgs, &w.reqs)
+                    .unwrap()
+            })
+        });
+    }
+    // Duplicate-heavy ablation: 16 tuples over 1024 messages.
+    let dup = WorkloadSpec {
+        len: 1024,
+        peers: 4,
+        tags: 4,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate();
+    g.throughput(Throughput::Elements(1024));
+    g.bench_with_input(BenchmarkId::new("duplicates", 1024), &dup, |b, w| {
+        b.iter(|| {
+            let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+            HashMatcher::default()
+                .match_batch(&mut gpu, &w.msgs, &w.reqs)
+                .unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_hash);
+criterion_main!(benches);

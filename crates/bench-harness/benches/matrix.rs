@@ -1,0 +1,56 @@
+//! Criterion bench: the MPI-compliant matrix matcher (native throughput
+//! of the simulator executing it), with pipelining and window ablations.
+//!
+//! The paper's matches/s figures come from *simulated* device time (see
+//! the `figure4` binary); these benches track the cost of running the
+//! reproduction itself and the relative effect of the ablations.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msg_match::prelude::*;
+use simt_sim::{Gpu, GpuGeneration};
+
+fn bench_matrix(c: &mut Criterion) {
+    let mut g = c.benchmark_group("matrix_matcher");
+    g.sample_size(10);
+    for len in [64usize, 256, 1024] {
+        let w = WorkloadSpec::fully_matching(len, 7).generate();
+        g.throughput(Throughput::Elements(len as u64));
+        g.bench_with_input(BenchmarkId::new("pipelined", len), &w, |b, w| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+                MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs)
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("unpipelined", len), &w, |b, w| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+                MatrixMatcher {
+                    disable_pipelining: true,
+                    ..Default::default()
+                }
+                .match_batch(&mut gpu, &w.msgs, &w.reqs)
+            })
+        });
+    }
+    g.finish();
+
+    let mut g = c.benchmark_group("matrix_window_ablation");
+    g.sample_size(10);
+    let w = WorkloadSpec::fully_matching(512, 7).generate();
+    for window in [32usize, 64, 128] {
+        g.bench_with_input(BenchmarkId::from_parameter(window), &w, |b, w| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+                MatrixMatcher {
+                    window,
+                    ..Default::default()
+                }
+                .match_batch(&mut gpu, &w.msgs, &w.reqs)
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_matrix);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! Criterion bench: the rank-partitioned matcher across queue counts.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use msg_match::prelude::*;
+use simt_sim::{Gpu, GpuGeneration};
+
+fn bench_partitioned(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partitioned_matcher");
+    g.sample_size(10);
+    let w = WorkloadSpec::fully_matching(1024, 7).generate();
+    g.throughput(Throughput::Elements(1024));
+    for queues in [1usize, 4, 16, 32] {
+        g.bench_with_input(BenchmarkId::from_parameter(queues), &w, |b, w| {
+            b.iter(|| {
+                let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+                PartitionedMatcher::new(queues)
+                    .match_batch(&mut gpu, &w.msgs, &w.reqs)
+                    .unwrap()
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group!(benches, bench_partitioned);
+criterion_main!(benches);

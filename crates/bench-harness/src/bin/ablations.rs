@@ -1,0 +1,23 @@
+//! Runs the design-choice ablations (pipelining, window size, long-queue
+//! order, hash-table design).
+use bench_harness::experiments::ablations;
+
+fn main() {
+    print!("{}", ablations::pipelining(&[128, 256, 512, 992], 3).to_text());
+    println!();
+    print!("{}", ablations::window_sweep(512, &[16, 32, 64, 128], 3).to_text());
+    println!();
+    print!("{}", ablations::long_queues(&[2048, 4096, 8192], 3).to_text());
+    println!();
+    print!("{}", ablations::hash_design(1024, 3).to_text());
+    println!();
+    print!(
+        "{}",
+        bench_harness::experiments::saturation::threshold_ablation(
+            2.0e6,
+            &[32, 128, 256, 512, 1024],
+            5
+        )
+        .to_text()
+    );
+}

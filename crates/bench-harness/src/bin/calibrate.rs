@@ -1,0 +1,35 @@
+//! Calibration probe: prints simulated matching rates per generation.
+use msg_match::prelude::*;
+use simt_sim::{Gpu, GpuGeneration};
+
+fn main() {
+    println!("== matrix matcher (fully matching, single CTA) ==");
+    for len in [64usize, 256, 512, 992, 1024] {
+        let w = WorkloadSpec::fully_matching(len, 7).generate();
+        print!("len {len:5}");
+        for gen in GpuGeneration::ALL {
+            let mut gpu = Gpu::new(gen);
+            let r = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
+            print!("  {}: {:6.2} M/s ({} cyc)", gen.short_name(), r.matches_per_sec / 1e6, r.cycles);
+        }
+        println!();
+    }
+    println!("== hash matcher (unique tuples) ==");
+    for (len, ctas) in [(1024usize, 1u32), (1024, 32), (4096, 32)] {
+        let w = WorkloadSpec::unique_tuples(len, 7).generate();
+        print!("len {len:5} ctas {ctas:2}");
+        for gen in GpuGeneration::ALL {
+            let mut gpu = Gpu::new(gen);
+            let r = HashMatcher::with_ctas(ctas).match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
+            print!("  {}: {:7.1} M/s", gen.short_name(), r.matches_per_sec / 1e6);
+        }
+        println!();
+    }
+    println!("== partitioned (1024 total, GTX1080) ==");
+    let w = WorkloadSpec::fully_matching(1024, 7).generate();
+    for q in [1usize, 2, 4, 8, 16, 32] {
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let r = PartitionedMatcher::new(q).match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
+        println!("queues {q:2}: {:6.2} M/s  launches {}", r.matches_per_sec / 1e6, r.launches);
+    }
+}

@@ -1,0 +1,7 @@
+//! Native CPU list-matching baseline (Section II-C).
+use bench_harness::experiments::cpu_baseline;
+
+fn main() {
+    let pts = cpu_baseline::run(&cpu_baseline::DEFAULT_LENS, 7);
+    print!("{}", cpu_baseline::report(&pts).to_text());
+}

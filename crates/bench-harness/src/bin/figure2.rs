@@ -1,0 +1,9 @@
+//! Regenerates Figure 2 (UMQ depth distributions) and its PRQ companion.
+use bench_harness::experiments::traces;
+
+fn main() {
+    let analyses = traces::analyze_all(1.0, 0xD0E);
+    print!("{}", traces::figure2(&analyses).to_text());
+    println!();
+    print!("{}", traces::figure2_prq(&analyses).to_text());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Figure 4 (MPI-compliant matrix matching rate sweep).
+use bench_harness::experiments::figure4;
+
+fn main() {
+    let pts = figure4::run(&figure4::DEFAULT_LENS, 7);
+    print!("{}", figure4::report(&pts).to_text());
+}

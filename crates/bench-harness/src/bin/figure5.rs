@@ -1,0 +1,21 @@
+//! Regenerates Figure 5 (rank-partitioned sweep + generation speedups).
+use bench_harness::experiments::figure5;
+use simt_sim::GpuGeneration;
+
+fn main() {
+    let pts = figure5::run(&figure5::DEFAULT_QUEUES, &figure5::DEFAULT_LENS, 7);
+    print!("{}", figure5::report(&pts).to_text());
+
+    // The paper's cross-generation claim for this experiment.
+    let q = [4usize, 16];
+    let l = [1024usize];
+    let p = figure5::run_generation(GpuGeneration::PascalGtx1080, &q, &l, 7);
+    let k = figure5::run_generation(GpuGeneration::KeplerK80, &q, &l, 7);
+    let m = figure5::run_generation(GpuGeneration::MaxwellM40, &q, &l, 7);
+    println!();
+    println!(
+        "GTX1080 speedup: {:.2}x over K80 (paper: 2.12x), {:.2}x over M40 (paper: 1.56x)",
+        figure5::mean_speedup(&p, &k),
+        figure5::mean_speedup(&p, &m)
+    );
+}

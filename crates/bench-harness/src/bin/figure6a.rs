@@ -1,0 +1,7 @@
+//! Regenerates Figure 6(a) (tuple uniqueness per application).
+use bench_harness::experiments::traces;
+
+fn main() {
+    let analyses = traces::analyze_all(1.0, 0xD0E);
+    print!("{}", traces::figure6a(&analyses).to_text());
+}

@@ -1,0 +1,11 @@
+//! Regenerates Figure 6(b) (hash-table matching rate sweep).
+use bench_harness::experiments::figure6b;
+use simt_sim::GpuGeneration;
+
+fn main() {
+    let pts = figure6b::run(&figure6b::DEFAULT_LENS, &figure6b::DEFAULT_CTAS, 7);
+    for gen in GpuGeneration::ALL {
+        print!("{}", figure6b::report(&pts, gen).to_text());
+        println!();
+    }
+}

@@ -1,0 +1,9 @@
+//! Architectural profile of the three engines (Section VII-C).
+use bench_harness::experiments::profile;
+
+fn main() {
+    let profiles = profile::run(1024, 5);
+    print!("{}", profile::report(&profiles).to_text());
+    println!();
+    print!("{}", profile::instruction_mix(1024, 5).to_text());
+}

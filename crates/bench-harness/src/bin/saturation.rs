@@ -1,0 +1,7 @@
+//! Sustained message-rate ceilings per engine (service model).
+use bench_harness::experiments::saturation;
+
+fn main() {
+    let pts = saturation::run(&saturation::DEFAULT_LOADS, 5);
+    print!("{}", saturation::report(&pts).to_text());
+}

@@ -1,0 +1,7 @@
+//! Rank-0 hotspot scaling study (related work: Keller et al.).
+use bench_harness::experiments::scaling;
+
+fn main() {
+    let pts = scaling::run(&scaling::DEFAULT_RANKS, 8, 7);
+    print!("{}", scaling::report(&pts).to_text());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table I (application communication characteristics).
+use bench_harness::experiments::traces;
+
+fn main() {
+    let analyses = traces::analyze_all(1.0, 0xD0E);
+    print!("{}", traces::table1(&analyses).to_text());
+}

@@ -1,0 +1,7 @@
+//! Regenerates Table II (relaxation lattice with measured rates).
+use bench_harness::experiments::table2;
+
+fn main() {
+    let rows = table2::run(1024, 17);
+    print!("{}", table2::report(&rows).to_text());
+}

@@ -1,0 +1,11 @@
+//! Section VI-B: compaction overhead and match-fraction sensitivity.
+use bench_harness::experiments::unexpected;
+
+fn main() {
+    let comp = unexpected::run_compaction(&[256, 512, 1024], 5);
+    let frac = unexpected::run_fraction(1024, &[10, 25, 50, 75, 90, 100], 5);
+    let (a, b) = unexpected::report(&comp, &frac);
+    print!("{}", a.to_text());
+    println!();
+    print!("{}", b.to_text());
+}

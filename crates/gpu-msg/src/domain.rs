@@ -1,0 +1,442 @@
+//! The messaging domain: GPUs as autonomous communication peers.
+//!
+//! Section II-C of the paper sketches the deployment this module
+//! implements: every GPU keeps message queues in its own memory; a global
+//! address space (GAS) spans the node, so a *send* is a remote write into
+//! the destination GPU's message queue and a *receive* queries the local
+//! queue; one SM per GPU runs a resident **communication kernel** that
+//! performs the matching while the other SMs run the application.
+//!
+//! [`Domain`] is that node model. Each endpoint (GPU) owns a simulated
+//! device and a matcher selected by its [`RelaxationConfig`]; calling
+//! [`Domain::progress`] runs the communication kernel once, matching the
+//! inbox against the posted receives and delivering completions. All
+//! simulated kernel time is accounted per endpoint.
+//!
+//! The domain is `Sync`: per-endpoint state sits behind `parking_lot`
+//! mutexes, so application ranks can be driven from one thread per rank
+//! (as the examples do with scoped threads) while sends lock only the
+//! destination endpoint — the moral equivalent of the NVLink remote
+//! write.
+
+use bytes::Bytes;
+use parking_lot::Mutex;
+
+use msg_match::prelude::*;
+use simt_sim::{Gpu, GpuGeneration};
+
+use crate::message::{Completion, EndpointStats, Message, RecvHandle};
+
+/// Which matching engine an endpoint's communication kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MatcherKind {
+    /// Fully MPI-compliant matrix scan/reduce.
+    Matrix,
+    /// Rank-partitioned matrix matching with this many queues
+    /// (requires the no-source-wildcard relaxation).
+    Partitioned(usize),
+    /// Two-level hash table (requires the no-ordering relaxation).
+    Hash,
+}
+
+impl MatcherKind {
+    /// The least-relaxed configuration this matcher supports.
+    pub fn required_relaxation(self) -> RelaxationConfig {
+        match self {
+            MatcherKind::Matrix => RelaxationConfig::FULL_MPI,
+            MatcherKind::Partitioned(_) => RelaxationConfig::NO_WILDCARDS,
+            MatcherKind::Hash => RelaxationConfig::UNORDERED,
+        }
+    }
+}
+
+struct EndpointInner {
+    rank: u32,
+    /// Arrived-but-unmatched messages (the device-resident UMQ).
+    inbox: Vec<Message>,
+    /// Posted-but-unmatched receives (the device-resident PRQ).
+    posted: Vec<(RecvHandle, RecvRequest)>,
+    /// Matched receives awaiting collection by the application.
+    completed: Vec<Completion>,
+    gpu: Gpu,
+    stats: EndpointStats,
+    next_handle: u64,
+}
+
+impl EndpointInner {
+    fn run_comm_kernel(
+        &mut self,
+        matcher: MatcherKind,
+        relax: RelaxationConfig,
+    ) -> Result<usize, String> {
+        if self.inbox.is_empty() || self.posted.is_empty() {
+            return Ok(0);
+        }
+        let msgs: Vec<Envelope> = self.inbox.iter().map(|m| m.envelope).collect();
+        let reqs: Vec<RecvRequest> = self.posted.iter().map(|(_, r)| *r).collect();
+        relax.validate_workload(&[], &reqs)?; // wildcard legality
+
+        let report: GpuMatchReport = match matcher {
+            MatcherKind::Matrix => {
+                MatrixMatcher::default().match_iterative(&mut self.gpu, &msgs, &reqs)
+            }
+            MatcherKind::Partitioned(k) => PartitionedMatcher::new(k)
+                .match_batch(&mut self.gpu, &msgs, &reqs)
+                .map_err(|e| format!("rank {}: {e}", self.rank))?,
+            MatcherKind::Hash => {
+                // The hash path processes in device-batch chunks.
+                let mut assignment: Vec<Option<u32>> = vec![None; reqs.len()];
+                let r = HashMatcher::default()
+                    .match_batch(&mut self.gpu, &msgs, &reqs)
+                    .map_err(|e| format!("rank {}: {e}", self.rank))?;
+                assignment.copy_from_slice(&r.assignment);
+                GpuMatchReport { assignment, ..r }
+            }
+        };
+
+        self.stats.kernel_cycles += report.cycles;
+        self.stats.kernel_seconds += report.seconds;
+        self.stats.launches += report.launches as u64;
+        self.stats.matches += report.matches;
+
+        // Deliver completions; retain unmatched state.
+        let mut matched_msgs: Vec<usize> = Vec::new();
+        let mut matched_posts: Vec<usize> = Vec::new();
+        for (j, a) in report.assignment.iter().enumerate() {
+            if let Some(i) = a {
+                matched_msgs.push(*i as usize);
+                matched_posts.push(j);
+            }
+        }
+        let n = matched_posts.len();
+        // Collect in post order for deterministic completion order.
+        for (&j, &i) in matched_posts.iter().zip(&matched_msgs) {
+            self.completed.push(Completion {
+                handle: self.posted[j].0,
+                message: self.inbox[i].clone(),
+            });
+        }
+        let mut drop_msgs = vec![false; self.inbox.len()];
+        for &i in &matched_msgs {
+            drop_msgs[i] = true;
+        }
+        let mut keep_i = 0usize;
+        self.inbox.retain(|_| {
+            let k = !drop_msgs[keep_i];
+            keep_i += 1;
+            k
+        });
+        let mut drop_posts = vec![false; self.posted.len()];
+        for &j in &matched_posts {
+            drop_posts[j] = true;
+        }
+        let mut keep_j = 0usize;
+        self.posted.retain(|_| {
+            let k = !drop_posts[keep_j];
+            keep_j += 1;
+            k
+        });
+        Ok(n)
+    }
+}
+
+/// A node of GPUs communicating over a simulated global address space.
+pub struct Domain {
+    endpoints: Vec<Mutex<EndpointInner>>,
+    matcher: MatcherKind,
+    relax: RelaxationConfig,
+}
+
+impl Domain {
+    /// Create a domain of `ranks` GPU endpoints of the given generation,
+    /// running `matcher` under `relax` semantics.
+    ///
+    /// # Panics
+    /// Panics if the matcher requires more relaxation than `relax`
+    /// grants (e.g. a hash matcher under full MPI semantics) — that
+    /// combination cannot honour the configured guarantees.
+    pub fn new(
+        ranks: u32,
+        generation: GpuGeneration,
+        matcher: MatcherKind,
+        relax: RelaxationConfig,
+    ) -> Self {
+        let need = matcher.required_relaxation();
+        assert!(
+            (!need.partitionable() || relax.partitionable())
+                && (need.ordering || !relax.ordering),
+            "matcher {matcher:?} cannot provide the guarantees of {relax:?}"
+        );
+        Domain {
+            endpoints: (0..ranks)
+                .map(|rank| {
+                    Mutex::new(EndpointInner {
+                        rank,
+                        inbox: Vec::new(),
+                        posted: Vec::new(),
+                        completed: Vec::new(),
+                        gpu: Gpu::new(generation),
+                        stats: EndpointStats::default(),
+                        next_handle: 0,
+                    })
+                })
+                .collect(),
+            matcher,
+            relax,
+        }
+    }
+
+    /// Convenience: full-MPI matrix-matching domain.
+    pub fn full_mpi(ranks: u32, generation: GpuGeneration) -> Self {
+        Domain::new(ranks, generation, MatcherKind::Matrix, RelaxationConfig::FULL_MPI)
+    }
+
+    /// Number of endpoints.
+    pub fn ranks(&self) -> u32 {
+        self.endpoints.len() as u32
+    }
+
+    /// Semantics this domain guarantees.
+    pub fn relaxation(&self) -> RelaxationConfig {
+        self.relax
+    }
+
+    /// Send `payload` from `src` to `dst`: a GAS remote write into the
+    /// destination's message queue.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ranks.
+    pub fn send(&self, src: u32, dst: u32, tag: Tag, comm: CommId, payload: Bytes) {
+        assert!(src < self.ranks() && dst < self.ranks(), "rank out of range");
+        {
+            let mut me = self.endpoints[src as usize].lock();
+            me.stats.sent += 1;
+            me.stats.bytes_sent += payload.len() as u64;
+        }
+        let mut ep = self.endpoints[dst as usize].lock();
+        ep.stats.bytes_received += payload.len() as u64;
+        ep.inbox.push(Message {
+            envelope: Envelope::new(src, tag, comm),
+            payload,
+        });
+        let hw = ep.inbox.len();
+        ep.stats.umq_high_water = ep.stats.umq_high_water.max(hw);
+    }
+
+    /// Post a receive on `rank`. Returns a handle reported back in the
+    /// matching [`Completion`].
+    ///
+    /// # Errors
+    /// Rejects requests that violate the domain's relaxation level
+    /// (e.g. `MPI_ANY_SOURCE` in a no-wildcard domain).
+    pub fn post_recv(&self, rank: u32, request: RecvRequest) -> Result<RecvHandle, String> {
+        self.relax.validate_workload(&[], &[request])?;
+        let mut ep = self.endpoints[rank as usize].lock();
+        let handle = RecvHandle(ep.next_handle);
+        ep.next_handle += 1;
+        ep.posted.push((handle, request));
+        let hw = ep.posted.len();
+        ep.stats.prq_high_water = ep.stats.prq_high_water.max(hw);
+        Ok(handle)
+    }
+
+    /// Run `rank`'s communication kernel once: match the inbox against
+    /// the posted receives and queue completions. Returns the number of
+    /// new matches.
+    ///
+    /// # Errors
+    /// Propagates matcher/relaxation violations.
+    pub fn progress(&self, rank: u32) -> Result<usize, String> {
+        let mut ep = self.endpoints[rank as usize].lock();
+        ep.run_comm_kernel(self.matcher, self.relax)
+    }
+
+    /// Run every endpoint's communication kernel once; returns total new
+    /// matches.
+    ///
+    /// # Errors
+    /// Propagates the first endpoint failure.
+    pub fn progress_all(&self) -> Result<usize, String> {
+        let mut total = 0;
+        for rank in 0..self.ranks() {
+            total += self.progress(rank)?;
+        }
+        Ok(total)
+    }
+
+    /// Drain completions queued on `rank`.
+    pub fn take_completions(&self, rank: u32) -> Vec<Completion> {
+        std::mem::take(&mut self.endpoints[rank as usize].lock().completed)
+    }
+
+    /// Post, then progress until the receive completes. Bounded by
+    /// `max_rounds` progress calls (a send may still be in flight from
+    /// another thread).
+    ///
+    /// # Errors
+    /// Fails if the receive has not completed within the bound or on a
+    /// relaxation violation.
+    pub fn recv_blocking(
+        &self,
+        rank: u32,
+        request: RecvRequest,
+        max_rounds: u32,
+    ) -> Result<Message, String> {
+        let handle = self.post_recv(rank, request)?;
+        let mut collected: Vec<Completion> = Vec::new();
+        for _ in 0..max_rounds {
+            self.progress(rank)?;
+            collected.extend(self.take_completions(rank));
+            if let Some(pos) = collected.iter().position(|c| c.handle == handle) {
+                let hit = collected.swap_remove(pos);
+                // Put the others back for later collectors.
+                let mut ep = self.endpoints[rank as usize].lock();
+                ep.completed.extend(collected);
+                return Ok(hit.message);
+            }
+            std::thread::yield_now();
+        }
+        // Return uncollected completions before failing.
+        let mut ep = self.endpoints[rank as usize].lock();
+        ep.completed.extend(collected);
+        Err(format!(
+            "rank {rank}: receive {handle:?} did not complete within {max_rounds} progress rounds"
+        ))
+    }
+
+    /// Endpoint statistics snapshot.
+    pub fn stats(&self, rank: u32) -> EndpointStats {
+        self.endpoints[rank as usize].lock().stats
+    }
+
+    /// Are all queues of every endpoint empty (BSP phase boundary)?
+    pub fn quiescent(&self) -> bool {
+        self.endpoints
+            .iter()
+            .all(|e| {
+                let e = e.lock();
+                e.inbox.is_empty() && e.posted.is_empty() && e.completed.is_empty()
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn payload(s: &str) -> Bytes {
+        Bytes::copy_from_slice(s.as_bytes())
+    }
+
+    #[test]
+    fn send_then_recv_unexpected_path() {
+        let d = Domain::full_mpi(2, GpuGeneration::PascalGtx1080);
+        d.send(0, 1, 7, 0, payload("ping"));
+        let m = d
+            .recv_blocking(1, RecvRequest::exact(0, 7, 0), 4)
+            .expect("must deliver");
+        assert_eq!(&m.payload[..], b"ping");
+        assert_eq!(m.envelope.src, 0);
+        assert!(d.stats(1).kernel_cycles > 0, "matching costs simulated time");
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn preposted_receive_path() {
+        let d = Domain::full_mpi(2, GpuGeneration::MaxwellM40);
+        let h = d.post_recv(1, RecvRequest::any_source(3, 0)).unwrap();
+        d.send(0, 1, 3, 0, payload("x"));
+        d.progress(1).unwrap();
+        let c = d.take_completions(1);
+        assert_eq!(c.len(), 1);
+        assert_eq!(c[0].handle, h);
+    }
+
+    #[test]
+    fn ordering_preserved_under_full_mpi() {
+        let d = Domain::full_mpi(2, GpuGeneration::PascalGtx1080);
+        for i in 0..10u32 {
+            d.send(0, 1, 5, 0, Bytes::from(vec![i as u8]));
+        }
+        for i in 0..10u32 {
+            let m = d.recv_blocking(1, RecvRequest::exact(0, 5, 0), 4).unwrap();
+            assert_eq!(m.payload[0], i as u8, "per-pair FIFO violated");
+        }
+    }
+
+    #[test]
+    fn wildcard_rejected_in_relaxed_domain() {
+        let d = Domain::new(
+            2,
+            GpuGeneration::PascalGtx1080,
+            MatcherKind::Partitioned(4),
+            RelaxationConfig::NO_WILDCARDS,
+        );
+        assert!(d.post_recv(0, RecvRequest::any_source(1, 0)).is_err());
+        assert!(d.post_recv(0, RecvRequest::exact(1, 1, 0)).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot provide")]
+    fn hash_matcher_cannot_promise_full_mpi() {
+        let _ = Domain::new(
+            2,
+            GpuGeneration::PascalGtx1080,
+            MatcherKind::Hash,
+            RelaxationConfig::FULL_MPI,
+        );
+    }
+
+    #[test]
+    fn hash_domain_delivers_with_tags_disambiguating() {
+        let d = Domain::new(
+            2,
+            GpuGeneration::PascalGtx1080,
+            MatcherKind::Hash,
+            RelaxationConfig::UNORDERED,
+        );
+        for i in 0..16u32 {
+            d.send(0, 1, i, 0, Bytes::from(vec![i as u8]));
+        }
+        // Tags uniquely identify messages, so out-of-order matching is
+        // invisible to the application.
+        for i in (0..16u32).rev() {
+            let m = d.recv_blocking(1, RecvRequest::exact(0, i, 0), 4).unwrap();
+            assert_eq!(m.payload[0], i as u8);
+        }
+    }
+
+    #[test]
+    fn many_ranks_threaded_exchange() {
+        let n = 8u32;
+        let d = Domain::full_mpi(n, GpuGeneration::PascalGtx1080);
+        crossbeam::scope(|s| {
+            for r in 0..n {
+                let d = &d;
+                s.spawn(move |_| {
+                    let right = (r + 1) % n;
+                    let left = (r + n - 1) % n;
+                    d.send(r, right, 1, 0, Bytes::from(vec![r as u8]));
+                    let m = d.recv_blocking(r, RecvRequest::exact(left, 1, 0), 64).unwrap();
+                    assert_eq!(m.payload[0], left as u8);
+                });
+            }
+        })
+        .expect("threads join");
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn stats_track_traffic() {
+        let d = Domain::full_mpi(2, GpuGeneration::KeplerK80);
+        for _ in 0..5 {
+            d.send(0, 1, 0, 0, Bytes::new());
+        }
+        assert_eq!(d.stats(0).sent, 5);
+        assert_eq!(d.stats(1).umq_high_water, 5);
+        for _ in 0..5 {
+            d.recv_blocking(1, RecvRequest::exact(0, 0, 0), 4).unwrap();
+        }
+        assert_eq!(d.stats(1).matches, 5);
+    }
+}

@@ -1,0 +1,44 @@
+//! # gpu-msg — a GPU-centric message passing runtime
+//!
+//! The deployment model of *"Relaxations for High-Performance Message
+//! Passing on Massively Parallel SIMT Processors"* (Section II-C): GPUs
+//! are autonomous network peers; a global address space spans the node;
+//! sends are remote writes into per-GPU message queues; a resident
+//! communication kernel on one SM performs the message matching while the
+//! remaining SMs run the application.
+//!
+//! [`Domain`] models such a node over the [`simt_sim`] device simulator,
+//! with the matcher — and therefore the semantics the application gets —
+//! chosen per [`msg_match::RelaxationConfig`]:
+//!
+//! * [`MatcherKind::Matrix`] — full MPI guarantees;
+//! * [`MatcherKind::Partitioned`] — no source wildcard;
+//! * [`MatcherKind::Hash`] — unordered, tags disambiguate.
+//!
+//! ```
+//! use bytes::Bytes;
+//! use gpu_msg::{Domain, MatcherKind};
+//! use msg_match::{RecvRequest, RelaxationConfig};
+//! use simt_sim::GpuGeneration;
+//!
+//! let node = Domain::full_mpi(2, GpuGeneration::PascalGtx1080);
+//! node.send(0, 1, 42, 0, Bytes::from_static(b"hello GPU"));
+//! let msg = node.recv_blocking(1, RecvRequest::exact(0, 42, 0), 8).unwrap();
+//! assert_eq!(&msg.payload[..], b"hello GPU");
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod bsp;
+pub mod collectives;
+pub mod domain;
+pub mod message;
+pub mod reorder;
+pub mod service;
+
+pub use bsp::BspProgram;
+pub use collectives::{barrier, broadcast, ring_allgather_u64, ring_allreduce_sum};
+pub use domain::{Domain, MatcherKind};
+pub use message::{Completion, EndpointStats, Message, RecvHandle};
+pub use reorder::ReorderBuffer;
+pub use service::{simulate_service, ServiceConfig, ServiceEngine, ServiceReport};

@@ -1,0 +1,69 @@
+//! Message and completion types of the GPU messaging runtime.
+
+use bytes::Bytes;
+use msg_match::Envelope;
+
+/// Handle to a posted receive, returned by
+/// [`crate::domain::Domain::post_recv`] and reported back on completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RecvHandle(pub u64);
+
+/// A delivered message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Message {
+    /// Matching header the message travelled with.
+    pub envelope: Envelope,
+    /// Payload bytes (zero-copy shared buffer).
+    pub payload: Bytes,
+}
+
+/// A completed receive: which post matched which message.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Completion {
+    /// The posted receive that matched.
+    pub handle: RecvHandle,
+    /// The message delivered into it.
+    pub message: Message,
+}
+
+/// Statistics of one endpoint's communication kernel.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct EndpointStats {
+    /// Simulated cycles the communication kernel has consumed.
+    pub kernel_cycles: u64,
+    /// Simulated seconds (at the device clock).
+    pub kernel_seconds: f64,
+    /// Matches completed.
+    pub matches: u64,
+    /// Matching kernel launches performed.
+    pub launches: u64,
+    /// Messages sent from this endpoint.
+    pub sent: u64,
+    /// Payload bytes written to remote queues (GAS traffic out).
+    pub bytes_sent: u64,
+    /// Payload bytes landed in this endpoint's queues (GAS traffic in).
+    pub bytes_received: u64,
+    /// High-water mark of the unexpected (inbox) queue.
+    pub umq_high_water: usize,
+    /// High-water mark of the posted-receive queue.
+    pub prq_high_water: usize,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn handle_ordering() {
+        assert!(RecvHandle(1) < RecvHandle(2));
+    }
+
+    #[test]
+    fn message_carries_payload() {
+        let m = Message {
+            envelope: Envelope::new(1, 2, 0),
+            payload: Bytes::from_static(b"hello"),
+        };
+        assert_eq!(&m.payload[..], b"hello");
+    }
+}

@@ -1,0 +1,228 @@
+//! Sustained-operation model of the resident communication kernel.
+//!
+//! The paper's motivation is *message rate*: "due to their highly
+//! parallel nature, GPUs could be expected to exchange significantly more
+//! messages than CPUs … the matching of messages becomes a major limiter
+//! for high message rates." This module turns the batch matching rates
+//! into an operational statement: a communication kernel servicing a
+//! continuous arrival stream, with the queue dynamics that implies.
+//!
+//! The model is a simple batch-service queue in *simulated device time*:
+//! messages (with matching pre-posted receives) arrive at a configured
+//! rate; whenever work is pending, the kernel matches a batch of up to
+//! `max_batch` entries, which occupies the device for the simulated
+//! duration the matcher reports; arrivals accumulate meanwhile. Below
+//! saturation the queue stays bounded; past the matcher's rate ceiling it
+//! grows without bound — [`ServiceReport::saturated`] flags it.
+
+use msg_match::prelude::*;
+use simt_sim::{Gpu, GpuGeneration};
+
+/// Which matching engine the service kernel runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ServiceEngine {
+    /// Fully compliant matrix matching.
+    Matrix,
+    /// Rank-partitioned with this many queues.
+    Partitioned(usize),
+    /// Two-level hash (no ordering).
+    Hash,
+}
+
+/// Service simulation parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceConfig {
+    /// Offered load in messages per second of device time.
+    pub arrival_rate: f64,
+    /// Largest batch the kernel matches at once.
+    pub max_batch: usize,
+    /// The kernel aggregates at least this many pending messages before
+    /// launching a matching pass (or fewer if no more traffic is due) —
+    /// the batching any real communication kernel applies to amortise
+    /// launch overhead.
+    pub batch_threshold: usize,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// Engine to run.
+    pub engine: ServiceEngine,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+/// Outcome of a service simulation.
+#[derive(Debug, Clone, Copy)]
+pub struct ServiceReport {
+    /// Messages matched per second of simulated time.
+    pub sustained_rate: f64,
+    /// Offered arrivals per second (echoed from the config).
+    pub offered_rate: f64,
+    /// Mean pending-queue depth sampled at batch boundaries.
+    pub mean_depth: f64,
+    /// Maximum pending-queue depth observed.
+    pub max_depth: usize,
+    /// Fraction of device time spent matching (utilisation).
+    pub utilisation: f64,
+    /// True if the backlog was still growing when time ran out.
+    pub saturated: bool,
+    /// Batches executed.
+    pub batches: u64,
+}
+
+/// Run the service model.
+pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> ServiceReport {
+    // A large pool of workload tuples reused batch by batch.
+    let pool = WorkloadSpec {
+        len: cfg.max_batch,
+        peers: 64,
+        tags: 1 << 12,
+        seed: cfg.seed,
+        ..Default::default()
+    }
+    .generate();
+
+    let mut now = 0.0f64; // simulated seconds
+    let mut arrived = 0u64; // messages that have arrived by `now`
+    let mut matched = 0u64;
+    let mut busy = 0.0f64;
+    let mut depth_samples: Vec<f64> = Vec::new();
+    let mut max_depth = 0usize;
+    let mut batches = 0u64;
+
+    while now < cfg.duration {
+        let due = (cfg.arrival_rate * now) as u64;
+        arrived = arrived.max(due);
+        let pending = (arrived - matched) as usize;
+        depth_samples.push(pending as f64);
+        max_depth = max_depth.max(pending);
+
+        let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
+        if pending < threshold {
+            // Aggregate: idle until enough arrivals are due (or give the
+            // stragglers a final pass at end of time).
+            let needed = matched + threshold as u64;
+            // Half-an-arrival epsilon: landing exactly on the N-th
+            // arrival time can truncate back to N-1 in float and stall
+            // the clock.
+            let next = (needed as f64 + 0.5) / cfg.arrival_rate;
+            if next > cfg.duration {
+                if pending == 0 {
+                    break;
+                }
+                // Drain the tail.
+            } else {
+                now = next;
+                continue;
+            }
+        }
+
+        let batch = pending.min(cfg.max_batch);
+        if batch == 0 {
+            break;
+        }
+        // Slice a batch out of the pool (wrapping).
+        let start = (matched as usize) % pool.msgs.len();
+        let mut msgs: Vec<Envelope> = Vec::with_capacity(batch);
+        for k in 0..batch {
+            msgs.push(pool.msgs[(start + k) % pool.msgs.len()]);
+        }
+        let reqs: Vec<RecvRequest> = msgs
+            .iter()
+            .map(|m| RecvRequest::exact(m.src, m.tag, m.comm))
+            .collect();
+
+        // Device buffers accumulate across launches (the simulator has
+        // no free); a fresh device per batch models a steady-state
+        // allocation pool without unbounded growth.
+        let mut gpu = Gpu::new(generation);
+        let report = match cfg.engine {
+            ServiceEngine::Matrix => {
+                MatrixMatcher::default().match_iterative(&mut gpu, &msgs, &reqs)
+            }
+            ServiceEngine::Partitioned(q) => PartitionedMatcher::new(q)
+                .match_batch(&mut gpu, &msgs, &reqs)
+                .expect("no wildcards in service traffic"),
+            ServiceEngine::Hash => HashMatcher::default()
+                .match_batch(&mut gpu, &msgs, &reqs)
+                .expect("no wildcards in service traffic"),
+        };
+        debug_assert_eq!(report.matches as usize, batch);
+        matched += report.matches;
+        busy += report.seconds;
+        now += report.seconds;
+        batches += 1;
+    }
+
+    let elapsed = now.max(f64::MIN_POSITIVE);
+    let final_backlog = arrived.saturating_sub(matched) as usize;
+    ServiceReport {
+        sustained_rate: matched as f64 / elapsed,
+        offered_rate: cfg.arrival_rate,
+        mean_depth: depth_samples.iter().sum::<f64>() / depth_samples.len().max(1) as f64,
+        max_depth,
+        utilisation: (busy / elapsed).min(1.0),
+        saturated: final_backlog > 2 * cfg.max_batch
+            && final_backlog as f64 > 0.05 * arrived as f64,
+        batches,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg(rate: f64, engine: ServiceEngine) -> ServiceConfig {
+        ServiceConfig {
+            arrival_rate: rate,
+            max_batch: 1024,
+            batch_threshold: 256,
+            duration: 0.004,
+            engine,
+            seed: 5,
+        }
+    }
+
+    #[test]
+    fn below_saturation_the_queue_stays_bounded() {
+        // 1 M msgs/s against a ~4.7 M/s matrix matcher: comfortable.
+        let r = simulate_service(GpuGeneration::PascalGtx1080, cfg(1.0e6, ServiceEngine::Matrix));
+        assert!(!r.saturated, "{r:?}");
+        assert!(r.utilisation < 0.75, "utilisation {}", r.utilisation);
+        assert!((r.sustained_rate - 1.0e6).abs() / 1.0e6 < 0.15, "{r:?}");
+    }
+
+    #[test]
+    fn past_saturation_the_backlog_grows() {
+        // 20 M msgs/s against the compliant matcher: hopeless.
+        let r = simulate_service(GpuGeneration::PascalGtx1080, cfg(20.0e6, ServiceEngine::Matrix));
+        assert!(r.saturated, "{r:?}");
+        assert!(r.utilisation > 0.95, "the kernel must be pegged: {r:?}");
+        // The sustained rate caps at the matcher's ceiling.
+        assert!(r.sustained_rate < 8.0e6, "{r:?}");
+    }
+
+    #[test]
+    fn relaxed_engines_raise_the_ceiling() {
+        // The same 20 M msgs/s the matrix matcher drowned under is easy
+        // for the hash engine.
+        let r = simulate_service(GpuGeneration::PascalGtx1080, cfg(20.0e6, ServiceEngine::Hash));
+        assert!(!r.saturated, "{r:?}");
+        // And partitioning lands in between.
+        let p = simulate_service(
+            GpuGeneration::PascalGtx1080,
+            cfg(20.0e6, ServiceEngine::Partitioned(16)),
+        );
+        assert!(!p.saturated, "{p:?}");
+    }
+
+    #[test]
+    fn utilisation_tracks_offered_load() {
+        let lo = simulate_service(GpuGeneration::PascalGtx1080, cfg(0.5e6, ServiceEngine::Matrix));
+        let hi = simulate_service(GpuGeneration::PascalGtx1080, cfg(3.0e6, ServiceEngine::Matrix));
+        assert!(
+            hi.utilisation > lo.utilisation * 2.0,
+            "lo {} hi {}",
+            lo.utilisation,
+            hi.utilisation
+        );
+    }
+}

@@ -1,0 +1,358 @@
+//! The hashed multi-queue CPU matcher of Flajslik et al. — the strongest
+//! CPU-side related work the paper cites (its reference \[3\]: "use hashes to address
+//! multiple queues and insert so-called marker entries to restore order
+//! and support wildcards. Their approach yields 3.5× better performance
+//! than traditional, list-based matching algorithms").
+//!
+//! Design, as in the original:
+//!
+//! * `N` bucket queues addressed by `hash(src, tag, comm)`. Matching
+//!   traffic for a given tuple always lands in one bucket, so searches
+//!   touch `1/N`-th of the entries.
+//! * Receives with wildcards cannot be bucketed — a **marker** for the
+//!   wildcard receive is appended to *every* bucket. Because every queue
+//!   preserves global insertion order (entries carry sequence numbers),
+//!   an arrival meeting a marker before any specific match correctly
+//!   yields to the earlier-posted wildcard. Consuming a wildcard retires
+//!   all of its markers lazily.
+//! * Wildcard *posts* search all buckets and take the globally earliest
+//!   matching unexpected message (by arrival sequence).
+//!
+//! The result is bit-identical MPI semantics (verified against the
+//! reference engine) at a fraction of the search length — the CPU-world
+//! answer to the same queue-depth collapse the paper attacks on GPUs.
+
+use std::cell::Cell;
+use std::collections::VecDeque;
+use std::rc::Rc;
+
+use crate::envelope::{Envelope, RecvRequest};
+use crate::hash::jenkins6;
+use crate::list::MatchPair;
+
+/// An entry in a bucketed PRQ: either a concrete receive or a marker
+/// standing in for a wildcard receive posted across all buckets.
+struct PostedEntry {
+    request: RecvRequest,
+    seq: u64,
+    /// Shared consumed flag — markers of one wildcard share it.
+    consumed: Rc<Cell<bool>>,
+}
+
+struct ArrivedEntry {
+    envelope: Envelope,
+    seq: u64,
+    consumed: Rc<Cell<bool>>,
+}
+
+/// Flajslik-style hashed matcher. Drop-in alternative to
+/// [`crate::list::ListMatcher`] with identical semantics.
+pub struct HashedListMatcher {
+    buckets: usize,
+    umq: Vec<VecDeque<ArrivedEntry>>,
+    prq: Vec<VecDeque<PostedEntry>>,
+    next_msg_seq: u64,
+    next_recv_seq: u64,
+    /// Entries inspected across all searches (the metric Flajslik et al.
+    /// report as "reduction in match attempts").
+    pub entries_inspected: u64,
+    /// Matches completed.
+    pub matches: u64,
+}
+
+fn bucket_of(src: u32, tag: u32, comm: u16, buckets: usize) -> usize {
+    (jenkins6(src ^ tag.rotate_left(16) ^ ((comm as u32) << 8)) as usize) % buckets
+}
+
+impl HashedListMatcher {
+    /// Matcher with `buckets` hash-addressed queues (the paper's related
+    /// work used up to 256).
+    pub fn new(buckets: usize) -> Self {
+        let buckets = buckets.max(1);
+        HashedListMatcher {
+            buckets,
+            umq: (0..buckets).map(|_| VecDeque::new()).collect(),
+            prq: (0..buckets).map(|_| VecDeque::new()).collect(),
+            next_msg_seq: 0,
+            next_recv_seq: 0,
+            entries_inspected: 0,
+            matches: 0,
+        }
+    }
+
+    /// Total live unexpected messages.
+    pub fn umq_len(&self) -> usize {
+        self.umq
+            .iter()
+            .flat_map(|q| q.iter())
+            .filter(|e| !e.consumed.get())
+            .count()
+    }
+
+    /// Total live posted receives (wildcards counted once).
+    pub fn prq_len(&self) -> usize {
+        let mut seen = std::collections::HashSet::new();
+        for q in &self.prq {
+            for e in q.iter().filter(|e| !e.consumed.get()) {
+                seen.insert(e.seq);
+            }
+        }
+        seen.len()
+    }
+
+    fn gc(&mut self) {
+        for q in &mut self.umq {
+            while q.front().is_some_and(|e| e.consumed.get()) {
+                q.pop_front();
+            }
+        }
+        for q in &mut self.prq {
+            while q.front().is_some_and(|e| e.consumed.get()) {
+                q.pop_front();
+            }
+        }
+    }
+
+    /// A message arrived: search its bucket's PRQ (which also holds the
+    /// markers of every wildcard receive) in global posted order.
+    pub fn arrive(&mut self, envelope: Envelope) -> Option<MatchPair> {
+        let msg_seq = self.next_msg_seq;
+        self.next_msg_seq += 1;
+        let b = bucket_of(envelope.src, envelope.tag, envelope.comm, self.buckets);
+
+        let mut hit: Option<u64> = None;
+        for e in self.prq[b].iter() {
+            if e.consumed.get() {
+                continue;
+            }
+            self.entries_inspected += 1;
+            if e.request.matches(&envelope) {
+                e.consumed.set(true);
+                hit = Some(e.seq);
+                break;
+            }
+        }
+        match hit {
+            Some(recv_seq) => {
+                self.matches += 1;
+                self.gc();
+                Some(MatchPair { msg_seq, recv_seq })
+            }
+            None => {
+                self.umq[b].push_back(ArrivedEntry {
+                    envelope,
+                    seq: msg_seq,
+                    consumed: Rc::new(Cell::new(false)),
+                });
+                None
+            }
+        }
+    }
+
+    /// A receive was posted. Specific receives search one bucket;
+    /// wildcard receives search all buckets for the globally earliest
+    /// match and otherwise leave markers everywhere.
+    pub fn post(&mut self, request: RecvRequest) -> Option<MatchPair> {
+        let recv_seq = self.next_recv_seq;
+        self.next_recv_seq += 1;
+
+        let hit = if request.has_wildcard() {
+            // Scan every bucket; take the earliest arrival by sequence.
+            let mut best: Option<(u64, usize)> = None; // (seq, bucket)
+            for (bi, q) in self.umq.iter().enumerate() {
+                for e in q.iter() {
+                    if e.consumed.get() {
+                        continue;
+                    }
+                    self.entries_inspected += 1;
+                    if request.matches(&e.envelope) {
+                        if best.is_none_or(|(s, _)| e.seq < s) {
+                            best = Some((e.seq, bi));
+                        }
+                        break; // within a bucket, order is ascending
+                    }
+                }
+            }
+            best.map(|(seq, bi)| {
+                for e in self.umq[bi].iter() {
+                    if e.seq == seq {
+                        e.consumed.set(true);
+                        break;
+                    }
+                }
+                seq
+            })
+        } else {
+            let crate::envelope::SrcSpec::Rank(src) = request.src else {
+                unreachable!()
+            };
+            let crate::envelope::TagSpec::Tag(tag) = request.tag else {
+                unreachable!()
+            };
+            let b = bucket_of(src, tag, request.comm, self.buckets);
+            let mut hit = None;
+            for e in self.umq[b].iter() {
+                if e.consumed.get() {
+                    continue;
+                }
+                self.entries_inspected += 1;
+                if request.matches(&e.envelope) {
+                    e.consumed.set(true);
+                    hit = Some(e.seq);
+                    break;
+                }
+            }
+            hit
+        };
+
+        match hit {
+            Some(msg_seq) => {
+                self.matches += 1;
+                self.gc();
+                Some(MatchPair { msg_seq, recv_seq })
+            }
+            None => {
+                let consumed = Rc::new(Cell::new(false));
+                if request.has_wildcard() {
+                    // Marker in every bucket (the Flajslik mechanism).
+                    for q in &mut self.prq {
+                        q.push_back(PostedEntry {
+                            request,
+                            seq: recv_seq,
+                            consumed: Rc::clone(&consumed),
+                        });
+                    }
+                } else {
+                    let crate::envelope::SrcSpec::Rank(src) = request.src else {
+                        unreachable!()
+                    };
+                    let crate::envelope::TagSpec::Tag(tag) = request.tag else {
+                        unreachable!()
+                    };
+                    let b = bucket_of(src, tag, request.comm, self.buckets);
+                    self.prq[b].push_back(PostedEntry {
+                        request,
+                        seq: recv_seq,
+                        consumed,
+                    });
+                }
+                None
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::list::ListMatcher;
+    use proptest::prelude::*;
+
+    fn e(src: u32, tag: u32) -> Envelope {
+        Envelope::new(src, tag, 0)
+    }
+
+    #[test]
+    fn basic_bucketed_flow() {
+        let mut m = HashedListMatcher::new(8);
+        assert!(m.arrive(e(1, 2)).is_none());
+        assert_eq!(m.umq_len(), 1);
+        let p = m.post(RecvRequest::exact(1, 2, 0)).expect("match");
+        assert_eq!(p, MatchPair { msg_seq: 0, recv_seq: 0 });
+        assert_eq!(m.umq_len(), 0);
+    }
+
+    #[test]
+    fn wildcard_markers_preserve_posted_order() {
+        let mut m = HashedListMatcher::new(16);
+        // Wildcard posted first, then a specific receive for the same
+        // tuple: the arrival must match the earlier wildcard.
+        assert!(m.post(RecvRequest::any_source(7, 0)).is_none());
+        assert!(m.post(RecvRequest::exact(3, 7, 0)).is_none());
+        let p = m.arrive(e(3, 7)).expect("match");
+        assert_eq!(p.recv_seq, 0, "the wildcard was posted first");
+        // The next arrival takes the specific receive.
+        let p = m.arrive(e(3, 7)).expect("match");
+        assert_eq!(p.recv_seq, 1);
+        assert_eq!(m.prq_len(), 0);
+    }
+
+    #[test]
+    fn consumed_wildcard_markers_do_not_double_match() {
+        let mut m = HashedListMatcher::new(4);
+        m.post(RecvRequest::any_source(1, 0));
+        assert!(m.arrive(e(0, 1)).is_some());
+        // The wildcard's markers in other buckets must be dead.
+        assert!(m.arrive(e(1, 1)).is_none(), "only one message may consume it");
+        assert_eq!(m.umq_len(), 1);
+    }
+
+    #[test]
+    fn wildcard_post_takes_globally_earliest_arrival() {
+        let mut m = HashedListMatcher::new(8);
+        // Arrivals in different buckets; ANY_SOURCE must take the first
+        // by arrival order, not by bucket order.
+        m.arrive(e(5, 9));
+        m.arrive(e(2, 9));
+        m.arrive(e(7, 9));
+        let p = m.post(RecvRequest::any_source(9, 0)).expect("match");
+        assert_eq!(p.msg_seq, 0, "earliest arrival wins");
+    }
+
+    #[test]
+    fn search_lengths_shrink_with_buckets() {
+        // The related-work claim: hashing divides the match attempts.
+        let run = |buckets: usize| -> u64 {
+            let mut m = HashedListMatcher::new(buckets);
+            for i in 0..1024u32 {
+                m.arrive(e(i % 61, i % 17));
+            }
+            for i in (0..1024u32).rev() {
+                m.post(RecvRequest::exact(i % 61, i % 17, 0));
+            }
+            assert_eq!(m.matches, 1024);
+            m.entries_inspected
+        };
+        let one = run(1);
+        let many = run(64);
+        assert!(
+            many * 8 < one,
+            "64 buckets must cut inspections ≫ 8×: {one} → {many}"
+        );
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(48))]
+
+        /// Bit-identical to the plain list matcher (and therefore to MPI
+        /// semantics) on arbitrary event streams with wildcards.
+        #[test]
+        fn agrees_with_list_matcher(
+            events in proptest::collection::vec(
+                (any::<bool>(), 0u32..6, 0u32..5, 0u8..5), 0..250),
+            buckets in 1usize..40,
+        ) {
+            let mut hashed = HashedListMatcher::new(buckets);
+            let mut list = ListMatcher::with_stats(false);
+            for (is_post, src, tag, wild) in events {
+                if is_post {
+                    let req = match wild {
+                        0 => RecvRequest::any_source(tag, 0),
+                        1 => RecvRequest::any_tag(src, 0),
+                        2 => RecvRequest {
+                            src: crate::envelope::SrcSpec::Any,
+                            tag: crate::envelope::TagSpec::Any,
+                            comm: 0,
+                        },
+                        _ => RecvRequest::exact(src, tag, 0),
+                    };
+                    prop_assert_eq!(hashed.post(req), list.post(req));
+                } else {
+                    prop_assert_eq!(hashed.arrive(e(src, tag)), list.arrive(e(src, tag)));
+                }
+                prop_assert_eq!(hashed.umq_len(), list.umq_len());
+                prop_assert_eq!(hashed.prq_len(), list.prq_len());
+            }
+        }
+    }
+}

@@ -1,0 +1,74 @@
+//! # msg-match — message matching engines for SIMT processors
+//!
+//! The primary contribution of *"Relaxations for High-Performance Message
+//! Passing on Massively Parallel SIMT Processors"* (Klenk et al., IPDPS
+//! 2017), reproduced in Rust on the [`simt_sim`] substrate:
+//!
+//! * [`mod@reference`] — the golden sequential model of MPI matching
+//!   semantics (UMQ/PRQ, wildcards, per-pair ordering), against which
+//!   every other engine is validated.
+//! * [`list`] — the CPU baseline: linked-list UMQ/PRQ traversal, the
+//!   design of mainstream MPI libraries (~30 M matches/s short queues,
+//!   < 5 M beyond 512 entries on host silicon).
+//! * [`hashed_list`] — the strongest cited CPU improvement (Flajslik et
+//!   al.): hash-addressed bucket queues with wildcard markers.
+//! * [`matrix`] — the fully MPI-compliant GPU algorithm: warp-ballot
+//!   *scan* into a vote matrix, sequential warp *reduce* honouring
+//!   ordering and wildcards (paper Algorithms 1 & 2; ~6 M matches/s on
+//!   Pascal).
+//! * [`partitioned`] — the *no source wildcard* relaxation: static rank
+//!   partitioning into parallel queues (~60 M matches/s).
+//! * [`hash`] — the *no ordering* relaxation: two-level hash table with
+//!   Jenkins' 6-shift hash (~500 M matches/s).
+//! * [`compaction`] — the prefix-scan queue compaction whose cost the
+//!   *no unexpected messages* relaxation avoids (~10%).
+//! * [`relax`] — the Table II lattice tying guarantees to engines, with
+//!   workload validation.
+//! * [`workloads`] — the micro-benchmark generators of Section V-B.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use msg_match::prelude::*;
+//! use simt_sim::{Gpu, GpuGeneration};
+//!
+//! let w = WorkloadSpec::fully_matching(256, 42).generate();
+//! let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+//! let report = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
+//! assert_eq!(report.matches, 256);
+//! println!("{:.1} M matches/s", report.matches_per_sec / 1e6);
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod comm_router;
+pub mod compaction;
+pub mod engine;
+pub mod envelope;
+pub mod gpu_common;
+pub mod hash;
+pub mod hashed_list;
+pub mod list;
+pub mod matrix;
+pub mod partitioned;
+pub mod reference;
+pub mod relax;
+pub mod workloads;
+
+/// Convenience re-exports of the main API surface.
+pub mod prelude {
+    pub use crate::envelope::{CommId, Envelope, Rank, RecvRequest, SrcSpec, Tag, TagSpec};
+    pub use crate::gpu_common::{GpuMatchReport, NO_MATCH};
+    pub use crate::comm_router::{CommRouter, EnginePlacement};
+    pub use crate::engine::{EngineChoice, MatchEngine, SelectionPolicy};
+    pub use crate::hash::{HashMatcher, HashMatcherConfig, TableOrganization};
+    pub use crate::hashed_list::HashedListMatcher;
+    pub use crate::list::{ListMatcher, MatchPair};
+    pub use crate::matrix::{MatrixMatcher, MAX_BATCH};
+    pub use crate::partitioned::PartitionedMatcher;
+    pub use crate::reference::{match_queues, MatchEvent, ReferenceEngine};
+    pub use crate::relax::{DataStructure, PerformanceClass, RelaxationConfig, UserImplication};
+    pub use crate::workloads::{Workload, WorkloadSpec};
+}
+
+pub use prelude::*;

@@ -1,0 +1,934 @@
+//! Functional kernel execution: CTAs, warps and the recording API.
+//!
+//! Kernels implement [`CtaKernel`] and are written *warp-synchronously*:
+//! the body is a sequence of segments (closures passed to
+//! [`CtaCtx::for_each_warp`] or [`CtaCtx::warp`]) separated by implicit
+//! CTA barriers. Within a segment each warp runs to completion in warp-id
+//! order, which is deterministic and race-free for kernels whose
+//! inter-warp communication crosses barriers — the discipline all kernels
+//! in this workspace follow (and that correct CUDA kernels must follow).
+//!
+//! Every warp-wide operation goes through [`WarpCtx`], which performs it
+//! functionally on lane vectors *and* records an [`crate::trace::OpRecord`] for the
+//! timing replay, including post-coalescing transaction counts and
+//! bank-conflict replays.
+
+use crate::config::{GpuConfig, GpuGeneration, WARP_SIZE};
+use crate::lanes::{self, LaneMask, Lanes};
+use crate::mem::{
+    bank_conflict_degree, coalesced_transactions, BufferId, DeviceMemory, DeviceScalar,
+    SharedId, SharedMemory,
+};
+use crate::sanitize::{self, Access, AccessKind, RaceReport, Space};
+use crate::timing::{self, TimingReport};
+use crate::trace::{CtaTrace, DepToken, GridTrace, OpKind, WarpTrace};
+
+/// Grid launch geometry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchConfig {
+    /// Number of CTAs in the grid.
+    pub ctas: u32,
+    /// Threads per CTA (multiple CTAs may exceed warp granularity; the
+    /// final warp of a CTA may be partial).
+    pub threads_per_cta: u32,
+    /// SMs the grid may occupy. The paper dedicates a *single* SM to the
+    /// communication kernel (Section II-C), so this defaults to 1 in
+    /// [`LaunchConfig::single_sm`].
+    pub sms_used: u32,
+}
+
+impl LaunchConfig {
+    /// The paper's deployment: everything on one SM.
+    pub fn single_sm(ctas: u32, threads_per_cta: u32) -> Self {
+        LaunchConfig {
+            ctas,
+            threads_per_cta,
+            sms_used: 1,
+        }
+    }
+
+    /// Warps per CTA implied by the thread count.
+    pub fn warps_per_cta(&self) -> u32 {
+        self.threads_per_cta.div_ceil(WARP_SIZE as u32)
+    }
+}
+
+/// A kernel executable on the simulated device.
+pub trait CtaKernel {
+    /// Per-thread register footprint, an occupancy input. 32 matches the
+    /// compiled footprint of the matching kernels.
+    fn registers_per_thread(&self) -> u32 {
+        32
+    }
+
+    /// Execute one CTA. Called once per CTA in the grid, in CTA-id order.
+    fn execute(&mut self, cta: &mut CtaCtx<'_>);
+}
+
+/// Execution context of one CTA during functional execution.
+pub struct CtaCtx<'a> {
+    global: &'a mut DeviceMemory,
+    shared: SharedMemory,
+    traces: Vec<WarpTrace>,
+    cta_id: usize,
+    threads: usize,
+    warp_count: usize,
+    banks: u32,
+    sanitizer: Option<SanitizerState>,
+}
+
+/// Per-CTA sanitizer bookkeeping (enabled by
+/// [`Gpu::launch_sanitized`]).
+struct SanitizerState {
+    log: Vec<Access>,
+    segment: u32,
+    reports: Vec<RaceReport>,
+}
+
+impl<'a> CtaCtx<'a> {
+    fn new(
+        global: &'a mut DeviceMemory,
+        cta_id: usize,
+        threads: usize,
+        banks: u32,
+        sanitize: bool,
+    ) -> Self {
+        let warp_count = threads.div_ceil(WARP_SIZE);
+        CtaCtx {
+            global,
+            shared: SharedMemory::new(),
+            traces: vec![WarpTrace::default(); warp_count],
+            cta_id,
+            threads,
+            warp_count,
+            banks,
+            sanitizer: sanitize.then(|| SanitizerState {
+                log: Vec::new(),
+                segment: 0,
+                reports: Vec::new(),
+            }),
+        }
+    }
+
+    /// Index of this CTA within the grid.
+    pub fn cta_id(&self) -> usize {
+        self.cta_id
+    }
+
+    /// Threads in this CTA.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Warps in this CTA (the last may be partial).
+    pub fn warp_count(&self) -> usize {
+        self.warp_count
+    }
+
+    /// Allocate CTA shared memory. Counts against the SM budget and hence
+    /// against occupancy.
+    pub fn alloc_shared<T: DeviceScalar>(&mut self, len: usize) -> SharedId<T> {
+        self.shared.alloc::<T>(len)
+    }
+
+    /// Host-visible peek into shared memory (for tests/debug only; real
+    /// devices cannot do this).
+    pub fn shared_read<T: DeviceScalar>(&self, id: SharedId<T>, idx: usize) -> T {
+        self.shared.read(id, idx)
+    }
+
+    fn base_mask(&self, warp_id: usize) -> LaneMask {
+        let start = warp_id * WARP_SIZE;
+        let live = self.threads.saturating_sub(start).min(WARP_SIZE);
+        LaneMask::first(live)
+    }
+
+    /// Run `f` once per warp (in warp-id order), then execute an implicit
+    /// CTA barrier. This is the simulator's `parallel region +
+    /// __syncthreads()` idiom.
+    pub fn for_each_warp(&mut self, mut f: impl FnMut(&mut WarpCtx<'_>)) {
+        for w in 0..self.warp_count {
+            let mask = self.base_mask(w);
+            let mut ctx = WarpCtx {
+                global: self.global,
+                shared: &mut self.shared,
+                trace: &mut self.traces[w],
+                cta_id: self.cta_id,
+                warp_id: w,
+                mask_stack: vec![mask],
+                banks: self.banks,
+                san_log: self.sanitizer.as_mut().map(|s| &mut s.log),
+            };
+            f(&mut ctx);
+        }
+        self.barrier();
+    }
+
+    /// Run `f` on a single warp while the others idle at the following
+    /// barrier — the `if (warp_id == k) { ... } __syncthreads()` idiom the
+    /// sequential reduce phase uses.
+    pub fn warp(&mut self, warp_id: usize, f: impl FnOnce(&mut WarpCtx<'_>)) {
+        assert!(warp_id < self.warp_count, "warp {warp_id} out of range");
+        let mask = self.base_mask(warp_id);
+        {
+            let mut ctx = WarpCtx {
+                global: self.global,
+                shared: &mut self.shared,
+                trace: &mut self.traces[warp_id],
+                cta_id: self.cta_id,
+                warp_id,
+                mask_stack: vec![mask],
+                banks: self.banks,
+                san_log: self.sanitizer.as_mut().map(|s| &mut s.log),
+            };
+            // The guard (`warp_id == k`) costs one predicate instruction
+            // in every warp.
+            ctx.trace.push(OpKind::IAlu { n: 1 });
+            f(&mut ctx);
+        }
+        for (w, t) in self.traces.iter_mut().enumerate() {
+            if w != warp_id {
+                t.push(OpKind::IAlu { n: 1 });
+            }
+        }
+        self.barrier();
+    }
+
+    /// Explicit CTA-wide barrier (all warps record a `Bar`).
+    pub fn barrier(&mut self) {
+        for t in &mut self.traces {
+            t.push(OpKind::Bar);
+        }
+        if let Some(san) = &mut self.sanitizer {
+            sanitize::check_segment(self.cta_id as u32, san.segment, &san.log, &mut san.reports);
+            san.log.clear();
+            san.segment += 1;
+        }
+    }
+
+    fn finish(mut self) -> (CtaTrace, Vec<RaceReport>) {
+        let reports = match &mut self.sanitizer {
+            Some(san) => {
+                sanitize::check_segment(
+                    self.cta_id as u32,
+                    san.segment,
+                    &san.log,
+                    &mut san.reports,
+                );
+                std::mem::take(&mut san.reports)
+            }
+            None => Vec::new(),
+        };
+        let shared_bytes = self.shared.bytes_used();
+        (
+            CtaTrace {
+                warps: self.traces,
+                shared_bytes,
+            },
+            reports,
+        )
+    }
+}
+
+/// Per-warp recording context: the lane-vector machine kernels program.
+pub struct WarpCtx<'a> {
+    global: &'a mut DeviceMemory,
+    shared: &'a mut SharedMemory,
+    trace: &'a mut WarpTrace,
+    cta_id: usize,
+    warp_id: usize,
+    mask_stack: Vec<LaneMask>,
+    banks: u32,
+    san_log: Option<&'a mut Vec<Access>>,
+}
+
+impl WarpCtx<'_> {
+    fn log_access(&mut self, kind: AccessKind, space: Space, buffer: usize, idx: &Lanes<u32>) {
+        let mask = self.active_mask();
+        let warp = self.warp_id as u32;
+        if let Some(log) = self.san_log.as_deref_mut() {
+            for lane in mask.iter() {
+                log.push(Access {
+                    warp,
+                    kind,
+                    space,
+                    buffer: buffer as u32,
+                    index: idx.get(lane),
+                });
+            }
+        }
+    }
+
+    fn log_access_one(&mut self, kind: AccessKind, space: Space, buffer: usize, index: u32) {
+        let warp = self.warp_id as u32;
+        if let Some(log) = self.san_log.as_deref_mut() {
+            log.push(Access {
+                warp,
+                kind,
+                space,
+                buffer: buffer as u32,
+                index,
+            });
+        }
+    }
+}
+
+impl WarpCtx<'_> {
+    /// Index of this warp within its CTA.
+    pub fn warp_id(&self) -> usize {
+        self.warp_id
+    }
+
+    /// Index of the enclosing CTA within the grid.
+    pub fn cta_id(&self) -> usize {
+        self.cta_id
+    }
+
+    /// Current active-lane mask (base mask intersected with any
+    /// [`WarpCtx::if_lanes`] nesting).
+    pub fn active_mask(&self) -> LaneMask {
+        *self.mask_stack.last().expect("mask stack never empty")
+    }
+
+    /// Lane indices 0..32.
+    pub fn lane_ids(&self) -> Lanes<u32> {
+        Lanes::from_fn(|i| i as u32)
+    }
+
+    /// CTA-relative thread ids of this warp's lanes.
+    pub fn thread_ids(&self) -> Lanes<u32> {
+        let base = (self.warp_id * WARP_SIZE) as u32;
+        Lanes::from_fn(|i| base + i as u32)
+    }
+
+    /// Charge `n` integer/logic instructions (address math, compares, bit
+    /// manipulation, loop control). Purely a timing annotation.
+    pub fn charge_alu(&mut self, n: u32) {
+        if n > 0 {
+            self.trace.push(OpKind::IAlu { n });
+        }
+    }
+
+    /// Warp ballot over the active lanes. Charges one predicate-compute
+    /// instruction plus the vote. Returns the CUDA-convention bit vector.
+    pub fn ballot(&mut self, preds: &Lanes<bool>) -> u32 {
+        self.ballot_dep(None, preds)
+    }
+
+    /// [`WarpCtx::ballot`] whose predicate consumes the value produced by
+    /// `dep` (typically the load that fetched the operands).
+    pub fn ballot_dep(&mut self, dep: Option<DepToken>, preds: &Lanes<bool>) -> u32 {
+        self.trace.push_dep(OpKind::IAlu { n: 1 }, dep);
+        self.trace.push(OpKind::Vote);
+        lanes::ballot(self.active_mask(), preds)
+    }
+
+    /// Warp-wide any-vote.
+    pub fn any(&mut self, preds: &Lanes<bool>) -> bool {
+        self.trace.push(OpKind::Vote);
+        lanes::any(self.active_mask(), preds)
+    }
+
+    /// Warp-wide all-vote.
+    pub fn all(&mut self, preds: &Lanes<bool>) -> bool {
+        self.trace.push(OpKind::Vote);
+        lanes::all(self.active_mask(), preds)
+    }
+
+    /// Broadcast `src_lane`'s value to all active lanes.
+    pub fn shfl<T: DeviceScalar>(&mut self, values: &Lanes<T>, src_lane: usize) -> Lanes<T> {
+        self.trace.push(OpKind::Shfl);
+        lanes::shfl(self.active_mask(), values, src_lane)
+    }
+
+    /// Shuffle-up by `delta` (prefix-scan building block).
+    pub fn shfl_up<T: DeviceScalar>(&mut self, values: &Lanes<T>, delta: usize) -> Lanes<T> {
+        self.trace.push(OpKind::Shfl);
+        lanes::shfl_up(self.active_mask(), values, delta)
+    }
+
+    /// Shuffle-down by `delta`.
+    pub fn shfl_down<T: DeviceScalar>(&mut self, values: &Lanes<T>, delta: usize) -> Lanes<T> {
+        self.trace.push(OpKind::Shfl);
+        lanes::shfl_down(self.active_mask(), values, delta)
+    }
+
+    /// Run `f` with the active mask narrowed to lanes whose predicate is
+    /// true (branch divergence). Charges the predicate + branch.
+    pub fn if_lanes(&mut self, preds: &Lanes<bool>, f: impl FnOnce(&mut Self)) {
+        self.trace.push(OpKind::IAlu { n: 1 });
+        let narrowed = LaneMask(lanes::ballot(self.active_mask(), preds));
+        self.mask_stack.push(narrowed);
+        if narrowed != LaneMask::EMPTY {
+            f(self);
+        }
+        self.mask_stack.pop();
+    }
+
+    // --- global memory ---
+
+    /// Per-lane gather from global memory. Returns the loaded lanes and a
+    /// dependency token for the first consumer.
+    pub fn ld_global<T: DeviceScalar>(
+        &mut self,
+        buf: BufferId<T>,
+        idx: &Lanes<u32>,
+    ) -> (Lanes<T>, DepToken) {
+        let mask = self.active_mask();
+        let tx = coalesced_transactions(mask, idx, T::BYTES);
+        let tok = self.trace.push(OpKind::LdGlobal { transactions: tx });
+        self.log_access(AccessKind::Read, Space::Global, buf.index, idx);
+        (self.global.load_lanes(buf, mask, idx), tok)
+    }
+
+    /// Warp-uniform load: every lane reads element `idx` (one transaction,
+    /// broadcast). The reduce phase reads the vote matrix this way.
+    pub fn ld_global_bcast<T: DeviceScalar>(
+        &mut self,
+        buf: BufferId<T>,
+        idx: u32,
+    ) -> (T, DepToken) {
+        let tok = self.trace.push(OpKind::LdGlobal { transactions: 1 });
+        self.log_access_one(AccessKind::Read, Space::Global, buf.index, idx);
+        (self.global.read(buf, idx as usize), tok)
+    }
+
+    /// Per-lane scatter to global memory.
+    pub fn st_global<T: DeviceScalar>(
+        &mut self,
+        buf: BufferId<T>,
+        idx: &Lanes<u32>,
+        values: &Lanes<T>,
+    ) {
+        let _ = self.st_global_after(buf, idx, values, None);
+    }
+
+    /// Per-lane scatter gated on the completion of `dep`, returning its
+    /// own token. Lets kernels express ordered memory traffic, e.g. the
+    /// in-place queue-compaction move where a chunk may only be written
+    /// after the previous chunk's store retired.
+    pub fn st_global_after<T: DeviceScalar>(
+        &mut self,
+        buf: BufferId<T>,
+        idx: &Lanes<u32>,
+        values: &Lanes<T>,
+        dep: Option<DepToken>,
+    ) -> DepToken {
+        let mask = self.active_mask();
+        let tx = coalesced_transactions(mask, idx, T::BYTES);
+        let tok = self
+            .trace
+            .push_dep(OpKind::StGlobal { transactions: tx }, dep);
+        self.log_access(AccessKind::Write, Space::Global, buf.index, idx);
+        self.global.store_lanes(buf, mask, idx, values);
+        tok
+    }
+
+    /// Per-lane gather gated on the completion of `dep` (ordered loads).
+    pub fn ld_global_after<T: DeviceScalar>(
+        &mut self,
+        buf: BufferId<T>,
+        idx: &Lanes<u32>,
+        dep: Option<DepToken>,
+    ) -> (Lanes<T>, DepToken) {
+        let mask = self.active_mask();
+        let tx = coalesced_transactions(mask, idx, T::BYTES);
+        let tok = self
+            .trace
+            .push_dep(OpKind::LdGlobal { transactions: tx }, dep);
+        self.log_access(AccessKind::Read, Space::Global, buf.index, idx);
+        (self.global.load_lanes(buf, mask, idx), tok)
+    }
+
+    /// Single-lane store executed by the first active lane (the
+    /// `if (lane == leader) buf[i] = v` idiom).
+    pub fn st_global_leader<T: DeviceScalar>(&mut self, buf: BufferId<T>, idx: u32, value: T) {
+        self.trace.push(OpKind::StGlobal { transactions: 1 });
+        if self.active_mask() != LaneMask::EMPTY {
+            self.log_access_one(AccessKind::Write, Space::Global, buf.index, idx);
+            self.global.write(buf, idx as usize, value);
+        }
+    }
+
+    /// Global atomic compare-and-swap, per active lane, in lane order.
+    /// Returns the old values. Cost: one serialised transaction per
+    /// active lane (atomics to the same cache line serialise at the L2).
+    pub fn atom_global_cas<T: DeviceScalar + PartialEq>(
+        &mut self,
+        buf: BufferId<T>,
+        idx: &Lanes<u32>,
+        compare: &Lanes<T>,
+        new: &Lanes<T>,
+    ) -> (Lanes<T>, DepToken) {
+        let mask = self.active_mask();
+        let tx = mask.count().max(1);
+        let tok = self.trace.push(OpKind::AtomGlobal { transactions: tx });
+        self.log_access(AccessKind::Atomic, Space::Global, buf.index, idx);
+        let mut old = Lanes::<T>::default();
+        for lane in mask.iter() {
+            let i = idx.get(lane) as usize;
+            let cur = self.global.read(buf, i);
+            old.set(lane, cur);
+            if cur == compare.get(lane) {
+                self.global.write(buf, i, new.get(lane));
+            }
+        }
+        (old, tok)
+    }
+
+    /// Global atomic exchange per active lane, lane order; returns old
+    /// values.
+    pub fn atom_global_exch<T: DeviceScalar>(
+        &mut self,
+        buf: BufferId<T>,
+        idx: &Lanes<u32>,
+        new: &Lanes<T>,
+    ) -> (Lanes<T>, DepToken) {
+        let mask = self.active_mask();
+        let tx = mask.count().max(1);
+        let tok = self.trace.push(OpKind::AtomGlobal { transactions: tx });
+        self.log_access(AccessKind::Atomic, Space::Global, buf.index, idx);
+        let mut old = Lanes::<T>::default();
+        for lane in mask.iter() {
+            let i = idx.get(lane) as usize;
+            old.set(lane, self.global.read(buf, i));
+            self.global.write(buf, i, new.get(lane));
+        }
+        (old, tok)
+    }
+
+    /// Global atomic add per active lane, lane order; returns old values.
+    pub fn atom_global_add(
+        &mut self,
+        buf: BufferId<u32>,
+        idx: &Lanes<u32>,
+        addend: &Lanes<u32>,
+    ) -> (Lanes<u32>, DepToken) {
+        let mask = self.active_mask();
+        let tx = mask.count().max(1);
+        let tok = self.trace.push(OpKind::AtomGlobal { transactions: tx });
+        self.log_access(AccessKind::Atomic, Space::Global, buf.index, idx);
+        let mut old = Lanes::<u32>::default();
+        for lane in mask.iter() {
+            let i = idx.get(lane) as usize;
+            let cur = self.global.read(buf, i);
+            old.set(lane, cur);
+            self.global.write(buf, i, cur.wrapping_add(addend.get(lane)));
+        }
+        (old, tok)
+    }
+
+    // --- shared memory ---
+
+    /// Per-lane gather from shared memory.
+    pub fn ld_shared<T: DeviceScalar>(
+        &mut self,
+        id: SharedId<T>,
+        idx: &Lanes<u32>,
+    ) -> (Lanes<T>, DepToken) {
+        let mask = self.active_mask();
+        let replays = bank_conflict_degree(mask, idx, T::BYTES, self.banks).max(1);
+        let tok = self.trace.push(OpKind::LdShared { replays });
+        self.log_access(AccessKind::Read, Space::Shared, id.index, idx);
+        (self.shared.load_lanes(id, mask, idx), tok)
+    }
+
+    /// Per-lane scatter to shared memory.
+    pub fn st_shared<T: DeviceScalar>(
+        &mut self,
+        id: SharedId<T>,
+        idx: &Lanes<u32>,
+        values: &Lanes<T>,
+    ) {
+        let mask = self.active_mask();
+        let replays = bank_conflict_degree(mask, idx, T::BYTES, self.banks).max(1);
+        self.trace.push(OpKind::StShared { replays });
+        self.log_access(AccessKind::Write, Space::Shared, id.index, idx);
+        self.shared.store_lanes(id, mask, idx, values);
+    }
+
+    /// Shared atomic CAS per active lane, lane order; returns old values.
+    pub fn atom_shared_cas<T: DeviceScalar + PartialEq>(
+        &mut self,
+        id: SharedId<T>,
+        idx: &Lanes<u32>,
+        compare: &Lanes<T>,
+        new: &Lanes<T>,
+    ) -> (Lanes<T>, DepToken) {
+        let mask = self.active_mask();
+        let replays = mask.count().max(1);
+        let tok = self.trace.push(OpKind::AtomShared { replays });
+        self.log_access(AccessKind::Atomic, Space::Shared, id.index, idx);
+        let mut old = Lanes::<T>::default();
+        for lane in mask.iter() {
+            let i = idx.get(lane) as usize;
+            let cur = self.shared.read(id, i);
+            old.set(lane, cur);
+            if cur == compare.get(lane) {
+                let mut v = Lanes::default();
+                v.set(lane, new.get(lane));
+                let mut one = Lanes::splat(0u32);
+                one.set(lane, i as u32);
+                // direct write through the raw store path
+                self.shared
+                    .store_lanes(id, LaneMask(1 << lane), &one, &v);
+            }
+        }
+        (old, tok)
+    }
+
+    /// Number of elements in a global buffer (compile-time-known sizes in
+    /// real kernels; free).
+    pub fn global_len<T: DeviceScalar>(&self, buf: BufferId<T>) -> usize {
+        self.global.len(buf)
+    }
+}
+
+/// Result of a grid launch: functional effects live in the device memory;
+/// this report carries the timing and instruction statistics.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Simulated execution time in cycles.
+    pub cycles: u64,
+    /// Simulated execution time in seconds on the configured device.
+    pub seconds: f64,
+    /// Architectural instructions executed.
+    pub instructions: u64,
+    /// CTAs that were resident concurrently per SM (occupancy outcome).
+    pub resident_ctas_per_sm: u32,
+    /// Detailed timing breakdown.
+    pub timing: TimingReport,
+}
+
+impl LaunchReport {
+    /// Convenience: events per second for `events` completed in this launch.
+    pub fn rate(&self, events: u64) -> f64 {
+        if self.seconds > 0.0 {
+            events as f64 / self.seconds
+        } else {
+            0.0
+        }
+    }
+}
+
+/// The simulated device: configuration plus global memory.
+pub struct Gpu {
+    /// Architecture parameters used by the timing model.
+    pub config: GpuConfig,
+    /// Device global memory.
+    pub mem: DeviceMemory,
+    /// When set, every launch runs under the race sanitizer and appends
+    /// findings here (the way `compute-sanitizer` wraps a whole process).
+    pub sanitizer_findings: Option<Vec<RaceReport>>,
+}
+
+impl Gpu {
+    /// Create a device of the given generation.
+    pub fn new(generation: GpuGeneration) -> Self {
+        Gpu {
+            config: generation.config(),
+            mem: DeviceMemory::new(),
+            sanitizer_findings: None,
+        }
+    }
+
+    /// Create a device from an explicit configuration.
+    pub fn with_config(config: GpuConfig) -> Self {
+        Gpu {
+            config,
+            mem: DeviceMemory::new(),
+            sanitizer_findings: None,
+        }
+    }
+
+    /// Enable whole-device sanitizing: every subsequent launch (including
+    /// launches made by library code that only sees `&mut Gpu`) is race
+    /// checked, accumulating findings in
+    /// [`Gpu::sanitizer_findings`].
+    pub fn enable_sanitizer(&mut self) {
+        self.sanitizer_findings = Some(Vec::new());
+    }
+
+    /// Launch a kernel: execute every CTA functionally (in CTA-id order),
+    /// then replay the recorded traces on the timing model.
+    ///
+    /// # Panics
+    /// Panics if a CTA's warps disagree on barrier counts (a deadlock on
+    /// real hardware) or the launch geometry is degenerate.
+    pub fn launch(&mut self, kernel: &mut dyn CtaKernel, launch: LaunchConfig) -> LaunchReport {
+        let sanitize = self.sanitizer_findings.is_some();
+        let (report, races) = self.launch_impl(kernel, launch, sanitize);
+        if let Some(findings) = &mut self.sanitizer_findings {
+            findings.extend(races);
+        }
+        report
+    }
+
+    /// [`Gpu::launch`] with the race sanitizer enabled: every
+    /// global/shared access is checked for same-segment cross-warp
+    /// conflicts (the `compute-sanitizer` analogue). Functional results
+    /// and timing are identical to a plain launch.
+    pub fn launch_sanitized(
+        &mut self,
+        kernel: &mut dyn CtaKernel,
+        launch: LaunchConfig,
+    ) -> (LaunchReport, Vec<RaceReport>) {
+        self.launch_impl(kernel, launch, true)
+    }
+
+    fn launch_impl(
+        &mut self,
+        kernel: &mut dyn CtaKernel,
+        launch: LaunchConfig,
+        sanitize: bool,
+    ) -> (LaunchReport, Vec<RaceReport>) {
+        assert!(launch.ctas > 0, "grid must contain at least one CTA");
+        assert!(
+            launch.threads_per_cta > 0
+                && launch.threads_per_cta <= (WARP_SIZE * crate::config::MAX_WARPS_PER_CTA) as u32,
+            "threads per CTA must be in 1..=1024"
+        );
+        assert!(launch.sms_used >= 1, "need at least one SM");
+
+        let mut grid = GridTrace {
+            ctas: Vec::with_capacity(launch.ctas as usize),
+            threads_per_cta: launch.threads_per_cta,
+            registers_per_thread: kernel.registers_per_thread(),
+        };
+        let banks = self.config.sm.shared_banks;
+        let mut races = Vec::new();
+        for cta_id in 0..launch.ctas {
+            let mut ctx = CtaCtx::new(
+                &mut self.mem,
+                cta_id as usize,
+                launch.threads_per_cta as usize,
+                banks,
+                sanitize,
+            );
+            kernel.execute(&mut ctx);
+            let (trace, cta_races) = ctx.finish();
+            races.extend(cta_races);
+            if let Err(e) = trace.validate_barriers() {
+                panic!("kernel barrier divergence in CTA {cta_id}: {e}");
+            }
+            grid.ctas.push(trace);
+        }
+
+        let timing = timing::simulate(&grid, &self.config, launch.sms_used);
+        (
+            LaunchReport {
+                cycles: timing.cycles,
+                seconds: self.config.cycles_to_seconds(timing.cycles),
+                instructions: grid.instruction_count(),
+                resident_ctas_per_sm: timing.resident_ctas_per_sm,
+                timing,
+            },
+            races,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Kernel: each thread writes its global thread id into out[tid].
+    struct WriteTid {
+        out: BufferId<u32>,
+    }
+
+    impl CtaKernel for WriteTid {
+        fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+            let threads = cta.threads() as u32;
+            let cta_base = cta.cta_id() as u32 * threads;
+            let out = self.out;
+            cta.for_each_warp(|w| {
+                let tids = w.thread_ids().map(|t| t + cta_base);
+                w.st_global(out, &tids, &tids);
+            });
+        }
+    }
+
+    #[test]
+    fn grid_writes_all_thread_ids() {
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let out = gpu.mem.alloc::<u32>(256);
+        let mut k = WriteTid { out };
+        let report = gpu.launch(&mut k, LaunchConfig::single_sm(2, 128));
+        let v = gpu.mem.read_vec(out);
+        for (i, x) in v.iter().enumerate() {
+            assert_eq!(*x, i as u32);
+        }
+        assert!(report.cycles > 0);
+        assert!(report.instructions > 0);
+    }
+
+    /// Partial warp: 40 threads = one full warp + 8 lanes.
+    #[test]
+    fn partial_warps_mask_inactive_lanes() {
+        let mut gpu = Gpu::new(GpuGeneration::MaxwellM40);
+        let out = gpu.mem.alloc::<u32>(64);
+        let mut k = WriteTid { out };
+        gpu.launch(&mut k, LaunchConfig::single_sm(1, 40));
+        let v = gpu.mem.read_vec(out);
+        for (i, x) in v.iter().enumerate().take(40) {
+            assert_eq!(*x, i as u32);
+        }
+        for x in v.iter().skip(40) {
+            assert_eq!(*x, 0, "lanes beyond thread count must not store");
+        }
+    }
+
+    /// Ballot + single-warp reduce across a barrier.
+    struct BallotReduce {
+        data: BufferId<u32>,
+        out: BufferId<u32>,
+    }
+
+    impl CtaKernel for BallotReduce {
+        fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+            let votes = cta.alloc_shared::<u32>(cta.warp_count());
+            let data = self.data;
+            let out = self.out;
+            cta.for_each_warp(|w| {
+                let idx = w.thread_ids();
+                let (vals, tok) = w.ld_global(data, &idx);
+                let vote = w.ballot_dep(Some(tok), &vals.map(|v| v % 2 == 0));
+                let widx = Lanes::splat(w.warp_id() as u32);
+                let vv = Lanes::splat(vote);
+                w.if_lanes(&w.lane_ids().map(|l| l == 0), |w| {
+                    w.st_shared(votes, &widx, &vv);
+                });
+            });
+            cta.warp(0, |w| {
+                // Clamp lanes beyond the vote count onto element 0 so the
+                // gather stays in bounds (idle lanes' loads are discarded).
+                let n = w.lane_ids().map(|l| if l < 4 { l } else { 0 });
+                let (vs, tok) = w.ld_shared(votes, &n);
+                w.charge_alu(1);
+                let mut total = 0u32;
+                for lane in 0..4 {
+                    total += vs.get(lane).count_ones();
+                }
+                let _ = tok;
+                w.st_global_leader(out, 0, total);
+            });
+        }
+    }
+
+    #[test]
+    fn cross_warp_reduction_via_shared_memory() {
+        let mut gpu = Gpu::new(GpuGeneration::KeplerK80);
+        let data: Vec<u32> = (0..128).collect();
+        let buf = gpu.mem.alloc_from(&data);
+        let out = gpu.mem.alloc::<u32>(1);
+        let mut k = BallotReduce { data: buf, out };
+        gpu.launch(&mut k, LaunchConfig::single_sm(1, 128));
+        // 64 of 0..128 are even.
+        assert_eq!(gpu.mem.read(out, 0), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "grid must contain at least one CTA")]
+    fn zero_cta_launch_panics() {
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        struct Nop;
+        impl CtaKernel for Nop {
+            fn execute(&mut self, _cta: &mut CtaCtx<'_>) {}
+        }
+        gpu.launch(&mut Nop, LaunchConfig::single_sm(0, 32));
+    }
+
+    /// Nested `if_lanes` must intersect masks, and inactive-lane state
+    /// must be preserved through the divergence.
+    #[test]
+    fn nested_divergence_intersects_masks() {
+        struct Diverge {
+            out: BufferId<u32>,
+        }
+        impl CtaKernel for Diverge {
+            fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+                let out = self.out;
+                cta.for_each_warp(|w| {
+                    let lid = w.lane_ids();
+                    let evens = lid.map(|l| l % 2 == 0);
+                    w.if_lanes(&evens, |w| {
+                        assert_eq!(w.active_mask().count(), 16);
+                        let low = w.lane_ids().map(|l| l < 8);
+                        w.if_lanes(&low, |w| {
+                            // evens ∩ [0,8) = {0,2,4,6}
+                            assert_eq!(w.active_mask().0, 0b0101_0101);
+                            let idx = w.lane_ids();
+                            let ones = Lanes::splat(1u32);
+                            w.st_global(out, &idx, &ones);
+                        });
+                        assert_eq!(w.active_mask().count(), 16, "mask restored");
+                    });
+                    assert_eq!(w.active_mask(), LaneMask::FULL);
+                });
+            }
+        }
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let out = gpu.mem.alloc::<u32>(32);
+        gpu.launch(&mut Diverge { out }, LaunchConfig::single_sm(1, 32));
+        let v = gpu.mem.read_vec(out);
+        for (l, x) in v.iter().enumerate() {
+            let want = (l % 2 == 0 && l < 8) as u32;
+            assert_eq!(*x, want, "lane {l}");
+        }
+    }
+
+    /// An `if_lanes` whose predicate is false everywhere must skip the
+    /// body entirely (no trace side effects from the closure).
+    #[test]
+    fn empty_divergence_skips_body() {
+        struct Empty {
+            out: BufferId<u32>,
+        }
+        impl CtaKernel for Empty {
+            fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+                let out = self.out;
+                cta.for_each_warp(|w| {
+                    let never = Lanes::splat(false);
+                    w.if_lanes(&never, |w| {
+                        let idx = w.lane_ids();
+                        let ones = Lanes::splat(9u32);
+                        w.st_global(out, &idx, &ones);
+                    });
+                });
+            }
+        }
+        let mut gpu = Gpu::new(GpuGeneration::KeplerK80);
+        let out = gpu.mem.alloc::<u32>(32);
+        gpu.launch(&mut Empty { out }, LaunchConfig::single_sm(1, 32));
+        assert!(gpu.mem.read_vec(out).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn atomics_are_lane_ordered() {
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let buf = gpu.mem.alloc::<u32>(1);
+        struct AddK {
+            buf: BufferId<u32>,
+        }
+        impl CtaKernel for AddK {
+            fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+                let buf = self.buf;
+                cta.for_each_warp(|w| {
+                    let zeros = Lanes::splat(0u32);
+                    let ones = Lanes::splat(1u32);
+                    let (old, _) = w.atom_global_add(buf, &zeros, &ones);
+                    // lane i must observe exactly i prior increments
+                    // within this warp (warp 0 runs first).
+                    if w.warp_id() == 0 {
+                        for lane in 0..WARP_SIZE {
+                            assert_eq!(old.get(lane), lane as u32);
+                        }
+                    }
+                });
+            }
+        }
+        gpu.launch(&mut AddK { buf }, LaunchConfig::single_sm(1, 64));
+        assert_eq!(gpu.mem.read(buf, 0), 64);
+    }
+}

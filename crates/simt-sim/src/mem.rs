@@ -1,0 +1,419 @@
+//! Device memory: typed global buffers and per-CTA shared memory.
+//!
+//! Kernels never compute raw byte addresses; they index typed buffers by
+//! element. The memory system still models what addresses would do to the
+//! hardware: global accesses are grouped into 128-byte transactions
+//! (coalescing) and shared accesses are checked for bank conflicts, both
+//! feeding the timing model.
+
+use std::marker::PhantomData;
+
+use crate::config::WARP_SIZE;
+use crate::lanes::{LaneMask, Lanes};
+
+/// Scalar types storable in device memory. Values are held as `u64` words
+/// internally; the trait records the *architectural* width so coalescing
+/// and bank-conflict math see the true access size.
+pub trait DeviceScalar: Copy + Default + 'static {
+    /// Size of the scalar on the device, in bytes.
+    const BYTES: u32;
+    /// Encode into a storage word.
+    fn to_word(self) -> u64;
+    /// Decode from a storage word.
+    fn from_word(word: u64) -> Self;
+}
+
+impl DeviceScalar for u32 {
+    const BYTES: u32 = 4;
+    fn to_word(self) -> u64 {
+        self as u64
+    }
+    fn from_word(word: u64) -> Self {
+        word as u32
+    }
+}
+
+impl DeviceScalar for u64 {
+    const BYTES: u32 = 8;
+    fn to_word(self) -> u64 {
+        self
+    }
+    fn from_word(word: u64) -> Self {
+        word
+    }
+}
+
+impl DeviceScalar for i32 {
+    const BYTES: u32 = 4;
+    fn to_word(self) -> u64 {
+        self as u32 as u64
+    }
+    fn from_word(word: u64) -> Self {
+        word as u32 as i32
+    }
+}
+
+/// Typed handle to a global-memory buffer owned by a [`DeviceMemory`].
+pub struct BufferId<T> {
+    pub(crate) index: usize,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for BufferId<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for BufferId<T> {}
+
+impl<T> std::fmt::Debug for BufferId<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "BufferId({})", self.index)
+    }
+}
+
+struct RawBuffer {
+    words: Vec<u64>,
+}
+
+/// Global device memory: an arena of typed buffers.
+///
+/// The arena outlives kernel launches; host code allocates buffers, fills
+/// them, launches kernels against them and reads results back — mirroring
+/// the `cudaMalloc`/`cudaMemcpy` lifecycle without raw pointers.
+#[derive(Default)]
+pub struct DeviceMemory {
+    buffers: Vec<RawBuffer>,
+}
+
+impl DeviceMemory {
+    /// Fresh, empty device memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a zero-initialised buffer of `len` elements.
+    pub fn alloc<T: DeviceScalar>(&mut self, len: usize) -> BufferId<T> {
+        self.buffers.push(RawBuffer {
+            words: vec![0u64; len],
+        });
+        BufferId {
+            index: self.buffers.len() - 1,
+            _ty: PhantomData,
+        }
+    }
+
+    /// Allocate a buffer initialised from a slice.
+    pub fn alloc_from<T: DeviceScalar>(&mut self, data: &[T]) -> BufferId<T> {
+        let id = self.alloc::<T>(data.len());
+        self.write_slice(id, 0, data);
+        id
+    }
+
+    /// Number of elements in `buf`.
+    pub fn len<T: DeviceScalar>(&self, buf: BufferId<T>) -> usize {
+        self.buffers[buf.index].words.len()
+    }
+
+    /// Host read of a single element.
+    pub fn read<T: DeviceScalar>(&self, buf: BufferId<T>, idx: usize) -> T {
+        T::from_word(self.buffers[buf.index].words[idx])
+    }
+
+    /// Host write of a single element.
+    pub fn write<T: DeviceScalar>(&mut self, buf: BufferId<T>, idx: usize, value: T) {
+        self.buffers[buf.index].words[idx] = value.to_word();
+    }
+
+    /// Host read of the whole buffer.
+    pub fn read_vec<T: DeviceScalar>(&self, buf: BufferId<T>) -> Vec<T> {
+        self.buffers[buf.index]
+            .words
+            .iter()
+            .map(|&w| T::from_word(w))
+            .collect()
+    }
+
+    /// Host write of a contiguous slice starting at `offset`.
+    pub fn write_slice<T: DeviceScalar>(&mut self, buf: BufferId<T>, offset: usize, data: &[T]) {
+        let words = &mut self.buffers[buf.index].words;
+        assert!(
+            offset + data.len() <= words.len(),
+            "write_slice out of bounds: {}+{} > {}",
+            offset,
+            data.len(),
+            words.len()
+        );
+        for (i, v) in data.iter().enumerate() {
+            words[offset + i] = v.to_word();
+        }
+    }
+
+    pub(crate) fn load_lanes<T: DeviceScalar>(
+        &self,
+        buf: BufferId<T>,
+        mask: LaneMask,
+        idx: &Lanes<u32>,
+    ) -> Lanes<T> {
+        let words = &self.buffers[buf.index].words;
+        Lanes::from_fn(|lane| {
+            if mask.contains(lane) {
+                T::from_word(words[idx.get(lane) as usize])
+            } else {
+                T::default()
+            }
+        })
+    }
+
+    pub(crate) fn store_lanes<T: DeviceScalar>(
+        &mut self,
+        buf: BufferId<T>,
+        mask: LaneMask,
+        idx: &Lanes<u32>,
+        values: &Lanes<T>,
+    ) {
+        let words = &mut self.buffers[buf.index].words;
+        // Lanes commit in ascending order; concurrent same-address stores
+        // resolve to the highest lane, matching the "one store wins,
+        // which one is unspecified" CUDA rule deterministically.
+        for lane in mask.iter() {
+            words[idx.get(lane) as usize] = values.get(lane).to_word();
+        }
+    }
+
+}
+
+/// Typed handle to a shared-memory region of a CTA.
+pub struct SharedId<T> {
+    pub(crate) index: usize,
+    _ty: PhantomData<fn() -> T>,
+}
+
+impl<T> Clone for SharedId<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+impl<T> Copy for SharedId<T> {}
+
+impl<T> std::fmt::Debug for SharedId<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "SharedId({})", self.index)
+    }
+}
+
+/// Per-CTA scratch-pad ("shared") memory.
+///
+/// Regions are allocated by the kernel at CTA start; total usage counts
+/// against the SM's shared-memory budget in the occupancy calculation.
+#[derive(Default)]
+pub struct SharedMemory {
+    regions: Vec<RawBuffer>,
+    bytes_used: u32,
+}
+
+impl SharedMemory {
+    /// Fresh, empty shared memory.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Allocate a zeroed region of `len` elements.
+    pub fn alloc<T: DeviceScalar>(&mut self, len: usize) -> SharedId<T> {
+        self.bytes_used += T::BYTES * len as u32;
+        self.regions.push(RawBuffer {
+            words: vec![0u64; len],
+        });
+        SharedId {
+            index: self.regions.len() - 1,
+            _ty: PhantomData,
+        }
+    }
+
+    /// Total bytes allocated (drives occupancy).
+    pub fn bytes_used(&self) -> u32 {
+        self.bytes_used
+    }
+
+    /// Number of elements in a region.
+    pub fn len<T: DeviceScalar>(&self, id: SharedId<T>) -> usize {
+        self.regions[id.index].words.len()
+    }
+
+    pub(crate) fn load_lanes<T: DeviceScalar>(
+        &self,
+        id: SharedId<T>,
+        mask: LaneMask,
+        idx: &Lanes<u32>,
+    ) -> Lanes<T> {
+        let words = &self.regions[id.index].words;
+        Lanes::from_fn(|lane| {
+            if mask.contains(lane) {
+                T::from_word(words[idx.get(lane) as usize])
+            } else {
+                T::default()
+            }
+        })
+    }
+
+    pub(crate) fn store_lanes<T: DeviceScalar>(
+        &mut self,
+        id: SharedId<T>,
+        mask: LaneMask,
+        idx: &Lanes<u32>,
+        values: &Lanes<T>,
+    ) {
+        let words = &mut self.regions[id.index].words;
+        for lane in mask.iter() {
+            words[idx.get(lane) as usize] = values.get(lane).to_word();
+        }
+    }
+
+    /// Host-side read for result extraction in tests.
+    pub fn read<T: DeviceScalar>(&self, id: SharedId<T>, idx: usize) -> T {
+        T::from_word(self.regions[id.index].words[idx])
+    }
+
+}
+
+/// Number of 128-byte global-memory transactions needed to service a
+/// warp's access to elements `idx` of size `elem_bytes` under `mask`.
+///
+/// This is the Fermi+ coalescing rule: the distinct 128-byte segments
+/// touched by the active lanes.
+pub fn coalesced_transactions(mask: LaneMask, idx: &Lanes<u32>, elem_bytes: u32) -> u32 {
+    let mut segments: [u64; WARP_SIZE] = [u64::MAX; WARP_SIZE];
+    let mut n = 0usize;
+    for lane in mask.iter() {
+        let byte = idx.get(lane) as u64 * elem_bytes as u64;
+        let seg = byte / 128;
+        if !segments[..n].contains(&seg) {
+            segments[n] = seg;
+            n += 1;
+        }
+    }
+    n as u32
+}
+
+/// Shared-memory bank conflict degree of a warp access: the maximum number
+/// of *distinct* 32-bit words that map to the same bank. 1 means conflict
+/// free; `k` means the access replays `k` times.
+pub fn bank_conflict_degree(mask: LaneMask, idx: &Lanes<u32>, elem_bytes: u32, banks: u32) -> u32 {
+    if mask == LaneMask::EMPTY {
+        return 0;
+    }
+    let words_per_elem = (elem_bytes / 4).max(1);
+    let mut per_bank_words: Vec<Vec<u64>> = vec![Vec::new(); banks as usize];
+    for lane in mask.iter() {
+        for w in 0..words_per_elem {
+            let word_addr = idx.get(lane) as u64 * words_per_elem as u64 + w as u64;
+            let bank = (word_addr % banks as u64) as usize;
+            if !per_bank_words[bank].contains(&word_addr) {
+                per_bank_words[bank].push(word_addr);
+            }
+        }
+    }
+    per_bank_words
+        .iter()
+        .map(|v| v.len() as u32)
+        .max()
+        .unwrap_or(1)
+        .max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_read_write_round_trip() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc::<u64>(8);
+        mem.write(buf, 3, 0xdead_beef_u64);
+        assert_eq!(mem.read(buf, 3), 0xdead_beef_u64);
+        assert_eq!(mem.read(buf, 0), 0);
+        assert_eq!(mem.len(buf), 8);
+    }
+
+    #[test]
+    fn alloc_from_and_read_vec() {
+        let mut mem = DeviceMemory::new();
+        let data: Vec<u32> = (0..100).collect();
+        let buf = mem.alloc_from(&data);
+        assert_eq!(mem.read_vec(buf), data);
+    }
+
+    #[test]
+    fn lane_load_store_masked() {
+        let mut mem = DeviceMemory::new();
+        let buf = mem.alloc::<u32>(WARP_SIZE);
+        let idx = Lanes::from_fn(|i| i as u32);
+        let vals = Lanes::from_fn(|i| (i * 2) as u32);
+        mem.store_lanes(buf, LaneMask::first(4), &idx, &vals);
+        assert_eq!(mem.read(buf, 3), 6);
+        assert_eq!(mem.read(buf, 4), 0, "inactive lane must not store");
+        let loaded = mem.load_lanes(buf, LaneMask::first(4), &idx);
+        assert_eq!(loaded.get(2), 4);
+        assert_eq!(loaded.get(10), 0, "inactive lanes read default");
+    }
+
+    #[test]
+    fn coalescing_contiguous_u32_is_one_transaction() {
+        let idx = Lanes::from_fn(|i| i as u32);
+        assert_eq!(coalesced_transactions(LaneMask::FULL, &idx, 4), 1);
+    }
+
+    #[test]
+    fn coalescing_contiguous_u64_is_two_transactions() {
+        let idx = Lanes::from_fn(|i| i as u32);
+        assert_eq!(coalesced_transactions(LaneMask::FULL, &idx, 8), 2);
+    }
+
+    #[test]
+    fn coalescing_strided_explodes() {
+        // Stride of 32 u32 elements: every lane in its own 128-byte segment.
+        let idx = Lanes::from_fn(|i| (i * 32) as u32);
+        assert_eq!(coalesced_transactions(LaneMask::FULL, &idx, 4), 32);
+    }
+
+    #[test]
+    fn coalescing_broadcast_is_one() {
+        let idx = Lanes::splat(7u32);
+        assert_eq!(coalesced_transactions(LaneMask::FULL, &idx, 8), 1);
+    }
+
+    #[test]
+    fn coalescing_empty_mask_is_zero() {
+        let idx = Lanes::splat(0u32);
+        assert_eq!(coalesced_transactions(LaneMask::EMPTY, &idx, 4), 0);
+    }
+
+    #[test]
+    fn bank_conflicts_unit_stride_is_free() {
+        let idx = Lanes::from_fn(|i| i as u32);
+        assert_eq!(bank_conflict_degree(LaneMask::FULL, &idx, 4, 32), 1);
+    }
+
+    #[test]
+    fn bank_conflicts_same_word_broadcast_is_free() {
+        // All lanes read the same word: hardware broadcasts, 1 replay.
+        let idx = Lanes::splat(5u32);
+        assert_eq!(bank_conflict_degree(LaneMask::FULL, &idx, 4, 32), 1);
+    }
+
+    #[test]
+    fn bank_conflicts_stride_32_is_32_way() {
+        let idx = Lanes::from_fn(|i| (i * 32) as u32);
+        assert_eq!(bank_conflict_degree(LaneMask::FULL, &idx, 4, 32), 32);
+    }
+
+    #[test]
+    fn shared_memory_tracks_bytes() {
+        let mut sh = SharedMemory::new();
+        let a = sh.alloc::<u32>(256);
+        let b = sh.alloc::<u64>(32);
+        assert_eq!(sh.bytes_used(), 256 * 4 + 32 * 8);
+        assert_eq!(sh.len(a), 256);
+        assert_eq!(sh.len(b), 32);
+    }
+}

@@ -1,0 +1,600 @@
+//! Discrete-event timing replay of recorded grid traces on the SM model.
+//!
+//! The replay models the mechanisms that matter for the paper's results:
+//!
+//! * **Issue bandwidth** — each SM issues at most
+//!   `schedulers × issue_efficiency` instructions per cycle, shared by all
+//!   resident warps; a single warp can issue at most one instruction per
+//!   cycle. Long sequential sections (the reduce phase) are therefore
+//!   latency-bound, while wide sections (the scan) are issue-bound.
+//! * **Latency hiding** — memory and pipeline latencies only stall a warp
+//!   when a recorded dependency consumes a result; other warps keep
+//!   issuing, which is exactly how SIMT machines hide latency. With few
+//!   resident warps (short queues) there is less to hide behind.
+//! * **Memory pipes** — global transactions and shared-memory replays
+//!   drain through finite-throughput servers, so scatter/gather patterns
+//!   and atomics queue up.
+//! * **Barriers** — `__syncthreads()` releases when the last warp arrives.
+//! * **Occupancy waves** — CTAs beyond the residency limit wait for a slot
+//!   (the paper's "more CTAs leads to serialization").
+//!
+//! Time is tracked in integer **millicycles** (1 cycle = 1000 mc) so the
+//! replay is exact and deterministic.
+
+use crate::config::GpuConfig;
+use crate::occupancy::{occupancy, Occupancy};
+use crate::trace::{GridTrace, OpClass, OpKind};
+
+/// Millicycles per cycle.
+const MC: u64 = 1000;
+
+/// Timing outcome of a grid launch.
+#[derive(Debug, Clone, Default)]
+pub struct TimingReport {
+    /// Total simulated cycles (max over the SMs used).
+    pub cycles: u64,
+    /// Per-SM completion times in cycles.
+    pub per_sm_cycles: Vec<u64>,
+    /// CTAs resident concurrently per SM (occupancy outcome).
+    pub resident_ctas_per_sm: u32,
+    /// Total architectural instructions issued.
+    pub instructions: u64,
+    /// Total global-memory transactions (loads + stores + atomics).
+    pub global_transactions: u64,
+    /// Total shared-memory access replays.
+    pub shared_replays: u64,
+    /// Summed cycles warps spent blocked at barriers.
+    pub barrier_wait_cycles: u64,
+    /// Summed cycles warps spent stalled on operand dependencies.
+    pub dependency_stall_cycles: u64,
+    /// Instructions per [`OpClass`] (indexed by [`OpClass::index`]).
+    pub class_instructions: [u64; 6],
+    /// Cycles the issue pipeline was occupied.
+    pub issue_busy_cycles: u64,
+    /// Cycles the global-memory pipe was occupied.
+    pub mem_busy_cycles: u64,
+    /// Cycles the shared-memory pipe was occupied.
+    pub shared_busy_cycles: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WarpPhase {
+    Ready,
+    AtBarrier,
+    Done,
+}
+
+struct WarpState {
+    cta_slot: usize,
+    warp_in_cta: usize,
+    /// Next op index to issue.
+    pc: usize,
+    /// Earliest millicycle the warp can issue its next op.
+    ready_mc: u64,
+    phase: WarpPhase,
+    /// Completion time (mc) of each already-issued op, for dep lookups.
+    completions: Vec<u64>,
+    /// Arrival time at the current barrier.
+    barrier_arrival_mc: u64,
+}
+
+struct CtaRun {
+    /// Index into `grid.ctas`.
+    grid_cta: usize,
+    /// Warps still executing (not Done).
+    live_warps: usize,
+    /// Warps currently waiting at a barrier.
+    at_barrier: usize,
+}
+
+struct SmSim<'a> {
+    grid: &'a GridTrace,
+    cfg: &'a GpuConfig,
+    /// Pending CTA indices (into grid.ctas) not yet resident.
+    pending: Vec<usize>,
+    /// Resident CTA runs.
+    resident: Vec<CtaRun>,
+    warps: Vec<WarpState>,
+    /// Shared-resource availability (mc).
+    issue_free_mc: u64,
+    mem_free_mc: u64,
+    shared_free_mc: u64,
+    /// Cost parameters (mc).
+    issue_cost_mc: u64,
+    mem_tx_cost_mc: u64,
+    shared_atom_cost_mc: u64,
+    /// Finish time of the SM so far.
+    now_max_mc: u64,
+    report: TimingReport,
+}
+
+impl<'a> SmSim<'a> {
+    fn new(grid: &'a GridTrace, cfg: &'a GpuConfig, ctas: Vec<usize>, max_resident: u32) -> Self {
+        let sm = &cfg.sm;
+        let issue_rate_per_mille = sm.schedulers as u64 * sm.issue_efficiency_pct as u64 * 10;
+        let mut sim = SmSim {
+            grid,
+            cfg,
+            pending: {
+                let mut p = ctas;
+                p.reverse(); // pop() from the back in launch order
+                p
+            },
+            resident: Vec::new(),
+            warps: Vec::new(),
+            issue_free_mc: 0,
+            mem_free_mc: 0,
+            shared_free_mc: 0,
+            // instructions per cycle = rate/1000; cost per instr in mc:
+            issue_cost_mc: (MC * MC / issue_rate_per_mille).max(1),
+            mem_tx_cost_mc: (16 * MC / sm.global_tx_per_16_cycles as u64).max(1),
+            shared_atom_cost_mc: (16 * MC / sm.shared_atomic_per_16_cycles as u64).max(1),
+            now_max_mc: 0,
+            report: TimingReport::default(),
+        };
+        for _ in 0..max_resident {
+            sim.activate_next(0);
+        }
+        sim
+    }
+
+    fn activate_next(&mut self, at_mc: u64) {
+        if let Some(grid_cta) = self.pending.pop() {
+            let cta = &self.grid.ctas[grid_cta];
+            let slot = self.resident.len();
+            self.resident.push(CtaRun {
+                grid_cta,
+                live_warps: cta.warps.len(),
+                at_barrier: 0,
+            });
+            for (w, wt) in cta.warps.iter().enumerate() {
+                self.warps.push(WarpState {
+                    cta_slot: slot,
+                    warp_in_cta: w,
+                    pc: 0,
+                    ready_mc: at_mc,
+                    phase: if wt.ops.is_empty() {
+                        WarpPhase::Done
+                    } else {
+                        WarpPhase::Ready
+                    },
+                    completions: Vec::with_capacity(wt.ops.len()),
+                    barrier_arrival_mc: 0,
+                });
+                if wt.ops.is_empty() {
+                    self.resident[slot].live_warps -= 1;
+                }
+            }
+        }
+    }
+
+    fn latency_mc(&self, kind: OpKind) -> u64 {
+        let sm = &self.cfg.sm;
+        (match kind {
+            OpKind::IAlu { .. } => sm.alu_latency,
+            OpKind::Vote => sm.vote_latency,
+            OpKind::Shfl => sm.vote_latency,
+            OpKind::LdShared { replays } | OpKind::StShared { replays } => {
+                sm.shared_latency + replays.saturating_sub(1)
+            }
+            OpKind::AtomShared { replays } => sm.shared_latency + replays,
+            OpKind::LdGlobal { .. } | OpKind::StGlobal { .. } => sm.global_latency,
+            OpKind::AtomGlobal { .. } => sm.global_atomic_latency,
+            OpKind::Bar => sm.vote_latency,
+        }) as u64
+            * MC
+    }
+
+    /// Run the SM to completion; returns finish time in mc.
+    fn run(&mut self) -> u64 {
+        loop {
+            // Pick the ready warp with the earliest candidate start.
+            let mut best: Option<(u64, usize)> = None;
+            for (i, w) in self.warps.iter().enumerate() {
+                if w.phase != WarpPhase::Ready {
+                    continue;
+                }
+                let cta = &self.grid.ctas[self.resident[w.cta_slot].grid_cta];
+                let op = cta.warps[w.warp_in_cta].ops[w.pc];
+                let dep_mc = op
+                    .waits_on
+                    .map(|d| w.completions[d as usize])
+                    .unwrap_or(0);
+                let cand = w.ready_mc.max(dep_mc);
+                if best.is_none_or(|(t, _)| cand < t) {
+                    best = Some((cand, i));
+                }
+            }
+            let Some((cand_mc, wi)) = best else {
+                break; // no ready warps: all done (or all at barriers, handled on arrival)
+            };
+            self.step_warp(wi, cand_mc);
+        }
+        self.now_max_mc
+    }
+
+    fn step_warp(&mut self, wi: usize, cand_mc: u64) {
+        let (cta_slot, warp_in_cta, pc) = {
+            let w = &self.warps[wi];
+            (w.cta_slot, w.warp_in_cta, w.pc)
+        };
+        let grid_cta = self.resident[cta_slot].grid_cta;
+        let op = self.grid.ctas[grid_cta].warps[warp_in_cta].ops[pc];
+
+        let dep_mc = op
+            .waits_on
+            .map(|d| self.warps[wi].completions[d as usize])
+            .unwrap_or(0);
+        let stall = dep_mc.saturating_sub(self.warps[wi].ready_mc);
+        self.report.dependency_stall_cycles += stall / MC;
+
+        if let OpKind::Bar = op.kind {
+            // Arrive at the barrier.
+            let arrive = cand_mc;
+            {
+                let w = &mut self.warps[wi];
+                w.phase = WarpPhase::AtBarrier;
+                w.barrier_arrival_mc = arrive;
+                w.completions.push(arrive);
+            }
+            self.report.instructions += 1;
+            self.report.class_instructions[OpClass::Barrier.index()] += 1;
+            let run = &mut self.resident[cta_slot];
+            run.at_barrier += 1;
+            if run.at_barrier == run.live_warps {
+                // Release: everyone resumes after the slowest arrival.
+                let release = self
+                    .warps
+                    .iter()
+                    .filter(|w| w.cta_slot == cta_slot && w.phase == WarpPhase::AtBarrier)
+                    .map(|w| w.barrier_arrival_mc)
+                    .max()
+                    .unwrap_or(arrive)
+                    + self.latency_mc(OpKind::Bar);
+                self.resident[cta_slot].at_barrier = 0;
+                let mut waits = 0u64;
+                for w in self.warps.iter_mut().filter(|w| w.cta_slot == cta_slot) {
+                    if w.phase == WarpPhase::AtBarrier {
+                        waits += (release - w.barrier_arrival_mc) / MC;
+                        w.ready_mc = release;
+                        w.pc += 1;
+                        w.phase = if w.pc
+                            >= self.grid.ctas[grid_cta].warps[w.warp_in_cta].ops.len()
+                        {
+                            WarpPhase::Done
+                        } else {
+                            WarpPhase::Ready
+                        };
+                        if w.phase == WarpPhase::Done {
+                            self.resident[cta_slot].live_warps -= 1;
+                        }
+                    }
+                }
+                self.report.barrier_wait_cycles += waits;
+                self.now_max_mc = self.now_max_mc.max(release);
+                if self.resident[cta_slot].live_warps == 0 {
+                    // CTA finished: its slot frees; admit the next CTA.
+                    self.activate_next(release);
+                }
+            }
+            return;
+        }
+
+        // Issue through the shared scheduler resource.
+        let n_instr = match op.kind {
+            OpKind::IAlu { n } => n.max(1) as u64,
+            _ => 1,
+        };
+        let start = cand_mc.max(self.issue_free_mc);
+        self.issue_free_mc = start + n_instr * self.issue_cost_mc;
+        self.report.issue_busy_cycles += n_instr * self.issue_cost_mc / MC;
+        self.report.class_instructions[op.kind.class().index()] += n_instr;
+        // A single warp issues at most one instruction per cycle.
+        let issue_end = start + n_instr * MC;
+
+        let mut completion = issue_end - MC + self.latency_mc(op.kind);
+        match op.kind {
+            OpKind::LdGlobal { transactions } | OpKind::StGlobal { transactions } => {
+                let t = transactions.max(1) as u64;
+                let served = self.mem_free_mc.max(start) + t * self.mem_tx_cost_mc;
+                self.mem_free_mc = served;
+                completion = served + self.latency_mc(op.kind);
+                self.report.global_transactions += t;
+                self.report.mem_busy_cycles += t * self.mem_tx_cost_mc / MC;
+            }
+            OpKind::AtomGlobal { transactions } => {
+                // RMWs pipeline at the L2 on all three generations; the
+                // generation gap is latency, not occupancy.
+                let t = transactions.max(1) as u64;
+                let served = self.mem_free_mc.max(start) + t * self.mem_tx_cost_mc;
+                self.mem_free_mc = served;
+                completion = served + self.latency_mc(op.kind);
+                self.report.global_transactions += t;
+                self.report.mem_busy_cycles += t * self.mem_tx_cost_mc / MC;
+            }
+            OpKind::LdShared { replays } | OpKind::StShared { replays } => {
+                let r = replays.max(1) as u64;
+                let served = self.shared_free_mc.max(start) + r * MC;
+                self.shared_free_mc = served;
+                completion = served + self.cfg.sm.shared_latency as u64 * MC;
+                self.report.shared_replays += r;
+                self.report.shared_busy_cycles += r;
+            }
+            OpKind::AtomShared { replays } => {
+                let r = replays.max(1) as u64;
+                let served = self.shared_free_mc.max(start) + r * self.shared_atom_cost_mc;
+                self.shared_free_mc = served;
+                completion = served + self.cfg.sm.shared_latency as u64 * MC;
+                self.report.shared_replays += r;
+                self.report.shared_busy_cycles += r * self.shared_atom_cost_mc / MC;
+            }
+            _ => {}
+        }
+
+        self.report.instructions += n_instr;
+        let done_len = {
+            let w = &mut self.warps[wi];
+            w.ready_mc = issue_end;
+            w.completions.push(completion);
+            w.pc += 1;
+            w.pc >= self.grid.ctas[grid_cta].warps[warp_in_cta].ops.len()
+        };
+        self.now_max_mc = self.now_max_mc.max(completion);
+        if done_len {
+            self.warps[wi].phase = WarpPhase::Done;
+            let run = &mut self.resident[cta_slot];
+            run.live_warps -= 1;
+            if run.live_warps == 0 {
+                let t = self.warps[wi].ready_mc;
+                self.activate_next(t);
+            }
+        }
+    }
+}
+
+/// Replay `grid` on `sms_used` SMs of the configured device.
+pub fn simulate(grid: &GridTrace, cfg: &GpuConfig, sms_used: u32) -> TimingReport {
+    let max_shared = grid
+        .ctas
+        .iter()
+        .map(|c| c.shared_bytes)
+        .max()
+        .unwrap_or(0);
+    let occ: Occupancy = occupancy(
+        &cfg.sm,
+        grid.threads_per_cta,
+        max_shared,
+        grid.registers_per_thread,
+    );
+
+    // Distribute CTAs round-robin over the SMs in use.
+    let sms = sms_used.min(cfg.sm_count).max(1) as usize;
+    let mut per_sm: Vec<Vec<usize>> = vec![Vec::new(); sms];
+    for i in 0..grid.ctas.len() {
+        per_sm[i % sms].push(i);
+    }
+
+    let mut total = TimingReport {
+        resident_ctas_per_sm: occ.resident_ctas,
+        ..TimingReport::default()
+    };
+    for ctas in per_sm.into_iter().filter(|v| !v.is_empty()) {
+        let mut sim = SmSim::new(grid, cfg, ctas, occ.resident_ctas);
+        let end_mc = sim.run();
+        let sm_cycles = end_mc.div_ceil(MC);
+        total.per_sm_cycles.push(sm_cycles);
+        total.cycles = total.cycles.max(sm_cycles);
+        total.instructions += sim.report.instructions;
+        total.global_transactions += sim.report.global_transactions;
+        total.shared_replays += sim.report.shared_replays;
+        total.barrier_wait_cycles += sim.report.barrier_wait_cycles;
+        total.dependency_stall_cycles += sim.report.dependency_stall_cycles;
+        for (i, v) in sim.report.class_instructions.iter().enumerate() {
+            total.class_instructions[i] += v;
+        }
+        total.issue_busy_cycles += sim.report.issue_busy_cycles;
+        total.mem_busy_cycles += sim.report.mem_busy_cycles;
+        total.shared_busy_cycles += sim.report.shared_busy_cycles;
+    }
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::GpuGeneration;
+    use crate::trace::{CtaTrace, WarpTrace};
+
+    fn one_warp_trace(ops: Vec<OpKind>) -> GridTrace {
+        let mut wt = WarpTrace::default();
+        for op in ops {
+            wt.push(op);
+        }
+        GridTrace {
+            ctas: vec![CtaTrace {
+                warps: vec![wt],
+                shared_bytes: 0,
+            }],
+            threads_per_cta: 32,
+            registers_per_thread: 32,
+        }
+    }
+
+    #[test]
+    fn alu_chain_is_roughly_one_per_cycle() {
+        let grid = one_warp_trace(vec![OpKind::IAlu { n: 100 }]);
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let r = simulate(&grid, &cfg, 1);
+        assert!(r.cycles >= 100, "100 instructions take at least 100 cycles, got {}", r.cycles);
+        assert!(r.cycles < 160, "undep'd ALU stream should pipeline, got {}", r.cycles);
+        assert_eq!(r.instructions, 100);
+    }
+
+    #[test]
+    fn dependent_load_stalls() {
+        // load then dependent vote: completion must include global latency.
+        let mut wt = WarpTrace::default();
+        let ld = wt.push(OpKind::LdGlobal { transactions: 1 });
+        wt.push_dep(OpKind::Vote, Some(ld));
+        let grid = GridTrace {
+            ctas: vec![CtaTrace {
+                warps: vec![wt],
+                shared_bytes: 0,
+            }],
+            threads_per_cta: 32,
+            registers_per_thread: 32,
+        };
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let r = simulate(&grid, &cfg, 1);
+        assert!(
+            r.cycles as u32 >= cfg.sm.global_latency,
+            "dependent consumer must wait out the memory latency: {} < {}",
+            r.cycles,
+            cfg.sm.global_latency
+        );
+        assert!(r.dependency_stall_cycles > 0);
+    }
+
+    #[test]
+    fn independent_loads_overlap() {
+        // Two warps each doing load+dependent vote: the second warp's load
+        // overlaps the first's latency, so total << 2 × latency.
+        let mut w0 = WarpTrace::default();
+        let l0 = w0.push(OpKind::LdGlobal { transactions: 1 });
+        w0.push_dep(OpKind::Vote, Some(l0));
+        let w1 = w0.clone();
+        let grid = GridTrace {
+            ctas: vec![CtaTrace {
+                warps: vec![w0, w1],
+                shared_bytes: 0,
+            }],
+            threads_per_cta: 64,
+            registers_per_thread: 32,
+        };
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let r = simulate(&grid, &cfg, 1);
+        assert!(
+            (r.cycles as u32) < cfg.sm.global_latency * 2,
+            "latency hiding failed: {} cycles",
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn barrier_waits_for_slowest_warp() {
+        let mut slow = WarpTrace::default();
+        slow.push(OpKind::IAlu { n: 500 });
+        slow.push(OpKind::Bar);
+        let mut fast = WarpTrace::default();
+        fast.push(OpKind::IAlu { n: 1 });
+        fast.push(OpKind::Bar);
+        let grid = GridTrace {
+            ctas: vec![CtaTrace {
+                warps: vec![slow, fast],
+                shared_bytes: 0,
+            }],
+            threads_per_cta: 64,
+            registers_per_thread: 32,
+        };
+        let cfg = GpuGeneration::MaxwellM40.config();
+        let r = simulate(&grid, &cfg, 1);
+        assert!(r.cycles >= 500);
+        assert!(r.barrier_wait_cycles > 300, "fast warp must wait: {}", r.barrier_wait_cycles);
+    }
+
+    #[test]
+    fn excess_ctas_serialize() {
+        // CTAs that exceed the residency limit must wait for slots, so
+        // 4× the CTAs of a full complement takes about 2× the time when
+        // only 2 are resident.
+        let make = |ctas: usize| {
+            let mut wt = WarpTrace::default();
+            wt.push(OpKind::IAlu { n: 1000 });
+            GridTrace {
+                ctas: (0..ctas)
+                    .map(|_| CtaTrace {
+                        warps: vec![wt.clone(); 32],
+                        shared_bytes: 40 * 1024, // 96K/40K → 2 resident (Pascal)
+                    })
+                    .collect(),
+                threads_per_cta: 1024,
+                registers_per_thread: 32,
+            }
+        };
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let t2 = simulate(&make(2), &cfg, 1);
+        let t4 = simulate(&make(4), &cfg, 1);
+        assert_eq!(t2.resident_ctas_per_sm, 2);
+        let ratio = t4.cycles as f64 / t2.cycles as f64;
+        assert!(
+            (1.7..=2.4).contains(&ratio),
+            "4 CTAs over 2 slots should take ~2× of 2 CTAs, ratio {ratio}"
+        );
+    }
+
+    #[test]
+    fn multiple_sms_scale() {
+        let mut wt = WarpTrace::default();
+        wt.push(OpKind::IAlu { n: 1000 });
+        let grid = GridTrace {
+            ctas: (0..8)
+                .map(|_| CtaTrace {
+                    warps: vec![wt.clone(); 32],
+                    shared_bytes: 40 * 1024,
+                })
+                .collect(),
+            threads_per_cta: 1024,
+            registers_per_thread: 32,
+        };
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let one = simulate(&grid, &cfg, 1);
+        let four = simulate(&grid, &cfg, 4);
+        assert!(
+            four.cycles * 3 < one.cycles * 2,
+            "4 SMs must be much faster: {} vs {}",
+            four.cycles,
+            one.cycles
+        );
+    }
+
+    #[test]
+    fn class_attribution_accounts_for_every_instruction() {
+        let grid = one_warp_trace(vec![
+            OpKind::IAlu { n: 7 },
+            OpKind::Vote,
+            OpKind::LdGlobal { transactions: 2 },
+            OpKind::LdShared { replays: 1 },
+            OpKind::AtomGlobal { transactions: 4 },
+            OpKind::Bar,
+        ]);
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let r = simulate(&grid, &cfg, 1);
+        let sum: u64 = r.class_instructions.iter().sum();
+        assert_eq!(sum, r.instructions);
+        use crate::trace::OpClass;
+        assert_eq!(r.class_instructions[OpClass::Alu.index()], 7);
+        assert_eq!(r.class_instructions[OpClass::WarpOp.index()], 1);
+        assert_eq!(r.class_instructions[OpClass::GlobalMem.index()], 1);
+        assert_eq!(r.class_instructions[OpClass::SharedMem.index()], 1);
+        assert_eq!(r.class_instructions[OpClass::Atomic.index()], 1);
+        assert_eq!(r.class_instructions[OpClass::Barrier.index()], 1);
+        assert!(r.issue_busy_cycles > 0);
+        assert!(r.mem_busy_cycles > 0);
+        assert!(r.shared_busy_cycles > 0);
+    }
+
+    #[test]
+    fn deterministic_replay() {
+        let grid = one_warp_trace(vec![
+            OpKind::IAlu { n: 10 },
+            OpKind::LdGlobal { transactions: 4 },
+            OpKind::Vote,
+            OpKind::Bar,
+        ]);
+        let cfg = GpuGeneration::KeplerK80.config();
+        let a = simulate(&grid, &cfg, 1);
+        let b = simulate(&grid, &cfg, 1);
+        assert_eq!(a.cycles, b.cycles);
+        assert_eq!(a.instructions, b.instructions);
+    }
+}

@@ -1,0 +1,118 @@
+//! Property tests pinning the warp intrinsics to naive bit-twiddling
+//! references — the bit-accuracy claim of the simulator, verified
+//! exhaustively enough to trust the matching kernels built on top.
+
+use proptest::prelude::*;
+use simt_sim::lanes::{self, Lanes};
+use simt_sim::{LaneMask, WARP_SIZE};
+
+fn naive_ffs(x: u32) -> u32 {
+    for i in 0..32 {
+        if x & (1 << i) != 0 {
+            return i + 1;
+        }
+    }
+    0
+}
+
+fn naive_clz(x: u32) -> u32 {
+    for i in 0..32 {
+        if x & (1 << (31 - i)) != 0 {
+            return i;
+        }
+    }
+    32
+}
+
+fn naive_popc(x: u32) -> u32 {
+    (0..32).map(|i| (x >> i) & 1).sum()
+}
+
+#[test]
+fn ffs_clz_popc_match_naive_on_structured_values() {
+    // Exhaustive on all single-bit, two-bit-adjacent and boundary words.
+    let mut cases: Vec<u32> = vec![0, 1, u32::MAX, u32::MAX - 1, 0x8000_0000];
+    for i in 0..32 {
+        cases.push(1 << i);
+        cases.push(!(1u32 << i));
+        if i < 31 {
+            cases.push(0b11 << i);
+        }
+    }
+    for x in cases {
+        assert_eq!(lanes::ffs(x), naive_ffs(x), "ffs({x:#x})");
+        assert_eq!(lanes::clz(x), naive_clz(x), "clz({x:#x})");
+        assert_eq!(lanes::popc(x), naive_popc(x), "popc({x:#x})");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn prop_bit_intrinsics_match_naive(x in any::<u32>()) {
+        prop_assert_eq!(lanes::ffs(x), naive_ffs(x));
+        prop_assert_eq!(lanes::clz(x), naive_clz(x));
+        prop_assert_eq!(lanes::popc(x), naive_popc(x));
+    }
+
+    /// ballot under an arbitrary mask equals the bitwise AND of the
+    /// full-mask ballot with the mask word.
+    #[test]
+    fn prop_ballot_masks_commute(preds in any::<u32>(), mask in any::<u32>()) {
+        let p = Lanes::from_fn(|l| preds & (1 << l) != 0);
+        let full = lanes::ballot(LaneMask::FULL, &p);
+        let masked = lanes::ballot(LaneMask(mask), &p);
+        prop_assert_eq!(full, preds);
+        prop_assert_eq!(masked, preds & mask);
+    }
+
+    /// any/all are consistent with ballot.
+    #[test]
+    fn prop_votes_consistent_with_ballot(preds in any::<u32>(), mask in any::<u32>()) {
+        let p = Lanes::from_fn(|l| preds & (1 << l) != 0);
+        let m = LaneMask(mask);
+        let b = lanes::ballot(m, &p);
+        prop_assert_eq!(lanes::any(m, &p), b != 0);
+        prop_assert_eq!(lanes::all(m, &p), b & mask == mask);
+    }
+
+    /// shfl_up then shfl_down by the same delta restores the middle lanes.
+    #[test]
+    fn prop_shfl_round_trip(vals in proptest::collection::vec(any::<u32>(), 32), delta in 0usize..32) {
+        let v = Lanes::from_fn(|l| vals[l]);
+        let up = lanes::shfl_up(LaneMask::FULL, &v, delta);
+        let back = lanes::shfl_down(LaneMask::FULL, &up, delta);
+        for l in 0..WARP_SIZE.saturating_sub(delta).saturating_sub(delta) {
+            prop_assert_eq!(back.get(l + delta.min(WARP_SIZE)), v.get(l + delta.min(WARP_SIZE)));
+        }
+    }
+
+    /// A broadcast shfl makes every active lane equal to the source lane.
+    #[test]
+    fn prop_shfl_broadcast(vals in proptest::collection::vec(any::<u64>(), 32), src in 0usize..32) {
+        let v = Lanes::from_fn(|l| vals[l]);
+        let b = lanes::shfl(LaneMask::FULL, &v, src);
+        for l in 0..WARP_SIZE {
+            prop_assert_eq!(b.get(l), vals[src]);
+        }
+    }
+
+    /// ffs(ballot) identifies the first active-and-true lane — the exact
+    /// idiom Algorithm 2 uses to pick the winning warp and message.
+    #[test]
+    fn prop_ffs_of_ballot_finds_first_matching_lane(preds in any::<u32>(), mask in any::<u32>()) {
+        let p = Lanes::from_fn(|l| preds & (1 << l) != 0);
+        let b = lanes::ballot(LaneMask(mask), &p);
+        let first = lanes::ffs(b);
+        if first == 0 {
+            prop_assert_eq!(preds & mask, 0);
+        } else {
+            let lane = (first - 1) as usize;
+            prop_assert!(LaneMask(mask).contains(lane) && p.get(lane));
+            for l in 0..lane {
+                prop_assert!(!(LaneMask(mask).contains(l) && p.get(l)));
+            }
+        }
+    }
+}

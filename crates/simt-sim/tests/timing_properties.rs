@@ -1,0 +1,177 @@
+//! Property tests of the timing model: the invariants every performance
+//! argument in the reproduction rests on.
+
+use proptest::prelude::*;
+use simt_sim::{
+    occupancy, CtaCtx, CtaKernel, Gpu, GpuConfig, GpuGeneration, LaunchConfig, WARP_SIZE,
+};
+
+/// A parameterised synthetic kernel: `alu` chained ALU batches, `loads`
+/// dependent global loads, `barriers` CTA barriers, per warp.
+struct SyntheticKernel {
+    alu: u32,
+    loads: u32,
+    barriers: u32,
+    buf: simt_sim::BufferId<u32>,
+}
+
+impl CtaKernel for SyntheticKernel {
+    fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+        let (alu, loads, barriers, buf) = (self.alu, self.loads, self.barriers, self.buf);
+        cta.for_each_warp(|w| {
+            w.charge_alu(alu);
+            for i in 0..loads {
+                let idx = w.lane_ids().map(|l| (l + i) % 64);
+                let (vals, tok) = w.ld_global(buf, &idx);
+                // Consume the load so the dependency is real.
+                let _ = w.ballot_dep(Some(tok), &vals.map(|v| v % 2 == 0));
+            }
+        });
+        for _ in 0..barriers {
+            cta.barrier();
+        }
+    }
+}
+
+fn run(gen: GpuGeneration, warps: u32, alu: u32, loads: u32, barriers: u32) -> u64 {
+    let mut gpu = Gpu::new(gen);
+    let buf = gpu.mem.alloc::<u32>(64);
+    let mut k = SyntheticKernel { alu, loads, barriers, buf };
+    gpu.launch(&mut k, LaunchConfig::single_sm(1, warps * WARP_SIZE as u32))
+        .cycles
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// More work never takes fewer cycles (monotonicity).
+    #[test]
+    fn more_alu_work_is_never_faster(
+        warps in 1u32..8,
+        alu in 1u32..200,
+        extra in 1u32..200,
+    ) {
+        let base = run(GpuGeneration::PascalGtx1080, warps, alu, 0, 0);
+        let more = run(GpuGeneration::PascalGtx1080, warps, alu + extra, 0, 0);
+        prop_assert!(more >= base, "alu {alu}+{extra}: {more} < {base}");
+    }
+
+    /// Additional dependent loads never make a kernel faster.
+    #[test]
+    fn more_loads_are_never_faster(warps in 1u32..8, loads in 0u32..20) {
+        let base = run(GpuGeneration::MaxwellM40, warps, 10, loads, 0);
+        let more = run(GpuGeneration::MaxwellM40, warps, 10, loads + 1, 0);
+        prop_assert!(more >= base);
+    }
+
+    /// The same trace runs at most as many *seconds* on a faster-clocked
+    /// part with otherwise comparable latencies.
+    #[test]
+    fn pascal_wall_time_beats_kepler(warps in 1u32..8, alu in 10u32..300) {
+        let k = GpuGeneration::KeplerK80.config();
+        let p = GpuGeneration::PascalGtx1080.config();
+        let ck = run(GpuGeneration::KeplerK80, warps, alu, 2, 1);
+        let cp = run(GpuGeneration::PascalGtx1080, warps, alu, 2, 1);
+        let tk = k.cycles_to_seconds(ck);
+        let tp = p.cycles_to_seconds(cp);
+        prop_assert!(tp <= tk, "Pascal {tp}s vs Kepler {tk}s");
+    }
+
+    /// Determinism: identical launches give identical cycle counts.
+    #[test]
+    fn replay_is_deterministic(warps in 1u32..8, alu in 1u32..100, loads in 0u32..8) {
+        let a = run(GpuGeneration::PascalGtx1080, warps, alu, loads, 1);
+        let b = run(GpuGeneration::PascalGtx1080, warps, alu, loads, 1);
+        prop_assert_eq!(a, b);
+    }
+
+    /// Issue-bound scaling: with many warps of pure ALU work, doubling
+    /// the warps roughly doubles the cycles (the SM issue rate binds).
+    #[test]
+    fn issue_bound_region_scales_linearly(warps in 4u32..12) {
+        let one = run(GpuGeneration::PascalGtx1080, warps, 2000, 0, 0);
+        let two = run(GpuGeneration::PascalGtx1080, warps * 2, 2000, 0, 0);
+        let ratio = two as f64 / one as f64;
+        prop_assert!((1.6..2.4).contains(&ratio), "ratio {ratio}");
+    }
+}
+
+#[test]
+fn latency_hiding_saturates_with_warps() {
+    // A load-dependent kernel: one warp exposes the full latency; many
+    // warps hide it. Cycles per warp must fall as warps rise.
+    let c1 = run(GpuGeneration::PascalGtx1080, 1, 4, 8, 0);
+    let c8 = run(GpuGeneration::PascalGtx1080, 8, 4, 8, 0);
+    assert!(
+        (c8 as f64) < (c1 as f64) * 3.0,
+        "8 warps should cost ≪ 8× of 1 warp: {c1} → {c8}"
+    );
+}
+
+#[test]
+fn occupancy_is_monotone_in_resources() {
+    let sm = GpuConfig::pascal_gtx1080().sm;
+    let mut last = u32::MAX;
+    for shared in [0u32, 8 << 10, 16 << 10, 32 << 10, 64 << 10] {
+        let occ = occupancy(&sm, 256, shared, 32);
+        assert!(occ.resident_ctas <= last, "more shared memory cannot raise residency");
+        last = occ.resident_ctas;
+    }
+}
+
+#[test]
+fn barrier_cost_scales_with_imbalance() {
+    // Balanced warps barrier cheaply; imbalanced warps pay the max.
+    struct Imbalanced {
+        heavy: u32,
+    }
+    impl CtaKernel for Imbalanced {
+        fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+            let heavy = self.heavy;
+            cta.for_each_warp(|w| {
+                if w.warp_id() == 0 {
+                    w.charge_alu(heavy);
+                } else {
+                    w.charge_alu(1);
+                }
+            });
+        }
+    }
+    let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+    let balanced = gpu
+        .launch(&mut Imbalanced { heavy: 1 }, LaunchConfig::single_sm(1, 128))
+        .cycles;
+    let skewed = gpu
+        .launch(&mut Imbalanced { heavy: 5000 }, LaunchConfig::single_sm(1, 128))
+        .cycles;
+    assert!(skewed > balanced + 4000, "{balanced} vs {skewed}");
+}
+
+#[test]
+fn lane_masks_partition_ballots() {
+    // Complementary predicates under a full mask produce complementary
+    // ballot words — checked through a real kernel.
+    struct BallotCheck {
+        out: simt_sim::BufferId<u32>,
+    }
+    impl CtaKernel for BallotCheck {
+        fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+            let out = self.out;
+            cta.for_each_warp(|w| {
+                let lid = w.lane_ids();
+                let even = w.ballot(&lid.map(|l| l % 2 == 0));
+                let odd = w.ballot(&lid.map(|l| l % 2 == 1));
+                w.st_global_leader(out, 0, even);
+                w.st_global_leader(out, 1, odd);
+            });
+        }
+    }
+    let mut gpu = Gpu::new(GpuGeneration::KeplerK80);
+    let out = gpu.mem.alloc::<u32>(2);
+    gpu.launch(&mut BallotCheck { out }, LaunchConfig::single_sm(1, 32));
+    let even = gpu.mem.read(out, 0);
+    let odd = gpu.mem.read(out, 1);
+    assert_eq!(even ^ odd, u32::MAX);
+    assert_eq!(even & odd, 0);
+    assert_eq!(even, 0x5555_5555);
+}

@@ -1,0 +1,43 @@
+//! Shared helpers for the example applications.
+
+/// Map a 2D grid coordinate to a rank, row-major.
+pub fn rank_of(x: usize, y: usize, nx: usize) -> u32 {
+    (y * nx + x) as u32
+}
+
+/// Inverse of [`rank_of`].
+pub fn coord_of(rank: u32, nx: usize) -> (usize, usize) {
+    (rank as usize % nx, rank as usize / nx)
+}
+
+/// Serialise a row of f64 cells into bytes (little-endian).
+pub fn pack_f64(values: &[f64]) -> Vec<u8> {
+    values.iter().flat_map(|v| v.to_le_bytes()).collect()
+}
+
+/// Deserialise bytes back into f64 cells.
+pub fn unpack_f64(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_le_bytes(c.try_into().expect("8-byte chunk")))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_round_trip() {
+        for r in 0..12u32 {
+            let (x, y) = coord_of(r, 4);
+            assert_eq!(rank_of(x, y, 4), r);
+        }
+    }
+
+    #[test]
+    fn f64_round_trip() {
+        let v = vec![1.5, -2.25, 0.0, 1e300];
+        assert_eq!(unpack_f64(&pack_f64(&v)), v);
+    }
+}

@@ -1,0 +1,106 @@
+//! The production kernels under the race sanitizer: every matching
+//! engine, the compaction kernel and the device algorithms must be free
+//! of same-segment cross-warp conflicts — the correctness contract that
+//! makes the warp-synchronous execution model valid on real hardware.
+
+use msg_match::compaction::compact_queue_regions;
+use msg_match::prelude::*;
+use simt_sim::algorithms::{exclusive_scan, histogram, reduce_sum};
+use simt_sim::{Gpu, GpuGeneration};
+
+fn sanitized_gpu() -> Gpu {
+    let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+    gpu.enable_sanitizer();
+    gpu
+}
+
+fn assert_clean(gpu: &Gpu, what: &str) {
+    let findings = gpu.sanitizer_findings.as_ref().expect("sanitizer enabled");
+    assert!(
+        findings.is_empty(),
+        "{what} raced: {}",
+        findings
+            .iter()
+            .map(|r| r.to_string())
+            .collect::<Vec<_>>()
+            .join("; ")
+    );
+}
+
+#[test]
+fn matrix_matcher_is_race_free() {
+    let w = WorkloadSpec {
+        len: 700,
+        src_wildcard_pm: 40,
+        tag_wildcard_pm: 10,
+        seed: 3,
+        ..Default::default()
+    }
+    .generate();
+    let mut gpu = sanitized_gpu();
+    let r = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
+    assert!(r.matches > 0);
+    assert_clean(&gpu, "matrix matcher");
+}
+
+#[test]
+fn small_path_is_race_free() {
+    let w = WorkloadSpec::fully_matching(24, 3).generate();
+    let mut gpu = sanitized_gpu();
+    MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
+    assert_clean(&gpu, "single-warp matcher");
+}
+
+#[test]
+fn partitioned_matcher_is_race_free() {
+    let w = WorkloadSpec::fully_matching(640, 5).generate();
+    let mut gpu = sanitized_gpu();
+    PartitionedMatcher::new(8)
+        .match_batch(&mut gpu, &w.msgs, &w.reqs)
+        .unwrap();
+    assert_clean(&gpu, "partitioned matcher");
+}
+
+#[test]
+fn hash_matcher_is_race_free() {
+    // Duplicates force multiple iterations including the clear kernel.
+    let w = WorkloadSpec {
+        len: 512,
+        peers: 6,
+        tags: 6,
+        seed: 5,
+        ..Default::default()
+    }
+    .generate();
+    let mut gpu = sanitized_gpu();
+    HashMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
+    assert_clean(&gpu, "hash matcher");
+
+    let mut gpu = sanitized_gpu();
+    HashMatcher::linear_probing(8)
+        .match_batch(&mut gpu, &w.msgs, &w.reqs)
+        .unwrap();
+    assert_clean(&gpu, "linear-probing hash matcher");
+}
+
+#[test]
+fn compaction_kernel_is_race_free() {
+    let q: Vec<u64> = (0..1000u64).map(|i| i | (1 << 63)).collect();
+    let keep: Vec<u32> = (0..1000).map(|i| (i % 3 != 0) as u32).collect();
+    for regions in [1usize, 4, 32] {
+        let mut gpu = sanitized_gpu();
+        compact_queue_regions(&mut gpu, &q, &keep, regions);
+        assert_clean(&gpu, "compaction kernel");
+    }
+}
+
+#[test]
+fn device_algorithms_are_race_free() {
+    let data: Vec<u32> = (0..3000).map(|i| i % 97).collect();
+    let mut gpu = sanitized_gpu();
+    let (total, _) = reduce_sum(&mut gpu, &data);
+    assert_eq!(total, data.iter().sum::<u32>());
+    let (_scan, _) = exclusive_scan(&mut gpu, &data);
+    let (_hist, _) = histogram(&mut gpu, &data, 13);
+    assert_clean(&gpu, "device algorithms");
+}

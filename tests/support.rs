@@ -1,0 +1,34 @@
+//! Shared helpers for the cross-crate integration tests.
+
+use msg_match::{Envelope, RecvRequest};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A reproducible random batch of envelopes and (wildcard-free) matching
+/// requests with a controllable collision density.
+pub fn random_batch(
+    n: usize,
+    peers: u32,
+    tags: u32,
+    seed: u64,
+) -> (Vec<Envelope>, Vec<RecvRequest>) {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let msgs: Vec<Envelope> = (0..n)
+        .map(|_| Envelope::new(rng.gen_range(0..peers), rng.gen_range(0..tags), 0))
+        .collect();
+    let mut reqs: Vec<RecvRequest> = msgs
+        .iter()
+        .map(|m| RecvRequest::exact(m.src, m.tag, 0))
+        .collect();
+    // Shuffle the posting order.
+    for i in (1..reqs.len()).rev() {
+        let j = rng.gen_range(0..=i);
+        reqs.swap(i, j);
+    }
+    (msgs, reqs)
+}
+
+/// Convert a device assignment to the reference `Option<usize>` form.
+pub fn as_usize(assignment: &[Option<u32>]) -> Vec<Option<usize>> {
+    assignment.iter().map(|a| a.map(|v| v as usize)).collect()
+}

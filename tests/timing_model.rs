@@ -1,0 +1,111 @@
+//! Integration tests of the simulated-time model: the properties the
+//! paper's performance arguments rest on.
+
+use msg_match::prelude::*;
+use simt_sim::{occupancy, Gpu, GpuGeneration};
+
+/// Same kernel, same cycle-ish count, different clock → different time.
+#[test]
+fn clock_rate_governs_wall_time() {
+    let w = WorkloadSpec::fully_matching(256, 3).generate();
+    let mut results = Vec::new();
+    for generation in GpuGeneration::ALL {
+        let mut gpu = Gpu::new(generation);
+        let r = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
+        results.push((generation, r.cycles, r.seconds));
+    }
+    // Cycles are within 2× across generations (same algorithm)…
+    let max_c = results.iter().map(|r| r.1).max().unwrap();
+    let min_c = results.iter().map(|r| r.1).min().unwrap();
+    assert!(max_c < min_c * 2, "cycle counts should be comparable: {results:?}");
+    // …but Pascal's wall time is much lower than Kepler's.
+    assert!(results[2].2 < results[0].2 * 0.65, "{results:?}");
+}
+
+/// The run is bit-deterministic: same workload, same cycles.
+#[test]
+fn simulation_is_deterministic() {
+    let w = WorkloadSpec::fully_matching(512, 9).generate();
+    let mut a = Gpu::new(GpuGeneration::PascalGtx1080);
+    let mut b = Gpu::new(GpuGeneration::PascalGtx1080);
+    let ra = MatrixMatcher::default().match_batch(&mut a, &w.msgs, &w.reqs);
+    let rb = MatrixMatcher::default().match_batch(&mut b, &w.msgs, &w.reqs);
+    assert_eq!(ra.cycles, rb.cycles);
+    assert_eq!(ra.instructions, rb.instructions);
+    assert_eq!(ra.assignment, rb.assignment);
+}
+
+/// The paper's occupancy claim: the full matrix kernel allows exactly
+/// two resident CTAs on every evaluated generation.
+#[test]
+fn matrix_kernel_allows_two_resident_ctas() {
+    for generation in GpuGeneration::ALL {
+        let occ = occupancy(&generation.config().sm, 1024, 17 * 1024, 32);
+        assert_eq!(occ.resident_ctas, 2, "{generation:?}");
+    }
+}
+
+/// Queue-length independence (Figure 4's flat lines): rate varies less
+/// than 25% between 128 and 992 entries.
+#[test]
+fn matrix_rate_is_steady() {
+    let mut rates = Vec::new();
+    for len in [128usize, 512, 992] {
+        let w = WorkloadSpec::fully_matching(len, 5).generate();
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let r = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
+        rates.push(r.matches_per_sec);
+    }
+    let max = rates.iter().cloned().fold(f64::MIN, f64::max);
+    let min = rates.iter().cloned().fold(f64::MAX, f64::min);
+    assert!(max / min < 1.3, "steady rate expected: {rates:?}");
+}
+
+/// Pipelining ablation: losing the dedicated reduce warp at 1024 hurts,
+/// as does disabling pipelining explicitly at any size.
+#[test]
+fn pipelining_matters() {
+    let w = WorkloadSpec::fully_matching(992, 5).generate();
+    let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+    let piped = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
+    let unpiped = MatrixMatcher {
+        disable_pipelining: true,
+        ..Default::default()
+    }
+    .match_batch(&mut gpu, &w.msgs, &w.reqs);
+    assert_eq!(piped.assignment, unpiped.assignment, "ablation must not change results");
+    assert!(
+        unpiped.cycles as f64 > piped.cycles as f64 * 1.15,
+        "pipelining should save ≥15%: {} vs {}",
+        unpiped.cycles,
+        piped.cycles
+    );
+}
+
+/// The hash matcher degrades gracefully with duplicate density — the
+/// connection between Figure 6(a) and 6(b).
+#[test]
+fn hash_rate_falls_with_collisions() {
+    let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+    // Unique tuples.
+    let u = WorkloadSpec::unique_tuples(1024, 7).generate();
+    let ru = HashMatcher::default().match_batch(&mut gpu, &u.msgs, &u.reqs).unwrap();
+    // Heavy duplicates: 16 distinct tuples over 1024 messages.
+    let d = WorkloadSpec {
+        len: 1024,
+        peers: 4,
+        tags: 4,
+        seed: 7,
+        ..Default::default()
+    }
+    .generate();
+    let rd = HashMatcher::default().match_batch(&mut gpu, &d.msgs, &d.reqs).unwrap();
+    assert_eq!(rd.matches, 1024, "duplicates still match fully");
+    assert!(
+        rd.matches_per_sec < ru.matches_per_sec / 3.0,
+        "collisions must hurt: {} vs {}",
+        rd.matches_per_sec,
+        ru.matches_per_sec
+    );
+    assert!(rd.launches > ru.launches);
+}
