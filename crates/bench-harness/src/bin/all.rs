@@ -66,10 +66,26 @@ fn main() {
     emit(dir, "compaction", &a);
     emit(dir, "match_fraction", &b);
 
-    emit(dir, "ablation_pipelining", &ablations::pipelining(&[128, 256, 512, 992], 3));
-    emit(dir, "ablation_window", &ablations::window_sweep(512, &[16, 32, 64, 128], 3));
-    emit(dir, "ablation_long_queues", &ablations::long_queues(&[2048, 4096, 8192], 3));
-    emit(dir, "ablation_hash_design", &ablations::hash_design(1024, 3));
+    emit(
+        dir,
+        "ablation_pipelining",
+        &ablations::pipelining(&[128, 256, 512, 992], 3),
+    );
+    emit(
+        dir,
+        "ablation_window",
+        &ablations::window_sweep(512, &[16, 32, 64, 128], 3),
+    );
+    emit(
+        dir,
+        "ablation_long_queues",
+        &ablations::long_queues(&[2048, 4096, 8192], 3),
+    );
+    emit(
+        dir,
+        "ablation_hash_design",
+        &ablations::hash_design(1024, 3),
+    );
 
     let sat = saturation::run(&saturation::DEFAULT_LOADS, 5);
     emit(dir, "saturation", &saturation::report(&sat));

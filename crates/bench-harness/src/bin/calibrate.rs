@@ -10,7 +10,12 @@ fn main() {
         for gen in GpuGeneration::ALL {
             let mut gpu = Gpu::new(gen);
             let r = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
-            print!("  {}: {:6.2} M/s ({} cyc)", gen.short_name(), r.matches_per_sec / 1e6, r.cycles);
+            print!(
+                "  {}: {:6.2} M/s ({} cyc)",
+                gen.short_name(),
+                r.matches_per_sec / 1e6,
+                r.cycles
+            );
         }
         println!();
     }
@@ -20,8 +25,14 @@ fn main() {
         print!("len {len:5} ctas {ctas:2}");
         for gen in GpuGeneration::ALL {
             let mut gpu = Gpu::new(gen);
-            let r = HashMatcher::with_ctas(ctas).match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
-            print!("  {}: {:7.1} M/s", gen.short_name(), r.matches_per_sec / 1e6);
+            let r = HashMatcher::with_ctas(ctas)
+                .match_batch(&mut gpu, &w.msgs, &w.reqs)
+                .unwrap();
+            print!(
+                "  {}: {:7.1} M/s",
+                gen.short_name(),
+                r.matches_per_sec / 1e6
+            );
         }
         println!();
     }
@@ -29,7 +40,13 @@ fn main() {
     let w = WorkloadSpec::fully_matching(1024, 7).generate();
     for q in [1usize, 2, 4, 8, 16, 32] {
         let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
-        let r = PartitionedMatcher::new(q).match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
-        println!("queues {q:2}: {:6.2} M/s  launches {}", r.matches_per_sec / 1e6, r.launches);
+        let r = PartitionedMatcher::new(q)
+            .match_batch(&mut gpu, &w.msgs, &w.reqs)
+            .unwrap();
+        println!(
+            "queues {q:2}: {:6.2} M/s  launches {}",
+            r.matches_per_sec / 1e6,
+            r.launches
+        );
     }
 }

@@ -1,0 +1,19 @@
+//! Sharded streaming service: sustained rate vs shard count × engine.
+//! Prints the sweep table and writes the per-shard metrics snapshot of
+//! the best configuration per engine to `BENCH_service.json`.
+use bench_harness::experiments::shard_scaling;
+
+fn main() {
+    let pts = shard_scaling::run(
+        &shard_scaling::DEFAULT_SHARDS,
+        shard_scaling::DEFAULT_OFFERED,
+        5,
+    );
+    print!("{}", shard_scaling::report(&pts).to_text());
+    let json = shard_scaling::metrics_json(&pts);
+    let path = "BENCH_service.json";
+    match std::fs::write(path, &json) {
+        Ok(()) => println!("wrote {path}"),
+        Err(e) => eprintln!("could not write {path}: {e}"),
+    }
+}

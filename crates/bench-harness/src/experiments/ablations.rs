@@ -93,7 +93,11 @@ pub fn long_queues(totals: &[usize], seed: u64) -> Report {
         .generate();
         let mut cells = vec![total.to_string()];
         let mut rev_iters = 0u32;
-        for order in [QueueOrder::Ordered, QueueOrder::Reversed, QueueOrder::Shuffled] {
+        for order in [
+            QueueOrder::Ordered,
+            QueueOrder::Reversed,
+            QueueOrder::Shuffled,
+        ] {
             let mut reqs: Vec<RecvRequest> = w
                 .msgs
                 .iter()

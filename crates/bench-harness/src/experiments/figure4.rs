@@ -97,14 +97,20 @@ mod tests {
             get(GpuGeneration::MaxwellM40, 512),
             get(GpuGeneration::PascalGtx1080, 512),
         );
-        assert!(k < m && m < p, "newer generations must be faster: {k} {m} {p}");
+        assert!(
+            k < m && m < p,
+            "newer generations must be faster: {k} {m} {p}"
+        );
         // Paper bands: ~3 / ~3.5 / ~6 M matches/s.
         assert!((2.0e6..4.5e6).contains(&k), "K80 {k}");
         assert!((2.5e6..5.0e6).contains(&m), "M40 {m}");
         assert!((4.5e6..8.0e6).contains(&p), "GTX1080 {p}");
         // Steady between 256 and 992 (within 25%).
         let ratio = get(GpuGeneration::PascalGtx1080, 256) / get(GpuGeneration::PascalGtx1080, 992);
-        assert!((0.75..1.35).contains(&ratio), "rate must be steady, ratio {ratio}");
+        assert!(
+            (0.75..1.35).contains(&ratio),
+            "rate must be steady, ratio {ratio}"
+        );
         // Drop at 1024 (pipelining lost).
         assert!(
             get(GpuGeneration::PascalGtx1080, 1024) < get(GpuGeneration::PascalGtx1080, 992) * 0.92,

@@ -141,12 +141,7 @@ mod tests {
     #[test]
     fn more_queues_scale_roughly_linearly_up_to_four() {
         let pts = run(&[1, 2, 4], &[1024], 3);
-        let rate = |q: usize| {
-            pts.iter()
-                .find(|p| p.queues == q)
-                .unwrap()
-                .matches_per_sec
-        };
+        let rate = |q: usize| pts.iter().find(|p| p.queues == q).unwrap().matches_per_sec;
         let s2 = rate(2) / rate(1);
         let s4 = rate(4) / rate(1);
         assert!(s2 > 1.5, "2 queues speedup {s2}");

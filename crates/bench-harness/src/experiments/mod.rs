@@ -13,6 +13,7 @@
 //! | [`profile`] | Section VII-C architectural profile |
 //! | [`saturation`] | sustained message-rate ceilings (service model) |
 //! | [`scaling`] | rank-0 hotspot depth scaling (related-work check) |
+//! | [`shard_scaling`] | sharded service: sustained rate vs shards × engine |
 
 pub mod ablations;
 pub mod cpu_baseline;
@@ -22,6 +23,7 @@ pub mod figure6b;
 pub mod profile;
 pub mod saturation;
 pub mod scaling;
+pub mod shard_scaling;
 pub mod table2;
 pub mod traces;
 pub mod unexpected;

@@ -65,7 +65,14 @@ fn engine_name(e: ServiceEngine) -> &'static str {
 pub fn report(points: &[Point]) -> Report {
     let mut r = Report::new(
         "Sustained service: offered vs sustained rate [M msgs/s], GTX 1080 comm kernel",
-        &["engine", "offered", "sustained", "util_%", "max_depth", "saturated"],
+        &[
+            "engine",
+            "offered",
+            "sustained",
+            "util_%",
+            "max_depth",
+            "saturated",
+        ],
     );
     for p in points {
         r.push(vec![
@@ -89,7 +96,13 @@ pub fn threshold_ablation(offered: f64, thresholds: &[usize], seed: u64) -> Repo
             "Ablation: comm-kernel batch threshold at {:.0} M msgs/s offered (matrix engine)",
             offered / 1e6
         ),
-        &["threshold", "sustained_M", "util_%", "mean_depth", "batches"],
+        &[
+            "threshold",
+            "sustained_M",
+            "util_%",
+            "mean_depth",
+            "batches",
+        ],
     );
     for &t in thresholds {
         let rep = simulate_service(

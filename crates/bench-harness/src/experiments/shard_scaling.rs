@@ -1,0 +1,200 @@
+//! Shard-scaling sweep for the streaming match service: sustained rate
+//! vs shard count × engine at a fixed offered load.
+//!
+//! The single-queue service model shows each engine's rate ceiling;
+//! this experiment shows the other axis the paper's deployment model
+//! opens up — donating more SMs to matching. Each shard owns a
+//! persistent device and a [`msg_match::ShardPlacement`]-keyed slice of
+//! the traffic, so N shards split the arrival stream into N independent
+//! streams. The full per-shard metrics snapshot of the best run is
+//! exported as JSON (`BENCH_service.json`) for downstream tooling.
+
+use gpu_msg::{
+    simulate_sharded_service, ServiceEngine, ShardEnginePolicy, ShardedServiceConfig,
+    ShardedServiceReport,
+};
+use simt_sim::GpuGeneration;
+
+use crate::table::Report;
+
+/// One sweep point.
+#[derive(Debug, Clone)]
+pub struct Point {
+    /// Shard count.
+    pub shards: usize,
+    /// Engine policy swept.
+    pub policy: ShardEnginePolicy,
+    /// Outcome (aggregate + per-shard metrics).
+    pub report: ShardedServiceReport,
+}
+
+/// Shard counts swept.
+pub const DEFAULT_SHARDS: [usize; 4] = [1, 2, 4, 8];
+
+/// Offered load for the sweep (messages/s) — past the single matrix
+/// kernel's ceiling, so the scaling benefit is visible.
+pub const DEFAULT_OFFERED: f64 = 10.0e6;
+
+fn policy_name(p: ShardEnginePolicy) -> String {
+    match p {
+        ShardEnginePolicy::Fixed(ServiceEngine::Matrix) => "matrix".to_string(),
+        ShardEnginePolicy::Fixed(ServiceEngine::Partitioned(q)) => format!("partitioned x{q}"),
+        ShardEnginePolicy::Fixed(ServiceEngine::Hash) => "hash".to_string(),
+        ShardEnginePolicy::Auto(_) => "auto".to_string(),
+    }
+}
+
+/// Run the sweep on the GTX 1080.
+pub fn run(shard_counts: &[usize], offered: f64, seed: u64) -> Vec<Point> {
+    let policies = [
+        ShardEnginePolicy::Fixed(ServiceEngine::Matrix),
+        ShardEnginePolicy::Fixed(ServiceEngine::Partitioned(16)),
+        ShardEnginePolicy::Fixed(ServiceEngine::Hash),
+    ];
+    let mut out = Vec::new();
+    for &policy in &policies {
+        for &shards in shard_counts {
+            let report = simulate_sharded_service(
+                GpuGeneration::PascalGtx1080,
+                ShardedServiceConfig {
+                    shards,
+                    arrival_rate: offered,
+                    duration: 0.002,
+                    policy,
+                    seed,
+                    ..Default::default()
+                },
+            );
+            out.push(Point {
+                shards,
+                policy,
+                report,
+            });
+        }
+    }
+    out
+}
+
+/// Render the sweep as a table.
+pub fn report(points: &[Point]) -> Report {
+    let mut r = Report::new(
+        format!(
+            "Shard scaling: sustained rate [M msgs/s] at {:.0} M msgs/s offered, GTX 1080",
+            DEFAULT_OFFERED / 1e6
+        ),
+        &[
+            "engine",
+            "shards",
+            "sustained",
+            "util_%",
+            "spilled",
+            "lat_p50_us",
+            "lat_p99_us",
+            "saturated",
+        ],
+    );
+    for p in points {
+        let agg = &p.report.aggregate;
+        let m = &p.report.metrics;
+        // Latency percentiles over the busiest shard (worst case).
+        let worst = m
+            .shards
+            .iter()
+            .max_by(|a, b| a.arrivals.cmp(&b.arrivals))
+            .expect("at least one shard");
+        r.push(vec![
+            policy_name(p.policy),
+            p.shards.to_string(),
+            format!("{:.2}", agg.sustained_rate / 1e6),
+            format!("{:.0}", agg.utilisation * 100.0),
+            m.total_spilled.to_string(),
+            format!("{:.1}", worst.match_latency.p50() * 1e6),
+            format!("{:.1}", worst.match_latency.p99() * 1e6),
+            if agg.saturated { "YES" } else { "no" }.to_string(),
+        ]);
+    }
+    r
+}
+
+/// The JSON metrics artefact for the sweep: the snapshot of the highest
+/// shard count run per policy (the configuration a deployment would
+/// pick), keyed by policy name.
+pub fn metrics_json(points: &[Point]) -> String {
+    let mut entries: Vec<(String, serde::Value)> = Vec::new();
+    for p in points {
+        let is_best = !points
+            .iter()
+            .any(|q| policy_name(q.policy) == policy_name(p.policy) && q.shards > p.shards);
+        if is_best {
+            entries.push((
+                format!("{}@{}shards", policy_name(p.policy), p.shards),
+                serde::Serialize::to_value(&p.report.metrics),
+            ));
+        }
+    }
+    let mut out = String::new();
+    let tree = serde::Value::Object(entries);
+    out.push_str(&serde::json::to_string_pretty(&ValueWrap(tree)));
+    out
+}
+
+/// Newtype so a raw `serde::Value` tree can go through the JSON writer.
+struct ValueWrap(serde::Value);
+
+impl serde::Serialize for ValueWrap {
+    fn to_value(&self) -> serde::Value {
+        self.0.clone()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gpu_msg::ServiceMetrics;
+
+    #[test]
+    fn sharding_beats_the_single_queue_for_the_matrix_engine() {
+        let pts = run(&[1, 4], DEFAULT_OFFERED, 5);
+        let matrix = |n: usize| {
+            pts.iter()
+                .find(|p| {
+                    p.shards == n && p.policy == ShardEnginePolicy::Fixed(ServiceEngine::Matrix)
+                })
+                .unwrap()
+        };
+        let one = matrix(1);
+        let four = matrix(4);
+        assert!(one.report.aggregate.saturated, "single queue must drown");
+        assert!(!four.report.aggregate.saturated, "4 shards must keep up");
+        assert!(
+            four.report.aggregate.sustained_rate > one.report.aggregate.sustained_rate,
+            "sharding must raise the sustained rate"
+        );
+    }
+
+    #[test]
+    fn metrics_json_parses_back_per_policy() {
+        let pts = run(&[1, 2], DEFAULT_OFFERED, 5);
+        let json = metrics_json(&pts);
+        let tree = serde::json::parse_value(&json).unwrap();
+        match &tree {
+            serde::Value::Object(entries) => {
+                assert_eq!(entries.len(), 3, "one snapshot per policy");
+                for (k, v) in entries {
+                    assert!(k.ends_with("@2shards"), "best shard count wins: {k}");
+                    let m: ServiceMetrics =
+                        serde::Deserialize::from_value(v).expect("snapshot must deserialize");
+                    assert_eq!(m.shards.len(), 2);
+                }
+            }
+            other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn report_renders_a_row_per_point() {
+        let pts = run(&[1], DEFAULT_OFFERED, 5);
+        let rep = report(&pts);
+        assert_eq!(rep.rows.len(), pts.len());
+    }
+}

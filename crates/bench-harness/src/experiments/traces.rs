@@ -119,7 +119,12 @@ pub fn figure6a(analyses: &[(AppModel, AppAnalysis)]) -> Report {
         r.push(vec![
             model.name.to_string(),
             format!("{:.2}", a.tuple_uniqueness_pct),
-            if a.tuple_uniqueness_pct < 10.0 { "yes" } else { "no" }.to_string(),
+            if a.tuple_uniqueness_pct < 10.0 {
+                "yes"
+            } else {
+                "no"
+            }
+            .to_string(),
         ]);
     }
     r
@@ -149,7 +154,12 @@ pub fn queue_usage(analyses: &[(AppModel, AppAnalysis)]) -> Report {
 pub fn recommendations(analyses: &[(AppModel, AppAnalysis)]) -> Report {
     let mut r = Report::new(
         "Section VII: recommended configuration per application",
-        &["application", "wildcards", "hash_friendly", "recommendation"],
+        &[
+            "application",
+            "wildcards",
+            "hash_friendly",
+            "recommendation",
+        ],
     );
     for (model, a) in analyses {
         let wild = a.src_wildcards > 0 || a.tag_wildcards > 0;
@@ -184,9 +194,8 @@ mod tests {
     #[test]
     fn table1_reproduces_paper_facts() {
         let analyses = small();
-        let by = |n: &str| -> &AppAnalysis {
-            &analyses.iter().find(|(m, _)| m.name == n).unwrap().1
-        };
+        let by =
+            |n: &str| -> &AppAnalysis { &analyses.iter().find(|(m, _)| m.name == n).unwrap().1 };
         // Wildcards: only MiniDFT and MiniFE, src only.
         for (m, a) in &analyses {
             if m.name == "MiniDFT" || m.name == "MiniFE" {
@@ -230,7 +239,11 @@ mod tests {
         }
         assert!(mean("Nekbone") > mean("MultiGrid") * 1.2);
         // Nekbone's skew: mean well above median.
-        let nek = &analyses.iter().find(|(m, _)| m.name == "Nekbone").unwrap().1;
+        let nek = &analyses
+            .iter()
+            .find(|(m, _)| m.name == "Nekbone")
+            .unwrap()
+            .1;
         assert!(
             nek.umq_depth.mean > nek.umq_depth.median * 1.5,
             "Nekbone must be long-tailed: mean {} median {}",
@@ -251,7 +264,11 @@ mod tests {
             "most applications must be hash friendly, got {single_digit}/12"
         );
         // Nekbone (1 tag, skewed peers) must be among the bad cases.
-        let nek = &analyses.iter().find(|(m, _)| m.name == "Nekbone").unwrap().1;
+        let nek = &analyses
+            .iter()
+            .find(|(m, _)| m.name == "Nekbone")
+            .unwrap()
+            .1;
         assert!(
             nek.tuple_uniqueness_pct > 10.0,
             "Nekbone should be collision heavy, got {:.2}%",
@@ -281,7 +298,10 @@ mod tests {
                 .unwrap_or_else(|| panic!("{name} missing"))
         };
         assert!(row("MiniDFT")[3].contains("compliant"), "wildcard app");
-        assert!(row("Nekbone")[3].contains("partitioned"), "hash-hostile app");
+        assert!(
+            row("Nekbone")[3].contains("partitioned"),
+            "hash-hostile app"
+        );
         assert!(row("LULESH")[3].contains("hash"), "BSP-friendly app");
     }
 

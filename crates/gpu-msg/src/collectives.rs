@@ -44,7 +44,13 @@ pub fn ring_allreduce_sum(
     let mut carry = value;
     for step in 0..n - 1 {
         let tag = tag_base + step;
-        domain.send(rank, next, tag, 0, Bytes::from(carry.to_le_bytes().to_vec()));
+        domain.send(
+            rank,
+            next,
+            tag,
+            0,
+            Bytes::from(carry.to_le_bytes().to_vec()),
+        );
         let m = domain.recv_blocking(rank, RecvRequest::exact(prev, tag, 0), ROUNDS)?;
         carry = f64::from_le_bytes(m.payload[..8].try_into().expect("8 bytes"));
         acc += carry;
@@ -75,11 +81,19 @@ pub fn broadcast(
         let parent_v = vrank & (vrank - 1);
         let parent = (parent_v + root) % n;
         // The tag encodes the receiver's virtual rank: unique tuples.
-        let m = domain.recv_blocking(rank, RecvRequest::exact(parent, tag_base + vrank, 0), ROUNDS)?;
+        let m = domain.recv_blocking(
+            rank,
+            RecvRequest::exact(parent, tag_base + vrank, 0),
+            ROUNDS,
+        )?;
         m.payload
     };
     // Forward to children: set bits above the lowest set bit of vrank.
-    let lowbit = if vrank == 0 { n.next_power_of_two() } else { vrank & vrank.wrapping_neg() };
+    let lowbit = if vrank == 0 {
+        n.next_power_of_two()
+    } else {
+        vrank & vrank.wrapping_neg()
+    };
     let mut bit = 1u32;
     while bit < lowbit && bit < n.next_power_of_two() {
         let child_v = vrank | bit;
@@ -138,7 +152,13 @@ pub fn ring_allgather_u64(
     for step in 0..n - 1 {
         let tag = tag_base + step;
         let carry = out[carry_idx as usize];
-        domain.send(rank, next, tag, 0, Bytes::from(carry.to_le_bytes().to_vec()));
+        domain.send(
+            rank,
+            next,
+            tag,
+            0,
+            Bytes::from(carry.to_le_bytes().to_vec()),
+        );
         let m = domain.recv_blocking(rank, RecvRequest::exact(prev, tag, 0), ROUNDS)?;
         carry_idx = (carry_idx + n - 1) % n;
         out[carry_idx as usize] = u64::from_le_bytes(m.payload[..8].try_into().expect("8 bytes"));
@@ -192,7 +212,11 @@ mod tests {
                     None
                 };
                 let got = broadcast(d, rank, root, payload, 2000).unwrap();
-                assert_eq!(&got[..], &vec![root as u8; 9][..], "root {root} rank {rank}");
+                assert_eq!(
+                    &got[..],
+                    &vec![root as u8; 9][..],
+                    "root {root} rank {rank}"
+                );
             });
             assert!(d.quiescent(), "root {root}");
         }

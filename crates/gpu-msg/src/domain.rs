@@ -163,8 +163,7 @@ impl Domain {
     ) -> Self {
         let need = matcher.required_relaxation();
         assert!(
-            (!need.partitionable() || relax.partitionable())
-                && (need.ordering || !relax.ordering),
+            (!need.partitionable() || relax.partitionable()) && (need.ordering || !relax.ordering),
             "matcher {matcher:?} cannot provide the guarantees of {relax:?}"
         );
         Domain {
@@ -188,7 +187,12 @@ impl Domain {
 
     /// Convenience: full-MPI matrix-matching domain.
     pub fn full_mpi(ranks: u32, generation: GpuGeneration) -> Self {
-        Domain::new(ranks, generation, MatcherKind::Matrix, RelaxationConfig::FULL_MPI)
+        Domain::new(
+            ranks,
+            generation,
+            MatcherKind::Matrix,
+            RelaxationConfig::FULL_MPI,
+        )
     }
 
     /// Number of endpoints.
@@ -207,7 +211,10 @@ impl Domain {
     /// # Panics
     /// Panics on out-of-range ranks.
     pub fn send(&self, src: u32, dst: u32, tag: Tag, comm: CommId, payload: Bytes) {
-        assert!(src < self.ranks() && dst < self.ranks(), "rank out of range");
+        assert!(
+            src < self.ranks() && dst < self.ranks(),
+            "rank out of range"
+        );
         {
             let mut me = self.endpoints[src as usize].lock();
             me.stats.sent += 1;
@@ -311,12 +318,10 @@ impl Domain {
 
     /// Are all queues of every endpoint empty (BSP phase boundary)?
     pub fn quiescent(&self) -> bool {
-        self.endpoints
-            .iter()
-            .all(|e| {
-                let e = e.lock();
-                e.inbox.is_empty() && e.posted.is_empty() && e.completed.is_empty()
-            })
+        self.endpoints.iter().all(|e| {
+            let e = e.lock();
+            e.inbox.is_empty() && e.posted.is_empty() && e.completed.is_empty()
+        })
     }
 }
 
@@ -337,7 +342,10 @@ mod tests {
             .expect("must deliver");
         assert_eq!(&m.payload[..], b"ping");
         assert_eq!(m.envelope.src, 0);
-        assert!(d.stats(1).kernel_cycles > 0, "matching costs simulated time");
+        assert!(
+            d.stats(1).kernel_cycles > 0,
+            "matching costs simulated time"
+        );
         assert!(d.quiescent());
     }
 
@@ -417,7 +425,9 @@ mod tests {
                     let right = (r + 1) % n;
                     let left = (r + n - 1) % n;
                     d.send(r, right, 1, 0, Bytes::from(vec![r as u8]));
-                    let m = d.recv_blocking(r, RecvRequest::exact(left, 1, 0), 64).unwrap();
+                    let m = d
+                        .recv_blocking(r, RecvRequest::exact(left, 1, 0), 64)
+                        .unwrap();
                     assert_eq!(m.payload[0], left as u8);
                 });
             }

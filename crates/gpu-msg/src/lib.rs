@@ -33,6 +33,7 @@ pub mod bsp;
 pub mod collectives;
 pub mod domain;
 pub mod message;
+pub mod metrics;
 pub mod reorder;
 pub mod service;
 
@@ -40,5 +41,10 @@ pub use bsp::BspProgram;
 pub use collectives::{barrier, broadcast, ring_allgather_u64, ring_allreduce_sum};
 pub use domain::{Domain, MatcherKind};
 pub use message::{Completion, EndpointStats, Message, RecvHandle};
+pub use metrics::{Histogram, ServiceMetrics, ShardMetrics};
 pub use reorder::ReorderBuffer;
-pub use service::{simulate_service, ServiceConfig, ServiceEngine, ServiceReport};
+pub use service::{
+    engine_label, simulate_service, simulate_sharded_service, ServiceConfig, ServiceEngine,
+    ServiceReport, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,
+    ShardedServiceReport,
+};

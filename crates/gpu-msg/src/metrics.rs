@@ -1,0 +1,277 @@
+//! Observability for the streaming match service: per-shard counters and
+//! histograms, serializable to JSON so the bench harness can persist a
+//! run (`BENCH_service.json`) and tooling can diff runs.
+//!
+//! Histograms use power-of-two buckets over an integer unit chosen per
+//! histogram (messages for sizes/depths, nanoseconds for times), so
+//! recording is O(1), memory is fixed, and two runs of the same
+//! simulation produce bit-identical snapshots — which the determinism
+//! tests rely on.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of power-of-two buckets: bucket `k` holds values `v` with
+/// `floor(log2(v)) == k - 1` (bucket 0 holds `v == 0`), covering the
+/// full `u64` range.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Fixed-size log₂ histogram with exact count/sum/min/max sidecars.
+///
+/// Values are `f64` in the caller's unit; `scale` converts them to the
+/// integer unit actually bucketed (e.g. `1e9` records seconds as
+/// nanoseconds). Quantiles interpolate linearly inside a bucket, so they
+/// are estimates with at most a 2× bucket-width error — adequate for
+/// p50/p99 dashboards, not for timing claims.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Caller-unit → bucketed-integer-unit multiplier.
+    pub scale: f64,
+    /// Per-bucket counts; index is `1 + floor(log2(units))`, 0 for zero.
+    pub counts: Vec<u64>,
+    /// Total recorded samples.
+    pub count: u64,
+    /// Sum of recorded values (caller units).
+    pub sum: f64,
+    /// Smallest recorded value (caller units; 0 when empty).
+    pub min: f64,
+    /// Largest recorded value (caller units; 0 when empty).
+    pub max: f64,
+}
+
+impl Histogram {
+    /// Empty histogram bucketing `value * scale` as integer units.
+    pub fn new(scale: f64) -> Self {
+        Histogram {
+            scale,
+            counts: vec![0; HISTOGRAM_BUCKETS],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+        }
+    }
+
+    /// Record one value (caller units; negative values clamp to 0).
+    pub fn record(&mut self, value: f64) {
+        let v = value.max(0.0);
+        let units = (v * self.scale).round() as u64;
+        let bucket = if units == 0 {
+            0
+        } else {
+            64 - units.leading_zeros() as usize
+        };
+        self.counts[bucket] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of recorded values (caller units; 0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Approximate `q`-quantile (`0.0..=1.0`) in caller units.
+    pub fn quantile(&self, q: f64) -> f64 {
+        if self.count == 0 {
+            return 0.0;
+        }
+        let rank = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        let mut seen = 0u64;
+        for (k, &c) in self.counts.iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            if seen + c > rank {
+                if k == 0 {
+                    return 0.0;
+                }
+                // Interpolate inside [2^(k-1), 2^k) by rank position.
+                let lo = (1u64 << (k - 1)) as f64;
+                let width = lo; // bucket spans one octave
+                let frac = (rank - seen) as f64 / c as f64;
+                let units = lo + width * frac;
+                return (units / self.scale).clamp(self.min, self.max);
+            }
+            seen += c;
+        }
+        self.max
+    }
+
+    /// Median estimate (caller units).
+    pub fn p50(&self) -> f64 {
+        self.quantile(0.50)
+    }
+
+    /// 99th-percentile estimate (caller units).
+    pub fn p99(&self) -> f64 {
+        self.quantile(0.99)
+    }
+}
+
+/// Counters and distributions for one service shard.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ShardMetrics {
+    /// Shard index within the service.
+    pub shard: usize,
+    /// Engine the shard was pinned to (display form of the
+    /// `msg_match::EngineChoice`).
+    pub engine: String,
+    /// Messages routed to this shard over the run.
+    pub arrivals: u64,
+    /// Arrivals admitted to the pending queue.
+    pub admitted: u64,
+    /// Arrivals rejected because the pending queue was at capacity
+    /// (spilled to the slow host path; accounted, not simulated).
+    pub spilled: u64,
+    /// Messages matched.
+    pub matched: u64,
+    /// Matching passes launched.
+    pub batches: u64,
+    /// Simulated seconds the shard's device spent matching.
+    pub busy_seconds: f64,
+    /// `busy_seconds` over the run duration.
+    pub utilisation: f64,
+    /// Backlog still growing (or spilling) when time ran out.
+    pub saturated: bool,
+    /// Distribution of batch sizes (messages per launch).
+    pub batch_size: Histogram,
+    /// Pending-queue depth sampled at batch boundaries.
+    pub queue_depth: Histogram,
+    /// Per-batch device service time (seconds).
+    pub service_time: Histogram,
+    /// Per-message latency from arrival to match completion (seconds).
+    pub match_latency: Histogram,
+}
+
+impl ShardMetrics {
+    /// Fresh metrics for shard `shard` pinned to `engine`.
+    pub fn new(shard: usize, engine: impl Into<String>) -> Self {
+        ShardMetrics {
+            shard,
+            engine: engine.into(),
+            arrivals: 0,
+            admitted: 0,
+            spilled: 0,
+            matched: 0,
+            batches: 0,
+            busy_seconds: 0.0,
+            utilisation: 0.0,
+            saturated: false,
+            batch_size: Histogram::new(1.0),
+            queue_depth: Histogram::new(1.0),
+            service_time: Histogram::new(1e9),
+            match_latency: Histogram::new(1e9),
+        }
+    }
+}
+
+/// Whole-service snapshot: per-shard metrics plus run-level aggregates.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ServiceMetrics {
+    /// Simulated run duration (seconds).
+    pub duration: f64,
+    /// Aggregate offered load (messages/s).
+    pub offered_rate: f64,
+    /// Aggregate messages matched per second of simulated time.
+    pub sustained_rate: f64,
+    /// Messages matched across all shards.
+    pub total_matched: u64,
+    /// Messages spilled across all shards.
+    pub total_spilled: u64,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardMetrics>,
+}
+
+impl ServiceMetrics {
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Parse a snapshot back from JSON.
+    ///
+    /// # Errors
+    /// Malformed JSON or a shape mismatch.
+    pub fn from_json(s: &str) -> Result<Self, serde::Error> {
+        serde::json::from_str(s)
+    }
+
+    /// True if any shard saturated.
+    pub fn any_saturated(&self) -> bool {
+        self.shards.iter().any(|s| s.saturated)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn histogram_buckets_and_stats_are_exact_where_promised() {
+        let mut h = Histogram::new(1.0);
+        for v in [0.0, 1.0, 2.0, 3.0, 1000.0] {
+            h.record(v);
+        }
+        assert_eq!(h.count, 5);
+        assert_eq!(h.min, 0.0);
+        assert_eq!(h.max, 1000.0);
+        assert!((h.mean() - 201.2).abs() < 1e-9);
+        assert_eq!(h.counts[0], 1, "zero bucket");
+        assert_eq!(h.counts[1], 1, "v=1");
+        assert_eq!(h.counts[2], 2, "v in [2,4)");
+        assert_eq!(h.counts[10], 1, "v in [512,1024)");
+    }
+
+    #[test]
+    fn quantiles_order_and_clamp() {
+        let mut h = Histogram::new(1e9); // seconds in ns
+        for i in 1..=100 {
+            h.record(i as f64 * 1e-6);
+        }
+        let (p50, p99) = (h.p50(), h.p99());
+        assert!(p50 <= p99, "p50 {p50} p99 {p99}");
+        assert!(p50 >= h.min && p99 <= h.max);
+        assert!(p99 > 5e-5, "p99 must sit in the upper tail: {p99}");
+    }
+
+    #[test]
+    fn empty_histogram_is_well_behaved() {
+        let h = Histogram::new(1.0);
+        assert_eq!(h.mean(), 0.0);
+        assert_eq!(h.p50(), 0.0);
+        assert_eq!(h.p99(), 0.0);
+    }
+
+    #[test]
+    fn service_metrics_round_trip_json() {
+        let mut sm = ShardMetrics::new(2, "hash");
+        sm.arrivals = 1000;
+        sm.matched = 990;
+        sm.spilled = 10;
+        sm.busy_seconds = 0.25;
+        sm.batch_size.record(512.0);
+        sm.service_time.record(3.2e-6);
+        sm.match_latency.record(8.1e-6);
+        let m = ServiceMetrics {
+            duration: 0.002,
+            offered_rate: 2.0e6,
+            sustained_rate: 1.9e6,
+            total_matched: 990,
+            total_spilled: 10,
+            shards: vec![sm],
+        };
+        let back = ServiceMetrics::from_json(&m.to_json()).unwrap();
+        assert_eq!(back, m);
+    }
+}

@@ -7,16 +7,33 @@
 //! into an operational statement: a communication kernel servicing a
 //! continuous arrival stream, with the queue dynamics that implies.
 //!
-//! The model is a simple batch-service queue in *simulated device time*:
-//! messages (with matching pre-posted receives) arrive at a configured
-//! rate; whenever work is pending, the kernel matches a batch of up to
-//! `max_batch` entries, which occupies the device for the simulated
-//! duration the matcher reports; arrivals accumulate meanwhile. Below
-//! saturation the queue stays bounded; past the matcher's rate ceiling it
-//! grows without bound — [`ServiceReport::saturated`] flags it.
+//! Two tiers:
+//!
+//! * [`simulate_service`] — the original single-queue batch-service
+//!   model: one resident kernel, one pending queue, one engine.
+//! * [`ShardedMatchService`] — N shards, each owning a persistent
+//!   [`Gpu`] (one communication SM's worth of matching capacity) and a
+//!   bounded pending queue. Traffic is keyed to shards by
+//!   [`msg_match::ShardPlacement`] (communicator + source-rank range),
+//!   each shard's engine is pinned at placement time via
+//!   [`msg_match::MatchEngine`], and admission control spills arrivals
+//!   that find the shard's queue full. Per-shard counters and
+//!   histograms land in a [`crate::metrics::ServiceMetrics`] snapshot.
+//!
+//! Both models run in *simulated device time*: messages (with matching
+//! pre-posted receives) arrive at a configured rate; whenever enough
+//! work is pending the kernel matches a batch of up to `max_batch`
+//! entries, which occupies the device for the simulated duration the
+//! matcher reports; arrivals accumulate meanwhile. Below saturation the
+//! queue stays bounded; past the matcher's rate ceiling it grows (or
+//! spills) without bound — the reports flag it.
+
+use std::collections::VecDeque;
 
 use msg_match::prelude::*;
 use simt_sim::{Gpu, GpuGeneration};
+
+use crate::metrics::{ServiceMetrics, ShardMetrics};
 
 /// Which matching engine the service kernel runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -29,7 +46,26 @@ pub enum ServiceEngine {
     Hash,
 }
 
-/// Service simulation parameters.
+impl ServiceEngine {
+    fn choice(self) -> EngineChoice {
+        match self {
+            ServiceEngine::Matrix => EngineChoice::Matrix,
+            ServiceEngine::Partitioned(queues) => EngineChoice::Partitioned { queues },
+            ServiceEngine::Hash => EngineChoice::Hash,
+        }
+    }
+}
+
+/// Display form of an engine choice, used in metrics snapshots.
+pub fn engine_label(choice: EngineChoice) -> String {
+    match choice {
+        EngineChoice::Matrix => "matrix".to_string(),
+        EngineChoice::Partitioned { queues } => format!("partitioned({queues})"),
+        EngineChoice::Hash => "hash".to_string(),
+    }
+}
+
+/// Service simulation parameters (single-queue model).
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
     /// Offered load in messages per second of device time.
@@ -68,7 +104,7 @@ pub struct ServiceReport {
     pub batches: u64,
 }
 
-/// Run the service model.
+/// Run the single-queue service model.
 pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> ServiceReport {
     // A large pool of workload tuples reused batch by batch.
     let pool = WorkloadSpec {
@@ -87,6 +123,13 @@ pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> Servic
     let mut depth_samples: Vec<f64> = Vec::new();
     let mut max_depth = 0usize;
     let mut batches = 0u64;
+
+    // One resident device for the whole run — the communication kernel
+    // owns its SM and its allocation pool; per-batch reclaim keeps the
+    // arena bounded without paying a fresh device per launch.
+    let mut gpu = Gpu::new(generation);
+    let engine = MatchEngine::default();
+    let choice = cfg.engine.choice();
 
     while now < cfg.duration {
         let due = (cfg.arrival_rate * now) as u64;
@@ -130,21 +173,10 @@ pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> Servic
             .map(|m| RecvRequest::exact(m.src, m.tag, m.comm))
             .collect();
 
-        // Device buffers accumulate across launches (the simulator has
-        // no free); a fresh device per batch models a steady-state
-        // allocation pool without unbounded growth.
-        let mut gpu = Gpu::new(generation);
-        let report = match cfg.engine {
-            ServiceEngine::Matrix => {
-                MatrixMatcher::default().match_iterative(&mut gpu, &msgs, &reqs)
-            }
-            ServiceEngine::Partitioned(q) => PartitionedMatcher::new(q)
-                .match_batch(&mut gpu, &msgs, &reqs)
-                .expect("no wildcards in service traffic"),
-            ServiceEngine::Hash => HashMatcher::default()
-                .match_batch(&mut gpu, &msgs, &reqs)
-                .expect("no wildcards in service traffic"),
-        };
+        gpu.reset_memory();
+        let report = engine
+            .match_with(&mut gpu, choice, &msgs, &reqs)
+            .expect("no wildcards in service traffic");
         debug_assert_eq!(report.matches as usize, batch);
         matched += report.matches;
         busy += report.seconds;
@@ -166,6 +198,341 @@ pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> Servic
     }
 }
 
+/// How a sharded service picks each shard's engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShardEnginePolicy {
+    /// Pin the same engine on every shard.
+    Fixed(ServiceEngine),
+    /// Choose per shard, from the traffic sample the shard owns, under
+    /// this relaxation level (via [`MatchEngine::choose`]).
+    Auto(RelaxationConfig),
+}
+
+/// Parameters for the sharded streaming service.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedServiceConfig {
+    /// Number of shards (each owns a persistent device).
+    pub shards: usize,
+    /// Aggregate offered load in messages per second of device time.
+    pub arrival_rate: f64,
+    /// Largest batch a shard matches at once.
+    pub max_batch: usize,
+    /// A shard aggregates at least this many pending messages before
+    /// launching (or fewer when draining the tail).
+    pub batch_threshold: usize,
+    /// Bounded pending queue per shard: arrivals beyond this backlog
+    /// spill to the (unmodelled) slow host path and are only counted.
+    pub queue_capacity: usize,
+    /// Simulated duration in seconds.
+    pub duration: f64,
+    /// Per-shard engine policy.
+    pub policy: ShardEnginePolicy,
+    /// Communicators in the traffic mix.
+    pub comms: u16,
+    /// Distinct source ranks per communicator.
+    pub peers: u32,
+    /// Workload seed.
+    pub seed: u64,
+}
+
+impl Default for ShardedServiceConfig {
+    fn default() -> Self {
+        ShardedServiceConfig {
+            shards: 4,
+            arrival_rate: 4.0e6,
+            max_batch: 1024,
+            batch_threshold: 256,
+            queue_capacity: 1 << 14,
+            duration: 0.002,
+            policy: ShardEnginePolicy::Fixed(ServiceEngine::Matrix),
+            comms: 1,
+            peers: 64,
+            seed: 5,
+        }
+    }
+}
+
+/// Outcome of a sharded service run.
+#[derive(Debug, Clone)]
+pub struct ShardedServiceReport {
+    /// Aggregate service-level view (comparable to [`simulate_service`]).
+    pub aggregate: ServiceReport,
+    /// Per-shard observability snapshot.
+    pub metrics: ServiceMetrics,
+}
+
+/// One shard: a persistent device, a pinned engine, and the slice of the
+/// traffic sample it owns.
+struct ServiceShard {
+    gpu: Gpu,
+    choice: EngineChoice,
+    /// This shard's tuple pool, replayed cyclically as its arrivals.
+    msgs: Vec<Envelope>,
+    /// Share of the aggregate arrival rate this shard receives.
+    rate: f64,
+}
+
+/// A sharded streaming match service over persistent devices.
+///
+/// Built once, run many times: [`run`](Self::run) resets all queue and
+/// metric state but keeps the shard devices and engine pins, so repeated
+/// runs with the same config are bit-identical.
+pub struct ShardedMatchService {
+    cfg: ShardedServiceConfig,
+    placement: ShardPlacement,
+    shards: Vec<ServiceShard>,
+}
+
+impl ShardedMatchService {
+    /// Build a service with hash placement over `cfg.shards` shards.
+    pub fn new(generation: GpuGeneration, cfg: ShardedServiceConfig) -> Self {
+        Self::with_placement(generation, cfg, ShardPlacement::hashed(cfg.shards))
+    }
+
+    /// Build a service with an explicit placement (rule-keyed by
+    /// communicator and rank range; see [`ShardPlacement`]).
+    ///
+    /// # Panics
+    /// Panics if `placement.shards != cfg.shards` or `cfg.shards == 0`.
+    pub fn with_placement(
+        generation: GpuGeneration,
+        cfg: ShardedServiceConfig,
+        placement: ShardPlacement,
+    ) -> Self {
+        assert!(cfg.shards > 0, "a service needs at least one shard");
+        assert_eq!(
+            placement.shards, cfg.shards,
+            "placement shard count must match the config"
+        );
+
+        // Traffic sample: per-communicator workloads, interleaved so
+        // every batch window sees the full communicator mix.
+        let per_comm = (4 * cfg.max_batch / cfg.comms.max(1) as usize).max(64);
+        let comm_pools: Vec<Vec<Envelope>> = (0..cfg.comms.max(1))
+            .map(|c| {
+                WorkloadSpec {
+                    len: per_comm,
+                    peers: cfg.peers,
+                    tags: 1 << 12,
+                    comm: c,
+                    seed: cfg.seed.wrapping_add(c as u64),
+                    ..Default::default()
+                }
+                .generate()
+                .msgs
+            })
+            .collect();
+        let mut sample: Vec<Envelope> = Vec::with_capacity(per_comm * comm_pools.len());
+        for i in 0..per_comm {
+            for pool in &comm_pools {
+                sample.push(pool[i]);
+            }
+        }
+
+        let sample_reqs: Vec<RecvRequest> = sample
+            .iter()
+            .map(|m| RecvRequest::exact(m.src, m.tag, m.comm))
+            .collect();
+        let engine = MatchEngine::default();
+        let choices: Vec<EngineChoice> = match cfg.policy {
+            ShardEnginePolicy::Fixed(e) => vec![e.choice(); cfg.shards],
+            ShardEnginePolicy::Auto(relax) => {
+                placement.plan_engines(&engine, relax, &sample, &sample_reqs)
+            }
+        };
+
+        let parts = placement.split(&sample, &sample_reqs);
+        let total = sample.len() as f64;
+        let shards = parts
+            .into_iter()
+            .zip(choices)
+            .map(|((msg_ids, _), choice)| {
+                let msgs: Vec<Envelope> = msg_ids.iter().map(|&i| sample[i as usize]).collect();
+                let rate = cfg.arrival_rate * msgs.len() as f64 / total;
+                ServiceShard {
+                    gpu: Gpu::new(generation),
+                    choice,
+                    msgs,
+                    rate,
+                }
+            })
+            .collect();
+
+        ShardedMatchService {
+            cfg,
+            placement,
+            shards,
+        }
+    }
+
+    /// The engine pinned on each shard, in shard order.
+    pub fn engine_choices(&self) -> Vec<EngineChoice> {
+        self.shards.iter().map(|s| s.choice).collect()
+    }
+
+    /// The placement keying traffic to shards.
+    pub fn placement(&self) -> &ShardPlacement {
+        &self.placement
+    }
+
+    /// Simulate `cfg.duration` seconds of service.
+    ///
+    /// Shards run concurrently in simulated time (each owns its device),
+    /// so the aggregate elapsed time is the maximum over shards and the
+    /// aggregate sustained rate is the sum of shard rates.
+    pub fn run(&mut self) -> ShardedServiceReport {
+        let cfg = self.cfg;
+        let mut shard_metrics = Vec::with_capacity(self.shards.len());
+        let mut max_elapsed = 0.0f64;
+        let (mut total_matched, mut total_spilled, mut total_batches) = (0u64, 0u64, 0u64);
+        let mut max_depth = 0usize;
+        let (mut depth_sum, mut depth_n) = (0.0f64, 0u64);
+        let mut util_sum = 0.0f64;
+        let mut any_saturated = false;
+
+        for (idx, shard) in self.shards.iter_mut().enumerate() {
+            let mut m = ShardMetrics::new(idx, engine_label(shard.choice));
+            let elapsed = run_shard(shard, &cfg, &mut m);
+            max_elapsed = max_elapsed.max(elapsed);
+            total_matched += m.matched;
+            total_spilled += m.spilled;
+            total_batches += m.batches;
+            max_depth = max_depth.max(m.queue_depth.max as usize);
+            depth_sum += m.queue_depth.sum;
+            depth_n += m.queue_depth.count;
+            util_sum += m.utilisation;
+            any_saturated |= m.saturated;
+            shard_metrics.push(m);
+        }
+
+        let elapsed = max_elapsed.max(f64::MIN_POSITIVE);
+        let aggregate = ServiceReport {
+            sustained_rate: total_matched as f64 / elapsed,
+            offered_rate: cfg.arrival_rate,
+            mean_depth: depth_sum / depth_n.max(1) as f64,
+            max_depth,
+            utilisation: util_sum / self.shards.len() as f64,
+            saturated: any_saturated,
+            batches: total_batches,
+        };
+        let metrics = ServiceMetrics {
+            duration: cfg.duration,
+            offered_rate: cfg.arrival_rate,
+            sustained_rate: aggregate.sustained_rate,
+            total_matched,
+            total_spilled,
+            shards: shard_metrics,
+        };
+        ShardedServiceReport { aggregate, metrics }
+    }
+}
+
+/// Run one shard's batch-service loop; returns its elapsed simulated
+/// time and fills `m` with its counters and distributions.
+fn run_shard(shard: &mut ServiceShard, cfg: &ShardedServiceConfig, m: &mut ShardMetrics) -> f64 {
+    if shard.msgs.is_empty() || shard.rate <= 0.0 {
+        return 0.0;
+    }
+    let capacity = cfg.queue_capacity.max(cfg.max_batch);
+    let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
+    let engine = MatchEngine::default();
+
+    let mut now = 0.0f64;
+    let mut seen = 0u64; // arrivals processed through admission
+    let mut admitted = 0u64;
+    let mut matched = 0u64;
+    let mut busy = 0.0f64;
+    let mut arrival_times: VecDeque<f64> = VecDeque::new();
+
+    while now < cfg.duration {
+        // Admission: walk every arrival due by `now` through the bounded
+        // queue; overflow spills (counted, not queued).
+        let due = (shard.rate * now) as u64;
+        while seen < due {
+            let t = (seen + 1) as f64 / shard.rate;
+            if ((admitted - matched) as usize) < capacity {
+                admitted += 1;
+                arrival_times.push_back(t);
+            } else {
+                m.spilled += 1;
+            }
+            seen += 1;
+        }
+        m.arrivals = seen;
+        m.admitted = admitted;
+
+        let pending = (admitted - matched) as usize;
+        m.queue_depth.record(pending as f64);
+
+        if pending < threshold {
+            // Aggregate: idle until enough arrivals are due to fill the
+            // threshold (spills never help fill it, but below capacity
+            // spills don't happen either), or drain the tail at the end.
+            let need = (threshold - pending) as u64;
+            let next = ((seen + need) as f64 + 0.5) / shard.rate;
+            if next > cfg.duration {
+                if pending == 0 {
+                    break;
+                }
+                // Drain the tail.
+            } else {
+                now = next;
+                continue;
+            }
+        }
+
+        let batch = pending.min(cfg.max_batch);
+        if batch == 0 {
+            break;
+        }
+        let start = (matched as usize) % shard.msgs.len();
+        let mut msgs: Vec<Envelope> = Vec::with_capacity(batch);
+        for k in 0..batch {
+            msgs.push(shard.msgs[(start + k) % shard.msgs.len()]);
+        }
+        let reqs: Vec<RecvRequest> = msgs
+            .iter()
+            .map(|msg| RecvRequest::exact(msg.src, msg.tag, msg.comm))
+            .collect();
+
+        // The shard's resident device: reclaim the arena, not the device.
+        shard.gpu.reset_memory();
+        let report = engine
+            .match_with(&mut shard.gpu, shard.choice, &msgs, &reqs)
+            .expect("no wildcards in service traffic");
+        debug_assert_eq!(report.matches as usize, batch);
+        matched += report.matches;
+        busy += report.seconds;
+        now += report.seconds;
+
+        m.batches += 1;
+        m.matched = matched;
+        m.batch_size.record(batch as f64);
+        m.service_time.record(report.seconds);
+        for _ in 0..batch {
+            if let Some(t) = arrival_times.pop_front() {
+                m.match_latency.record(now - t);
+            }
+        }
+    }
+
+    let elapsed = now.max(f64::MIN_POSITIVE);
+    let backlog = admitted.saturating_sub(matched);
+    m.busy_seconds = busy;
+    m.utilisation = (busy / elapsed).min(1.0);
+    m.saturated = m.spilled > 0
+        || (backlog > 2 * cfg.max_batch as u64 && backlog as f64 > 0.05 * seen as f64);
+    elapsed
+}
+
+/// Build and run a sharded service in one call.
+pub fn simulate_sharded_service(
+    generation: GpuGeneration,
+    cfg: ShardedServiceConfig,
+) -> ShardedServiceReport {
+    ShardedMatchService::new(generation, cfg).run()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,7 +551,10 @@ mod tests {
     #[test]
     fn below_saturation_the_queue_stays_bounded() {
         // 1 M msgs/s against a ~4.7 M/s matrix matcher: comfortable.
-        let r = simulate_service(GpuGeneration::PascalGtx1080, cfg(1.0e6, ServiceEngine::Matrix));
+        let r = simulate_service(
+            GpuGeneration::PascalGtx1080,
+            cfg(1.0e6, ServiceEngine::Matrix),
+        );
         assert!(!r.saturated, "{r:?}");
         assert!(r.utilisation < 0.75, "utilisation {}", r.utilisation);
         assert!((r.sustained_rate - 1.0e6).abs() / 1.0e6 < 0.15, "{r:?}");
@@ -193,7 +563,10 @@ mod tests {
     #[test]
     fn past_saturation_the_backlog_grows() {
         // 20 M msgs/s against the compliant matcher: hopeless.
-        let r = simulate_service(GpuGeneration::PascalGtx1080, cfg(20.0e6, ServiceEngine::Matrix));
+        let r = simulate_service(
+            GpuGeneration::PascalGtx1080,
+            cfg(20.0e6, ServiceEngine::Matrix),
+        );
         assert!(r.saturated, "{r:?}");
         assert!(r.utilisation > 0.95, "the kernel must be pegged: {r:?}");
         // The sustained rate caps at the matcher's ceiling.
@@ -204,7 +577,10 @@ mod tests {
     fn relaxed_engines_raise_the_ceiling() {
         // The same 20 M msgs/s the matrix matcher drowned under is easy
         // for the hash engine.
-        let r = simulate_service(GpuGeneration::PascalGtx1080, cfg(20.0e6, ServiceEngine::Hash));
+        let r = simulate_service(
+            GpuGeneration::PascalGtx1080,
+            cfg(20.0e6, ServiceEngine::Hash),
+        );
         assert!(!r.saturated, "{r:?}");
         // And partitioning lands in between.
         let p = simulate_service(
@@ -216,13 +592,105 @@ mod tests {
 
     #[test]
     fn utilisation_tracks_offered_load() {
-        let lo = simulate_service(GpuGeneration::PascalGtx1080, cfg(0.5e6, ServiceEngine::Matrix));
-        let hi = simulate_service(GpuGeneration::PascalGtx1080, cfg(3.0e6, ServiceEngine::Matrix));
+        let lo = simulate_service(
+            GpuGeneration::PascalGtx1080,
+            cfg(0.5e6, ServiceEngine::Matrix),
+        );
+        let hi = simulate_service(
+            GpuGeneration::PascalGtx1080,
+            cfg(3.0e6, ServiceEngine::Matrix),
+        );
         assert!(
             hi.utilisation > lo.utilisation * 2.0,
             "lo {} hi {}",
             lo.utilisation,
             hi.utilisation
         );
+    }
+
+    fn sharded_cfg(shards: usize, rate: f64) -> ShardedServiceConfig {
+        ShardedServiceConfig {
+            shards,
+            arrival_rate: rate,
+            duration: 0.002,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn sharding_raises_the_matrix_ceiling() {
+        // 10 M msgs/s drowns one matrix kernel; four shards split the
+        // stream into sustainable quarters.
+        let one = simulate_sharded_service(GpuGeneration::PascalGtx1080, sharded_cfg(1, 10.0e6));
+        let four = simulate_sharded_service(GpuGeneration::PascalGtx1080, sharded_cfg(4, 10.0e6));
+        assert!(one.aggregate.saturated, "{:?}", one.aggregate);
+        assert!(!four.aggregate.saturated, "{:?}", four.aggregate);
+        assert!(
+            four.aggregate.sustained_rate > one.aggregate.sustained_rate,
+            "4 shards {} vs 1 shard {}",
+            four.aggregate.sustained_rate,
+            one.aggregate.sustained_rate
+        );
+    }
+
+    #[test]
+    fn admission_control_spills_rather_than_growing_without_bound() {
+        let r = simulate_sharded_service(
+            GpuGeneration::PascalGtx1080,
+            ShardedServiceConfig {
+                queue_capacity: 2048,
+                ..sharded_cfg(1, 30.0e6)
+            },
+        );
+        let shard = &r.metrics.shards[0];
+        assert!(shard.spilled > 0, "overload must spill: {shard:?}");
+        assert!(shard.saturated);
+        assert!(
+            shard.queue_depth.max as usize <= 2048,
+            "bounded queue exceeded: {}",
+            shard.queue_depth.max
+        );
+        assert_eq!(
+            shard.admitted + shard.spilled,
+            shard.arrivals,
+            "admission accounting must balance"
+        );
+    }
+
+    #[test]
+    fn auto_policy_pins_relaxed_engines_per_shard() {
+        let svc = ShardedMatchService::new(
+            GpuGeneration::PascalGtx1080,
+            ShardedServiceConfig {
+                policy: ShardEnginePolicy::Auto(RelaxationConfig::UNORDERED),
+                comms: 2,
+                ..sharded_cfg(4, 4.0e6)
+            },
+        );
+        let choices = svc.engine_choices();
+        assert_eq!(choices.len(), 4);
+        assert!(
+            choices.iter().all(|c| *c != EngineChoice::Matrix),
+            "unordered traffic should pin relaxed engines: {choices:?}"
+        );
+    }
+
+    #[test]
+    fn shard_metrics_balance_their_counters() {
+        let r = simulate_sharded_service(
+            GpuGeneration::PascalGtx1080,
+            ShardedServiceConfig {
+                comms: 3,
+                ..sharded_cfg(3, 3.0e6)
+            },
+        );
+        for s in &r.metrics.shards {
+            assert!(s.matched <= s.admitted, "{s:?}");
+            assert_eq!(s.batches, s.batch_size.count, "{s:?}");
+            assert_eq!(s.batches, s.service_time.count, "{s:?}");
+            assert_eq!(s.matched, s.match_latency.count, "{s:?}");
+        }
+        let matched: u64 = r.metrics.shards.iter().map(|s| s.matched).sum();
+        assert_eq!(matched, r.metrics.total_matched);
     }
 }

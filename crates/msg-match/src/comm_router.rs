@@ -99,9 +99,9 @@ impl CommRouter {
                 .collect();
             let sub_msgs: Vec<Envelope> = msg_ids.iter().map(|&i| msgs[i as usize]).collect();
             let sub_reqs: Vec<RecvRequest> = req_ids.iter().map(|&j| reqs[j as usize]).collect();
-            let (choice, report) = self
-                .engine
-                .match_batch(gpu, self.config, &sub_msgs, &sub_reqs)?;
+            let (choice, report) =
+                self.engine
+                    .match_batch(gpu, self.config, &sub_msgs, &sub_reqs)?;
             for (bj, a) in report.assignment.iter().enumerate() {
                 if let Some(bi) = a {
                     assignment[req_ids[bj] as usize] = Some(msg_ids[*bi as usize]);
@@ -151,6 +151,137 @@ impl CommRouter {
                 mem_busy_cycles: mem_busy,
             },
         ))
+    }
+}
+
+/// One placement rule: traffic in `comm` whose source rank falls in
+/// `[rank_lo, rank_hi)` is owned by `shard`.
+///
+/// Rules are the Section VI hierarchy made operational for a sharded
+/// service: the top level splits by communicator (no dependencies cross
+/// a communicator), and within one communicator a rank range carves the
+/// partitionable second level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardRule {
+    /// Communicator the rule covers.
+    pub comm: u16,
+    /// First source rank covered (inclusive).
+    pub rank_lo: u32,
+    /// One past the last source rank covered.
+    pub rank_hi: u32,
+    /// Owning shard index.
+    pub shard: usize,
+}
+
+impl ShardRule {
+    /// Does this rule own `(comm, src)`?
+    pub fn covers(&self, comm: u16, src: u32) -> bool {
+        self.comm == comm && (self.rank_lo..self.rank_hi).contains(&src)
+    }
+}
+
+/// Maps `(communicator, source rank)` keys onto service shards.
+///
+/// Explicit [`ShardRule`]s take priority (first match wins); keys no
+/// rule covers fall back to a deterministic hash spread over all
+/// shards. Matching correctness never depends on the placement — only
+/// which shard's engine services a tuple — but MPI ordering does
+/// require that the *same* key always lands on the same shard, which
+/// both the rules and the fallback guarantee.
+#[derive(Debug, Clone)]
+pub struct ShardPlacement {
+    /// Total shards traffic may land on.
+    pub shards: usize,
+    /// Explicit placements, checked in order before the hash fallback.
+    pub rules: Vec<ShardRule>,
+}
+
+impl ShardPlacement {
+    /// Pure hash placement over `shards` shards, no explicit rules.
+    pub fn hashed(shards: usize) -> Self {
+        assert!(shards > 0, "a service needs at least one shard");
+        ShardPlacement {
+            shards,
+            rules: Vec::new(),
+        }
+    }
+
+    /// Placement with explicit rules and a hash fallback for uncovered
+    /// keys.
+    ///
+    /// # Panics
+    /// Panics if any rule names a shard `>= shards` or has an empty
+    /// rank range.
+    pub fn with_rules(shards: usize, rules: Vec<ShardRule>) -> Self {
+        assert!(shards > 0, "a service needs at least one shard");
+        for r in &rules {
+            assert!(
+                r.shard < shards,
+                "rule names shard {} of {}",
+                r.shard,
+                shards
+            );
+            assert!(r.rank_lo < r.rank_hi, "empty rank range in {r:?}");
+        }
+        ShardPlacement { shards, rules }
+    }
+
+    /// The shard owning `(comm, src)`.
+    pub fn shard_of(&self, comm: u16, src: u32) -> usize {
+        for r in &self.rules {
+            if r.covers(comm, src) {
+                return r.shard;
+            }
+        }
+        // Fibonacci hashing over the packed key: cheap, deterministic,
+        // and spreads consecutive ranks across shards.
+        let key = ((comm as u64) << 32) | src as u64;
+        (key.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % self.shards
+    }
+
+    /// Split a batch into per-shard message/request index lists.
+    ///
+    /// Requests with a source wildcard cannot be keyed by rank; they are
+    /// pinned to the communicator's lowest shard (every shard sees a
+    /// consistent choice, so ordering within the communicator's wildcard
+    /// stream is preserved).
+    pub fn split(&self, msgs: &[Envelope], reqs: &[RecvRequest]) -> Vec<(Vec<u32>, Vec<u32>)> {
+        let mut out = vec![(Vec::new(), Vec::new()); self.shards];
+        for (i, m) in msgs.iter().enumerate() {
+            out[self.shard_of(m.comm, m.src)].0.push(i as u32);
+        }
+        for (j, r) in reqs.iter().enumerate() {
+            let shard = match r.src {
+                crate::envelope::SrcSpec::Rank(src) => self.shard_of(r.comm, src),
+                crate::envelope::SrcSpec::Any => self.shard_of(r.comm, 0),
+            };
+            out[shard].1.push(j as u32);
+        }
+        out
+    }
+
+    /// Pin one engine per shard from a traffic sample: each shard's
+    /// engine is chosen by `engine` under `config` from the sample
+    /// tuples that shard would own. Shards that see no sample traffic
+    /// get [`EngineChoice::Matrix`] (the always-correct default).
+    pub fn plan_engines(
+        &self,
+        engine: &MatchEngine,
+        config: RelaxationConfig,
+        sample_msgs: &[Envelope],
+        sample_reqs: &[RecvRequest],
+    ) -> Vec<EngineChoice> {
+        self.split(sample_msgs, sample_reqs)
+            .into_iter()
+            .map(|(mi, ri)| {
+                if mi.is_empty() {
+                    return EngineChoice::Matrix;
+                }
+                let ms: Vec<Envelope> = mi.iter().map(|&i| sample_msgs[i as usize]).collect();
+                let rs: Vec<RecvRequest> = ri.iter().map(|&j| sample_reqs[j as usize]).collect();
+                engine.choose(config, &ms, &rs)
+            })
+            .collect()
     }
 }
 
@@ -225,6 +356,66 @@ mod tests {
         let (choices, r) = router.match_batch(&mut gpu, &msgs, &reqs).unwrap();
         assert_eq!(choices.len(), 1);
         assert_eq!(r.matches as usize, msgs.len());
+    }
+
+    #[test]
+    fn shard_placement_is_stable_and_rule_priority_wins() {
+        let p = ShardPlacement::with_rules(
+            4,
+            vec![
+                ShardRule {
+                    comm: 0,
+                    rank_lo: 0,
+                    rank_hi: 8,
+                    shard: 3,
+                },
+                ShardRule {
+                    comm: 0,
+                    rank_lo: 8,
+                    rank_hi: 64,
+                    shard: 1,
+                },
+            ],
+        );
+        assert_eq!(p.shard_of(0, 3), 3);
+        assert_eq!(p.shard_of(0, 10), 1);
+        // Fallback is deterministic and in range.
+        for src in 0..100 {
+            let s = p.shard_of(5, src);
+            assert!(s < 4);
+            assert_eq!(s, p.shard_of(5, src));
+        }
+    }
+
+    #[test]
+    fn split_covers_every_tuple_exactly_once() {
+        let (msgs, reqs) = multi_comm_batch(200, 3, 11);
+        let p = ShardPlacement::hashed(4);
+        let parts = p.split(&msgs, &reqs);
+        let m_total: usize = parts.iter().map(|(m, _)| m.len()).sum();
+        let r_total: usize = parts.iter().map(|(_, r)| r.len()).sum();
+        assert_eq!(m_total, msgs.len());
+        assert_eq!(r_total, reqs.len());
+        // A message and its exactly-matching request land on one shard.
+        for (mi, ri) in &parts {
+            for &i in mi {
+                let m = msgs[i as usize];
+                assert_eq!(p.shard_of(m.comm, m.src), p.shard_of(m.comm, m.src));
+            }
+            let _ = ri;
+        }
+    }
+
+    #[test]
+    fn planned_engines_respect_the_relaxation_level() {
+        let (msgs, reqs) = multi_comm_batch(256, 2, 12);
+        let p = ShardPlacement::hashed(4);
+        let e = MatchEngine::default();
+        for choice in p.plan_engines(&e, RelaxationConfig::FULL_MPI, &msgs, &reqs) {
+            assert_eq!(choice, EngineChoice::Matrix, "full MPI pins matrix");
+        }
+        let relaxed = p.plan_engines(&e, RelaxationConfig::UNORDERED, &msgs, &reqs);
+        assert_eq!(relaxed.len(), 4);
     }
 
     #[test]

@@ -13,9 +13,7 @@
 //! warp totals are combined through shared memory, and survivors scatter
 //! to their compacted positions.
 
-use simt_sim::{
-    BufferId, CtaCtx, CtaKernel, Gpu, LaunchConfig, LaunchReport, Lanes, WARP_SIZE,
-};
+use simt_sim::{BufferId, CtaCtx, CtaKernel, Gpu, Lanes, LaunchConfig, LaunchReport, WARP_SIZE};
 
 /// One move region: source range `[lo, hi)` plus its survivors as
 /// `(destination, value)` pairs.
@@ -100,7 +98,9 @@ impl CtaKernel for CompactionKernel {
             // Phase 2: exclusive scan of warp totals (single warp).
             let mut warp_bases = vec![0u32; warp_count];
             cta.warp(0, |w| {
-                let idx = w.lane_ids().map(|l| if (l as usize) < warp_count { l } else { 0 });
+                let idx = w
+                    .lane_ids()
+                    .map(|l| if (l as usize) < warp_count { l } else { 0 });
                 let (totals, tok) = w.ld_shared(warp_totals, &idx);
                 w.charge_alu(3);
                 let _ = tok;
@@ -319,6 +319,10 @@ mod tests {
         let q: Vec<u64> = (0..1024).collect();
         let keep: Vec<u32> = (0..1024).map(|i| (i % 3 == 0) as u32).collect();
         let (_, report) = compact_queue(&mut gpu, &q, &keep);
-        assert!(report.cycles > 100, "compaction must cost cycles, got {}", report.cycles);
+        assert!(
+            report.cycles > 100,
+            "compaction must cost cycles, got {}",
+            report.cycles
+        );
     }
 }

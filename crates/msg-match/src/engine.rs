@@ -97,7 +97,28 @@ impl MatchEngine {
     ) -> Result<(EngineChoice, GpuMatchReport), String> {
         config.validate_workload(msgs, reqs)?;
         let choice = self.choose(config, msgs, reqs);
-        let report = match choice {
+        let report = self.match_with(gpu, choice, msgs, reqs)?;
+        Ok((choice, report))
+    }
+
+    /// Run an explicit, already-chosen engine on a batch.
+    ///
+    /// A streaming service pins one engine per shard at placement time
+    /// and then services every batch with it; this entry point skips the
+    /// per-batch policy decision (and its workload scan) that
+    /// [`match_batch`](Self::match_batch) performs.
+    ///
+    /// # Errors
+    /// Fails if the batch violates the engine's own preconditions (e.g.
+    /// wildcards under the partitioned or hash engines).
+    pub fn match_with(
+        &self,
+        gpu: &mut Gpu,
+        choice: EngineChoice,
+        msgs: &[Envelope],
+        reqs: &[RecvRequest],
+    ) -> Result<GpuMatchReport, String> {
+        Ok(match choice {
             EngineChoice::Matrix => {
                 let m = MatrixMatcher::default();
                 if msgs.len() <= MAX_BATCH && reqs.len() <= MAX_BATCH {
@@ -110,8 +131,7 @@ impl MatchEngine {
                 PartitionedMatcher::new(queues).match_batch(gpu, msgs, reqs)?
             }
             EngineChoice::Hash => HashMatcher::default().match_batch(gpu, msgs, reqs)?,
-        };
-        Ok((choice, report))
+        })
     }
 }
 

@@ -58,7 +58,10 @@ impl Envelope {
     /// header supports.
     pub fn new(src: Rank, tag: Tag, comm: CommId) -> Self {
         assert!(tag <= MAX_TAG, "tag {tag} exceeds the 16-bit header field");
-        assert!(comm <= MAX_COMM, "comm {comm} exceeds the 15-bit header field");
+        assert!(
+            comm <= MAX_COMM,
+            "comm {comm} exceeds the 15-bit header field"
+        );
         Envelope { src, tag, comm }
     }
 
@@ -231,7 +234,10 @@ mod tests {
             comm: 2,
         };
         assert!(both.matches(&m));
-        assert!(!both.matches(&Envelope::new(3, 7, 1)), "comm never wildcards");
+        assert!(
+            !both.matches(&Envelope::new(3, 7, 1)),
+            "comm never wildcards"
+        );
     }
 
     #[test]
@@ -269,7 +275,7 @@ mod tests {
         // A real tag can never equal the ANY_TAG sentinel (MAX_TAG is one
         // below it); a real src CAN equal ANY_SOURCE_BITS, which is why
         // Envelope (messages) and RecvRequest (criteria) pack separately.
-        assert!(MAX_TAG < ANY_TAG_BITS);
+        const { assert!(MAX_TAG < ANY_TAG_BITS) }
         let msg = Envelope::new(ANY_SOURCE_BITS, 0, 0);
         assert!(RecvRequest::any_source(0, 0).matches(&msg));
         assert!(RecvRequest::exact(ANY_SOURCE_BITS, 0, 0).matches(&msg));

@@ -20,9 +20,7 @@
 //! workloads therefore degrade — exactly the sensitivity Figure 6(a)
 //! examines via tuple uniqueness.
 
-use simt_sim::{
-    BufferId, CtaCtx, CtaKernel, Gpu, LaunchConfig, Lanes, WARP_SIZE,
-};
+use simt_sim::{BufferId, CtaCtx, CtaKernel, Gpu, Lanes, LaunchConfig, WARP_SIZE};
 
 use crate::envelope::{Envelope, RecvRequest};
 use crate::gpu_common::{GpuMatchReport, NO_MATCH};
@@ -169,7 +167,10 @@ impl CtaKernel for ClearKernel<'_> {
                     w.st_global(b.primary_key, &idx, &zero64);
                 });
                 w.if_lanes(&in_sec, |w| {
-                    let idx = tid.map(|t| t.saturating_sub(prim).min(b.secondary_size.saturating_sub(1)));
+                    let idx = tid.map(|t| {
+                        t.saturating_sub(prim)
+                            .min(b.secondary_size.saturating_sub(1))
+                    });
                     w.st_global(b.secondary_key, &idx, &zero64);
                 });
                 item += stride;
@@ -249,8 +250,7 @@ impl CtaKernel for InsertKernel<'_> {
                                 .map(|k| (hash_primary(k, b.primary_size) + p) % b.primary_size);
                             let mut won = Lanes::splat(false);
                             w.if_lanes(&pending, |w| {
-                                let (old, _t) =
-                                    w.atom_global_cas(b.primary_key, &hp, &zero, &keys);
+                                let (old, _t) = w.atom_global_cas(b.primary_key, &hp, &zero, &keys);
                                 won = old.map(|o| o == 0);
                                 w.if_lanes(&won, |w| {
                                     w.st_global(b.primary_val, &hp, &ids);
@@ -350,8 +350,7 @@ impl CtaKernel for ProbeKernel<'_> {
                             let mut hit = Lanes::splat(false);
                             let mut empty = Lanes::splat(false);
                             w.if_lanes(&pending, |w| {
-                                let (old, _t) =
-                                    w.atom_global_cas(b.primary_key, &hp, &keys, &tomb);
+                                let (old, _t) = w.atom_global_cas(b.primary_key, &hp, &keys, &tomb);
                                 hit = old.zip(&keys, |o, k| o == k && k != 0);
                                 empty = old.map(|o| o == 0);
                                 let (rid, _r) = w.ld_global(b.primary_val, &hp);
@@ -359,11 +358,11 @@ impl CtaKernel for ProbeKernel<'_> {
                                     w.st_global(b.result, &rid, &mids);
                                 });
                             });
-                            matched =
-                                Lanes::from_fn(|l| matched.get(l) || (pending.get(l) && hit.get(l)));
-                            pending = Lanes::from_fn(|l| {
-                                pending.get(l) && !hit.get(l) && !empty.get(l)
+                            matched = Lanes::from_fn(|l| {
+                                matched.get(l) || (pending.get(l) && hit.get(l))
                             });
+                            pending =
+                                Lanes::from_fn(|l| pending.get(l) && !hit.get(l) && !empty.get(l));
                         }
                     }
                 }
@@ -496,8 +495,14 @@ impl HashMatcher {
             first_iteration = false;
 
             // Upload this iteration's compacted work lists.
-            let req_keys: Vec<u64> = pending_reqs.iter().map(|&j| reqs[j as usize].pack()).collect();
-            let msg_keys: Vec<u64> = pending_msgs.iter().map(|&i| msgs[i as usize].pack()).collect();
+            let req_keys: Vec<u64> = pending_reqs
+                .iter()
+                .map(|&j| reqs[j as usize].pack())
+                .collect();
+            let msg_keys: Vec<u64> = pending_msgs
+                .iter()
+                .map(|&i| msgs[i as usize].pack())
+                .collect();
             gpu.mem.write_slice(b.req_keys, 0, &req_keys);
             gpu.mem.write_slice(b.req_ids, 0, &pending_reqs);
             gpu.mem.write_slice(b.msg_keys, 0, &msg_keys);
@@ -604,10 +609,14 @@ mod tests {
     fn unique_tuples_fully_match() {
         let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
         let msgs: Vec<Envelope> = (0..1024).map(|i| e(i, i % 100)).collect();
-        let mut reqs: Vec<RecvRequest> = (0..1024).map(|i| RecvRequest::exact(i, i % 100, 0)).collect();
+        let mut reqs: Vec<RecvRequest> = (0..1024)
+            .map(|i| RecvRequest::exact(i, i % 100, 0))
+            .collect();
         let mut rng = StdRng::seed_from_u64(5);
         reqs.shuffle(&mut rng);
-        let r = HashMatcher::default().match_batch(&mut gpu, &msgs, &reqs).unwrap();
+        let r = HashMatcher::default()
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
         assert_eq!(r.matches, 1024);
         r.verify_valid(&msgs, &reqs).expect("valid matching");
     }
@@ -618,9 +627,16 @@ mod tests {
         // multiple iterations, but the matching must stay perfect.
         let mut gpu = Gpu::new(GpuGeneration::MaxwellM40);
         let mut rng = StdRng::seed_from_u64(9);
-        let msgs: Vec<Envelope> = (0..256).map(|_| e(rng.gen_range(0..4), rng.gen_range(0..4))).collect();
-        let reqs: Vec<RecvRequest> = msgs.iter().map(|m| RecvRequest::exact(m.src, m.tag, 0)).collect();
-        let r = HashMatcher::default().match_batch(&mut gpu, &msgs, &reqs).unwrap();
+        let msgs: Vec<Envelope> = (0..256)
+            .map(|_| e(rng.gen_range(0..4), rng.gen_range(0..4)))
+            .collect();
+        let reqs: Vec<RecvRequest> = msgs
+            .iter()
+            .map(|m| RecvRequest::exact(m.src, m.tag, 0))
+            .collect();
+        let r = HashMatcher::default()
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
         assert_eq!(r.matches, 256, "every message has a partner");
         r.verify_valid(&msgs, &reqs).expect("valid matching");
         assert!(r.launches > 2, "duplicates must force extra iterations");
@@ -631,7 +647,9 @@ mod tests {
         let mut gpu = Gpu::new(GpuGeneration::KeplerK80);
         let msgs: Vec<Envelope> = (0..100).map(|i| e(i, 1)).collect();
         let reqs: Vec<RecvRequest> = (0..50).map(|i| RecvRequest::exact(i * 2, 1, 0)).collect();
-        let r = HashMatcher::default().match_batch(&mut gpu, &msgs, &reqs).unwrap();
+        let r = HashMatcher::default()
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
         assert_eq!(r.matches, 50);
         r.verify_valid(&msgs, &reqs).expect("valid matching");
     }
@@ -642,8 +660,12 @@ mod tests {
         let n = 2048u32;
         let msgs: Vec<Envelope> = (0..n).map(|i| e(i, 0)).collect();
         let reqs: Vec<RecvRequest> = (0..n).map(|i| RecvRequest::exact(i, 0, 0)).collect();
-        let one = HashMatcher::with_ctas(1).match_batch(&mut gpu, &msgs, &reqs).unwrap();
-        let four = HashMatcher::with_ctas(4).match_batch(&mut gpu, &msgs, &reqs).unwrap();
+        let one = HashMatcher::with_ctas(1)
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
+        let four = HashMatcher::with_ctas(4)
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
         assert_eq!(one.matches, n as u64);
         assert_eq!(four.matches, n as u64);
     }
@@ -652,7 +674,10 @@ mod tests {
     fn linear_probing_matches_fully() {
         let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
         let msgs: Vec<Envelope> = (0..512).map(|i| e(i, i % 50)).collect();
-        let mut reqs: Vec<RecvRequest> = msgs.iter().map(|m| RecvRequest::exact(m.src, m.tag, 0)).collect();
+        let mut reqs: Vec<RecvRequest> = msgs
+            .iter()
+            .map(|m| RecvRequest::exact(m.src, m.tag, 0))
+            .collect();
         let mut rng = StdRng::seed_from_u64(12);
         reqs.shuffle(&mut rng);
         let r = HashMatcher::linear_probing(16)
@@ -666,8 +691,13 @@ mod tests {
     fn linear_probing_survives_duplicates() {
         let mut gpu = Gpu::new(GpuGeneration::MaxwellM40);
         let mut rng = StdRng::seed_from_u64(13);
-        let msgs: Vec<Envelope> = (0..128).map(|_| e(rng.gen_range(0..3), rng.gen_range(0..3))).collect();
-        let reqs: Vec<RecvRequest> = msgs.iter().map(|m| RecvRequest::exact(m.src, m.tag, 0)).collect();
+        let msgs: Vec<Envelope> = (0..128)
+            .map(|_| e(rng.gen_range(0..3), rng.gen_range(0..3)))
+            .collect();
+        let reqs: Vec<RecvRequest> = msgs
+            .iter()
+            .map(|m| RecvRequest::exact(m.src, m.tag, 0))
+            .collect();
         let r = HashMatcher::linear_probing(8)
             .match_batch(&mut gpu, &msgs, &reqs)
             .unwrap();
@@ -679,7 +709,10 @@ mod tests {
     fn tighter_load_factor_still_correct() {
         let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
         let msgs: Vec<Envelope> = (0..1024).map(|i| e(i, 0)).collect();
-        let reqs: Vec<RecvRequest> = (0..1024).rev().map(|i| RecvRequest::exact(i, 0, 0)).collect();
+        let reqs: Vec<RecvRequest> = (0..1024)
+            .rev()
+            .map(|i| RecvRequest::exact(i, 0, 0))
+            .collect();
         for slots_x10 in [10usize, 13, 18, 30] {
             let r = HashMatcher::with_slots_per_request_x10(slots_x10)
                 .match_batch(&mut gpu, &msgs, &reqs)
@@ -692,7 +725,9 @@ mod tests {
     #[test]
     fn empty_inputs() {
         let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
-        let r = HashMatcher::default().match_batch(&mut gpu, &[], &[]).unwrap();
+        let r = HashMatcher::default()
+            .match_batch(&mut gpu, &[], &[])
+            .unwrap();
         assert_eq!(r.matches, 0);
         let r2 = HashMatcher::default()
             .match_batch(&mut gpu, &[e(0, 0)], &[])

@@ -258,7 +258,13 @@ mod tests {
         assert!(m.arrive(e(1, 2)).is_none());
         assert_eq!(m.umq_len(), 1);
         let p = m.post(RecvRequest::exact(1, 2, 0)).expect("match");
-        assert_eq!(p, MatchPair { msg_seq: 0, recv_seq: 0 });
+        assert_eq!(
+            p,
+            MatchPair {
+                msg_seq: 0,
+                recv_seq: 0
+            }
+        );
         assert_eq!(m.umq_len(), 0);
     }
 
@@ -283,7 +289,10 @@ mod tests {
         m.post(RecvRequest::any_source(1, 0));
         assert!(m.arrive(e(0, 1)).is_some());
         // The wildcard's markers in other buckets must be dead.
-        assert!(m.arrive(e(1, 1)).is_none(), "only one message may consume it");
+        assert!(
+            m.arrive(e(1, 1)).is_none(),
+            "only one message may consume it"
+        );
         assert_eq!(m.umq_len(), 1);
     }
 

@@ -198,7 +198,10 @@ impl ListMatcher {
                 recv_seq: entry.seq,
             }),
             None => {
-                self.umq.push_back(UmqEntry { envelope, seq: msg_seq });
+                self.umq.push_back(UmqEntry {
+                    envelope,
+                    seq: msg_seq,
+                });
                 None
             }
         }
@@ -224,7 +227,10 @@ impl ListMatcher {
                 recv_seq,
             }),
             None => {
-                self.prq.push_back(PrqEntry { request, seq: recv_seq });
+                self.prq.push_back(PrqEntry {
+                    request,
+                    seq: recv_seq,
+                });
                 None
             }
         }
@@ -257,7 +263,13 @@ mod tests {
         assert!(m.arrive(e(1, 2)).is_none());
         assert_eq!(m.umq_len(), 1);
         let pair = m.post(RecvRequest::exact(1, 2, 0)).expect("must match");
-        assert_eq!(pair, MatchPair { msg_seq: 0, recv_seq: 0 });
+        assert_eq!(
+            pair,
+            MatchPair {
+                msg_seq: 0,
+                recv_seq: 0
+            }
+        );
         assert_eq!(m.umq_len(), 0);
     }
 
@@ -267,7 +279,13 @@ mod tests {
         assert!(m.post(RecvRequest::any_source(7, 0)).is_none());
         assert_eq!(m.prq_len(), 1);
         let pair = m.arrive(e(42, 7)).expect("must match");
-        assert_eq!(pair, MatchPair { msg_seq: 0, recv_seq: 0 });
+        assert_eq!(
+            pair,
+            MatchPair {
+                msg_seq: 0,
+                recv_seq: 0
+            }
+        );
         assert_eq!(m.prq_len(), 0);
     }
 

@@ -24,7 +24,7 @@
 //! ([`MatrixMatcher::match_iterative`]).
 
 use simt_sim::{
-    lanes, CtaCtx, CtaKernel, Gpu, LaunchConfig, LaunchReport, Lanes, WarpCtx, WARP_SIZE,
+    lanes, CtaCtx, CtaKernel, Gpu, Lanes, LaunchConfig, LaunchReport, WarpCtx, WARP_SIZE,
 };
 
 use crate::envelope::{packed_matches, Envelope, RecvRequest};
@@ -126,8 +126,7 @@ impl MatrixKernel {
                 w.charge_alu(1 + self.costs.scan_overhead);
                 let bcast = w.shfl(&req_lanes, j);
                 let req_word = bcast.get(0);
-                let preds =
-                    msg_words.zip(msg_live, |m, live| live && packed_matches(m, req_word));
+                let preds = msg_words.zip(msg_live, |m, live| live && packed_matches(m, req_word));
                 let vote = w.ballot_dep(load_dep.take(), &preds);
                 // Column-major matrix: column i occupies 32 consecutive
                 // words, so the reduce's column gather is conflict free.
@@ -226,7 +225,13 @@ impl CtaKernel for MatrixKernel {
                 let k = &*self;
                 cta.for_each_warp(|w| {
                     if win < n_windows && w.warp_id() < msg_warps {
-                        k.scan(w, win, scan_buf, &msg_words[w.warp_id()], &msg_live[w.warp_id()]);
+                        k.scan(
+                            w,
+                            win,
+                            scan_buf,
+                            &msg_words[w.warp_id()],
+                            &msg_live[w.warp_id()],
+                        );
                     }
                     if win > 0 && w.warp_id() == reduce_warp {
                         k.reduce(w, win - 1, red_buf, &mut masks);
@@ -310,8 +315,7 @@ impl CtaKernel for SmallKernel {
                     // Same per-request chain as the matrix reduce: the
                     // match record touches the receive descriptor in
                     // global memory.
-                    let (_req_desc, gtok) =
-                        w.ld_global_bcast(recvq, (chunk_start + j) as u32);
+                    let (_req_desc, gtok) = w.ld_global_bcast(recvq, (chunk_start + j) as u32);
                     let _ = load_dep.take();
                     let preds = words.zip(&live, |m, l| l && packed_matches(m, req_word));
                     let vote = w.ballot_dep(Some(gtok), &preds) & mask;
@@ -553,7 +557,10 @@ mod tests {
     fn crosses_warp_boundaries() {
         // 100 messages: spans 4 warps; every request matches exactly one.
         let msgs: Vec<Envelope> = (0..100).map(|i| e(i, i % 7)).collect();
-        let reqs: Vec<RecvRequest> = (0..100).rev().map(|i| RecvRequest::exact(i, i % 7, 0)).collect();
+        let reqs: Vec<RecvRequest> = (0..100)
+            .rev()
+            .map(|i| RecvRequest::exact(i, i % 7, 0))
+            .collect();
         let r = check_mpi(&msgs, &reqs);
         assert_eq!(r.matches, 100);
     }
@@ -571,7 +578,9 @@ mod tests {
         // A wildcard request in a late window must still take the
         // earliest surviving message.
         let mut rng = StdRng::seed_from_u64(7);
-        let msgs: Vec<Envelope> = (0..300).map(|_| e(rng.gen_range(0..10), rng.gen_range(0..5))).collect();
+        let msgs: Vec<Envelope> = (0..300)
+            .map(|_| e(rng.gen_range(0..10), rng.gen_range(0..5)))
+            .collect();
         let mut reqs: Vec<RecvRequest> = (0..280)
             .map(|_| RecvRequest::exact(rng.gen_range(0..10), rng.gen_range(0..5), 0))
             .collect();
@@ -589,7 +598,9 @@ mod tests {
     fn iterative_long_queues_match_reference() {
         let mut rng = StdRng::seed_from_u64(11);
         let n = 2500;
-        let msgs: Vec<Envelope> = (0..n).map(|_| e(rng.gen_range(0..40), rng.gen_range(0..8))).collect();
+        let msgs: Vec<Envelope> = (0..n)
+            .map(|_| e(rng.gen_range(0..40), rng.gen_range(0..8)))
+            .collect();
         let reqs: Vec<RecvRequest> = (0..n)
             .map(|_| RecvRequest::exact(rng.gen_range(0..40), rng.gen_range(0..8), 0))
             .collect();
@@ -597,7 +608,10 @@ mod tests {
         let r = MatrixMatcher::default().match_iterative(&mut gpu, &msgs, &reqs);
         let golden = match_queues(&msgs, &reqs);
         let got: Vec<Option<usize>> = r.assignment.iter().map(|x| x.map(|v| v as usize)).collect();
-        assert_eq!(got, golden, "iterative matching must preserve MPI semantics");
+        assert_eq!(
+            got, golden,
+            "iterative matching must preserve MPI semantics"
+        );
         assert!(r.launches > 1, "2500 entries require multiple iterations");
     }
 
@@ -607,7 +621,9 @@ mod tests {
         // must still deliver exact MPI semantics.
         let mut rng = StdRng::seed_from_u64(23);
         let n = 1800;
-        let msgs: Vec<Envelope> = (0..n).map(|_| e(rng.gen_range(0..20), rng.gen_range(0..6))).collect();
+        let msgs: Vec<Envelope> = (0..n)
+            .map(|_| e(rng.gen_range(0..20), rng.gen_range(0..6)))
+            .collect();
         let mut reqs: Vec<RecvRequest> = msgs
             .iter()
             .map(|m| RecvRequest::exact(m.src, m.tag, 0))
@@ -631,7 +647,9 @@ mod tests {
     #[test]
     fn pipelining_ablation_same_result_slower_or_equal() {
         let msgs: Vec<Envelope> = (0..512).map(|i| e(i % 50, i % 6)).collect();
-        let reqs: Vec<RecvRequest> = (0..512).map(|i| RecvRequest::exact(i % 50, i % 6, 0)).collect();
+        let reqs: Vec<RecvRequest> = (0..512)
+            .map(|i| RecvRequest::exact(i % 50, i % 6, 0))
+            .collect();
         let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
         let piped = MatrixMatcher::default().match_batch(&mut gpu, &msgs, &reqs);
         let unpiped = MatrixMatcher {
@@ -654,7 +672,13 @@ mod tests {
         // messages in its own communicator, even with wildcards.
         let mut rng = StdRng::seed_from_u64(31);
         let msgs: Vec<Envelope> = (0..300)
-            .map(|_| Envelope::new(rng.gen_range(0..6), rng.gen_range(0..4), rng.gen_range(0..3)))
+            .map(|_| {
+                Envelope::new(
+                    rng.gen_range(0..6),
+                    rng.gen_range(0..4),
+                    rng.gen_range(0..3),
+                )
+            })
             .collect();
         let mut reqs: Vec<RecvRequest> = msgs
             .iter()

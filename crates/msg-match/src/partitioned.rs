@@ -15,8 +15,8 @@
 //! is the paper's explanation for the sub-linear region of Figure 5.
 
 use simt_sim::{
-    lanes, BufferId, CtaCtx, CtaKernel, Gpu, LaunchConfig, LaunchReport, Lanes, SharedId,
-    WarpCtx, WARP_SIZE,
+    lanes, BufferId, CtaCtx, CtaKernel, Gpu, Lanes, LaunchConfig, LaunchReport, SharedId, WarpCtx,
+    WARP_SIZE,
 };
 
 use crate::envelope::{packed_matches, Envelope, RecvRequest};
@@ -117,7 +117,8 @@ impl PartitionedKernel {
             // The reduce completes each match record against the receive
             // descriptor in global memory (Algorithm 2's result handling);
             // this global access is the long pole of the per-column chain.
-            let (_req_desc, gtok) = w.ld_global_bcast(self.recvq, q.req_off + (win_base + i) as u32);
+            let (_req_desc, gtok) =
+                w.ld_global_bcast(self.recvq, q.req_off + (win_base + i) as u32);
             let _ = tok;
             let tok = gtok;
             // Lanes beyond the row count replicate row data; mask them off.
@@ -228,8 +229,8 @@ impl CtaKernel for PartitionedKernel {
                 let q = &queues[qi];
                 let q_windows = (q.n_reqs as usize).div_ceil(k.window);
                 let rows = (q.msg_warps as usize).max(1);
-                let is_scan_warp =
-                    (w.warp_id() as u32) >= q.warp_base && (w.warp_id() as u32) < q.warp_base + q.msg_warps;
+                let is_scan_warp = (w.warp_id() as u32) >= q.warp_base
+                    && (w.warp_id() as u32) < q.warp_base + q.msg_warps;
                 if is_scan_warp && win < q_windows {
                     k.scan(
                         w,
@@ -378,7 +379,11 @@ impl PartitionedMatcher {
             let mut cta_warps: Vec<u32> = Vec::new();
             for mut s in slices {
                 // Dedicated reduce warp when the group is not already full.
-                let group = if s.msg_warps < 32 { s.msg_warps + 1 } else { 32 };
+                let group = if s.msg_warps < 32 {
+                    s.msg_warps + 1
+                } else {
+                    32
+                };
                 let target = (0..per_cta.len())
                     .find(|&c| cta_warps[c] + group <= 32)
                     .unwrap_or_else(|| {
@@ -445,10 +450,8 @@ impl PartitionedMatcher {
                     // unmatchable head.
                     *win_start += rb.len();
                 } else {
-                    let drop_msgs: std::collections::HashSet<u32> = matched_local_msgs
-                        .iter()
-                        .map(|&l| mb[l as usize])
-                        .collect();
+                    let drop_msgs: std::collections::HashSet<u32> =
+                        matched_local_msgs.iter().map(|&l| mb[l as usize]).collect();
                     mids.retain(|i| !drop_msgs.contains(i));
                     let drop_reqs: std::collections::HashSet<u32> =
                         matched_reqs.into_iter().collect();
@@ -511,7 +514,9 @@ mod tests {
     #[test]
     fn single_queue_equals_matrix_semantics() {
         let msgs: Vec<Envelope> = (0..100).map(|i| e(i % 10, i % 4)).collect();
-        let reqs: Vec<RecvRequest> = (0..100).map(|i| RecvRequest::exact(i % 10, i % 4, 0)).collect();
+        let reqs: Vec<RecvRequest> = (0..100)
+            .map(|i| RecvRequest::exact(i % 10, i % 4, 0))
+            .collect();
         let r = check(1, &msgs, &reqs);
         assert_eq!(r.matches, 100);
     }
@@ -519,7 +524,9 @@ mod tests {
     #[test]
     fn multi_queue_full_match() {
         let mut rng = StdRng::seed_from_u64(21);
-        let msgs: Vec<Envelope> = (0..512).map(|_| e(rng.gen_range(0..16), rng.gen_range(0..6))).collect();
+        let msgs: Vec<Envelope> = (0..512)
+            .map(|_| e(rng.gen_range(0..16), rng.gen_range(0..6)))
+            .collect();
         let reqs: Vec<RecvRequest> = msgs
             .iter()
             .map(|m| RecvRequest::exact(m.src, m.tag, 0))
@@ -534,7 +541,10 @@ mod tests {
     fn imbalanced_sources_still_correct() {
         // Everything from one source: all work lands in one queue.
         let msgs: Vec<Envelope> = (0..200).map(|i| e(5, i % 50)).collect();
-        let reqs: Vec<RecvRequest> = (0..200).rev().map(|i| RecvRequest::exact(5, i % 50, 0)).collect();
+        let reqs: Vec<RecvRequest> = (0..200)
+            .rev()
+            .map(|i| RecvRequest::exact(5, i % 50, 0))
+            .collect();
         let r = check(8, &msgs, &reqs);
         assert_eq!(r.matches, 200);
     }
@@ -551,14 +561,20 @@ mod tests {
         // The headline claim: queue parallelism raises the matching rate.
         let mut rng = StdRng::seed_from_u64(33);
         let n = 1024;
-        let msgs: Vec<Envelope> = (0..n).map(|_| e(rng.gen_range(0..64), rng.gen_range(0..100))).collect();
+        let msgs: Vec<Envelope> = (0..n)
+            .map(|_| e(rng.gen_range(0..64), rng.gen_range(0..100)))
+            .collect();
         let reqs: Vec<RecvRequest> = msgs
             .iter()
             .map(|m| RecvRequest::exact(m.src, m.tag, 0))
             .collect();
         let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
-        let r1 = PartitionedMatcher::new(1).match_batch(&mut gpu, &msgs, &reqs).unwrap();
-        let r8 = PartitionedMatcher::new(8).match_batch(&mut gpu, &msgs, &reqs).unwrap();
+        let r1 = PartitionedMatcher::new(1)
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
+        let r8 = PartitionedMatcher::new(8)
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
         assert_eq!(r1.matches, n as u64);
         assert_eq!(r8.matches, n as u64);
         assert!(
@@ -573,7 +589,9 @@ mod tests {
     fn long_queues_iterate() {
         let mut rng = StdRng::seed_from_u64(44);
         let n = 3000;
-        let msgs: Vec<Envelope> = (0..n).map(|_| e(rng.gen_range(0..8), rng.gen_range(0..4))).collect();
+        let msgs: Vec<Envelope> = (0..n)
+            .map(|_| e(rng.gen_range(0..8), rng.gen_range(0..4)))
+            .collect();
         let reqs: Vec<RecvRequest> = msgs
             .iter()
             .map(|m| RecvRequest::exact(m.src, m.tag, 0))

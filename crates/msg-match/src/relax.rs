@@ -52,12 +52,36 @@ impl RelaxationConfig {
 
     /// All six rows of Table II, in the paper's order.
     pub const TABLE_II_ROWS: [RelaxationConfig; 6] = [
-        RelaxationConfig { wildcards: true, ordering: true, unexpected: true },
-        RelaxationConfig { wildcards: true, ordering: true, unexpected: false },
-        RelaxationConfig { wildcards: false, ordering: true, unexpected: true },
-        RelaxationConfig { wildcards: false, ordering: true, unexpected: false },
-        RelaxationConfig { wildcards: false, ordering: false, unexpected: true },
-        RelaxationConfig { wildcards: false, ordering: false, unexpected: false },
+        RelaxationConfig {
+            wildcards: true,
+            ordering: true,
+            unexpected: true,
+        },
+        RelaxationConfig {
+            wildcards: true,
+            ordering: true,
+            unexpected: false,
+        },
+        RelaxationConfig {
+            wildcards: false,
+            ordering: true,
+            unexpected: true,
+        },
+        RelaxationConfig {
+            wildcards: false,
+            ordering: true,
+            unexpected: false,
+        },
+        RelaxationConfig {
+            wildcards: false,
+            ordering: false,
+            unexpected: true,
+        },
+        RelaxationConfig {
+            wildcards: false,
+            ordering: false,
+            unexpected: false,
+        },
     ];
 
     /// Can the rank space be statically partitioned? (Needs no source
@@ -100,11 +124,7 @@ impl RelaxationConfig {
     ///
     /// # Errors
     /// Describes the first violated guarantee.
-    pub fn validate_workload(
-        &self,
-        msgs: &[Envelope],
-        reqs: &[RecvRequest],
-    ) -> Result<(), String> {
+    pub fn validate_workload(&self, msgs: &[Envelope], reqs: &[RecvRequest]) -> Result<(), String> {
         if !self.wildcards {
             if let Some(j) = reqs.iter().position(|r| r.has_wildcard()) {
                 return Err(format!(
@@ -207,7 +227,9 @@ mod tests {
     fn validate_rejects_wildcards_when_relaxed() {
         let msgs = [Envelope::new(0, 0, 0)];
         let reqs = [RecvRequest::any_source(0, 0)];
-        assert!(RelaxationConfig::FULL_MPI.validate_workload(&msgs, &reqs).is_ok());
+        assert!(RelaxationConfig::FULL_MPI
+            .validate_workload(&msgs, &reqs)
+            .is_ok());
         assert!(RelaxationConfig::NO_WILDCARDS
             .validate_workload(&msgs, &reqs)
             .is_err());
@@ -229,11 +251,17 @@ mod tests {
 
     #[test]
     fn user_implication_matches_table() {
-        assert_eq!(RelaxationConfig::FULL_MPI.user_implication(), UserImplication::None);
+        assert_eq!(
+            RelaxationConfig::FULL_MPI.user_implication(),
+            UserImplication::None
+        );
         assert_eq!(
             RelaxationConfig::NO_WILDCARDS.user_implication(),
             UserImplication::Low
         );
-        assert_eq!(RelaxationConfig::UNORDERED.user_implication(), UserImplication::High);
+        assert_eq!(
+            RelaxationConfig::UNORDERED.user_implication(),
+            UserImplication::High
+        );
     }
 }

@@ -213,7 +213,13 @@ pub fn analyze(trace: &Trace) -> AppAnalysis {
 
     for ev in &trace.events {
         match *ev {
-            TraceEvent::Send { src, dst, tag, comm, .. } => {
+            TraceEvent::Send {
+                src,
+                dst,
+                tag,
+                comm,
+                ..
+            } => {
                 messages += 1;
                 comms.insert(comm);
                 tags.insert(tag);
@@ -260,8 +266,14 @@ pub fn analyze(trace: &Trace) -> AppAnalysis {
     // excluded from the depth distributions (matching the paper, which
     // plots ranks participating in point-to-point exchange).
     let active: Vec<usize> = (0..ranks).filter(|&r| per_dest_msgs[r] > 0).collect();
-    let umq_depths: Vec<f64> = active.iter().map(|&r| states[r].umq.max_live as f64).collect();
-    let prq_depths: Vec<f64> = active.iter().map(|&r| states[r].prq.max_live as f64).collect();
+    let umq_depths: Vec<f64> = active
+        .iter()
+        .map(|&r| states[r].umq.max_live as f64)
+        .collect();
+    let prq_depths: Vec<f64> = active
+        .iter()
+        .map(|&r| states[r].prq.max_live as f64)
+        .collect();
     let peer_counts: Vec<f64> = active.iter().map(|&r| peers[r].len() as f64).collect();
 
     let uniq: Vec<f64> = active
@@ -278,11 +290,9 @@ pub fn analyze(trace: &Trace) -> AppAnalysis {
         uniq.iter().sum::<f64>() / uniq.len() as f64
     };
 
-    let (search_total, search_attempts) = states
-        .iter()
-        .fold((0u64, 0u64), |(t, a), s| {
-            (t + s.umq_search_total, a + s.umq_search_attempts)
-        });
+    let (search_total, search_attempts) = states.iter().fold((0u64, 0u64), |(t, a), s| {
+        (t + s.umq_search_total, a + s.umq_search_attempts)
+    });
     let per_rank_search: Vec<f64> = active
         .iter()
         .filter(|&&r| states[r].umq_search_attempts > 0)
@@ -372,12 +382,51 @@ mod tests {
             app: "t".into(),
             ranks: 2,
             events: vec![
-                TraceEvent::Send { ts: 1, src: 0, dst: 1, tag: 0, comm: 0, bytes: 0 },
-                TraceEvent::Send { ts: 2, src: 0, dst: 1, tag: 1, comm: 0, bytes: 0 },
-                TraceEvent::Send { ts: 3, src: 0, dst: 1, tag: 2, comm: 0, bytes: 0 },
-                TraceEvent::PostRecv { ts: 4, rank: 1, src: Some(0), tag: Some(0), comm: 0 },
-                TraceEvent::PostRecv { ts: 5, rank: 1, src: Some(0), tag: Some(1), comm: 0 },
-                TraceEvent::PostRecv { ts: 6, rank: 1, src: Some(0), tag: Some(2), comm: 0 },
+                TraceEvent::Send {
+                    ts: 1,
+                    src: 0,
+                    dst: 1,
+                    tag: 0,
+                    comm: 0,
+                    bytes: 0,
+                },
+                TraceEvent::Send {
+                    ts: 2,
+                    src: 0,
+                    dst: 1,
+                    tag: 1,
+                    comm: 0,
+                    bytes: 0,
+                },
+                TraceEvent::Send {
+                    ts: 3,
+                    src: 0,
+                    dst: 1,
+                    tag: 2,
+                    comm: 0,
+                    bytes: 0,
+                },
+                TraceEvent::PostRecv {
+                    ts: 4,
+                    rank: 1,
+                    src: Some(0),
+                    tag: Some(0),
+                    comm: 0,
+                },
+                TraceEvent::PostRecv {
+                    ts: 5,
+                    rank: 1,
+                    src: Some(0),
+                    tag: Some(1),
+                    comm: 0,
+                },
+                TraceEvent::PostRecv {
+                    ts: 6,
+                    rank: 1,
+                    src: Some(0),
+                    tag: Some(2),
+                    comm: 0,
+                },
             ],
         };
         let a = analyze(&trace);
@@ -420,7 +469,15 @@ mod tests {
     #[test]
     fn wildcard_counters() {
         let model = AppModel::by_name("MiniDFT").unwrap();
-        let t = generate(&model, GenOptions { depth_scale: 0.5, ranks: Some(32), seed: 5, rank0_funnel: 0 });
+        let t = generate(
+            &model,
+            GenOptions {
+                depth_scale: 0.5,
+                ranks: Some(32),
+                seed: 5,
+                rank0_funnel: 0,
+            },
+        );
         let a = analyze(&t);
         assert!(a.src_wildcards > 0);
         assert_eq!(a.tag_wildcards, 0);
@@ -430,7 +487,15 @@ mod tests {
     #[test]
     fn tag_bits_stay_within_16() {
         for model in AppModel::all() {
-            let t = generate(&model, GenOptions { depth_scale: 0.2, ranks: Some(24), seed: 6, rank0_funnel: 0 });
+            let t = generate(
+                &model,
+                GenOptions {
+                    depth_scale: 0.2,
+                    ranks: Some(24),
+                    seed: 6,
+                    rank0_funnel: 0,
+                },
+            );
             let a = analyze(&t);
             assert!(
                 a.tag_bits() <= 16,
@@ -470,7 +535,15 @@ mod tests {
         // below 30; our generated posts are near-FIFO so searches stay
         // near the head.
         let model = AppModel::by_name("Crystal Router").unwrap();
-        let t = generate(&model, GenOptions { depth_scale: 0.5, ranks: Some(24), seed: 9, rank0_funnel: 0 });
+        let t = generate(
+            &model,
+            GenOptions {
+                depth_scale: 0.5,
+                ranks: Some(24),
+                seed: 9,
+                rank0_funnel: 0,
+            },
+        );
         let a = analyze(&t);
         assert!(
             a.search_len.mean < 30.0,
@@ -482,7 +555,15 @@ mod tests {
     #[test]
     fn uniqueness_single_digit_for_wide_tag_apps() {
         let model = AppModel::by_name("MiniDFT").unwrap();
-        let t = generate(&model, GenOptions { depth_scale: 0.5, ranks: Some(48), seed: 7, rank0_funnel: 0 });
+        let t = generate(
+            &model,
+            GenOptions {
+                depth_scale: 0.5,
+                ranks: Some(48),
+                seed: 7,
+                rank0_funnel: 0,
+            },
+        );
         let a = analyze(&t);
         assert!(
             a.tuple_uniqueness_pct < 10.0,

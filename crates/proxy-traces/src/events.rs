@@ -161,14 +161,42 @@ mod tests {
             app: "x".into(),
             ranks: 4,
             events: vec![
-                TraceEvent::Send { ts: 5, src: 0, dst: 1, tag: 0, comm: 0, bytes: 0 },
-                TraceEvent::Send { ts: 3, src: 1, dst: 0, tag: 0, comm: 0, bytes: 0 },
+                TraceEvent::Send {
+                    ts: 5,
+                    src: 0,
+                    dst: 1,
+                    tag: 0,
+                    comm: 0,
+                    bytes: 0,
+                },
+                TraceEvent::Send {
+                    ts: 3,
+                    src: 1,
+                    dst: 0,
+                    tag: 0,
+                    comm: 0,
+                    bytes: 0,
+                },
             ],
         };
         assert!(t.validate().is_err());
-        t.events[1] = TraceEvent::Send { ts: 6, src: 9, dst: 0, tag: 0, comm: 0, bytes: 0 };
+        t.events[1] = TraceEvent::Send {
+            ts: 6,
+            src: 9,
+            dst: 0,
+            tag: 0,
+            comm: 0,
+            bytes: 0,
+        };
         assert!(t.validate().is_err());
-        t.events[1] = TraceEvent::Send { ts: 6, src: 1, dst: 0, tag: 0, comm: 0, bytes: 0 };
+        t.events[1] = TraceEvent::Send {
+            ts: 6,
+            src: 1,
+            dst: 0,
+            tag: 0,
+            comm: 0,
+            bytes: 0,
+        };
         assert!(t.validate().is_ok());
         assert_eq!(t.send_count(), 2);
         assert_eq!(t.recv_count(), 0);

@@ -69,7 +69,14 @@ pub fn write_trace(trace: &Trace) -> Bytes {
     buf.put_u64_le(trace.events.len() as u64);
     for ev in &trace.events {
         match *ev {
-            TraceEvent::Send { ts, src, dst, tag, comm, bytes } => {
+            TraceEvent::Send {
+                ts,
+                src,
+                dst,
+                tag,
+                comm,
+                bytes,
+            } => {
                 buf.put_u8(0);
                 buf.put_u64_le(ts);
                 buf.put_u32_le(src);
@@ -78,7 +85,13 @@ pub fn write_trace(trace: &Trace) -> Bytes {
                 buf.put_u16_le(comm);
                 buf.put_u32_le(bytes);
             }
-            TraceEvent::PostRecv { ts, rank, src, tag, comm } => {
+            TraceEvent::PostRecv {
+                ts,
+                rank,
+                src,
+                tag,
+                comm,
+            } => {
                 buf.put_u8(1);
                 buf.put_u64_le(ts);
                 buf.put_u32_le(rank);
@@ -236,7 +249,14 @@ mod tests {
         let t = Trace {
             app: "t".into(),
             ranks: 2,
-            events: vec![TraceEvent::Send { ts: 1, src: 0, dst: 1, tag: 0, comm: 0, bytes: 0 }],
+            events: vec![TraceEvent::Send {
+                ts: 1,
+                src: 0,
+                dst: 1,
+                tag: 0,
+                comm: 0,
+                bytes: 0,
+            }],
         };
         let bytes = write_trace(&t);
         for cut in [3usize, 10, bytes.len() - 1] {
@@ -248,7 +268,15 @@ mod tests {
     #[test]
     fn file_round_trip() {
         let model = AppModel::by_name("CNS").unwrap();
-        let t = generate(&model, GenOptions { depth_scale: 0.05, ranks: Some(8), seed: 2, rank0_funnel: 0 });
+        let t = generate(
+            &model,
+            GenOptions {
+                depth_scale: 0.05,
+                ranks: Some(8),
+                seed: 2,
+                rank0_funnel: 0,
+            },
+        );
         let dir = std::env::temp_dir().join("sdtf-test");
         std::fs::create_dir_all(&dir).unwrap();
         let path = dir.join("cns.sdtf");
@@ -291,7 +319,11 @@ mod tests {
 
     #[test]
     fn rejects_unknown_record_kind() {
-        let t = Trace { app: "t".into(), ranks: 1, events: vec![] };
+        let t = Trace {
+            app: "t".into(),
+            ranks: 1,
+            events: vec![],
+        };
         let mut bytes = write_trace(&t).to_vec();
         // Bump the count to 1 and append a bogus record.
         let count_off = 4 + 2 + 4 + 2 + 1;

@@ -124,7 +124,11 @@ fn pick_src(model: &AppModel, ranks: u32, dst: u32, rng: &mut StdRng) -> u32 {
 pub fn generate(model: &AppModel, opts: GenOptions) -> Trace {
     let ranks = opts.ranks.unwrap_or(model.ranks).max(2);
     let mut rng = StdRng::seed_from_u64(
-        opts.seed ^ model.name.bytes().fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
+        opts.seed
+            ^ model
+                .name
+                .bytes()
+                .fold(0u64, |h, b| h.wrapping_mul(31).wrapping_add(b as u64)),
     );
     let depths = rank_depths(model, ranks, &mut rng, opts.depth_scale);
 
@@ -207,15 +211,14 @@ pub fn generate(model: &AppModel, opts: GenOptions) -> Trace {
                 comm,
                 bytes: 8 * 1024,
             };
-            let mk_post = |(src, tag, comm): (Option<u32>, Option<u32>, u16), ts: u64| {
-                TraceEvent::PostRecv {
+            let mk_post =
+                |(src, tag, comm): (Option<u32>, Option<u32>, u16), ts: u64| TraceEvent::PostRecv {
                     ts,
                     rank: dst,
                     src,
                     tag,
                     comm,
-                }
-            };
+                };
 
             if coverage {
                 // Interleaved: queues stay at depth ≈ 1.
@@ -299,7 +302,8 @@ mod tests {
     fn traces_validate() {
         for model in AppModel::all() {
             let t = generate(&model, small_opts());
-            t.validate().unwrap_or_else(|e| panic!("{}: {e}", model.name));
+            t.validate()
+                .unwrap_or_else(|e| panic!("{}: {e}", model.name));
             assert!(t.send_count() > 0, "{}", model.name);
             assert_eq!(
                 t.send_count(),
@@ -316,14 +320,28 @@ mod tests {
         let a = generate(&m, small_opts());
         let b = generate(&m, small_opts());
         assert_eq!(a, b);
-        let c = generate(&m, GenOptions { seed: 2, ..small_opts() });
+        let c = generate(
+            &m,
+            GenOptions {
+                seed: 2,
+                ..small_opts()
+            },
+        );
         assert_ne!(a, c);
     }
 
     #[test]
     fn wildcards_only_where_modelled() {
         for model in AppModel::all() {
-            let t = generate(&model, GenOptions { depth_scale: 0.3, ranks: Some(24), seed: 3, rank0_funnel: 0 });
+            let t = generate(
+                &model,
+                GenOptions {
+                    depth_scale: 0.3,
+                    ranks: Some(24),
+                    seed: 3,
+                    rank0_funnel: 0,
+                },
+            );
             let wild = t
                 .events
                 .iter()
@@ -347,7 +365,15 @@ mod tests {
     fn communicator_usage_matches_model() {
         for name in ["Nekbone", "MiniDFT", "LULESH"] {
             let model = AppModel::by_name(name).unwrap();
-            let t = generate(&model, GenOptions { depth_scale: 0.3, ranks: Some(24), seed: 4, rank0_funnel: 0 });
+            let t = generate(
+                &model,
+                GenOptions {
+                    depth_scale: 0.3,
+                    ranks: Some(24),
+                    seed: 4,
+                    rank0_funnel: 0,
+                },
+            );
             let comms: std::collections::HashSet<u16> = t
                 .events
                 .iter()

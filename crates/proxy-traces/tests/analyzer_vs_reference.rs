@@ -52,7 +52,10 @@ fn analyzer_agrees_with_reference_engine_per_rank() {
         assert_eq!(a.prq_depth.max, ref_prq_max, "{name}: PRQ max");
         // Every message must ultimately match in the generated traces.
         let total_matches: usize = per_rank.iter().map(|r| r.2).sum();
-        assert_eq!(total_matches as u64, a.messages, "{name}: all traffic matches");
+        assert_eq!(
+            total_matches as u64, a.messages,
+            "{name}: all traffic matches"
+        );
         assert_eq!(a.ranks, trace.ranks);
     }
 }

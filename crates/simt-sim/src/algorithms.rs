@@ -107,7 +107,10 @@ impl CtaKernel for ReduceSumKernel {
             while item < len {
                 let lid = w.lane_ids();
                 let live = lid.map(|l| item + (l as usize) < len);
-                let idx = lid.zip(&live, |l, lv| if lv { (item + l as usize) as u32 } else { 0 });
+                let idx = lid.zip(
+                    &live,
+                    |l, lv| if lv { (item + l as usize) as u32 } else { 0 },
+                );
                 w.charge_alu(2);
                 let (vals, _tok) = w.ld_global(input, &idx);
                 acc = Lanes::from_fn(|l| {
@@ -281,7 +284,10 @@ impl CtaKernel for HistogramKernel {
             while item < len {
                 let lid = w.lane_ids();
                 let live = lid.map(|l| item + (l as usize) < len);
-                let idx = lid.zip(&live, |l, lv| if lv { (item + l as usize) as u32 } else { 0 });
+                let idx = lid.zip(
+                    &live,
+                    |l, lv| if lv { (item + l as usize) as u32 } else { 0 },
+                );
                 w.charge_alu(2);
                 let (vals, _tok) = w.ld_global(input, &idx);
                 let buckets = vals.map(|v| v % bins);
@@ -323,7 +329,11 @@ mod tests {
         for n in [1usize, 31, 32, 33, 100, 1024, 5000] {
             let data: Vec<u32> = (0..n as u32).map(|i| i * 3 + 1).collect();
             let (got, _) = reduce_sum(&mut gpu, &data);
-            let want: u32 = data.iter().copied().reduce(|a, b| a.wrapping_add(b)).unwrap();
+            let want: u32 = data
+                .iter()
+                .copied()
+                .reduce(|a, b| a.wrapping_add(b))
+                .unwrap();
             assert_eq!(got, want, "n={n}");
         }
     }

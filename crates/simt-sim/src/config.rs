@@ -243,7 +243,10 @@ mod tests {
     fn cycles_to_seconds_uses_clock() {
         let p = GpuConfig::pascal_gtx1080();
         let s = p.cycles_to_seconds(1_733_000_000);
-        assert!((s - 1.0).abs() < 1e-9, "1.733G cycles at 1.733 GHz is one second, got {s}");
+        assert!(
+            (s - 1.0).abs() < 1e-9,
+            "1.733G cycles at 1.733 GHz is one second, got {s}"
+        );
     }
 
     #[test]

@@ -16,8 +16,8 @@
 use crate::config::{GpuConfig, GpuGeneration, WARP_SIZE};
 use crate::lanes::{self, LaneMask, Lanes};
 use crate::mem::{
-    bank_conflict_degree, coalesced_transactions, BufferId, DeviceMemory, DeviceScalar,
-    SharedId, SharedMemory,
+    bank_conflict_degree, coalesced_transactions, BufferId, DeviceMemory, DeviceScalar, SharedId,
+    SharedMemory,
 };
 use crate::sanitize::{self, Access, AccessKind, RaceReport, Space};
 use crate::timing::{self, TimingReport};
@@ -513,7 +513,8 @@ impl WarpCtx<'_> {
             let i = idx.get(lane) as usize;
             let cur = self.global.read(buf, i);
             old.set(lane, cur);
-            self.global.write(buf, i, cur.wrapping_add(addend.get(lane)));
+            self.global
+                .write(buf, i, cur.wrapping_add(addend.get(lane)));
         }
         (old, tok)
     }
@@ -570,8 +571,7 @@ impl WarpCtx<'_> {
                 let mut one = Lanes::splat(0u32);
                 one.set(lane, i as u32);
                 // direct write through the raw store path
-                self.shared
-                    .store_lanes(id, LaneMask(1 << lane), &one, &v);
+                self.shared.store_lanes(id, LaneMask(1 << lane), &one, &v);
             }
         }
         (old, tok)
@@ -639,6 +639,15 @@ impl Gpu {
             mem: DeviceMemory::new(),
             sanitizer_findings: None,
         }
+    }
+
+    /// Reclaim all device memory, invalidating outstanding buffer IDs.
+    ///
+    /// Long-running resident kernels (the streaming match service) reuse
+    /// one device across many batches; resetting between batches keeps
+    /// the arena bounded the way a real allocation pool would.
+    pub fn reset_memory(&mut self) {
+        self.mem.reclaim();
     }
 
     /// Enable whole-device sanitizing: every subsequent launch (including

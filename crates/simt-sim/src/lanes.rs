@@ -234,7 +234,10 @@ mod tests {
     fn votes() {
         let mut p = Lanes::splat(false);
         assert!(!any(LaneMask::FULL, &p));
-        assert!(all(LaneMask::EMPTY, &p), "all() over an empty mask is vacuously true");
+        assert!(
+            all(LaneMask::EMPTY, &p),
+            "all() over an empty mask is vacuously true"
+        );
         p.set(7, true);
         assert!(any(LaneMask::FULL, &p));
         assert!(!all(LaneMask::FULL, &p));

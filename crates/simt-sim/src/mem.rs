@@ -110,6 +110,21 @@ impl DeviceMemory {
         id
     }
 
+    /// Release every buffer, invalidating all outstanding [`BufferId`]s.
+    ///
+    /// The arena has no per-buffer free (IDs are plain indices); a
+    /// device-resident service that launches batch after batch instead
+    /// reclaims the whole arena between batches, modelling a steady-state
+    /// allocation pool without unbounded growth.
+    pub fn reclaim(&mut self) {
+        self.buffers.clear();
+    }
+
+    /// Buffers currently allocated (drops to 0 after [`reclaim`](Self::reclaim)).
+    pub fn allocated_buffers(&self) -> usize {
+        self.buffers.len()
+    }
+
     /// Number of elements in `buf`.
     pub fn len<T: DeviceScalar>(&self, buf: BufferId<T>) -> usize {
         self.buffers[buf.index].words.len()
@@ -180,7 +195,6 @@ impl DeviceMemory {
             words[idx.get(lane) as usize] = values.get(lane).to_word();
         }
     }
-
 }
 
 /// Typed handle to a shared-memory region of a CTA.
@@ -273,7 +287,6 @@ impl SharedMemory {
     pub fn read<T: DeviceScalar>(&self, id: SharedId<T>, idx: usize) -> T {
         T::from_word(self.regions[id.index].words[idx])
     }
-
 }
 
 /// Number of 128-byte global-memory transactions needed to service a

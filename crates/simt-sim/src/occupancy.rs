@@ -149,7 +149,10 @@ mod tests {
         let sm = GpuConfig::pascal_gtx1080().sm;
         let a = occupancy(&sm, 33, 0, 32);
         let b = occupancy(&sm, 64, 0, 32);
-        assert_eq!(a.resident_ctas, b.resident_ctas, "33 threads occupy 2 warps");
+        assert_eq!(
+            a.resident_ctas, b.resident_ctas,
+            "33 threads occupy 2 warps"
+        );
     }
 
     #[test]

@@ -102,11 +102,10 @@ pub(crate) fn check_segment(cta: u32, segment: u32, log: &[Access], out: &mut Ve
             if w == a.warp {
                 continue;
             }
-            let conflict = match (k, a.kind) {
-                (AccessKind::Read, AccessKind::Read) => false,
-                (AccessKind::Atomic, AccessKind::Atomic) => false,
-                _ => true,
-            };
+            let conflict = !matches!(
+                (k, a.kind),
+                (AccessKind::Read, AccessKind::Read) | (AccessKind::Atomic, AccessKind::Atomic)
+            );
             if conflict {
                 // Deduplicate: report each (location, warp pair) once.
                 let already = out.iter().any(|r| {
@@ -156,7 +155,12 @@ mod tests {
     #[test]
     fn cross_warp_write_write_races() {
         let mut out = Vec::new();
-        check_segment(0, 0, &[acc(0, AccessKind::Write, 5), acc(1, AccessKind::Write, 5)], &mut out);
+        check_segment(
+            0,
+            0,
+            &[acc(0, AccessKind::Write, 5), acc(1, AccessKind::Write, 5)],
+            &mut out,
+        );
         assert_eq!(out.len(), 1);
         assert_eq!(out[0].warps, (0, 1));
     }
@@ -164,7 +168,12 @@ mod tests {
     #[test]
     fn read_read_is_fine() {
         let mut out = Vec::new();
-        check_segment(0, 0, &[acc(0, AccessKind::Read, 5), acc(1, AccessKind::Read, 5)], &mut out);
+        check_segment(
+            0,
+            0,
+            &[acc(0, AccessKind::Read, 5), acc(1, AccessKind::Read, 5)],
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 
@@ -202,7 +211,12 @@ mod tests {
     #[test]
     fn distinct_locations_do_not_race() {
         let mut out = Vec::new();
-        check_segment(0, 0, &[acc(0, AccessKind::Write, 5), acc(1, AccessKind::Write, 6)], &mut out);
+        check_segment(
+            0,
+            0,
+            &[acc(0, AccessKind::Write, 5), acc(1, AccessKind::Write, 6)],
+            &mut out,
+        );
         assert!(out.is_empty());
     }
 

@@ -196,10 +196,7 @@ impl<'a> SmSim<'a> {
                 }
                 let cta = &self.grid.ctas[self.resident[w.cta_slot].grid_cta];
                 let op = cta.warps[w.warp_in_cta].ops[w.pc];
-                let dep_mc = op
-                    .waits_on
-                    .map(|d| w.completions[d as usize])
-                    .unwrap_or(0);
+                let dep_mc = op.waits_on.map(|d| w.completions[d as usize]).unwrap_or(0);
                 let cand = w.ready_mc.max(dep_mc);
                 if best.is_none_or(|(t, _)| cand < t) {
                     best = Some((cand, i));
@@ -258,8 +255,7 @@ impl<'a> SmSim<'a> {
                         waits += (release - w.barrier_arrival_mc) / MC;
                         w.ready_mc = release;
                         w.pc += 1;
-                        w.phase = if w.pc
-                            >= self.grid.ctas[grid_cta].warps[w.warp_in_cta].ops.len()
+                        w.phase = if w.pc >= self.grid.ctas[grid_cta].warps[w.warp_in_cta].ops.len()
                         {
                             WarpPhase::Done
                         } else {
@@ -354,12 +350,7 @@ impl<'a> SmSim<'a> {
 
 /// Replay `grid` on `sms_used` SMs of the configured device.
 pub fn simulate(grid: &GridTrace, cfg: &GpuConfig, sms_used: u32) -> TimingReport {
-    let max_shared = grid
-        .ctas
-        .iter()
-        .map(|c| c.shared_bytes)
-        .max()
-        .unwrap_or(0);
+    let max_shared = grid.ctas.iter().map(|c| c.shared_bytes).max().unwrap_or(0);
     let occ: Occupancy = occupancy(
         &cfg.sm,
         grid.threads_per_cta,
@@ -425,8 +416,16 @@ mod tests {
         let grid = one_warp_trace(vec![OpKind::IAlu { n: 100 }]);
         let cfg = GpuGeneration::PascalGtx1080.config();
         let r = simulate(&grid, &cfg, 1);
-        assert!(r.cycles >= 100, "100 instructions take at least 100 cycles, got {}", r.cycles);
-        assert!(r.cycles < 160, "undep'd ALU stream should pipeline, got {}", r.cycles);
+        assert!(
+            r.cycles >= 100,
+            "100 instructions take at least 100 cycles, got {}",
+            r.cycles
+        );
+        assert!(
+            r.cycles < 160,
+            "undep'd ALU stream should pipeline, got {}",
+            r.cycles
+        );
         assert_eq!(r.instructions, 100);
     }
 
@@ -499,7 +498,11 @@ mod tests {
         let cfg = GpuGeneration::MaxwellM40.config();
         let r = simulate(&grid, &cfg, 1);
         assert!(r.cycles >= 500);
-        assert!(r.barrier_wait_cycles > 300, "fast warp must wait: {}", r.barrier_wait_cycles);
+        assert!(
+            r.barrier_wait_cycles > 300,
+            "fast warp must wait: {}",
+            r.barrier_wait_cycles
+        );
     }
 
     #[test]

@@ -1,9 +1,7 @@
 //! End-to-end sanitizer tests: racy kernels are caught, clean kernels
 //! pass, and the sanitizer changes neither results nor timing.
 
-use simt_sim::{
-    BufferId, CtaCtx, CtaKernel, Gpu, GpuGeneration, Lanes, LaunchConfig, Space,
-};
+use simt_sim::{BufferId, CtaCtx, CtaKernel, Gpu, GpuGeneration, Lanes, LaunchConfig, Space};
 
 /// Two warps write the same shared slot in one segment — a textbook race.
 struct RacyShared;
@@ -125,11 +123,16 @@ fn atomic_contention_is_clean() {
 fn sanitizer_does_not_change_results_or_timing() {
     let mut a = Gpu::new(GpuGeneration::PascalGtx1080);
     let buf_a = a.mem.alloc::<u32>(1);
-    let plain = a.launch(&mut AtomicContention { buf: buf_a }, LaunchConfig::single_sm(1, 256));
+    let plain = a.launch(
+        &mut AtomicContention { buf: buf_a },
+        LaunchConfig::single_sm(1, 256),
+    );
     let mut b = Gpu::new(GpuGeneration::PascalGtx1080);
     let buf_b = b.mem.alloc::<u32>(1);
-    let (sanitized, _) =
-        b.launch_sanitized(&mut AtomicContention { buf: buf_b }, LaunchConfig::single_sm(1, 256));
+    let (sanitized, _) = b.launch_sanitized(
+        &mut AtomicContention { buf: buf_b },
+        LaunchConfig::single_sm(1, 256),
+    );
     assert_eq!(plain.cycles, sanitized.cycles);
     assert_eq!(a.mem.read(buf_a, 0), b.mem.read(buf_b, 0));
 }

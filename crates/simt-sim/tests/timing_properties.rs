@@ -36,7 +36,12 @@ impl CtaKernel for SyntheticKernel {
 fn run(gen: GpuGeneration, warps: u32, alu: u32, loads: u32, barriers: u32) -> u64 {
     let mut gpu = Gpu::new(gen);
     let buf = gpu.mem.alloc::<u32>(64);
-    let mut k = SyntheticKernel { alu, loads, barriers, buf };
+    let mut k = SyntheticKernel {
+        alu,
+        loads,
+        barriers,
+        buf,
+    };
     gpu.launch(&mut k, LaunchConfig::single_sm(1, warps * WARP_SIZE as u32))
         .cycles
 }
@@ -114,7 +119,10 @@ fn occupancy_is_monotone_in_resources() {
     let mut last = u32::MAX;
     for shared in [0u32, 8 << 10, 16 << 10, 32 << 10, 64 << 10] {
         let occ = occupancy(&sm, 256, shared, 32);
-        assert!(occ.resident_ctas <= last, "more shared memory cannot raise residency");
+        assert!(
+            occ.resident_ctas <= last,
+            "more shared memory cannot raise residency"
+        );
         last = occ.resident_ctas;
     }
 }
@@ -139,10 +147,16 @@ fn barrier_cost_scales_with_imbalance() {
     }
     let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
     let balanced = gpu
-        .launch(&mut Imbalanced { heavy: 1 }, LaunchConfig::single_sm(1, 128))
+        .launch(
+            &mut Imbalanced { heavy: 1 },
+            LaunchConfig::single_sm(1, 128),
+        )
         .cycles;
     let skewed = gpu
-        .launch(&mut Imbalanced { heavy: 5000 }, LaunchConfig::single_sm(1, 128))
+        .launch(
+            &mut Imbalanced { heavy: 5000 },
+            LaunchConfig::single_sm(1, 128),
+        )
         .cycles;
     assert!(skewed > balanced + 4000, "{balanced} vs {skewed}");
 }

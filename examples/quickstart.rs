@@ -16,7 +16,13 @@ fn main() {
     let node = Domain::full_mpi(2, GpuGeneration::PascalGtx1080);
 
     // GPU 0 sends — a remote write into GPU 1's message queue.
-    node.send(0, 1, /*tag*/ 7, /*comm*/ 0, Bytes::from_static(b"hello, peer GPU"));
+    node.send(
+        0,
+        1,
+        /*tag*/ 7,
+        /*comm*/ 0,
+        Bytes::from_static(b"hello, peer GPU"),
+    );
 
     // GPU 1 receives: posting a matching request and progressing the
     // communication kernel until it completes.
@@ -24,7 +30,10 @@ fn main() {
         .recv_blocking(1, RecvRequest::exact(/*src*/ 0, /*tag*/ 7, /*comm*/ 0), 8)
         .expect("delivery");
 
-    println!("GPU 1 received {:?} from rank {}", msg.payload, msg.envelope.src);
+    println!(
+        "GPU 1 received {:?} from rank {}",
+        msg.payload, msg.envelope.src
+    );
     let stats = node.stats(1);
     println!(
         "communication kernel: {} matches in {} simulated cycles ({:.2} µs on a GTX 1080)",

@@ -32,10 +32,22 @@ const TOL: f64 = 1e-10;
 fn exchange(node: &Domain, rank: u32, v: &[f64]) -> Result<(f64, f64), String> {
     let n = node.ranks();
     if rank > 0 {
-        node.send(rank, rank - 1, 1, 0, Bytes::from(v[0].to_le_bytes().to_vec()));
+        node.send(
+            rank,
+            rank - 1,
+            1,
+            0,
+            Bytes::from(v[0].to_le_bytes().to_vec()),
+        );
     }
     if rank + 1 < n {
-        node.send(rank, rank + 1, 0, 0, Bytes::from(v[LOCAL - 1].to_le_bytes().to_vec()));
+        node.send(
+            rank,
+            rank + 1,
+            0,
+            0,
+            Bytes::from(v[LOCAL - 1].to_le_bytes().to_vec()),
+        );
     }
     let mut left = 0.0;
     let mut right = 0.0;
@@ -158,6 +170,8 @@ fn main() {
 
     let matches: u64 = (0..RANKS).map(|r| node.stats(r).matches).sum();
     let cycles: u64 = (0..RANKS).map(|r| node.stats(r).kernel_cycles).sum();
-    println!("halo traffic: {matches} messages matched by the partitioned matcher ({cycles} cycles)");
+    println!(
+        "halo traffic: {matches} messages matched by the partitioned matcher ({cycles} cycles)"
+    );
     println!("ok");
 }

@@ -30,7 +30,15 @@ fn main() {
     };
 
     println!("generating {} (scale {scale})…", model.name);
-    let trace = generate(&model, GenOptions { depth_scale: scale, ranks: None, seed: 0xD0E, rank0_funnel: 0 });
+    let trace = generate(
+        &model,
+        GenOptions {
+            depth_scale: scale,
+            ranks: None,
+            seed: 0xD0E,
+            rank0_funnel: 0,
+        },
+    );
     trace.validate().expect("generated trace is well formed");
 
     let bytes = write_trace(&trace);
@@ -54,23 +62,41 @@ fn main() {
     println!("messages:           {}", a.messages);
     println!("communicators:      {}", a.communicators);
     println!("peers (median):     {:.0}", a.peers.median);
-    println!("distinct tags:      {} ({} bits needed)", a.distinct_tags, a.tag_bits());
+    println!(
+        "distinct tags:      {} ({} bits needed)",
+        a.distinct_tags,
+        a.tag_bits()
+    );
     println!("ANY_SOURCE posts:   {}", a.src_wildcards);
     println!("ANY_TAG posts:      {}", a.tag_wildcards);
     println!("unexpected arrivals: {:.1}%", a.unexpected_pct);
     println!(
         "UMQ depth: min {:.0} / q1 {:.0} / median {:.0} / mean {:.0} / q3 {:.0} / max {:.0}",
-        a.umq_depth.min, a.umq_depth.q1, a.umq_depth.median, a.umq_depth.mean, a.umq_depth.q3, a.umq_depth.max
+        a.umq_depth.min,
+        a.umq_depth.q1,
+        a.umq_depth.median,
+        a.umq_depth.mean,
+        a.umq_depth.q3,
+        a.umq_depth.max
     );
     println!(
         "PRQ depth: min {:.0} / q1 {:.0} / median {:.0} / mean {:.0} / q3 {:.0} / max {:.0}",
-        a.prq_depth.min, a.prq_depth.q1, a.prq_depth.median, a.prq_depth.mean, a.prq_depth.q3, a.prq_depth.max
+        a.prq_depth.min,
+        a.prq_depth.q1,
+        a.prq_depth.median,
+        a.prq_depth.mean,
+        a.prq_depth.q3,
+        a.prq_depth.max
     );
     println!("mean UMQ search len: {:.1}", a.mean_search_len);
     println!("tuple uniqueness:    {:.2}%", a.tuple_uniqueness_pct);
     println!(
         "verdict: {} for hash matching, {} queues exploitable without ANY_SOURCE",
-        if a.tuple_uniqueness_pct < 10.0 { "friendly" } else { "hostile" },
+        if a.tuple_uniqueness_pct < 10.0 {
+            "friendly"
+        } else {
+            "hostile"
+        },
         a.peers.median as u32
     );
 }

@@ -1,0 +1,90 @@
+//! Offline stand-in for `crossbeam` (API subset): scoped threads over
+//! `std::thread::scope`, with crossbeam's panic-to-`Err` contract.
+
+pub use thread::scope;
+
+/// Scoped threads.
+pub mod thread {
+    use std::any::Any;
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// Error payload of a panicked scope or thread.
+    pub type PanicPayload = Box<dyn Any + Send + 'static>;
+
+    /// Handle to a spawned scoped thread.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Wait for the thread; `Err` carries its panic payload.
+        pub fn join(self) -> Result<T, PanicPayload> {
+            self.inner.join()
+        }
+    }
+
+    /// Spawn surface handed to the scope closure (and to spawned
+    /// closures, which receive `&Scope` as their argument).
+    #[derive(Clone, Copy)]
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread bound to the scope.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let scope = *self;
+            ScopedJoinHandle {
+                inner: self.inner.spawn(move || f(&scope)),
+            }
+        }
+    }
+
+    /// Run `f` with a scope; all spawned threads are joined before this
+    /// returns. An unjoined spawned-thread panic surfaces as `Err`
+    /// rather than unwinding (crossbeam semantics).
+    pub fn scope<'env, F, R>(f: F) -> Result<R, PanicPayload>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn spawned_threads_share_borrows() {
+        let data = [1u32, 2, 3, 4];
+        let total = crate::scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&v| s.spawn(move |_| v * 2)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u32>()
+        })
+        .unwrap();
+        assert_eq!(total, 20);
+    }
+
+    #[test]
+    fn panic_in_unjoined_thread_becomes_err() {
+        let r = crate::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn joined_panic_is_contained() {
+        let r = crate::scope(|s| {
+            let h = s.spawn(|_| panic!("boom"));
+            assert!(h.join().is_err());
+            7
+        });
+        assert_eq!(r.unwrap(), 7);
+    }
+}

@@ -1,0 +1,233 @@
+//! Offline stand-in for the `rand` crate (0.8 API subset).
+//!
+//! `StdRng` here is a SplitMix64 stream, not ChaCha12: sequences are
+//! deterministic per seed and well distributed, but differ from real
+//! rand 0.8. Nothing in this workspace depends on upstream sequences.
+
+use std::ops::{Bound, RangeBounds};
+
+/// Low-level uniform word source.
+pub trait RngCore {
+    /// Next 64 uniformly random bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Next 32 uniformly random bits.
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+/// Seedable construction (only the `seed_from_u64` entry point is used).
+pub trait SeedableRng: Sized {
+    /// Build a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types `Rng::gen_range` can sample uniformly.
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform sample in `[lo, hi]` (`hi` inclusive iff `inclusive`).
+    fn sample_single<R: RngCore + ?Sized>(lo: Self, hi: Self, inclusive: bool, rng: &mut R)
+        -> Self;
+}
+
+macro_rules! impl_sample_uniform_uint {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_single<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                let lo_w = lo as u64;
+                let hi_w = hi as u64;
+                let span = if inclusive {
+                    hi_w.checked_sub(lo_w)
+                        .expect("gen_range: empty range")
+                        .checked_add(1)
+                } else {
+                    assert!(lo_w < hi_w, "gen_range: empty range");
+                    Some(hi_w - lo_w)
+                };
+                match span {
+                    // Full 64-bit span: every word is a valid sample.
+                    None | Some(0) => rng.next_u64() as $t,
+                    Some(s) => (lo_w + rng.next_u64() % s) as $t,
+                }
+            }
+        }
+    )*};
+}
+impl_sample_uniform_uint!(u8, u16, u32, u64, usize);
+
+macro_rules! impl_sample_uniform_int {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_single<R: RngCore + ?Sized>(
+                lo: Self,
+                hi: Self,
+                inclusive: bool,
+                rng: &mut R,
+            ) -> Self {
+                // Offset into unsigned space to avoid signed overflow.
+                let off = |v: Self| (v as i64).wrapping_sub(i64::MIN) as u64;
+                let lo_w = off(lo);
+                let hi_w = off(hi);
+                let span = if inclusive {
+                    hi_w.checked_sub(lo_w)
+                        .expect("gen_range: empty range")
+                        .checked_add(1)
+                } else {
+                    assert!(lo_w < hi_w, "gen_range: empty range");
+                    Some(hi_w - lo_w)
+                };
+                let sampled = match span {
+                    None | Some(0) => rng.next_u64(),
+                    Some(s) => lo_w + rng.next_u64() % s,
+                };
+                (sampled as i64).wrapping_add(i64::MIN) as $t
+            }
+        }
+    )*};
+}
+impl_sample_uniform_int!(i8, i16, i32, i64, isize);
+
+impl SampleUniform for f64 {
+    fn sample_single<R: RngCore + ?Sized>(
+        lo: Self,
+        hi: Self,
+        _inclusive: bool,
+        rng: &mut R,
+    ) -> Self {
+        let unit = (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        lo + unit * (hi - lo)
+    }
+}
+
+/// High-level sampling methods (blanket-implemented for every RngCore).
+pub trait Rng: RngCore {
+    /// Uniform sample from a range (`a..b` or `a..=b`).
+    fn gen_range<T: SampleUniform, R: RangeBounds<T>>(&mut self, range: R) -> T {
+        let lo = match range.start_bound() {
+            Bound::Included(&x) => x,
+            Bound::Excluded(_) | Bound::Unbounded => {
+                panic!("gen_range requires a bounded, inclusive start")
+            }
+        };
+        match range.end_bound() {
+            Bound::Included(&x) => T::sample_single(lo, x, true, self),
+            Bound::Excluded(&x) => T::sample_single(lo, x, false, self),
+            Bound::Unbounded => panic!("gen_range requires a bounded end"),
+        }
+    }
+
+    /// Bernoulli sample with success probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "gen_bool: p out of range");
+        ((self.next_u64() >> 11) as f64 / (1u64 << 53) as f64) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generators.
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's deterministic generator: a SplitMix64 stream.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^ (z >> 31)
+        }
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            StdRng { state: seed }
+        }
+    }
+}
+
+/// Sequence helpers.
+pub mod seq {
+    use super::{Rng, RngCore};
+
+    /// Slice shuffling (Fisher–Yates).
+    pub trait SliceRandom {
+        /// Element type.
+        type Item;
+
+        /// Shuffle the slice in place.
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R);
+
+        /// Uniformly pick one element, `None` if empty.
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&Self::Item>;
+    }
+
+    impl<T> SliceRandom for [T] {
+        type Item = T;
+
+        fn shuffle<R: RngCore + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+
+        fn choose<R: RngCore + ?Sized>(&self, rng: &mut R) -> Option<&T> {
+            if self.is_empty() {
+                None
+            } else {
+                Some(&self[rng.gen_range(0..self.len())])
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.gen_range(0u32..1000), b.gen_range(0u32..1000));
+        }
+    }
+
+    #[test]
+    fn ranges_are_respected() {
+        let mut r = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v = r.gen_range(3u32..17);
+            assert!((3..17).contains(&v));
+            let w = r.gen_range(0usize..=5);
+            assert!(w <= 5);
+            let s = r.gen_range(-5i32..5);
+            assert!((-5..5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<u32> = (0..100).collect();
+        v.shuffle(&mut StdRng::seed_from_u64(3));
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "seed 3 must actually permute");
+    }
+}

@@ -4,9 +4,7 @@
 
 use bytes::Bytes;
 use gpu_msg::collectives::{barrier, broadcast, ring_allgather_u64, ring_allreduce_sum};
-use gpu_msg::{
-    simulate_service, Domain, MatcherKind, ReorderBuffer, ServiceConfig, ServiceEngine,
-};
+use gpu_msg::{simulate_service, Domain, MatcherKind, ReorderBuffer, ServiceConfig, ServiceEngine};
 use msg_match::prelude::*;
 use simt_sim::GpuGeneration;
 
@@ -96,16 +94,21 @@ fn progress_all_drains_cross_traffic() {
     for dst in 0..3u32 {
         for src in 0..3u32 {
             if src != dst {
-                handles.push(d.post_recv(dst, RecvRequest::exact(src, src * 10 + dst, 0)).unwrap());
+                handles.push(
+                    d.post_recv(dst, RecvRequest::exact(src, src * 10 + dst, 0))
+                        .unwrap(),
+                );
             }
         }
     }
     let matched = d.progress_all().unwrap();
     assert_eq!(matched, 6);
-    assert!(d.quiescent() || {
-        // completions still queued count against quiescence
-        (0..3).map(|r| d.take_completions(r).len()).sum::<usize>() == 6
-    });
+    assert!(
+        d.quiescent() || {
+            // completions still queued count against quiescence
+            (0..3).map(|r| d.take_completions(r).len()).sum::<usize>() == 6
+        }
+    );
 }
 
 #[test]

@@ -1,0 +1,296 @@
+//! Differential conformance across all five matching engines.
+//!
+//! Every engine is driven with property-generated workloads mixing
+//! wildcards, unexpected (never-matched) messages, duplicate tuples and
+//! multiple communicators, and its output is checked against the golden
+//! sequential model under the relaxation level the engine advertises:
+//!
+//! | engine | relaxation | oracle |
+//! |---|---|---|
+//! | list | none (full MPI) | `verify_mpi_matching` |
+//! | hashed-list | none (full MPI) | `verify_mpi_matching` |
+//! | matrix | none (full MPI) | `verify_mpi_matching` |
+//! | partitioned | no `MPI_ANY_SOURCE` | `verify_mpi_matching` |
+//! | hash | no wildcards, no ordering | `verify_valid_matching` |
+
+use integration_support::as_usize;
+use msg_match::prelude::*;
+use msg_match::reference::{verify_mpi_matching, verify_valid_matching};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::SeedableRng;
+use simt_sim::{Gpu, GpuGeneration};
+
+/// Wildcard mix a generated workload may use.
+#[derive(Clone, Copy, PartialEq)]
+enum WildcardMix {
+    /// Source and tag wildcards.
+    All,
+    /// Tag wildcards only (the partitioned engine's contract).
+    TagOnly,
+    /// Exact tuples only (the hash engine's contract).
+    None,
+}
+
+/// Build a workload from generated raw material: `tuples` become
+/// messages (duplicates and multi-communicator traffic arise naturally
+/// from the narrow value ranges), `wild` assigns each request its
+/// wildcard kind, `unexpected` appends messages no request will consume,
+/// and the request posting order is shuffled by `seed`.
+fn build_workload(
+    tuples: &[(u32, u32, u16)],
+    wild: &[u8],
+    unexpected: &[(u32, u32, u16)],
+    mix: WildcardMix,
+    seed: u64,
+) -> (Vec<Envelope>, Vec<RecvRequest>) {
+    let mut msgs: Vec<Envelope> = tuples
+        .iter()
+        .map(|&(s, t, c)| Envelope::new(s, t, c))
+        .collect();
+    let mut reqs: Vec<RecvRequest> = msgs
+        .iter()
+        .zip(wild)
+        .map(|(m, w)| match (mix, w % 5) {
+            (WildcardMix::All, 0) => RecvRequest::any_source(m.tag, m.comm),
+            (WildcardMix::All, 1) | (WildcardMix::TagOnly, 0) => {
+                RecvRequest::any_tag(m.src, m.comm)
+            }
+            _ => RecvRequest::exact(m.src, m.tag, m.comm),
+        })
+        .collect();
+    // Unexpected traffic: tags outside every request's range (requests
+    // only ever name tags < 64; tag wildcards still can consume these,
+    // which is exactly the cross-coverage the suite wants).
+    msgs.extend(
+        unexpected
+            .iter()
+            .map(|&(s, t, c)| Envelope::new(s, t + 1000, c)),
+    );
+    let mut rng = StdRng::seed_from_u64(seed);
+    reqs.shuffle(&mut rng);
+    (msgs, reqs)
+}
+
+/// The two event-based matchers share an arrive/post shape but no trait;
+/// this local one lets the suite drive them uniformly.
+trait EventMatcher {
+    fn ev_arrive(&mut self, m: Envelope) -> Option<MatchPair>;
+    fn ev_post(&mut self, r: RecvRequest) -> Option<MatchPair>;
+}
+
+impl EventMatcher for ListMatcher {
+    fn ev_arrive(&mut self, m: Envelope) -> Option<MatchPair> {
+        self.arrive(m)
+    }
+    fn ev_post(&mut self, r: RecvRequest) -> Option<MatchPair> {
+        self.post(r)
+    }
+}
+
+impl EventMatcher for HashedListMatcher {
+    fn ev_arrive(&mut self, m: Envelope) -> Option<MatchPair> {
+        self.arrive(m)
+    }
+    fn ev_post(&mut self, r: RecvRequest) -> Option<MatchPair> {
+        self.post(r)
+    }
+}
+
+/// Drive an event-based matcher with every arrival, then every post, and
+/// reconstruct the request → message assignment from the returned match
+/// pairs. With this ordering the sequence numbers are exactly the batch
+/// indices, so the result is directly comparable to `match_queues`.
+fn batch_via_events(
+    msgs: &[Envelope],
+    reqs: &[RecvRequest],
+    matcher: &mut impl EventMatcher,
+) -> Vec<Option<usize>> {
+    for &m in msgs {
+        assert!(
+            matcher.ev_arrive(m).is_none(),
+            "no posts are outstanding, arrivals cannot match"
+        );
+    }
+    let mut assignment = vec![None; reqs.len()];
+    for (j, &r) in reqs.iter().enumerate() {
+        if let Some(pair) = matcher.ev_post(r) {
+            assert_eq!(pair.recv_seq as usize, j, "post sequence must be the index");
+            assignment[j] = Some(pair.msg_seq as usize);
+        }
+    }
+    assignment
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The list matcher reproduces MPI semantics bit-for-bit on
+    /// arbitrary wildcard/duplicate/multi-communicator workloads.
+    #[test]
+    fn prop_list_is_mpi(
+        tuples in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 1..120),
+        wild in proptest::collection::vec(0u8..5, 120),
+        unexpected in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 0..30),
+        seed in 0u64..1000,
+    ) {
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::All, seed);
+        let mut m = ListMatcher::new();
+        let a = batch_via_events(&msgs, &reqs, &mut m);
+        prop_assert!(verify_mpi_matching(&msgs, &reqs, &a).is_ok());
+    }
+
+    /// The hashed-list matcher (bucketed, with wildcard markers) is
+    /// bit-identical to MPI semantics too.
+    #[test]
+    fn prop_hashed_list_is_mpi(
+        tuples in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 1..120),
+        wild in proptest::collection::vec(0u8..5, 120),
+        unexpected in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 0..30),
+        seed in 0u64..1000,
+        buckets in 1usize..9,
+    ) {
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::All, seed);
+        let mut m = HashedListMatcher::new(buckets);
+        let a = batch_via_events(&msgs, &reqs, &mut m);
+        prop_assert!(verify_mpi_matching(&msgs, &reqs, &a).is_ok());
+    }
+
+    /// List and hashed-list agree event by event on *interleaved*
+    /// streams as well (not just arrivals-then-posts).
+    #[test]
+    fn prop_event_matchers_agree_on_interleavings(
+        tuples in proptest::collection::vec((0u32..5, 0u32..4, 0u16..2), 1..80),
+        wild in proptest::collection::vec(0u8..5, 80),
+        order in proptest::collection::vec(any::<bool>(), 160),
+    ) {
+        let (msgs, reqs) = build_workload(&tuples, &wild, &[], WildcardMix::All, 7);
+        let mut list = ListMatcher::new();
+        let mut hashed = HashedListMatcher::new(4);
+        let (mut mi, mut ri) = (0usize, 0usize);
+        for &arrival_first in &order {
+            if arrival_first && mi < msgs.len() {
+                prop_assert_eq!(list.arrive(msgs[mi]), hashed.arrive(msgs[mi]));
+                mi += 1;
+            } else if ri < reqs.len() {
+                prop_assert_eq!(list.post(reqs[ri]), hashed.post(reqs[ri]));
+                ri += 1;
+            }
+        }
+        // Drain whatever the random order left over.
+        for &m in &msgs[mi..] {
+            prop_assert_eq!(list.arrive(m), hashed.arrive(m));
+        }
+        for &r in &reqs[ri..] {
+            prop_assert_eq!(list.post(r), hashed.post(r));
+        }
+        prop_assert_eq!(list.umq_len(), hashed.umq_len());
+        prop_assert_eq!(list.prq_len(), hashed.prq_len());
+    }
+
+    /// The matrix engine is bit-identical to MPI semantics across
+    /// communicators, wildcards and unexpected traffic.
+    #[test]
+    fn prop_matrix_is_mpi(
+        tuples in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 1..120),
+        wild in proptest::collection::vec(0u8..5, 120),
+        unexpected in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 0..30),
+        seed in 0u64..1000,
+    ) {
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::All, seed);
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let r = MatrixMatcher::default().match_batch(&mut gpu, &msgs, &reqs);
+        prop_assert!(verify_mpi_matching(&msgs, &reqs, &as_usize(&r.assignment)).is_ok());
+    }
+
+    /// Under its permitted relaxation (no source wildcard) the
+    /// partitioned engine still reproduces MPI semantics exactly —
+    /// rank partitioning is unobservable without `MPI_ANY_SOURCE`.
+    #[test]
+    fn prop_partitioned_is_mpi_without_source_wildcards(
+        tuples in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 1..120),
+        wild in proptest::collection::vec(0u8..5, 120),
+        unexpected in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 0..30),
+        seed in 0u64..1000,
+        queues in 1usize..9,
+    ) {
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::TagOnly, seed);
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let r = PartitionedMatcher::new(queues)
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .expect("no source wildcards were generated");
+        prop_assert!(verify_mpi_matching(&msgs, &reqs, &as_usize(&r.assignment)).is_ok());
+    }
+
+    /// Under its permitted relaxation (no wildcards, no ordering) the
+    /// hash engine always produces a valid maximal matching.
+    #[test]
+    fn prop_hash_is_valid_and_maximal(
+        tuples in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 1..120),
+        wild in proptest::collection::vec(0u8..5, 120),
+        unexpected in proptest::collection::vec((0u32..6, 0u32..4, 0u16..3), 0..30),
+        seed in 0u64..1000,
+    ) {
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::None, seed);
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let r = HashMatcher::default()
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .expect("no wildcards were generated");
+        prop_assert!(verify_valid_matching(&msgs, &reqs, &as_usize(&r.assignment)).is_ok());
+    }
+}
+
+/// One deterministic sweep exercising all five engines on the same mixed
+/// workload family — the suite's smoke test, zero violations expected.
+#[test]
+fn all_five_engines_conform_on_mixed_workloads() {
+    for seed in 0..8u64 {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let tuples: Vec<(u32, u32, u16)> = (0..200)
+            .map(|_| {
+                use rand::Rng;
+                (
+                    rng.gen_range(0..8u32),
+                    rng.gen_range(0..5u32),
+                    rng.gen_range(0..3u16),
+                )
+            })
+            .collect();
+        let wild: Vec<u8> = (0..200)
+            .map(|_| {
+                use rand::Rng;
+                rng.gen_range(0..5u8)
+            })
+            .collect();
+        let unexpected = [(1u32, 1u32, 0u16), (2, 3, 1), (5, 0, 2)];
+
+        // Full-MPI engines: wildcard-rich traffic.
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::All, seed);
+        let mut list = ListMatcher::new();
+        let a = batch_via_events(&msgs, &reqs, &mut list);
+        verify_mpi_matching(&msgs, &reqs, &a).expect("list");
+
+        let mut hl = HashedListMatcher::new(8);
+        let a = batch_via_events(&msgs, &reqs, &mut hl);
+        verify_mpi_matching(&msgs, &reqs, &a).expect("hashed-list");
+
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let r = MatrixMatcher::default().match_batch(&mut gpu, &msgs, &reqs);
+        verify_mpi_matching(&msgs, &reqs, &as_usize(&r.assignment)).expect("matrix");
+
+        // Partitioned: same family minus source wildcards.
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::TagOnly, seed);
+        let r = PartitionedMatcher::new(4)
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
+        verify_mpi_matching(&msgs, &reqs, &as_usize(&r.assignment)).expect("partitioned");
+
+        // Hash: exact tuples, order-free oracle.
+        let (msgs, reqs) = build_workload(&tuples, &wild, &unexpected, WildcardMix::None, seed);
+        let r = HashMatcher::default()
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
+        verify_valid_matching(&msgs, &reqs, &as_usize(&r.assignment)).expect("hash");
+    }
+}

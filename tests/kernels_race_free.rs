@@ -73,7 +73,9 @@ fn hash_matcher_is_race_free() {
     }
     .generate();
     let mut gpu = sanitized_gpu();
-    HashMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
+    HashMatcher::default()
+        .match_batch(&mut gpu, &w.msgs, &w.reqs)
+        .unwrap();
     assert_clean(&gpu, "hash matcher");
 
     let mut gpu = sanitized_gpu();

@@ -36,7 +36,9 @@ fn all_engines_agree_on_cardinality_without_wildcards() {
 
         // The hash matcher relaxes ordering but must still find a
         // maximum matching of the same size (tuple multiset equality).
-        let h = HashMatcher::default().match_batch(&mut gpu, &msgs, &reqs).unwrap();
+        let h = HashMatcher::default()
+            .match_batch(&mut gpu, &msgs, &reqs)
+            .unwrap();
         assert_eq!(h.matches, want, "hash, seed {seed}");
         h.verify_valid(&msgs, &reqs).unwrap();
     }

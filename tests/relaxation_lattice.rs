@@ -12,7 +12,10 @@ fn lattice_has_six_rows_with_monotone_performance_classes() {
     assert_eq!(rows.len(), 6);
     let classes: Vec<PerformanceClass> = rows.iter().map(|r| r.performance_class()).collect();
     for pair in classes.windows(2) {
-        assert!(pair[0] <= pair[1], "performance must not regress down the lattice");
+        assert!(
+            pair[0] <= pair[1],
+            "performance must not regress down the lattice"
+        );
     }
 }
 
@@ -25,8 +28,12 @@ fn measured_rates_respect_the_lattice() {
     let w = WorkloadSpec::fully_matching(512, 3).generate();
     let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
     let matrix = MatrixMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs);
-    let part = PartitionedMatcher::new(8).match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
-    let hash = HashMatcher::default().match_batch(&mut gpu, &w.msgs, &w.reqs).unwrap();
+    let part = PartitionedMatcher::new(8)
+        .match_batch(&mut gpu, &w.msgs, &w.reqs)
+        .unwrap();
+    let hash = HashMatcher::default()
+        .match_batch(&mut gpu, &w.msgs, &w.reqs)
+        .unwrap();
     assert!(part.matches_per_sec > matrix.matches_per_sec * 3.0);
     assert!(hash.matches_per_sec > part.matches_per_sec * 2.0);
 }
@@ -54,8 +61,8 @@ fn proxy_apps_classify_as_the_paper_concludes() {
                 depth_scale: 0.1,
                 ranks: Some(16),
                 seed: 9,
-                    rank0_funnel: 0,
-                },
+                rank0_funnel: 0,
+            },
         );
         let a = analyze(&trace);
         let uses_wildcards = a.src_wildcards > 0 || a.tag_wildcards > 0;
@@ -88,5 +95,8 @@ fn peer_counts_bound_partitioning() {
             in_band += 1;
         }
     }
-    assert!(in_band >= 7, "most apps allow 10-30 queues, got {in_band}/12");
+    assert!(
+        in_band >= 7,
+        "most apps allow 10-30 queues, got {in_band}/12"
+    );
 }

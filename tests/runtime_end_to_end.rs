@@ -78,7 +78,9 @@ fn wildcard_receives_preserve_pair_order() {
         d.send(0, 2, 5, 0, Bytes::from(vec![seq]));
     }
     for seq in 0..20u8 {
-        let m = d.recv_blocking(2, RecvRequest::any_source(5, 0), 16).unwrap();
+        let m = d
+            .recv_blocking(2, RecvRequest::any_source(5, 0), 16)
+            .unwrap();
         assert_eq!(m.payload[0], seq, "ANY_SOURCE must still be FIFO per pair");
     }
 }
@@ -99,7 +101,9 @@ fn mixed_expected_unexpected_traffic() {
     let first = d.take_completions(1);
     assert_eq!(first.len(), 8, "pre-posted half completes first");
     for seq in 8..16u32 {
-        let m = d.recv_blocking(1, RecvRequest::exact(0, seq, 0), 8).unwrap();
+        let m = d
+            .recv_blocking(1, RecvRequest::exact(0, seq, 0), 8)
+            .unwrap();
         assert_eq!(m.payload[0], seq as u8);
     }
     assert!(d.quiescent());
@@ -144,7 +148,8 @@ fn kernel_time_scales_with_generation() {
             d.send(0, 1, seq, 0, Bytes::new());
         }
         for seq in 0..64u32 {
-            d.recv_blocking(1, RecvRequest::exact(0, seq, 0), 8).unwrap();
+            d.recv_blocking(1, RecvRequest::exact(0, seq, 0), 8)
+                .unwrap();
         }
         seconds.push(d.stats(1).kernel_seconds);
     }

@@ -1,0 +1,125 @@
+//! Service-model behaviour tests: determinism, saturation-boundary
+//! monotonicity, and the JSON metrics interchange used by bench-harness.
+
+use gpu_msg::{
+    simulate_service, simulate_sharded_service, ServiceConfig, ServiceEngine, ServiceMetrics,
+    ShardEnginePolicy, ShardedServiceConfig,
+};
+use simt_sim::GpuGeneration;
+
+const GEN: GpuGeneration = GpuGeneration::PascalGtx1080;
+
+fn sharded_cfg(shards: usize, rate: f64) -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards,
+        arrival_rate: rate,
+        duration: 0.001,
+        policy: ShardEnginePolicy::Fixed(ServiceEngine::Matrix),
+        seed: 11,
+        ..Default::default()
+    }
+}
+
+/// The simulation uses no wall clock and no unordered iteration, so the
+/// same seed and config must reproduce the report bit for bit — metrics
+/// snapshot included.
+#[test]
+fn sharded_service_is_deterministic() {
+    let a = simulate_sharded_service(GEN, sharded_cfg(4, 8.0e6));
+    let b = simulate_sharded_service(GEN, sharded_cfg(4, 8.0e6));
+    assert_eq!(a.aggregate.sustained_rate, b.aggregate.sustained_rate);
+    assert_eq!(a.aggregate.mean_depth, b.aggregate.mean_depth);
+    assert_eq!(a.aggregate.max_depth, b.aggregate.max_depth);
+    assert_eq!(a.aggregate.utilisation, b.aggregate.utilisation);
+    assert_eq!(a.aggregate.saturated, b.aggregate.saturated);
+    assert_eq!(a.aggregate.batches, b.aggregate.batches);
+    assert_eq!(a.metrics, b.metrics, "metrics snapshots must be identical");
+    assert_eq!(
+        a.metrics.to_json(),
+        b.metrics.to_json(),
+        "and so must their serialized form"
+    );
+}
+
+/// The single-queue model is deterministic too (it feeds the figure
+/// pipelines, which must be reproducible across runs).
+#[test]
+fn single_queue_service_is_deterministic() {
+    let cfg = ServiceConfig {
+        arrival_rate: 3.0e6,
+        max_batch: 1024,
+        batch_threshold: 256,
+        duration: 0.001,
+        engine: ServiceEngine::Partitioned(8),
+        seed: 3,
+    };
+    let a = simulate_service(GEN, cfg);
+    let b = simulate_service(GEN, cfg);
+    assert_eq!(a.sustained_rate, b.sustained_rate);
+    assert_eq!(a.batches, b.batches);
+    assert_eq!(a.saturated, b.saturated);
+}
+
+/// Pushing the offered rate up never lowers the sustained rate: below
+/// the ceiling the service keeps up, past it the throughput pins at the
+/// ceiling instead of collapsing.
+#[test]
+fn sustained_rate_is_monotone_in_offered_rate() {
+    let rates = [1.0e6, 2.0e6, 4.0e6, 8.0e6, 16.0e6];
+    let mut last = 0.0f64;
+    for &rate in &rates {
+        let r = simulate_sharded_service(GEN, sharded_cfg(2, rate));
+        assert!(
+            r.aggregate.sustained_rate >= last * 0.98,
+            "sustained rate dropped from {last:.0} to {:.0} at offered {rate:.0}",
+            r.aggregate.sustained_rate
+        );
+        last = r.aggregate.sustained_rate;
+    }
+}
+
+/// Saturation is a boundary, not a scatter: once a configuration
+/// saturates at some offered rate, every higher rate saturates too.
+#[test]
+fn saturation_flag_is_monotone_in_offered_rate() {
+    let rates = [1.0e6, 2.0e6, 4.0e6, 8.0e6, 16.0e6, 32.0e6];
+    let mut seen_saturated = false;
+    for &rate in &rates {
+        let r = simulate_sharded_service(GEN, sharded_cfg(1, rate));
+        if seen_saturated {
+            assert!(
+                r.aggregate.saturated,
+                "unsaturated at {rate:.0} after saturating at a lower rate"
+            );
+        }
+        seen_saturated |= r.aggregate.saturated;
+    }
+    assert!(seen_saturated, "the sweep must cross the matrix ceiling");
+}
+
+/// Adding shards never hurts at a fixed offered rate.
+#[test]
+fn sustained_rate_is_monotone_in_shard_count() {
+    let mut last = 0.0f64;
+    for shards in [1usize, 2, 4] {
+        let r = simulate_sharded_service(GEN, sharded_cfg(shards, 10.0e6));
+        assert!(
+            r.aggregate.sustained_rate >= last * 0.98,
+            "sustained rate dropped when going to {shards} shards"
+        );
+        last = r.aggregate.sustained_rate;
+    }
+}
+
+/// The metrics snapshot survives the JSON interchange bit for bit —
+/// counters, histogram buckets and float fields alike.
+#[test]
+fn metrics_round_trip_through_json() {
+    let r = simulate_sharded_service(GEN, sharded_cfg(3, 6.0e6));
+    let json = r.metrics.to_json();
+    let back = ServiceMetrics::from_json(&json).expect("snapshot must parse back");
+    assert_eq!(back, r.metrics);
+    assert_eq!(back.shards.len(), 3);
+    // Re-serializing the parsed value is a fixed point.
+    assert_eq!(back.to_json(), json);
+}

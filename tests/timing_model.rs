@@ -17,7 +17,10 @@ fn clock_rate_governs_wall_time() {
     // Cycles are within 2× across generations (same algorithm)…
     let max_c = results.iter().map(|r| r.1).max().unwrap();
     let min_c = results.iter().map(|r| r.1).min().unwrap();
-    assert!(max_c < min_c * 2, "cycle counts should be comparable: {results:?}");
+    assert!(
+        max_c < min_c * 2,
+        "cycle counts should be comparable: {results:?}"
+    );
     // …but Pascal's wall time is much lower than Kepler's.
     assert!(results[2].2 < results[0].2 * 0.65, "{results:?}");
 }
@@ -73,7 +76,10 @@ fn pipelining_matters() {
         ..Default::default()
     }
     .match_batch(&mut gpu, &w.msgs, &w.reqs);
-    assert_eq!(piped.assignment, unpiped.assignment, "ablation must not change results");
+    assert_eq!(
+        piped.assignment, unpiped.assignment,
+        "ablation must not change results"
+    );
     assert!(
         unpiped.cycles as f64 > piped.cycles as f64 * 1.15,
         "pipelining should save ≥15%: {} vs {}",
@@ -89,7 +95,9 @@ fn hash_rate_falls_with_collisions() {
     let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
     // Unique tuples.
     let u = WorkloadSpec::unique_tuples(1024, 7).generate();
-    let ru = HashMatcher::default().match_batch(&mut gpu, &u.msgs, &u.reqs).unwrap();
+    let ru = HashMatcher::default()
+        .match_batch(&mut gpu, &u.msgs, &u.reqs)
+        .unwrap();
     // Heavy duplicates: 16 distinct tuples over 1024 messages.
     let d = WorkloadSpec {
         len: 1024,
@@ -99,7 +107,9 @@ fn hash_rate_falls_with_collisions() {
         ..Default::default()
     }
     .generate();
-    let rd = HashMatcher::default().match_batch(&mut gpu, &d.msgs, &d.reqs).unwrap();
+    let rd = HashMatcher::default()
+        .match_batch(&mut gpu, &d.msgs, &d.reqs)
+        .unwrap();
     assert_eq!(rd.matches, 1024, "duplicates still match fully");
     assert!(
         rd.matches_per_sec < ru.matches_per_sec / 3.0,

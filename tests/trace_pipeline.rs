@@ -14,8 +14,8 @@ fn small(name: &str) -> proxy_traces::Trace {
             depth_scale: 0.15,
             ranks: Some(24),
             seed: 42,
-                    rank0_funnel: 0,
-                },
+            rank0_funnel: 0,
+        },
     )
 }
 
@@ -28,8 +28,8 @@ fn full_pipeline_for_every_app() {
                 depth_scale: 0.1,
                 ranks: Some(16),
                 seed: 1,
-                    rank0_funnel: 0,
-                },
+                rank0_funnel: 0,
+            },
         );
         trace.validate().unwrap();
         let parsed = read_trace(write_trace(&trace)).unwrap();
@@ -37,7 +37,12 @@ fn full_pipeline_for_every_app() {
         let a = analyze(&parsed);
         assert_eq!(a.app, model.name);
         assert!(a.messages > 0);
-        assert!(a.tag_bits() <= 16, "{} needs {} tag bits", model.name, a.tag_bits());
+        assert!(
+            a.tag_bits() <= 16,
+            "{} needs {} tag bits",
+            model.name,
+            a.tag_bits()
+        );
     }
 }
 
@@ -74,7 +79,11 @@ fn trace_derived_queues_match_on_gpu() {
     let assignment: Vec<Option<usize>> =
         r.assignment.iter().map(|a| a.map(|v| v as usize)).collect();
     verify_mpi_matching(&msgs, &reqs, &assignment).unwrap();
-    assert_eq!(r.matches as usize, reqs.len(), "every post matches in the deep phase");
+    assert_eq!(
+        r.matches as usize,
+        reqs.len(),
+        "every post matches in the deep phase"
+    );
 }
 
 /// The wildcard-using apps (MiniDFT, MiniFE) produce receive streams the
@@ -99,8 +108,12 @@ fn wildcard_apps_are_rejected_by_relaxed_engines() {
         .take(500)
         .collect();
     let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
-    assert!(PartitionedMatcher::new(4).match_batch(&mut gpu, &msgs, &reqs).is_err());
-    assert!(HashMatcher::default().match_batch(&mut gpu, &msgs, &reqs).is_err());
+    assert!(PartitionedMatcher::new(4)
+        .match_batch(&mut gpu, &msgs, &reqs)
+        .is_err());
+    assert!(HashMatcher::default()
+        .match_batch(&mut gpu, &msgs, &reqs)
+        .is_err());
     // The compliant matcher handles it fine.
     let r = MatrixMatcher::default().match_iterative(&mut gpu, &msgs, &reqs);
     assert!(r.matches > 0);
@@ -118,8 +131,8 @@ fn depth_classification_drives_batching() {
                 depth_scale: 1.0,
                 ranks: Some(12),
                 seed: 3,
-                    rank0_funnel: 0,
-                },
+                rank0_funnel: 0,
+            },
         );
         let a = analyze(&trace);
         if name == "LULESH" {
