@@ -1,0 +1,62 @@
+//! Traced service run, exported three ways: Chrome trace JSON
+//! (`OBS_trace.json`, loadable in Perfetto), a Prometheus text
+//! exposition (`OBS_metrics.prom`), and a stall-attribution table on
+//! stdout.
+//!
+//! Pass a duration in seconds to shrink or grow the run
+//! (e.g. `obs_report 0.0005` for a CI smoke run).
+use bench_harness::experiments::obs_report;
+
+fn main() {
+    let mut cfg = obs_report::default_config();
+    if let Some(arg) = std::env::args().nth(1) {
+        match arg.parse::<f64>() {
+            Ok(d) if d > 0.0 => cfg.duration = d,
+            _ => {
+                eprintln!("usage: obs_report [duration_seconds]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let artefacts = obs_report::run(cfg);
+    let events = match obs_report::trace_event_count(&artefacts.trace_json) {
+        Ok(0) => {
+            eprintln!("exported trace holds no events");
+            std::process::exit(1);
+        }
+        Ok(n) => n,
+        Err(e) => {
+            eprintln!("exported trace failed validation: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    print!(
+        "{}",
+        obs_report::stall_table(&artefacts.report.metrics).to_text()
+    );
+    println!();
+    let m = &artefacts.report.metrics;
+    println!(
+        "service: {} matched, {} spilled, sustained {:.2} M msgs/s over {} shards",
+        m.total_matched,
+        m.total_spilled,
+        m.sustained_rate / 1e6,
+        m.shards.len()
+    );
+
+    for (path, body) in [
+        ("OBS_trace.json", &artefacts.trace_json),
+        ("OBS_metrics.prom", &artefacts.exposition),
+    ] {
+        match std::fs::write(path, body) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => {
+                eprintln!("could not write {path}: {e}");
+                std::process::exit(1);
+            }
+        }
+    }
+    println!("trace events: {events}");
+}

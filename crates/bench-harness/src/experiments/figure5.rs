@@ -141,7 +141,12 @@ mod tests {
     #[test]
     fn more_queues_scale_roughly_linearly_up_to_four() {
         let pts = run(&[1, 2, 4], &[1024], 3);
-        let rate = |q: usize| pts.iter().find(|p| p.queues == q).unwrap().matches_per_sec;
+        let rate = |q: usize| {
+            pts.iter()
+                .find(|p| p.queues == q)
+                .unwrap_or_else(|| panic!("sweep is missing the {q}-queue point"))
+                .matches_per_sec
+        };
         let s2 = rate(2) / rate(1);
         let s4 = rate(4) / rate(1);
         assert!(s2 > 1.5, "2 queues speedup {s2}");
@@ -175,8 +180,13 @@ mod tests {
     #[test]
     fn cta_annotation_grows_with_length() {
         let pts = run(&[4], &[1024, 4096], 3);
-        let c1 = pts.iter().find(|p| p.total_len == 1024).unwrap().ctas;
-        let c4 = pts.iter().find(|p| p.total_len == 4096).unwrap().ctas;
+        let point = |len: usize| {
+            pts.iter()
+                .find(|p| p.total_len == len)
+                .unwrap_or_else(|| panic!("sweep is missing total_len {len}"))
+        };
+        let c1 = point(1024).ctas;
+        let c4 = point(4096).ctas;
         assert!(c4 >= c1, "more total work needs at least as many CTAs");
     }
 }

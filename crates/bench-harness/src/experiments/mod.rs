@@ -14,12 +14,14 @@
 //! | [`saturation`] | sustained message-rate ceilings (service model) |
 //! | [`scaling`] | rank-0 hotspot depth scaling (related-work check) |
 //! | [`shard_scaling`] | sharded service: sustained rate vs shards × engine |
+//! | [`obs_report`] | traced service run: span timeline, exposition, stalls |
 
 pub mod ablations;
 pub mod cpu_baseline;
 pub mod figure4;
 pub mod figure5;
 pub mod figure6b;
+pub mod obs_report;
 pub mod profile;
 pub mod saturation;
 pub mod scaling;

@@ -1,0 +1,173 @@
+//! Observability report: one traced service run, exported three ways.
+//!
+//! Runs the sharded streaming service with tracing enabled and emits
+//! every consumer of the unified observability layer at once:
+//!
+//! * the span timeline as Chrome `trace_event` JSON (load in
+//!   `ui.perfetto.dev` or `chrome://tracing`),
+//! * the metrics snapshot as a Prometheus text exposition,
+//! * a human-readable stall-attribution table: where each shard's
+//!   device cycles went, by stall class.
+//!
+//! The run is fully deterministic (simulated clock, fixed seed), so the
+//! artefacts are byte-identical across runs — CI leans on that.
+
+use gpu_msg::{
+    ServiceMetrics, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,
+    ShardedServiceReport,
+};
+use msg_match::RelaxationConfig;
+use simt_sim::GpuGeneration;
+
+use crate::table::Report;
+
+/// Everything one traced run produces.
+#[derive(Debug, Clone)]
+pub struct ObsArtifacts {
+    /// The service outcome (aggregate + per-shard metrics).
+    pub report: ShardedServiceReport,
+    /// Chrome `trace_event` JSON timeline.
+    pub trace_json: String,
+    /// Prometheus text exposition of the metrics snapshot.
+    pub exposition: String,
+}
+
+/// Default configuration: a small mixed-communicator service under the
+/// auto engine policy, so the timeline shows more than one engine when
+/// the traffic allows it.
+pub fn default_config() -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards: 4,
+        arrival_rate: 6.0e6,
+        comms: 2,
+        duration: 0.002,
+        policy: ShardEnginePolicy::Auto(RelaxationConfig::UNORDERED),
+        trace: true,
+        ..Default::default()
+    }
+}
+
+/// Run the traced service and collect all three artefacts.
+pub fn run(mut cfg: ShardedServiceConfig) -> ObsArtifacts {
+    cfg.trace = true;
+    let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg);
+    let report = svc.run();
+    let trace_json = svc
+        .trace_json()
+        .expect("tracing is forced on for the obs report");
+    let exposition = report.metrics.to_prometheus();
+    ObsArtifacts {
+        report,
+        trace_json,
+        exposition,
+    }
+}
+
+/// Stall-attribution table: per shard, the percentage of device cycles
+/// attributed to each stall class (rows sum to 100 by construction —
+/// the classes partition the cycle count).
+pub fn stall_table(m: &ServiceMetrics) -> Report {
+    let mut r = Report::new(
+        "Stall attribution: where each shard's device cycles went",
+        &[
+            "shard",
+            "engine",
+            "launches",
+            "cycles",
+            "issue_%",
+            "mem_dep_%",
+            "barrier_%",
+            "occ_wait_%",
+            "pipe_%",
+        ],
+    );
+    for s in &m.shards {
+        let total = s.profile.cycles.max(1) as f64;
+        let pct = |v: u64| format!("{:.1}", v as f64 * 100.0 / total);
+        r.push(vec![
+            s.shard.to_string(),
+            s.engine.clone(),
+            s.profile.launches.to_string(),
+            s.profile.cycles.to_string(),
+            pct(s.profile.stall_issue),
+            pct(s.profile.stall_mem_dependency),
+            pct(s.profile.stall_barrier),
+            pct(s.profile.stall_occupancy_wait),
+            pct(s.profile.stall_pipe_contention),
+        ]);
+    }
+    r
+}
+
+/// Count the `trace_event` entries in an exported trace document.
+///
+/// # Errors
+/// The document must parse as JSON with a `traceEvents` array.
+pub fn trace_event_count(trace_json: &str) -> Result<usize, String> {
+    let tree = serde::json::parse_value(trace_json).map_err(|e| format!("bad trace JSON: {e}"))?;
+    let serde::Value::Object(fields) = &tree else {
+        return Err("trace document must be a JSON object".to_string());
+    };
+    let events = fields
+        .iter()
+        .find(|(k, _)| k.as_str() == "traceEvents")
+        .map(|(_, v)| v)
+        .ok_or("trace document must have a traceEvents field")?;
+    match events {
+        serde::Value::Array(evs) => Ok(evs.len()),
+        _ => Err("traceEvents must be an array".to_string()),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> ObsArtifacts {
+        run(ShardedServiceConfig {
+            shards: 2,
+            arrival_rate: 2.0e6,
+            duration: 0.001,
+            ..default_config()
+        })
+    }
+
+    #[test]
+    fn artefacts_parse_and_are_populated() {
+        let a = small();
+        let n = trace_event_count(&a.trace_json).expect("trace must parse");
+        assert!(n > 0, "trace must hold events");
+        for family in [
+            "service_matched_total",
+            "shard_stall_cycles_total",
+            "shard_match_latency_seconds_bucket",
+        ] {
+            assert!(a.exposition.contains(family), "missing {family}");
+        }
+        assert!(a.report.metrics.total_matched > 0);
+    }
+
+    #[test]
+    fn stall_table_has_one_row_per_shard_and_percentages_sum() {
+        let a = small();
+        let t = stall_table(&a.report.metrics);
+        assert_eq!(t.rows.len(), a.report.metrics.shards.len());
+        for row in &t.rows {
+            let sum: f64 = row[4..]
+                .iter()
+                .map(|c| c.parse::<f64>().expect("percentage cell"))
+                .sum();
+            assert!(
+                (sum - 100.0).abs() < 0.5,
+                "stall percentages must partition the cycles: {row:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn artefacts_are_deterministic() {
+        let (a, b) = (small(), small());
+        assert_eq!(a.trace_json, b.trace_json);
+        assert_eq!(a.exposition, b.exposition);
+    }
+}

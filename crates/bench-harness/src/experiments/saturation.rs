@@ -135,7 +135,11 @@ mod tests {
     fn threshold_ablation_renders_and_batches_fall_with_threshold() {
         let rep = threshold_ablation(2.0e6, &[32, 512], 5);
         assert_eq!(rep.rows.len(), 2);
-        let batches = |i: usize| rep.rows[i][4].parse::<u64>().unwrap();
+        let batches = |i: usize| {
+            rep.rows[i][4]
+                .parse::<u64>()
+                .unwrap_or_else(|e| panic!("batches column of row {i} must be an integer: {e}"))
+        };
         assert!(batches(0) > batches(1), "bigger threshold, fewer batches");
     }
 
@@ -145,7 +149,7 @@ mod tests {
         let by = |e: &str| {
             pts.iter()
                 .find(|p| engine_name(p.engine) == e)
-                .unwrap()
+                .unwrap_or_else(|| panic!("sweep is missing engine {e:?}"))
                 .report
         };
         // 16 M msgs/s: far beyond the compliant matcher, fine for the

@@ -160,7 +160,7 @@ mod tests {
                 .find(|p| {
                     p.shards == n && p.policy == ShardEnginePolicy::Fixed(ServiceEngine::Matrix)
                 })
-                .unwrap()
+                .unwrap_or_else(|| panic!("sweep is missing the matrix point at {n} shards"))
         };
         let one = matrix(1);
         let four = matrix(4);
@@ -176,7 +176,7 @@ mod tests {
     fn metrics_json_parses_back_per_policy() {
         let pts = run(&[1, 2], DEFAULT_OFFERED, 5);
         let json = metrics_json(&pts);
-        let tree = serde::json::parse_value(&json).unwrap();
+        let tree = serde::json::parse_value(&json).expect("metrics_json must emit parseable JSON");
         match &tree {
             serde::Value::Object(entries) => {
                 assert_eq!(entries.len(), 3, "one snapshot per policy");

@@ -194,8 +194,13 @@ mod tests {
     #[test]
     fn table1_reproduces_paper_facts() {
         let analyses = small();
-        let by =
-            |n: &str| -> &AppAnalysis { &analyses.iter().find(|(m, _)| m.name == n).unwrap().1 };
+        let by = |n: &str| -> &AppAnalysis {
+            &analyses
+                .iter()
+                .find(|(m, _)| m.name == n)
+                .unwrap_or_else(|| panic!("{n} missing from the trace analyses"))
+                .1
+        };
         // Wildcards: only MiniDFT and MiniFE, src only.
         for (m, a) in &analyses {
             if m.name == "MiniDFT" || m.name == "MiniFE" {
@@ -223,7 +228,7 @@ mod tests {
             analyses
                 .iter()
                 .find(|(m, _)| m.name == n)
-                .unwrap()
+                .unwrap_or_else(|| panic!("{n} missing from the trace analyses"))
                 .1
                 .umq_depth
                 .mean
@@ -242,7 +247,7 @@ mod tests {
         let nek = &analyses
             .iter()
             .find(|(m, _)| m.name == "Nekbone")
-            .unwrap()
+            .expect("Nekbone missing from the trace analyses")
             .1;
         assert!(
             nek.umq_depth.mean > nek.umq_depth.median * 1.5,
@@ -267,7 +272,7 @@ mod tests {
         let nek = &analyses
             .iter()
             .find(|(m, _)| m.name == "Nekbone")
-            .unwrap()
+            .expect("Nekbone missing from the trace analyses")
             .1;
         assert!(
             nek.tuple_uniqueness_pct > 10.0,
@@ -315,7 +320,7 @@ mod tests {
                 .iter()
                 .find(|r| r[0] == name)
                 .map(|r| r[2].clone())
-                .unwrap()
+                .unwrap_or_else(|| panic!("{name} missing from the queue-usage table"))
         };
         assert_eq!(regular("Nekbone"), "no");
         assert_eq!(regular("LULESH"), "yes");

@@ -41,7 +41,7 @@ pub use bsp::BspProgram;
 pub use collectives::{barrier, broadcast, ring_allgather_u64, ring_allreduce_sum};
 pub use domain::{Domain, MatcherKind};
 pub use message::{Completion, EndpointStats, Message, RecvHandle};
-pub use metrics::{Histogram, ServiceMetrics, ShardMetrics};
+pub use metrics::{EngineProfile, Histogram, ServiceMetrics, ShardMetrics};
 pub use reorder::ReorderBuffer;
 pub use service::{
     engine_label, simulate_service, simulate_sharded_service, ServiceConfig, ServiceEngine,

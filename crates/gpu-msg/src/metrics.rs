@@ -82,11 +82,22 @@ impl Histogram {
     }
 
     /// Approximate `q`-quantile (`0.0..=1.0`) in caller units.
+    ///
+    /// Exact at the edges: an empty histogram reports 0, `q <= 0`
+    /// reports the minimum, `q >= 1` the maximum, and a single sample is
+    /// returned as recorded. Interior quantiles interpolate inside their
+    /// bucket (clamped to the observed range).
     pub fn quantile(&self, q: f64) -> f64 {
         if self.count == 0 {
             return 0.0;
         }
-        let rank = (q.clamp(0.0, 1.0) * (self.count as f64 - 1.0)).round() as u64;
+        if q <= 0.0 {
+            return self.min;
+        }
+        if q >= 1.0 || self.count == 1 {
+            return self.max;
+        }
+        let rank = (q * (self.count as f64 - 1.0)).round() as u64;
         let mut seen = 0u64;
         for (k, &c) in self.counts.iter().enumerate() {
             if c == 0 {
@@ -116,6 +127,126 @@ impl Histogram {
     /// 99th-percentile estimate (caller units).
     pub fn p99(&self) -> f64 {
         self.quantile(0.99)
+    }
+
+    /// Cumulative Prometheus bucket view: `(le, cumulative count)` pairs
+    /// in caller units, trimmed to the highest occupied bucket. Bucket
+    /// `k >= 1` holds integer units in `[2^(k-1), 2^k - 1]`, so its
+    /// inclusive upper bound is `(2^k - 1) / scale`; the zero bucket's
+    /// bound is 0. The `+Inf` bucket is implied by
+    /// [`count`](Self::count).
+    pub fn prom_buckets(&self) -> Vec<(f64, u64)> {
+        let Some(hi) = self.counts.iter().rposition(|&c| c != 0) else {
+            return Vec::new();
+        };
+        let mut cum = 0u64;
+        (0..=hi)
+            .map(|k| {
+                cum += self.counts[k];
+                let le = if k == 0 {
+                    0.0
+                } else {
+                    ((1u128 << k) - 1) as f64 / self.scale
+                };
+                (le, cum)
+            })
+            .collect()
+    }
+}
+
+/// Rolled-up kernel profile for one shard's engine: every launch the
+/// shard performed, with cycles attributed per stall class and
+/// instructions per op class.
+///
+/// Fields are flat named `u64`s (rather than the `[u64; N]` arrays the
+/// simulator reports) so the struct serializes with the workspace's
+/// minimal serde derive.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EngineProfile {
+    /// Kernel launches performed.
+    pub launches: u64,
+    /// Simulated cycles across launches (sum).
+    pub cycles: u64,
+    /// Warp instructions executed.
+    pub instructions: u64,
+    /// Cycles the issue pipeline was the constraint.
+    pub stall_issue: u64,
+    /// Cycles waiting on memory operands.
+    pub stall_mem_dependency: u64,
+    /// Cycles waiting at barriers.
+    pub stall_barrier: u64,
+    /// Cycles exposed for lack of resident warps.
+    pub stall_occupancy_wait: u64,
+    /// Cycles lost to execution-pipe contention.
+    pub stall_pipe_contention: u64,
+    /// ALU instructions.
+    pub instr_alu: u64,
+    /// Warp vote/shuffle instructions.
+    pub instr_warp_op: u64,
+    /// Global-memory instructions.
+    pub instr_global_mem: u64,
+    /// Shared-memory instructions.
+    pub instr_shared_mem: u64,
+    /// Atomic instructions.
+    pub instr_atomic: u64,
+    /// Barrier instructions.
+    pub instr_barrier: u64,
+}
+
+impl EngineProfile {
+    /// Fold one batch report into the rollup.
+    pub fn absorb(&mut self, r: &msg_match::GpuMatchReport) {
+        self.launches += r.launches as u64;
+        self.cycles += r.cycles;
+        self.instructions += r.instructions;
+        let [issue, mem, bar, occ, pipe] = r.stall_cycles;
+        self.stall_issue += issue;
+        self.stall_mem_dependency += mem;
+        self.stall_barrier += bar;
+        self.stall_occupancy_wait += occ;
+        self.stall_pipe_contention += pipe;
+        let [alu, warp, gmem, smem, atomic, barrier] = r.class_instructions;
+        self.instr_alu += alu;
+        self.instr_warp_op += warp;
+        self.instr_global_mem += gmem;
+        self.instr_shared_mem += smem;
+        self.instr_atomic += atomic;
+        self.instr_barrier += barrier;
+    }
+
+    /// `(stall class label, cycles)` pairs in [`simt_sim::StallClass`]
+    /// order.
+    pub fn stall_breakdown(&self) -> [(&'static str, u64); 5] {
+        [
+            ("issue", self.stall_issue),
+            ("mem_dependency", self.stall_mem_dependency),
+            ("barrier", self.stall_barrier),
+            ("occupancy_wait", self.stall_occupancy_wait),
+            ("pipe_contention", self.stall_pipe_contention),
+        ]
+    }
+
+    /// `(op class label, instructions)` pairs in
+    /// [`simt_sim::OpClass`] order.
+    pub fn instruction_mix(&self) -> [(&'static str, u64); 6] {
+        [
+            ("alu", self.instr_alu),
+            ("warp_op", self.instr_warp_op),
+            ("global_mem", self.instr_global_mem),
+            ("shared_mem", self.instr_shared_mem),
+            ("atomic", self.instr_atomic),
+            ("barrier", self.instr_barrier),
+        ]
+    }
+
+    /// Total stall-attributed cycles (equals [`cycles`](Self::cycles)
+    /// whenever every absorbed report kept the partition invariant).
+    pub fn stall_total(&self) -> u64 {
+        self.stall_issue
+            + self.stall_mem_dependency
+            + self.stall_barrier
+            + self.stall_occupancy_wait
+            + self.stall_pipe_contention
     }
 }
 
@@ -152,6 +283,8 @@ pub struct ShardMetrics {
     pub service_time: Histogram,
     /// Per-message latency from arrival to match completion (seconds).
     pub match_latency: Histogram,
+    /// Kernel-profile rollup over every launch the shard performed.
+    pub profile: EngineProfile,
 }
 
 impl ShardMetrics {
@@ -172,6 +305,7 @@ impl ShardMetrics {
             queue_depth: Histogram::new(1.0),
             service_time: Histogram::new(1e9),
             match_latency: Histogram::new(1e9),
+            profile: EngineProfile::default(),
         }
     }
 }
@@ -210,6 +344,199 @@ impl ServiceMetrics {
     /// True if any shard saturated.
     pub fn any_saturated(&self) -> bool {
         self.shards.iter().any(|s| s.saturated)
+    }
+
+    /// Render the snapshot in the Prometheus text exposition format.
+    ///
+    /// Service-level aggregates become unlabelled gauges/counters;
+    /// per-shard series carry `shard` and `engine` labels; stall and
+    /// op-class rollups add a `class` label; histograms export
+    /// cumulative `le` buckets (the `+Inf` bucket equals `_count`).
+    pub fn to_prometheus(&self) -> String {
+        use obs::prom::{Family, FamilyKind, HistogramSample, Sample};
+
+        let shard_labels = |s: &ShardMetrics| {
+            vec![
+                ("shard".to_string(), s.shard.to_string()),
+                ("engine".to_string(), s.engine.clone()),
+            ]
+        };
+        let per_shard = |v: fn(&ShardMetrics) -> f64| -> Vec<Sample> {
+            self.shards
+                .iter()
+                .map(|s| Sample {
+                    labels: shard_labels(s),
+                    value: v(s),
+                })
+                .collect()
+        };
+        let shard_hist = |h: fn(&ShardMetrics) -> &Histogram| -> Vec<HistogramSample> {
+            self.shards
+                .iter()
+                .map(|s| {
+                    let hist = h(s);
+                    HistogramSample {
+                        labels: shard_labels(s),
+                        buckets: hist.prom_buckets(),
+                        sum: hist.sum,
+                        count: hist.count,
+                    }
+                })
+                .collect()
+        };
+        let classed = |pairs: &dyn Fn(&ShardMetrics) -> Vec<(&'static str, u64)>| -> Vec<Sample> {
+            self.shards
+                .iter()
+                .flat_map(|s| {
+                    pairs(s).into_iter().map(move |(class, v)| Sample {
+                        labels: {
+                            let mut l = shard_labels(s);
+                            l.push(("class".to_string(), class.to_string()));
+                            l
+                        },
+                        value: v as f64,
+                    })
+                })
+                .collect()
+        };
+
+        let unlabelled = |value: f64| {
+            vec![Sample {
+                labels: Vec::new(),
+                value,
+            }]
+        };
+        let families = vec![
+            Family::scalar(
+                "service_duration_seconds",
+                "Simulated run duration",
+                FamilyKind::Gauge,
+                unlabelled(self.duration),
+            ),
+            Family::scalar(
+                "service_offered_rate",
+                "Aggregate offered load in messages per second",
+                FamilyKind::Gauge,
+                unlabelled(self.offered_rate),
+            ),
+            Family::scalar(
+                "service_sustained_rate",
+                "Aggregate matched messages per simulated second",
+                FamilyKind::Gauge,
+                unlabelled(self.sustained_rate),
+            ),
+            Family::scalar(
+                "service_matched_total",
+                "Messages matched across all shards",
+                FamilyKind::Counter,
+                unlabelled(self.total_matched as f64),
+            ),
+            Family::scalar(
+                "service_spilled_total",
+                "Messages spilled across all shards",
+                FamilyKind::Counter,
+                unlabelled(self.total_spilled as f64),
+            ),
+            Family::scalar(
+                "shard_arrivals_total",
+                "Messages routed to the shard",
+                FamilyKind::Counter,
+                per_shard(|s| s.arrivals as f64),
+            ),
+            Family::scalar(
+                "shard_admitted_total",
+                "Arrivals admitted to the pending queue",
+                FamilyKind::Counter,
+                per_shard(|s| s.admitted as f64),
+            ),
+            Family::scalar(
+                "shard_spilled_total",
+                "Arrivals rejected at the admission queue",
+                FamilyKind::Counter,
+                per_shard(|s| s.spilled as f64),
+            ),
+            Family::scalar(
+                "shard_matched_total",
+                "Messages matched by the shard",
+                FamilyKind::Counter,
+                per_shard(|s| s.matched as f64),
+            ),
+            Family::scalar(
+                "shard_batches_total",
+                "Matching passes launched",
+                FamilyKind::Counter,
+                per_shard(|s| s.batches as f64),
+            ),
+            Family::scalar(
+                "shard_busy_seconds_total",
+                "Simulated seconds the shard's device spent matching",
+                FamilyKind::Counter,
+                per_shard(|s| s.busy_seconds),
+            ),
+            Family::scalar(
+                "shard_utilisation",
+                "Busy seconds over run duration",
+                FamilyKind::Gauge,
+                per_shard(|s| s.utilisation),
+            ),
+            Family::scalar(
+                "shard_saturated",
+                "1 when the backlog was still growing at the end of the run",
+                FamilyKind::Gauge,
+                per_shard(|s| if s.saturated { 1.0 } else { 0.0 }),
+            ),
+            Family::scalar(
+                "shard_kernel_launches_total",
+                "Kernel launches performed by the shard",
+                FamilyKind::Counter,
+                per_shard(|s| s.profile.launches as f64),
+            ),
+            Family::scalar(
+                "shard_kernel_cycles_total",
+                "Simulated device cycles across the shard's launches",
+                FamilyKind::Counter,
+                per_shard(|s| s.profile.cycles as f64),
+            ),
+            Family::scalar(
+                "shard_instructions_total",
+                "Warp instructions executed by the shard",
+                FamilyKind::Counter,
+                per_shard(|s| s.profile.instructions as f64),
+            ),
+            Family::scalar(
+                "shard_stall_cycles_total",
+                "Critical-path cycles attributed per stall class",
+                FamilyKind::Counter,
+                classed(&|s| s.profile.stall_breakdown().to_vec()),
+            ),
+            Family::scalar(
+                "shard_class_instructions_total",
+                "Instructions executed per op class",
+                FamilyKind::Counter,
+                classed(&|s| s.profile.instruction_mix().to_vec()),
+            ),
+            Family::histogram(
+                "shard_batch_size",
+                "Messages per matching pass",
+                shard_hist(|s| &s.batch_size),
+            ),
+            Family::histogram(
+                "shard_queue_depth",
+                "Pending-queue depth at batch boundaries",
+                shard_hist(|s| &s.queue_depth),
+            ),
+            Family::histogram(
+                "shard_service_time_seconds",
+                "Per-batch device service time",
+                shard_hist(|s| &s.service_time),
+            ),
+            Family::histogram(
+                "shard_match_latency_seconds",
+                "Arrival-to-match latency",
+                shard_hist(|s| &s.match_latency),
+            ),
+        ];
+        obs::prom::render(&families)
     }
 }
 
@@ -251,6 +578,108 @@ mod tests {
         assert_eq!(h.mean(), 0.0);
         assert_eq!(h.p50(), 0.0);
         assert_eq!(h.p99(), 0.0);
+        assert_eq!(h.quantile(0.0), 0.0);
+        assert_eq!(h.quantile(1.0), 0.0);
+        assert!(h.prom_buckets().is_empty());
+    }
+
+    #[test]
+    fn quantile_edges_are_exact() {
+        // Powers of two occupy one bucket each, so interior quantiles
+        // are exact too: rank r lands on sample 2^r.
+        let mut h = Histogram::new(1.0);
+        for k in 0..10 {
+            h.record((1u64 << k) as f64);
+        }
+        assert_eq!(h.p50(), 32.0, "rank 5 of [1,2,4,...,512]");
+        assert_eq!(h.p99(), 512.0);
+        assert_eq!(h.quantile(0.0), 1.0, "q=0 is the minimum");
+        assert_eq!(h.quantile(1.0), 512.0, "q=1 is the maximum");
+        assert_eq!(h.quantile(-3.0), 1.0);
+        assert_eq!(h.quantile(7.0), 512.0);
+
+        let mut one = Histogram::new(1e9);
+        one.record(42e-9);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(one.quantile(q), 42e-9, "single sample is exact at q={q}");
+        }
+
+        let mut flat = Histogram::new(1.0);
+        for _ in 0..5 {
+            flat.record(7.0);
+        }
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(flat.quantile(q), 7.0, "all-equal samples are exact");
+        }
+    }
+
+    #[test]
+    fn prom_buckets_are_cumulative_and_trimmed() {
+        let mut h = Histogram::new(1.0);
+        for v in [0.0, 1.0, 2.0, 3.0, 1000.0] {
+            h.record(v);
+        }
+        let b = h.prom_buckets();
+        assert_eq!(b.first(), Some(&(0.0, 1)), "zero bucket");
+        assert!(b.contains(&(1.0, 2)));
+        assert!(b.contains(&(3.0, 4)), "cumulative through [2,3]");
+        assert_eq!(b.last(), Some(&(1023.0, 5)), "trimmed at the top bucket");
+        assert!(b.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn engine_profile_absorbs_reports_and_keeps_the_partition() {
+        use msg_match::{MatchEngine, RelaxationConfig, WorkloadSpec};
+        use simt_sim::{Gpu, GpuGeneration};
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let w = WorkloadSpec::fully_matching(256, 3).generate();
+        let (_, r) = MatchEngine::default()
+            .match_batch(&mut gpu, RelaxationConfig::FULL_MPI, &w.msgs, &w.reqs)
+            .unwrap();
+        let mut p = EngineProfile::default();
+        p.absorb(&r);
+        p.absorb(&r);
+        assert_eq!(p.cycles, 2 * r.cycles);
+        assert_eq!(p.stall_total(), p.cycles, "stall classes partition cycles");
+        assert_eq!(
+            p.instruction_mix().iter().map(|(_, v)| v).sum::<u64>(),
+            p.instructions
+        );
+    }
+
+    #[test]
+    fn prometheus_exposition_has_required_families() {
+        let mut sm = ShardMetrics::new(2, "hash");
+        sm.arrivals = 1000;
+        sm.matched = 990;
+        sm.profile.stall_mem_dependency = 40;
+        sm.profile.stall_issue = 60;
+        sm.profile.cycles = 100;
+        sm.match_latency.record(8.1e-6);
+        sm.match_latency.record(3.0e-6);
+        let m = ServiceMetrics {
+            duration: 0.002,
+            offered_rate: 2.0e6,
+            sustained_rate: 1.9e6,
+            total_matched: 990,
+            total_spilled: 10,
+            shards: vec![sm],
+        };
+        let text = m.to_prometheus();
+        assert!(text.contains("# TYPE service_matched_total counter"));
+        assert!(text.contains("service_matched_total 990"));
+        assert!(text.contains("shard_arrivals_total{shard=\"2\",engine=\"hash\"} 1000"));
+        assert!(text.contains(
+            "shard_stall_cycles_total{shard=\"2\",engine=\"hash\",class=\"mem_dependency\"} 40"
+        ));
+        assert!(text.contains("# TYPE shard_match_latency_seconds histogram"));
+        assert!(
+            text.contains(
+                "shard_match_latency_seconds_bucket{shard=\"2\",engine=\"hash\",le=\"+Inf\"} 2"
+            ),
+            "+Inf bucket must equal _count"
+        );
+        assert!(text.contains("shard_match_latency_seconds_count{shard=\"2\",engine=\"hash\"} 2"));
     }
 
     #[test]

@@ -233,6 +233,12 @@ pub struct ShardedServiceConfig {
     pub peers: u32,
     /// Workload seed.
     pub seed: u64,
+    /// Record a span timeline per shard. Off by default: the hot path
+    /// then holds no recorder and performs no tracing work or allocation.
+    pub trace: bool,
+    /// Ring capacity (events) of each shard's flight recorder,
+    /// preallocated once at build time.
+    pub trace_capacity: usize,
 }
 
 impl Default for ShardedServiceConfig {
@@ -248,6 +254,8 @@ impl Default for ShardedServiceConfig {
             comms: 1,
             peers: 64,
             seed: 5,
+            trace: false,
+            trace_capacity: 4096,
         }
     }
 }
@@ -346,11 +354,16 @@ impl ShardedMatchService {
         let shards = parts
             .into_iter()
             .zip(choices)
-            .map(|((msg_ids, _), choice)| {
+            .enumerate()
+            .map(|(idx, ((msg_ids, _), choice))| {
                 let msgs: Vec<Envelope> = msg_ids.iter().map(|&i| sample[i as usize]).collect();
                 let rate = cfg.arrival_rate * msgs.len() as f64 / total;
+                let mut gpu = Gpu::new(generation);
+                if cfg.trace {
+                    gpu.enable_tracing(idx as u32, cfg.trace_capacity);
+                }
                 ServiceShard {
-                    gpu: Gpu::new(generation),
+                    gpu,
                     choice,
                     msgs,
                     rate,
@@ -375,6 +388,29 @@ impl ShardedMatchService {
         &self.placement
     }
 
+    /// Export the shards' flight recorders as Chrome `trace_event` JSON
+    /// (loadable in Perfetto), one named track per shard.
+    ///
+    /// `None` unless the service was built with
+    /// [`ShardedServiceConfig::trace`] set.
+    pub fn trace_json(&self) -> Option<String> {
+        let tracks: Vec<(String, &obs::SpanRecorder)> = self
+            .shards
+            .iter()
+            .filter_map(|s| {
+                s.gpu.obs.as_ref().map(|rec| {
+                    let name = format!("shard {} ({})", rec.track(), engine_label(s.choice));
+                    (name, rec)
+                })
+            })
+            .collect();
+        if tracks.is_empty() {
+            None
+        } else {
+            Some(obs::perfetto::export(&tracks))
+        }
+    }
+
     /// Simulate `cfg.duration` seconds of service.
     ///
     /// Shards run concurrently in simulated time (each owns its device),
@@ -391,6 +427,10 @@ impl ShardedMatchService {
         let mut any_saturated = false;
 
         for (idx, shard) in self.shards.iter_mut().enumerate() {
+            // A clean timeline per run keeps repeated runs bit-identical.
+            if let Some(rec) = shard.gpu.obs.as_mut() {
+                rec.reset();
+            }
             let mut m = ShardMetrics::new(idx, engine_label(shard.choice));
             let elapsed = run_shard(shard, &cfg, &mut m);
             max_elapsed = max_elapsed.max(elapsed);
@@ -448,6 +488,7 @@ fn run_shard(shard: &mut ServiceShard, cfg: &ShardedServiceConfig, m: &mut Shard
         // Admission: walk every arrival due by `now` through the bounded
         // queue; overflow spills (counted, not queued).
         let due = (shard.rate * now) as u64;
+        let spilled_before = m.spilled;
         while seen < due {
             let t = (seen + 1) as f64 / shard.rate;
             if ((admitted - matched) as usize) < capacity {
@@ -460,6 +501,16 @@ fn run_shard(shard: &mut ServiceShard, cfg: &ShardedServiceConfig, m: &mut Shard
         }
         m.arrivals = seen;
         m.admitted = admitted;
+        if m.spilled > spilled_before {
+            if let Some(rec) = shard.gpu.obs.as_mut() {
+                rec.set_now_ns((now * 1e9).round() as u64);
+                rec.record_instant(
+                    obs::SpanCategory::Spill,
+                    "spill",
+                    vec![("count", obs::ArgValue::U64(m.spilled - spilled_before))],
+                );
+            }
+        }
 
         let pending = (admitted - matched) as usize;
         m.queue_depth.record(pending as f64);
@@ -495,6 +546,27 @@ fn run_shard(shard: &mut ServiceShard, cfg: &ShardedServiceConfig, m: &mut Shard
             .map(|msg| RecvRequest::exact(msg.src, msg.tag, msg.comm))
             .collect();
 
+        if let Some(rec) = shard.gpu.obs.as_mut() {
+            // Pin the recorder to the service clock so the launch spans
+            // the engine records start at the dispatch instant, and span
+            // the time the batch spent accumulating.
+            let now_ns = (now * 1e9).round() as u64;
+            rec.set_now_ns(now_ns);
+            if let Some(&oldest) = arrival_times.front() {
+                let t0 = ((oldest * 1e9).round() as u64).min(now_ns);
+                rec.record_complete(
+                    obs::SpanCategory::BatchAdmission,
+                    "batch",
+                    t0,
+                    now_ns - t0,
+                    vec![
+                        ("batch", obs::ArgValue::U64(batch as u64)),
+                        ("pending", obs::ArgValue::U64(pending as u64)),
+                    ],
+                );
+            }
+        }
+
         // The shard's resident device: reclaim the arena, not the device.
         shard.gpu.reset_memory();
         let report = engine
@@ -505,6 +577,7 @@ fn run_shard(shard: &mut ServiceShard, cfg: &ShardedServiceConfig, m: &mut Shard
         busy += report.seconds;
         now += report.seconds;
 
+        m.profile.absorb(&report);
         m.batches += 1;
         m.matched = matched;
         m.batch_size.record(batch as f64);
@@ -673,6 +746,59 @@ mod tests {
             choices.iter().all(|c| *c != EngineChoice::Matrix),
             "unordered traffic should pin relaxed engines: {choices:?}"
         );
+    }
+
+    #[test]
+    fn tracing_is_deterministic_and_off_by_default() {
+        let base = sharded_cfg(2, 2.0e6);
+        let mut untraced = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        untraced.run();
+        assert!(
+            untraced.trace_json().is_none(),
+            "no recorders exist unless tracing was requested"
+        );
+
+        let traced_cfg = ShardedServiceConfig {
+            trace: true,
+            ..base
+        };
+        let mut a = ShardedMatchService::new(GpuGeneration::PascalGtx1080, traced_cfg);
+        let ra = a.run();
+        let ja = a.trace_json().expect("tracing was enabled");
+        let mut b = ShardedMatchService::new(GpuGeneration::PascalGtx1080, traced_cfg);
+        b.run();
+        assert_eq!(ja, b.trace_json().unwrap(), "same seed, same bytes");
+        a.run();
+        assert_eq!(
+            ja,
+            a.trace_json().unwrap(),
+            "recorders reset per run, so repeated runs export identically"
+        );
+        for cat in ["batch_admission", "match", "kernel_launch", "timing_replay"] {
+            assert!(ja.contains(&format!("\"cat\":\"{cat}\"")), "missing {cat}");
+        }
+        for s in &ra.metrics.shards {
+            assert!(s.profile.launches > 0, "{s:?}");
+            assert_eq!(
+                s.profile.stall_total(),
+                s.profile.cycles,
+                "stall rollup must partition the shard's cycles"
+            );
+        }
+    }
+
+    #[test]
+    fn spills_appear_in_the_trace() {
+        let r = ShardedServiceConfig {
+            queue_capacity: 2048,
+            trace: true,
+            ..sharded_cfg(1, 30.0e6)
+        };
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, r);
+        let report = svc.run();
+        assert!(report.metrics.shards[0].spilled > 0);
+        let json = svc.trace_json().unwrap();
+        assert!(json.contains("\"cat\":\"spill\""));
     }
 
     #[test]

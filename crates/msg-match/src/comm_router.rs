@@ -89,6 +89,8 @@ impl CommRouter {
         let mut mem_busy = 0u64;
         let (mut sum_cycles, mut max_cycles) = (0u64, 0u64);
         let (mut sum_seconds, mut max_seconds) = (0f64, 0f64);
+        let mut sum_stall = [0u64; simt_sim::STALL_CLASSES];
+        let mut max_stall = [0u64; simt_sim::STALL_CLASSES];
 
         for comm in comms {
             let msg_ids: Vec<u32> = (0..msgs.len() as u32)
@@ -99,9 +101,24 @@ impl CommRouter {
                 .collect();
             let sub_msgs: Vec<Envelope> = msg_ids.iter().map(|&i| msgs[i as usize]).collect();
             let sub_reqs: Vec<RecvRequest> = req_ids.iter().map(|&j| reqs[j as usize]).collect();
+            let t0 = gpu.obs.as_ref().map(|r| r.now_ns());
             let (choice, report) =
                 self.engine
                     .match_batch(gpu, self.config, &sub_msgs, &sub_reqs)?;
+            if let (Some(rec), Some(t0)) = (gpu.obs.as_mut(), t0) {
+                let dur = rec.now_ns().saturating_sub(t0);
+                rec.record_complete(
+                    obs::SpanCategory::ShardDispatch,
+                    format!("comm{comm}"),
+                    t0,
+                    dur,
+                    vec![
+                        ("msgs", obs::ArgValue::U64(sub_msgs.len() as u64)),
+                        ("reqs", obs::ArgValue::U64(sub_reqs.len() as u64)),
+                        ("matches", obs::ArgValue::U64(report.matches)),
+                    ],
+                );
+            }
             for (bj, a) in report.assignment.iter().enumerate() {
                 if let Some(bi) = a {
                     assignment[req_ids[bj] as usize] = Some(msg_ids[*bi as usize]);
@@ -118,6 +135,15 @@ impl CommRouter {
             }
             issue_busy += report.issue_busy_cycles;
             mem_busy += report.mem_busy_cycles;
+            for (i, v) in report.stall_cycles.iter().enumerate() {
+                sum_stall[i] += v;
+            }
+            if report.cycles > max_cycles {
+                // Under DedicatedSms the slowest engine is the wall, so
+                // its stall breakdown (which sums to its cycles) is the
+                // breakdown of the merged report.
+                max_stall = report.stall_cycles;
+            }
             sum_cycles += report.cycles;
             max_cycles = max_cycles.max(report.cycles);
             sum_seconds += report.seconds;
@@ -125,9 +151,9 @@ impl CommRouter {
             choices.push((comm, choice));
         }
 
-        let (cycles, seconds) = match self.placement {
-            EnginePlacement::DedicatedSms => (max_cycles, max_seconds),
-            EnginePlacement::SharedSm => (sum_cycles, sum_seconds),
+        let (cycles, seconds, stall_cycles) = match self.placement {
+            EnginePlacement::DedicatedSms => (max_cycles, max_seconds, max_stall),
+            EnginePlacement::SharedSm => (sum_cycles, sum_seconds, sum_stall),
         };
         Ok((
             choices,
@@ -149,6 +175,7 @@ impl CommRouter {
                 class_instructions,
                 issue_busy_cycles: issue_busy,
                 mem_busy_cycles: mem_busy,
+                stall_cycles,
             },
         ))
     }
@@ -345,6 +372,45 @@ mod tests {
             "4 dedicated engines must be ≫ faster: {} vs {}",
             rp.seconds,
             rs.seconds
+        );
+    }
+
+    #[test]
+    fn merged_stall_breakdown_sums_to_cycles_under_both_placements() {
+        let (msgs, reqs) = multi_comm_batch(256, 3, 9);
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        for placement in [EnginePlacement::DedicatedSms, EnginePlacement::SharedSm] {
+            let router = CommRouter {
+                placement,
+                ..CommRouter::new(RelaxationConfig::FULL_MPI)
+            };
+            let (_, r) = router.match_batch(&mut gpu, &msgs, &reqs).unwrap();
+            assert!(r.cycles > 0);
+            assert_eq!(
+                r.stall_cycles.iter().sum::<u64>(),
+                r.cycles,
+                "stall classes must partition the merged cycle count under {placement:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn router_emits_dispatch_spans_when_tracing() {
+        let (msgs, reqs) = multi_comm_batch(128, 2, 10);
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        gpu.enable_tracing(0, 256);
+        let router = CommRouter::new(RelaxationConfig::FULL_MPI);
+        router.match_batch(&mut gpu, &msgs, &reqs).unwrap();
+        let rec = gpu.take_recorder().unwrap();
+        let dispatches: Vec<&str> = rec
+            .events()
+            .filter(|e| e.category == obs::SpanCategory::ShardDispatch)
+            .map(|e| e.name.as_str())
+            .collect();
+        assert_eq!(dispatches, vec!["comm0", "comm1"]);
+        assert!(
+            rec.events().any(|e| e.category == obs::SpanCategory::Match),
+            "engine spans nest under the dispatch spans"
         );
     }
 

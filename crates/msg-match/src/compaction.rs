@@ -39,6 +39,14 @@ pub struct CompactionKernel {
 }
 
 impl CtaKernel for CompactionKernel {
+    fn name(&self) -> &'static str {
+        "queue_compact"
+    }
+
+    fn obs_category(&self) -> obs::SpanCategory {
+        obs::SpanCategory::Compaction
+    }
+
     fn execute(&mut self, cta: &mut CtaCtx<'_>) {
         let warp_count = cta.warp_count();
         // Per-warp survivor totals, then an exclusive base per warp.

@@ -49,6 +49,15 @@ pub enum EngineChoice {
     Hash,
 }
 
+/// Static display name for an [`EngineChoice`] (span and metric label).
+pub fn engine_name(choice: EngineChoice) -> &'static str {
+    match choice {
+        EngineChoice::Matrix => "matrix",
+        EngineChoice::Partitioned { .. } => "partitioned",
+        EngineChoice::Hash => "hash",
+    }
+}
+
 /// Unified matcher: semantics in, algorithm out.
 #[derive(Debug, Clone, Default)]
 pub struct MatchEngine {
@@ -118,7 +127,8 @@ impl MatchEngine {
         msgs: &[Envelope],
         reqs: &[RecvRequest],
     ) -> Result<GpuMatchReport, String> {
-        Ok(match choice {
+        let t0 = gpu.obs.as_ref().map(|r| r.now_ns());
+        let report = match choice {
             EngineChoice::Matrix => {
                 let m = MatrixMatcher::default();
                 if msgs.len() <= MAX_BATCH && reqs.len() <= MAX_BATCH {
@@ -131,7 +141,23 @@ impl MatchEngine {
                 PartitionedMatcher::new(queues).match_batch(gpu, msgs, reqs)?
             }
             EngineChoice::Hash => HashMatcher::default().match_batch(gpu, msgs, reqs)?,
-        })
+        };
+        if let (Some(rec), Some(t0)) = (gpu.obs.as_mut(), t0) {
+            let dur = rec.now_ns().saturating_sub(t0);
+            rec.record_complete(
+                obs::SpanCategory::Match,
+                engine_name(choice),
+                t0,
+                dur,
+                vec![
+                    ("msgs", obs::ArgValue::U64(msgs.len() as u64)),
+                    ("reqs", obs::ArgValue::U64(reqs.len() as u64)),
+                    ("matches", obs::ArgValue::U64(report.matches)),
+                    ("launches", obs::ArgValue::U64(report.launches as u64)),
+                ],
+            );
+        }
+        Ok(report)
     }
 }
 

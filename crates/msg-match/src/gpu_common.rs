@@ -39,6 +39,9 @@ pub struct GpuMatchReport {
     pub issue_busy_cycles: u64,
     /// Cycles the global-memory pipe was occupied.
     pub mem_busy_cycles: u64,
+    /// Critical-path cycles attributed per [`simt_sim::StallClass`]
+    /// (summed over launches; sums to `cycles` exactly).
+    pub stall_cycles: [u64; simt_sim::STALL_CLASSES],
 }
 
 impl GpuMatchReport {
@@ -73,6 +76,14 @@ impl GpuMatchReport {
             }),
             issue_busy_cycles: launches.iter().map(|l| l.timing.issue_busy_cycles).sum(),
             mem_busy_cycles: launches.iter().map(|l| l.timing.mem_busy_cycles).sum(),
+            stall_cycles: launches
+                .iter()
+                .fold([0u64; simt_sim::STALL_CLASSES], |mut acc, l| {
+                    for (i, v) in l.timing.stall_cycles.iter().enumerate() {
+                        acc[i] += v;
+                    }
+                    acc
+                }),
             assignment,
         }
     }

@@ -147,6 +147,10 @@ struct ClearKernel<'a> {
 }
 
 impl CtaKernel for ClearKernel<'_> {
+    fn name(&self) -> &'static str {
+        "hash_clear"
+    }
+
     fn execute(&mut self, cta: &mut CtaCtx<'_>) {
         let b = self.b;
         let total = (b.primary_size + b.secondary_size) as usize;
@@ -189,6 +193,10 @@ struct InsertKernel<'a> {
 }
 
 impl CtaKernel for InsertKernel<'_> {
+    fn name(&self) -> &'static str {
+        "hash_insert"
+    }
+
     fn execute(&mut self, cta: &mut CtaCtx<'_>) {
         let b = self.b;
         let n = self.n;
@@ -284,6 +292,10 @@ struct ProbeKernel<'a> {
 }
 
 impl CtaKernel for ProbeKernel<'_> {
+    fn name(&self) -> &'static str {
+        "hash_probe"
+    }
+
     fn execute(&mut self, cta: &mut CtaCtx<'_>) {
         let b = self.b;
         let n = self.n;

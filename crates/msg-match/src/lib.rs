@@ -58,7 +58,7 @@ pub mod workloads;
 /// Convenience re-exports of the main API surface.
 pub mod prelude {
     pub use crate::comm_router::{CommRouter, EnginePlacement, ShardPlacement, ShardRule};
-    pub use crate::engine::{EngineChoice, MatchEngine, SelectionPolicy};
+    pub use crate::engine::{engine_name, EngineChoice, MatchEngine, SelectionPolicy};
     pub use crate::envelope::{CommId, Envelope, Rank, RecvRequest, SrcSpec, Tag, TagSpec};
     pub use crate::gpu_common::{GpuMatchReport, NO_MATCH};
     pub use crate::hash::{HashMatcher, HashMatcherConfig, TableOrganization};

@@ -140,6 +140,11 @@ pub struct ListMatcher {
     /// Statistics of every PRQ search (performed on arrivals).
     pub prq_attempts: Vec<AttemptStats>,
     record_stats: bool,
+    /// Optional flight recorder: when present, every completed match is
+    /// recorded as a `Match` instant. The caller owns the clock
+    /// ([`obs::SpanRecorder::set_now_ns`]); the matcher itself has no
+    /// notion of time.
+    pub obs: Option<obs::SpanRecorder>,
 }
 
 impl Default for ListMatcher {
@@ -165,6 +170,7 @@ impl ListMatcher {
             umq_attempts: Vec::new(),
             prq_attempts: Vec::new(),
             record_stats,
+            obs: None,
         }
     }
 
@@ -193,10 +199,19 @@ impl ListMatcher {
             });
         }
         match hit {
-            Some(entry) => Some(MatchPair {
-                msg_seq,
-                recv_seq: entry.seq,
-            }),
+            Some(entry) => {
+                if let Some(rec) = self.obs.as_mut() {
+                    rec.record_instant(
+                        obs::SpanCategory::Match,
+                        "list_match",
+                        vec![("inspected", obs::ArgValue::U64(inspected as u64))],
+                    );
+                }
+                Some(MatchPair {
+                    msg_seq,
+                    recv_seq: entry.seq,
+                })
+            }
             None => {
                 self.umq.push_back(UmqEntry {
                     envelope,
@@ -222,10 +237,19 @@ impl ListMatcher {
             });
         }
         match hit {
-            Some(entry) => Some(MatchPair {
-                msg_seq: entry.seq,
-                recv_seq,
-            }),
+            Some(entry) => {
+                if let Some(rec) = self.obs.as_mut() {
+                    rec.record_instant(
+                        obs::SpanCategory::Match,
+                        "list_match",
+                        vec![("inspected", obs::ArgValue::U64(inspected as u64))],
+                    );
+                }
+                Some(MatchPair {
+                    msg_seq: entry.seq,
+                    recv_seq,
+                })
+            }
             None => {
                 self.prq.push_back(PrqEntry {
                     request,

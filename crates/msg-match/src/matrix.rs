@@ -181,6 +181,10 @@ impl MatrixKernel {
 }
 
 impl CtaKernel for MatrixKernel {
+    fn name(&self) -> &'static str {
+        "matrix_match"
+    }
+
     fn execute(&mut self, cta: &mut CtaCtx<'_>) {
         // Double-buffered vote matrix, column-major, 32 rows × window.
         let buf_a = cta.alloc_shared::<u32>(WARP_SIZE * self.window);
@@ -287,6 +291,10 @@ struct SmallKernel {
 }
 
 impl CtaKernel for SmallKernel {
+    fn name(&self) -> &'static str {
+        "matrix_small"
+    }
+
     fn execute(&mut self, cta: &mut CtaCtx<'_>) {
         let (msgq, recvq, result) = (self.msgq, self.recvq, self.result);
         let (n_msgs, n_reqs) = (self.n_msgs, self.n_reqs);

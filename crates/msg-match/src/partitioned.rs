@@ -144,6 +144,10 @@ impl PartitionedKernel {
 }
 
 impl CtaKernel for PartitionedKernel {
+    fn name(&self) -> &'static str {
+        "partitioned_match"
+    }
+
     fn execute(&mut self, cta: &mut CtaCtx<'_>) {
         let queues = self.per_cta[cta.cta_id()].clone();
         if queues.is_empty() {

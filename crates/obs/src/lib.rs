@@ -1,0 +1,269 @@
+//! Unified observability layer for the workspace: one span model, one
+//! clock, three consumers.
+//!
+//! * [`SpanRecorder`] — a preallocated, bounded flight recorder of
+//!   [`SpanEvent`]s. Every producer (the sharded service, the
+//!   communicator router, the match engines, the simulated device) writes
+//!   into a recorder through the *simulated-time* clock it carries, so a
+//!   whole service run yields one coherent timeline with no wall-clock
+//!   nondeterminism: the same seed produces a byte-identical trace.
+//! * [`perfetto`] — renders recorders as Chrome `trace_event` JSON,
+//!   loadable in `ui.perfetto.dev` or `chrome://tracing`.
+//! * [`prom`] — a Prometheus text-exposition renderer (counters, gauges,
+//!   histograms with cumulative `le` buckets) for metric snapshots.
+//!
+//! The recorder is `Option`-gated at every call site: when tracing is
+//! off, producers hold `None` and the hot path performs no allocation
+//! and no work beyond a branch.
+
+pub mod perfetto;
+pub mod prom;
+
+/// What a span measures. Categories become the Perfetto `cat` field, so
+/// a viewer can filter one tier of the pipeline at a time.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SpanCategory {
+    /// Messages draining from a shard's bounded queue into a batch.
+    BatchAdmission,
+    /// A communicator's sub-batch routed to its engine.
+    ShardDispatch,
+    /// One simulated grid launch, spanning its device-time duration.
+    KernelLaunch,
+    /// Functional (lane-vector) execution of a launch.
+    FunctionalExec,
+    /// Discrete-event timing replay of a launch.
+    TimingReplay,
+    /// Queue-compaction launches (the service's garbage collection).
+    Compaction,
+    /// Arrivals rejected by admission control.
+    Spill,
+    /// A matching engine servicing one batch.
+    Match,
+    /// A sanitizer race finding, surfaced as an instant.
+    Race,
+}
+
+impl SpanCategory {
+    /// Stable lowercase label (the Perfetto `cat` string).
+    pub fn label(self) -> &'static str {
+        match self {
+            SpanCategory::BatchAdmission => "batch_admission",
+            SpanCategory::ShardDispatch => "shard_dispatch",
+            SpanCategory::KernelLaunch => "kernel_launch",
+            SpanCategory::FunctionalExec => "functional_exec",
+            SpanCategory::TimingReplay => "timing_replay",
+            SpanCategory::Compaction => "compaction",
+            SpanCategory::Spill => "spill",
+            SpanCategory::Match => "match",
+            SpanCategory::Race => "race",
+        }
+    }
+}
+
+/// An argument attached to a span (rendered into the Perfetto `args`
+/// object).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArgValue {
+    /// Unsigned counter-like value.
+    U64(u64),
+    /// Free-form text (e.g. a sanitizer finding).
+    Text(String),
+}
+
+/// One recorded event: a complete span (`dur_ns > 0` or an explicit
+/// completion) or an instant.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SpanEvent {
+    /// Filterable category.
+    pub category: SpanCategory,
+    /// Display name.
+    pub name: String,
+    /// Start time on the shared simulated clock, in nanoseconds.
+    pub start_ns: u64,
+    /// Duration in nanoseconds (instants record 0 and `instant = true`).
+    pub dur_ns: u64,
+    /// True for point-in-time events (Perfetto phase `i`).
+    pub instant: bool,
+    /// Key/value details.
+    pub args: Vec<(&'static str, ArgValue)>,
+}
+
+/// Bounded flight recorder: a preallocated ring of [`SpanEvent`]s plus
+/// the simulated-time cursor its producers share.
+///
+/// When the ring is full the oldest event is overwritten and
+/// [`dropped`](Self::dropped) counts the loss — the recorder never
+/// grows, so enabling tracing bounds memory by construction.
+#[derive(Debug, Clone)]
+pub struct SpanRecorder {
+    /// Track id (Perfetto `tid`); the service uses the shard index.
+    track: u32,
+    capacity: usize,
+    ring: Vec<SpanEvent>,
+    /// Index of the next slot to write once the ring has wrapped.
+    head: usize,
+    wrapped: bool,
+    dropped: u64,
+    /// Simulated-time cursor in nanoseconds.
+    now_ns: u64,
+}
+
+impl SpanRecorder {
+    /// Recorder for `track` holding at most `capacity` events.
+    pub fn new(track: u32, capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanRecorder {
+            track,
+            capacity,
+            ring: Vec::with_capacity(capacity),
+            head: 0,
+            wrapped: false,
+            dropped: 0,
+            now_ns: 0,
+        }
+    }
+
+    /// Track id this recorder writes under.
+    pub fn track(&self) -> u32 {
+        self.track
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Set the simulated clock (producers that own the timeline, e.g.
+    /// the service loop, pin it before dispatching work).
+    pub fn set_now_ns(&mut self, ns: u64) {
+        self.now_ns = ns;
+    }
+
+    /// Advance the simulated clock by `ns` (launches advance it by their
+    /// simulated duration).
+    pub fn advance_ns(&mut self, ns: u64) {
+        self.now_ns += ns;
+    }
+
+    /// Events lost to ring overwrite.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Number of retained events.
+    pub fn len(&self) -> usize {
+        self.ring.len()
+    }
+
+    /// True when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.ring.is_empty()
+    }
+
+    /// Forget all events and rewind the clock (a service run starts from
+    /// a clean timeline so repeated runs export identical traces).
+    pub fn reset(&mut self) {
+        self.ring.clear();
+        self.head = 0;
+        self.wrapped = false;
+        self.dropped = 0;
+        self.now_ns = 0;
+    }
+
+    fn push(&mut self, ev: SpanEvent) {
+        if self.ring.len() < self.capacity {
+            self.ring.push(ev);
+        } else {
+            self.ring[self.head] = ev;
+            self.head = (self.head + 1) % self.capacity;
+            self.wrapped = true;
+            self.dropped += 1;
+        }
+    }
+
+    /// Record a complete span `[start_ns, start_ns + dur_ns]`.
+    pub fn record_complete(
+        &mut self,
+        category: SpanCategory,
+        name: impl Into<String>,
+        start_ns: u64,
+        dur_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.push(SpanEvent {
+            category,
+            name: name.into(),
+            start_ns,
+            dur_ns,
+            instant: false,
+            args,
+        });
+    }
+
+    /// Record an instant at the current clock.
+    pub fn record_instant(
+        &mut self,
+        category: SpanCategory,
+        name: impl Into<String>,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.push(SpanEvent {
+            category,
+            name: name.into(),
+            start_ns: self.now_ns,
+            dur_ns: 0,
+            instant: true,
+            args,
+        });
+    }
+
+    /// Retained events, oldest first.
+    pub fn events(&self) -> impl Iterator<Item = &SpanEvent> {
+        let (newer, older) = self.ring.split_at(self.head.min(self.ring.len()));
+        older.iter().chain(newer.iter())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_overwrites_oldest_and_counts_drops() {
+        let mut r = SpanRecorder::new(0, 3);
+        for i in 0..5u64 {
+            r.set_now_ns(i * 10);
+            r.record_instant(SpanCategory::Spill, format!("e{i}"), vec![]);
+        }
+        assert_eq!(r.len(), 3);
+        assert_eq!(r.dropped(), 2);
+        let names: Vec<&str> = r.events().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            names,
+            vec!["e2", "e3", "e4"],
+            "oldest first, drops from the front"
+        );
+    }
+
+    #[test]
+    fn clock_is_explicit_and_monotone_under_advance() {
+        let mut r = SpanRecorder::new(7, 16);
+        assert_eq!(r.now_ns(), 0);
+        r.advance_ns(500);
+        r.record_complete(SpanCategory::KernelLaunch, "k", 0, 500, vec![]);
+        assert_eq!(r.now_ns(), 500);
+        let ev = r.events().next().unwrap();
+        assert_eq!((ev.start_ns, ev.dur_ns, ev.instant), (0, 500, false));
+    }
+
+    #[test]
+    fn reset_rewinds_everything() {
+        let mut r = SpanRecorder::new(1, 2);
+        r.advance_ns(9);
+        r.record_instant(SpanCategory::Race, "x", vec![]);
+        r.reset();
+        assert!(r.is_empty());
+        assert_eq!(r.dropped(), 0);
+        assert_eq!(r.now_ns(), 0);
+    }
+}

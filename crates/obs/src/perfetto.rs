@@ -1,0 +1,174 @@
+//! Chrome `trace_event` JSON export — the format Perfetto and
+//! `chrome://tracing` load directly.
+//!
+//! The writer is hand-rolled rather than going through a serializer so
+//! the output is *byte-deterministic*: timestamps are integer
+//! nanoseconds rendered as fixed-point microseconds (`ts` is in µs by
+//! convention), keys are emitted in a fixed order, and events appear in
+//! recorder order. The golden determinism test pins this.
+
+use crate::{ArgValue, SpanEvent, SpanRecorder};
+
+/// Process id used for all tracks (one simulated service = one process).
+const PID: u32 = 1;
+
+fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+}
+
+/// Nanoseconds → microseconds with three deterministic decimals.
+fn us(ns: u64) -> String {
+    format!("{}.{:03}", ns / 1000, ns % 1000)
+}
+
+fn write_args(out: &mut String, args: &[(&'static str, ArgValue)]) {
+    out.push('{');
+    for (i, (k, v)) in args.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push('"');
+        escape_into(out, k);
+        out.push_str("\":");
+        match v {
+            ArgValue::U64(n) => out.push_str(&n.to_string()),
+            ArgValue::Text(t) => {
+                out.push('"');
+                escape_into(out, t);
+                out.push('"');
+            }
+        }
+    }
+    out.push('}');
+}
+
+fn write_event(out: &mut String, tid: u32, ev: &SpanEvent) {
+    out.push_str("{\"name\":\"");
+    escape_into(out, &ev.name);
+    out.push_str("\",\"cat\":\"");
+    out.push_str(ev.category.label());
+    out.push_str("\",\"ph\":\"");
+    out.push_str(if ev.instant { "i" } else { "X" });
+    out.push_str("\",\"ts\":");
+    out.push_str(&us(ev.start_ns));
+    if !ev.instant {
+        out.push_str(",\"dur\":");
+        out.push_str(&us(ev.dur_ns));
+    } else {
+        out.push_str(",\"s\":\"t\"");
+    }
+    out.push_str(&format!(",\"pid\":{PID},\"tid\":{tid}"));
+    if !ev.args.is_empty() {
+        out.push_str(",\"args\":");
+        write_args(out, &ev.args);
+    }
+    out.push('}');
+}
+
+fn write_metadata(out: &mut String, name: &str, tid: Option<u32>, value: &str) {
+    out.push_str("{\"name\":\"");
+    out.push_str(name);
+    out.push_str("\",\"ph\":\"M\",\"ts\":0.000,\"pid\":");
+    out.push_str(&PID.to_string());
+    if let Some(tid) = tid {
+        out.push_str(&format!(",\"tid\":{tid}"));
+    }
+    out.push_str(",\"args\":{\"name\":\"");
+    escape_into(out, value);
+    out.push_str("\"}}");
+}
+
+/// Render `(track name, recorder)` pairs as a complete trace document.
+///
+/// Each recorder becomes one named thread (`tid` = the recorder's track
+/// id) under a single process; metadata events label the process and
+/// threads so the viewer shows meaningful names.
+pub fn export(tracks: &[(String, &SpanRecorder)]) -> String {
+    let mut out = String::new();
+    out.push_str("{\"traceEvents\":[\n");
+    let mut first = true;
+    let emit = |s: &mut String, first: &mut bool| {
+        if !*first {
+            s.push_str(",\n");
+        }
+        *first = false;
+    };
+
+    {
+        let mut meta = String::new();
+        write_metadata(&mut meta, "process_name", None, "gpu-msg service");
+        emit(&mut out, &mut first);
+        out.push_str(&meta);
+    }
+    for (name, rec) in tracks {
+        let mut meta = String::new();
+        write_metadata(&mut meta, "thread_name", Some(rec.track()), name);
+        emit(&mut out, &mut first);
+        out.push_str(&meta);
+    }
+    for (_, rec) in tracks {
+        for ev in rec.events() {
+            let mut line = String::new();
+            write_event(&mut line, rec.track(), ev);
+            emit(&mut out, &mut first);
+            out.push_str(&line);
+        }
+    }
+    out.push_str("\n],\"displayTimeUnit\":\"ms\"}\n");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SpanCategory;
+
+    #[test]
+    fn timestamps_render_as_fixed_point_microseconds() {
+        assert_eq!(us(0), "0.000");
+        assert_eq!(us(999), "0.999");
+        assert_eq!(us(1_000), "1.000");
+        assert_eq!(us(1_234_567), "1234.567");
+    }
+
+    #[test]
+    fn export_is_deterministic_and_structured() {
+        let build = || {
+            let mut r = SpanRecorder::new(0, 8);
+            r.record_complete(
+                SpanCategory::KernelLaunch,
+                "matrix_match",
+                100,
+                2500,
+                vec![("cycles", ArgValue::U64(42))],
+            );
+            r.set_now_ns(2600);
+            r.record_instant(
+                SpanCategory::Race,
+                "race",
+                vec![("detail", ArgValue::Text("warp 0 \"vs\" warp 1".into()))],
+            );
+            r
+        };
+        let (a, b) = (build(), build());
+        let ja = export(&[("shard 0".to_string(), &a)]);
+        let jb = export(&[("shard 0".to_string(), &b)]);
+        assert_eq!(ja, jb, "same events must export byte-identically");
+        assert!(ja.contains("\"ph\":\"X\""));
+        assert!(ja.contains("\"ph\":\"i\""));
+        assert!(ja.contains("\"cat\":\"kernel_launch\""));
+        assert!(ja.contains("\\\"vs\\\""), "text args must be escaped");
+        assert!(ja.contains("\"ts\":0.100"));
+        assert!(ja.contains("\"dur\":2.500"));
+    }
+}

@@ -61,6 +61,17 @@ pub trait CtaKernel {
         32
     }
 
+    /// Display name used in launch profiles and trace spans.
+    fn name(&self) -> &'static str {
+        "kernel"
+    }
+
+    /// Span category of this kernel's launches in the exported trace
+    /// (compaction kernels override this so viewers can filter them).
+    fn obs_category(&self) -> obs::SpanCategory {
+        obs::SpanCategory::KernelLaunch
+    }
+
     /// Execute one CTA. Called once per CTA in the grid, in CTA-id order.
     fn execute(&mut self, cta: &mut CtaCtx<'_>);
 }
@@ -598,6 +609,9 @@ pub struct LaunchReport {
     pub resident_ctas_per_sm: u32,
     /// Detailed timing breakdown.
     pub timing: TimingReport,
+    /// Stall/op-class profile of this launch (the `nvprof` summary line),
+    /// named after the kernel that ran.
+    pub profile: crate::timing::KernelProfile,
 }
 
 impl LaunchReport {
@@ -620,6 +634,11 @@ pub struct Gpu {
     /// When set, every launch runs under the race sanitizer and appends
     /// findings here (the way `compute-sanitizer` wraps a whole process).
     pub sanitizer_findings: Option<Vec<RaceReport>>,
+    /// When set, every launch records spans on the shared simulated-time
+    /// clock (and sanitizer findings become instant events). `None` by
+    /// default: the hot path then does no tracing work and no
+    /// allocation.
+    pub obs: Option<obs::SpanRecorder>,
 }
 
 impl Gpu {
@@ -629,6 +648,7 @@ impl Gpu {
             config: generation.config(),
             mem: DeviceMemory::new(),
             sanitizer_findings: None,
+            obs: None,
         }
     }
 
@@ -638,7 +658,20 @@ impl Gpu {
             config,
             mem: DeviceMemory::new(),
             sanitizer_findings: None,
+            obs: None,
         }
+    }
+
+    /// Attach a preallocated flight recorder: subsequent launches record
+    /// spans under trace track `track`, keeping at most `capacity`
+    /// events (ring overwrite beyond that).
+    pub fn enable_tracing(&mut self, track: u32, capacity: usize) {
+        self.obs = Some(obs::SpanRecorder::new(track, capacity));
+    }
+
+    /// Detach and return the flight recorder, disabling tracing.
+    pub fn take_recorder(&mut self) -> Option<obs::SpanRecorder> {
+        self.obs.take()
     }
 
     /// Reclaim all device memory, invalidating outstanding buffer IDs.
@@ -724,13 +757,58 @@ impl Gpu {
         }
 
         let timing = timing::simulate(&grid, &self.config, launch.sms_used);
+        let seconds = self.config.cycles_to_seconds(timing.cycles);
+        let profile = crate::timing::KernelProfile::from_timing(kernel.name(), &timing);
+
+        if let Some(rec) = &mut self.obs {
+            use obs::{ArgValue, SpanCategory};
+            let t0 = rec.now_ns();
+            let dur_ns = (seconds * 1e9).round() as u64;
+            rec.record_instant(
+                SpanCategory::FunctionalExec,
+                kernel.name(),
+                vec![
+                    ("ctas", ArgValue::U64(launch.ctas as u64)),
+                    ("instructions", ArgValue::U64(timing.instructions)),
+                ],
+            );
+            for race in &races {
+                rec.record_instant(
+                    SpanCategory::Race,
+                    "race",
+                    vec![("detail", ArgValue::Text(race.to_string()))],
+                );
+            }
+            rec.record_complete(
+                kernel.obs_category(),
+                kernel.name(),
+                t0,
+                dur_ns,
+                vec![
+                    ("cycles", ArgValue::U64(timing.cycles)),
+                    ("instructions", ArgValue::U64(timing.instructions)),
+                ],
+            );
+            rec.advance_ns(dur_ns);
+            let stalls = timing.stall_cycles;
+            rec.record_instant(
+                SpanCategory::TimingReplay,
+                kernel.name(),
+                crate::timing::StallClass::ALL
+                    .iter()
+                    .map(|c| (c.label(), ArgValue::U64(stalls[c.index()])))
+                    .collect(),
+            );
+        }
+
         (
             LaunchReport {
                 cycles: timing.cycles,
-                seconds: self.config.cycles_to_seconds(timing.cycles),
+                seconds,
                 instructions: grid.instruction_count(),
                 resident_ctas_per_sm: timing.resident_ctas_per_sm,
                 timing,
+                profile,
             },
             races,
         )
@@ -911,6 +989,69 @@ mod tests {
         let out = gpu.mem.alloc::<u32>(32);
         gpu.launch(&mut Empty { out }, LaunchConfig::single_sm(1, 32));
         assert!(gpu.mem.read_vec(out).iter().all(|&x| x == 0));
+    }
+
+    #[test]
+    fn tracing_records_launch_spans_on_the_simulated_clock() {
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        gpu.enable_tracing(3, 64);
+        let out = gpu.mem.alloc::<u32>(256);
+        let r = gpu.launch(&mut WriteTid { out }, LaunchConfig::single_sm(2, 128));
+        let rec = gpu.take_recorder().expect("tracing was enabled");
+        assert!(rec
+            .events()
+            .any(|e| e.category == obs::SpanCategory::KernelLaunch && !e.instant));
+        assert!(rec
+            .events()
+            .any(|e| e.category == obs::SpanCategory::FunctionalExec && e.instant));
+        assert!(rec
+            .events()
+            .any(|e| e.category == obs::SpanCategory::TimingReplay && e.instant));
+        let dur = (r.seconds * 1e9).round() as u64;
+        assert_eq!(
+            rec.now_ns(),
+            dur,
+            "a launch advances the shared clock by its simulated duration"
+        );
+        assert_eq!(r.profile.cycles, r.cycles);
+        assert_eq!(r.profile.stall_cycles.iter().sum::<u64>(), r.cycles);
+    }
+
+    #[test]
+    fn sanitizer_findings_surface_as_race_instants() {
+        struct Racy {
+            out: BufferId<u32>,
+        }
+        impl CtaKernel for Racy {
+            fn execute(&mut self, cta: &mut CtaCtx<'_>) {
+                let out = self.out;
+                cta.for_each_warp(|w| {
+                    let zeros = Lanes::splat(0u32);
+                    let vals = Lanes::splat(w.warp_id() as u32);
+                    w.st_global(out, &zeros, &vals);
+                });
+            }
+        }
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        gpu.enable_sanitizer();
+        gpu.enable_tracing(0, 64);
+        let out = gpu.mem.alloc::<u32>(1);
+        gpu.launch(&mut Racy { out }, LaunchConfig::single_sm(1, 64));
+        assert!(
+            !gpu.sanitizer_findings.as_ref().unwrap().is_empty(),
+            "the kernel is racy by construction"
+        );
+        let rec = gpu.take_recorder().unwrap();
+        let race = rec
+            .events()
+            .find(|e| e.category == obs::SpanCategory::Race)
+            .expect("races must appear in the trace timeline");
+        assert!(race.instant);
+        assert!(race
+            .args
+            .iter()
+            .any(|(k, v)| *k == "detail"
+                && matches!(v, obs::ArgValue::Text(t) if t.contains("race"))));
     }
 
     #[test]

@@ -68,5 +68,5 @@ pub use lanes::{LaneMask, Lanes};
 pub use mem::{BufferId, DeviceMemory, DeviceScalar, SharedId, SharedMemory};
 pub use occupancy::{occupancy, Occupancy, OccupancyLimiter};
 pub use sanitize::{AccessKind, RaceReport, Space};
-pub use timing::TimingReport;
+pub use timing::{KernelProfile, StallClass, TimingReport, STALL_CLASSES};
 pub use trace::{DepToken, GridTrace, OpClass, OpKind, WarpTrace};

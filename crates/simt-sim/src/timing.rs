@@ -28,6 +28,132 @@ use crate::trace::{GridTrace, OpClass, OpKind};
 /// Millicycles per cycle.
 const MC: u64 = 1000;
 
+/// Number of [`StallClass`]es.
+pub const STALL_CLASSES: usize = 5;
+
+/// Where a cycle of the critical SM's timeline went — the simulator's
+/// `nvprof` stall-reason taxonomy. Every cycle of a launch is attributed
+/// to exactly one class, so per-class cycles sum to
+/// [`TimingReport::cycles`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum StallClass {
+    /// The issue pipeline was occupied delivering instructions.
+    Issue,
+    /// Warps waited on an outstanding memory result (global, shared or
+    /// atomic) with nothing else to issue.
+    MemDependency,
+    /// Warps waited at a CTA barrier.
+    Barrier,
+    /// Too few resident warps (or CTAs waiting for a residency slot) to
+    /// cover the gap — latency that more occupancy would hide.
+    OccupancyWait,
+    /// Execution-pipe latency/contention other than memory (ALU chains,
+    /// vote/shuffle results).
+    PipeContention,
+}
+
+impl StallClass {
+    /// All classes in index order.
+    pub const ALL: [StallClass; STALL_CLASSES] = [
+        StallClass::Issue,
+        StallClass::MemDependency,
+        StallClass::Barrier,
+        StallClass::OccupancyWait,
+        StallClass::PipeContention,
+    ];
+
+    /// Dense index into `[u64; STALL_CLASSES]` breakdowns.
+    pub fn index(self) -> usize {
+        match self {
+            StallClass::Issue => 0,
+            StallClass::MemDependency => 1,
+            StallClass::Barrier => 2,
+            StallClass::OccupancyWait => 3,
+            StallClass::PipeContention => 4,
+        }
+    }
+
+    /// Stable lowercase label for metrics and reports.
+    pub fn label(self) -> &'static str {
+        match self {
+            StallClass::Issue => "issue",
+            StallClass::MemDependency => "mem_dependency",
+            StallClass::Barrier => "barrier",
+            StallClass::OccupancyWait => "occupancy_wait",
+            StallClass::PipeContention => "pipe_contention",
+        }
+    }
+
+    fn of_dependency(class: OpClass) -> StallClass {
+        match class {
+            OpClass::GlobalMem | OpClass::SharedMem | OpClass::Atomic => StallClass::MemDependency,
+            _ => StallClass::PipeContention,
+        }
+    }
+
+    /// Class owning the tail between the last issue and an op's
+    /// completion: memory latency for memory ops, barrier latency for
+    /// barriers, and for compute ops the per-warp 1-IPC stretch that
+    /// more resident warps would overlap.
+    fn of_tail(class: OpClass) -> StallClass {
+        match class {
+            OpClass::GlobalMem | OpClass::SharedMem | OpClass::Atomic => StallClass::MemDependency,
+            OpClass::Barrier => StallClass::Barrier,
+            _ => StallClass::OccupancyWait,
+        }
+    }
+}
+
+/// Per-launch profile in the shape rollups consume: the simulator
+/// analogue of an `nvprof` kernel summary.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct KernelProfile {
+    /// Kernel display name (see `CtaKernel::name`).
+    pub name: &'static str,
+    /// Launches aggregated into this profile.
+    pub launches: u64,
+    /// Critical-path cycles (summed across merged launches).
+    pub cycles: u64,
+    /// Architectural instructions.
+    pub instructions: u64,
+    /// Cycles per [`StallClass`] (indexed by [`StallClass::index`]);
+    /// sums exactly to `cycles`.
+    pub stall_cycles: [u64; STALL_CLASSES],
+    /// Instructions per [`OpClass`] (indexed by [`OpClass::index`]).
+    pub class_instructions: [u64; 6],
+}
+
+impl KernelProfile {
+    /// Profile of one launch's timing outcome.
+    pub fn from_timing(name: &'static str, t: &TimingReport) -> Self {
+        KernelProfile {
+            name,
+            launches: 1,
+            cycles: t.cycles,
+            instructions: t.instructions,
+            stall_cycles: t.stall_cycles,
+            class_instructions: t.class_instructions,
+        }
+    }
+
+    /// Fold another profile into this one (keeps this profile's name).
+    pub fn merge(&mut self, other: &KernelProfile) {
+        self.launches += other.launches;
+        self.cycles += other.cycles;
+        self.instructions += other.instructions;
+        for (a, b) in self.stall_cycles.iter_mut().zip(other.stall_cycles.iter()) {
+            *a += b;
+        }
+        for (a, b) in self
+            .class_instructions
+            .iter_mut()
+            .zip(other.class_instructions.iter())
+        {
+            *a += b;
+        }
+    }
+}
+
 /// Timing outcome of a grid launch.
 #[derive(Debug, Clone, Default)]
 pub struct TimingReport {
@@ -55,6 +181,10 @@ pub struct TimingReport {
     pub mem_busy_cycles: u64,
     /// Cycles the shared-memory pipe was occupied.
     pub shared_busy_cycles: u64,
+    /// Critical-SM cycles per [`StallClass`] (indexed by
+    /// [`StallClass::index`]): an exact partition of the SM timeline
+    /// that defined `cycles`, so the entries sum to `cycles`.
+    pub stall_cycles: [u64; STALL_CLASSES],
 }
 
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -76,6 +206,10 @@ struct WarpState {
     completions: Vec<u64>,
     /// Arrival time at the current barrier.
     barrier_arrival_mc: u64,
+    /// Why `ready_mc` is what it is — attributes any issue gap this warp
+    /// heads (dependency gaps are classified from the producing op
+    /// instead).
+    wait_class: StallClass,
 }
 
 struct CtaRun {
@@ -105,6 +239,15 @@ struct SmSim<'a> {
     shared_atom_cost_mc: u64,
     /// Finish time of the SM so far.
     now_max_mc: u64,
+    /// Accounted-time frontier on the issue timeline (== `issue_free_mc`
+    /// after every issue); the gap before each issue is attributed to a
+    /// stall class, keeping the attribution an exact partition.
+    acct_mc: u64,
+    /// Millicycles per stall class.
+    stall_mc: [u64; STALL_CLASSES],
+    /// Class of whatever last extended `now_max_mc` — owns the tail
+    /// between the final issue and the SM finish time.
+    tail_class: StallClass,
     report: TimingReport,
 }
 
@@ -130,6 +273,9 @@ impl<'a> SmSim<'a> {
             mem_tx_cost_mc: (16 * MC / sm.global_tx_per_16_cycles as u64).max(1),
             shared_atom_cost_mc: (16 * MC / sm.shared_atomic_per_16_cycles as u64).max(1),
             now_max_mc: 0,
+            acct_mc: 0,
+            stall_mc: [0; STALL_CLASSES],
+            tail_class: StallClass::PipeContention,
             report: TimingReport::default(),
         };
         for _ in 0..max_resident {
@@ -160,6 +306,7 @@ impl<'a> SmSim<'a> {
                     },
                     completions: Vec::with_capacity(wt.ops.len()),
                     barrier_arrival_mc: 0,
+                    wait_class: StallClass::OccupancyWait,
                 });
                 if wt.ops.is_empty() {
                     self.resident[slot].live_warps -= 1;
@@ -207,7 +354,40 @@ impl<'a> SmSim<'a> {
             };
             self.step_warp(wi, cand_mc);
         }
+        self.finalize_attribution();
         self.now_max_mc
+    }
+
+    /// Close the books: attribute the tail between the last issue and
+    /// the SM finish time, then round millicycles to cycles with
+    /// largest-remainder apportioning so the classes sum *exactly* to
+    /// the SM's cycle count.
+    fn finalize_attribution(&mut self) {
+        let end_mc = self.now_max_mc;
+        if end_mc >= self.acct_mc {
+            self.stall_mc[self.tail_class.index()] += end_mc - self.acct_mc;
+        } else {
+            // Sub-1-IPC issue configurations can leave the issue
+            // timeline past the last completion; trim the excess so the
+            // partition still covers exactly [0, end_mc].
+            let excess = self.acct_mc - end_mc;
+            let issue = &mut self.stall_mc[StallClass::Issue.index()];
+            *issue = issue.saturating_sub(excess);
+        }
+        let target = end_mc.div_ceil(MC);
+        let mut cycles = [0u64; STALL_CLASSES];
+        let mut rems = [(0u64, 0usize); STALL_CLASSES];
+        for (i, &mc) in self.stall_mc.iter().enumerate() {
+            cycles[i] = mc / MC;
+            rems[i] = (mc % MC, i);
+        }
+        let base: u64 = cycles.iter().sum();
+        rems.sort_by(|a, b| b.0.cmp(&a.0).then(a.1.cmp(&b.1)));
+        let deficit = (target.saturating_sub(base) as usize).min(STALL_CLASSES);
+        for &(_, i) in rems.iter().take(deficit) {
+            cycles[i] += 1;
+        }
+        self.report.stall_cycles = cycles;
     }
 
     fn step_warp(&mut self, wi: usize, cand_mc: u64) {
@@ -267,7 +447,15 @@ impl<'a> SmSim<'a> {
                     }
                 }
                 self.report.barrier_wait_cycles += waits;
-                self.now_max_mc = self.now_max_mc.max(release);
+                for w in self.warps.iter_mut().filter(|w| w.cta_slot == cta_slot) {
+                    if w.phase == WarpPhase::Ready {
+                        w.wait_class = StallClass::Barrier;
+                    }
+                }
+                if release >= self.now_max_mc {
+                    self.now_max_mc = release;
+                    self.tail_class = StallClass::Barrier;
+                }
                 if self.resident[cta_slot].live_warps == 0 {
                     // CTA finished: its slot frees; admit the next CTA.
                     self.activate_next(release);
@@ -282,7 +470,25 @@ impl<'a> SmSim<'a> {
             _ => 1,
         };
         let start = cand_mc.max(self.issue_free_mc);
+        // Attribute the idle gap on the issue timeline before this
+        // issue: a dependency gap is classified by the producing op, any
+        // other gap by whatever set the issuing warp's ready time.
+        let gap = start - self.acct_mc;
+        if gap > 0 {
+            let cls = if dep_mc > self.warps[wi].ready_mc {
+                let dep = op
+                    .waits_on
+                    .expect("dependency-gated op records its producer");
+                let producer = self.grid.ctas[grid_cta].warps[warp_in_cta].ops[dep as usize];
+                StallClass::of_dependency(producer.kind.class())
+            } else {
+                self.warps[wi].wait_class
+            };
+            self.stall_mc[cls.index()] += gap;
+        }
         self.issue_free_mc = start + n_instr * self.issue_cost_mc;
+        self.stall_mc[StallClass::Issue.index()] += n_instr * self.issue_cost_mc;
+        self.acct_mc = self.issue_free_mc;
         self.report.issue_busy_cycles += n_instr * self.issue_cost_mc / MC;
         self.report.class_instructions[op.kind.class().index()] += n_instr;
         // A single warp issues at most one instruction per cycle.
@@ -331,11 +537,17 @@ impl<'a> SmSim<'a> {
         let done_len = {
             let w = &mut self.warps[wi];
             w.ready_mc = issue_end;
+            // Any future gap this warp heads is its own 1-IPC limit:
+            // latency more resident warps would hide.
+            w.wait_class = StallClass::OccupancyWait;
             w.completions.push(completion);
             w.pc += 1;
             w.pc >= self.grid.ctas[grid_cta].warps[warp_in_cta].ops.len()
         };
-        self.now_max_mc = self.now_max_mc.max(completion);
+        if completion >= self.now_max_mc {
+            self.now_max_mc = completion;
+            self.tail_class = StallClass::of_tail(op.kind.class());
+        }
         if done_len {
             self.warps[wi].phase = WarpPhase::Done;
             let run = &mut self.resident[cta_slot];
@@ -374,7 +586,13 @@ pub fn simulate(grid: &GridTrace, cfg: &GpuConfig, sms_used: u32) -> TimingRepor
         let end_mc = sim.run();
         let sm_cycles = end_mc.div_ceil(MC);
         total.per_sm_cycles.push(sm_cycles);
-        total.cycles = total.cycles.max(sm_cycles);
+        // The critical SM defines the launch's cycle count; its stall
+        // partition is the launch's stall partition (first SM wins ties,
+        // deterministically).
+        if sm_cycles > total.cycles {
+            total.cycles = sm_cycles;
+            total.stall_cycles = sim.report.stall_cycles;
+        }
         total.instructions += sim.report.instructions;
         total.global_transactions += sim.report.global_transactions;
         total.shared_replays += sim.report.shared_replays;
@@ -584,6 +802,118 @@ mod tests {
         assert!(r.issue_busy_cycles > 0);
         assert!(r.mem_busy_cycles > 0);
         assert!(r.shared_busy_cycles > 0);
+    }
+
+    #[test]
+    fn stall_attribution_partitions_cycles_exactly() {
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let shapes: Vec<(&str, GridTrace)> = vec![
+            ("alu", one_warp_trace(vec![OpKind::IAlu { n: 100 }])),
+            (
+                "mixed",
+                one_warp_trace(vec![
+                    OpKind::IAlu { n: 7 },
+                    OpKind::Vote,
+                    OpKind::LdGlobal { transactions: 2 },
+                    OpKind::LdShared { replays: 3 },
+                    OpKind::AtomGlobal { transactions: 4 },
+                    OpKind::Bar,
+                ]),
+            ),
+            ("dependent", {
+                let mut wt = WarpTrace::default();
+                let ld = wt.push(OpKind::LdGlobal { transactions: 1 });
+                wt.push_dep(OpKind::Vote, Some(ld));
+                GridTrace {
+                    ctas: vec![CtaTrace {
+                        warps: vec![wt],
+                        shared_bytes: 0,
+                    }],
+                    threads_per_cta: 32,
+                    registers_per_thread: 32,
+                }
+            }),
+        ];
+        for (name, grid) in &shapes {
+            for sms in [1, 4] {
+                let r = simulate(grid, &cfg, sms);
+                assert_eq!(
+                    r.stall_cycles.iter().sum::<u64>(),
+                    r.cycles,
+                    "{name}/{sms} SMs: stall classes must partition the critical SM"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn stall_classes_track_their_causes() {
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        // Dependent load: the consumer's wait lands on MemDependency.
+        let mut wt = WarpTrace::default();
+        let ld = wt.push(OpKind::LdGlobal { transactions: 1 });
+        wt.push_dep(OpKind::Vote, Some(ld));
+        let grid = GridTrace {
+            ctas: vec![CtaTrace {
+                warps: vec![wt],
+                shared_bytes: 0,
+            }],
+            threads_per_cta: 32,
+            registers_per_thread: 32,
+        };
+        let r = simulate(&grid, &cfg, 1);
+        assert!(
+            r.stall_cycles[StallClass::MemDependency.index()] as u32 >= cfg.sm.global_latency / 2,
+            "memory wait must be attributed: {:?}",
+            r.stall_cycles
+        );
+
+        // Slow/fast warp pair at a barrier: the wait shows up as Barrier
+        // or OccupancyWait, never as memory.
+        let mut slow = WarpTrace::default();
+        slow.push(OpKind::IAlu { n: 500 });
+        slow.push(OpKind::Bar);
+        slow.push(OpKind::IAlu { n: 1 });
+        let mut fast = WarpTrace::default();
+        fast.push(OpKind::IAlu { n: 1 });
+        fast.push(OpKind::Bar);
+        fast.push(OpKind::IAlu { n: 1 });
+        let grid = GridTrace {
+            ctas: vec![CtaTrace {
+                warps: vec![slow, fast],
+                shared_bytes: 0,
+            }],
+            threads_per_cta: 64,
+            registers_per_thread: 32,
+        };
+        let r = simulate(&grid, &cfg, 1);
+        assert_eq!(r.stall_cycles.iter().sum::<u64>(), r.cycles);
+        assert_eq!(r.stall_cycles[StallClass::MemDependency.index()], 0);
+
+        // Pure wide ALU work is dominated by issue + occupancy classes.
+        let r = simulate(&one_warp_trace(vec![OpKind::IAlu { n: 1000 }]), &cfg, 1);
+        let covered = r.stall_cycles[StallClass::Issue.index()]
+            + r.stall_cycles[StallClass::OccupancyWait.index()];
+        assert!(
+            covered * 10 >= r.cycles * 9,
+            "ALU stream should be issue/occupancy bound: {:?} of {}",
+            r.stall_cycles,
+            r.cycles
+        );
+    }
+
+    #[test]
+    fn kernel_profile_mirrors_timing_and_merges() {
+        let grid = one_warp_trace(vec![OpKind::IAlu { n: 10 }, OpKind::Bar]);
+        let cfg = GpuGeneration::PascalGtx1080.config();
+        let t = simulate(&grid, &cfg, 1);
+        let mut p = KernelProfile::from_timing("k", &t);
+        assert_eq!(p.cycles, t.cycles);
+        assert_eq!(p.stall_cycles.iter().sum::<u64>(), p.cycles);
+        p.merge(&KernelProfile::from_timing("k", &t));
+        assert_eq!(p.launches, 2);
+        assert_eq!(p.cycles, 2 * t.cycles);
+        assert_eq!(p.stall_cycles.iter().sum::<u64>(), p.cycles);
     }
 
     #[test]

@@ -1,0 +1,123 @@
+//! Observability invariants, checked across crate boundaries.
+//!
+//! Two properties anchor the tracing layer:
+//!
+//! * **Golden determinism** — the exported Perfetto trace is a pure
+//!   function of the configuration. Two identically-configured service
+//!   runs must produce byte-identical JSON (the recorder runs on the
+//!   simulated clock; no wall-clock or randomness may leak in).
+//! * **Exact stall attribution** — for every GPU engine, the per-class
+//!   stall cycles partition the device cycle count: they sum *exactly*
+//!   to [`GpuMatchReport::cycles`], never approximately.
+//!
+//! The CPU baselines (`ListMatcher`, `HashedListMatcher`) execute no
+//! device kernels and carry no `TimingReport`, so the differential
+//! covers the five GPU configurations: matrix, partitioned at 4 and 16
+//! queues, and the hash matcher under both table organisations.
+
+use gpu_msg::{ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig};
+use msg_match::prelude::*;
+use simt_sim::{Gpu, GpuGeneration};
+
+fn traced_config() -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards: 3,
+        arrival_rate: 3.0e6,
+        comms: 2,
+        duration: 0.001,
+        policy: ShardEnginePolicy::Auto(RelaxationConfig::UNORDERED),
+        trace: true,
+        ..Default::default()
+    }
+}
+
+fn run_trace() -> String {
+    let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, traced_config());
+    svc.run();
+    svc.trace_json().expect("tracing was enabled")
+}
+
+#[test]
+fn perfetto_export_is_byte_identical_across_runs() {
+    let (a, b) = (run_trace(), run_trace());
+    assert!(
+        a.contains("\"traceEvents\""),
+        "export must be a trace_event document"
+    );
+    assert!(
+        a.contains("kernel_launch") && a.contains("batch_admission"),
+        "trace must hold kernel and admission spans"
+    );
+    assert_eq!(a, b, "same configuration must export identical bytes");
+}
+
+/// Drive one engine configuration over a workload and check the stall
+/// partition on the merged report.
+fn check_partition(name: &str, report: &GpuMatchReport) {
+    let total: u64 = report.stall_cycles.iter().sum();
+    assert!(report.cycles > 0, "{name}: engine must consume cycles");
+    assert_eq!(
+        total, report.cycles,
+        "{name}: stall classes must partition the cycle count exactly \
+         (breakdown {:?}, cycles {})",
+        report.stall_cycles, report.cycles
+    );
+}
+
+#[test]
+fn stall_classes_partition_cycles_for_every_engine() {
+    let w = WorkloadSpec::unique_tuples(512, 0xB5).generate();
+    let engine = MatchEngine::default();
+
+    for (name, choice) in [
+        ("matrix", EngineChoice::Matrix),
+        ("partitioned/4", EngineChoice::Partitioned { queues: 4 }),
+        ("partitioned/16", EngineChoice::Partitioned { queues: 16 }),
+    ] {
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let report = engine
+            .match_with(&mut gpu, choice, &w.msgs, &w.reqs)
+            .unwrap_or_else(|e| panic!("{name} rejected the workload: {e}"));
+        check_partition(name, &report);
+    }
+
+    for (name, matcher) in [
+        ("hash/two-level", HashMatcher::default()),
+        ("hash/linear-probing", HashMatcher::linear_probing(8)),
+    ] {
+        assert!(matches!(
+            (name, matcher.config.organization),
+            ("hash/two-level", TableOrganization::TwoLevel)
+                | (
+                    "hash/linear-probing",
+                    TableOrganization::LinearProbing { .. }
+                )
+        ));
+        let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+        let report = matcher
+            .match_batch(&mut gpu, &w.msgs, &w.reqs)
+            .unwrap_or_else(|e| panic!("{name} rejected the workload: {e}"));
+        check_partition(name, &report);
+    }
+}
+
+#[test]
+fn per_launch_profiles_sum_to_the_merged_report() {
+    let w = WorkloadSpec::fully_matching(256, 7).generate();
+    let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
+    gpu.enable_tracing(0, 1024);
+    let report = MatchEngine::default()
+        .match_with(&mut gpu, EngineChoice::Matrix, &w.msgs, &w.reqs)
+        .expect("matrix accepts any workload");
+    check_partition("matrix (traced)", &report);
+
+    let rec = gpu.take_recorder().expect("recorder was attached");
+    let kernel_spans = rec
+        .events()
+        .filter(|e| !e.instant && e.category == obs::SpanCategory::KernelLaunch)
+        .count();
+    assert_eq!(
+        kernel_spans, report.launches as usize,
+        "one kernel span per launch"
+    );
+}
