@@ -1,0 +1,28 @@
+//! Fabric protocol sweep: eager threshold × loss rate × reorder skew.
+//! Prints the sweep table, writes the full artefact to
+//! `BENCH_fabric.json` and a traced tiny run to `FABRIC_trace.json`.
+//! Pass `--smoke` for the reduced CI sweep.
+use bench_harness::experiments::fabric_scaling;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        fabric_scaling::SweepConfig::smoke(5)
+    } else {
+        fabric_scaling::SweepConfig::full(5)
+    };
+    let r = fabric_scaling::run(&cfg);
+    print!("{}", fabric_scaling::report(&r).to_text());
+    for (path, contents) in [
+        ("BENCH_fabric.json", fabric_scaling::to_json(&r)),
+        (
+            "FABRIC_trace.json",
+            fabric_scaling::trace_artifact(cfg.seed),
+        ),
+    ] {
+        match std::fs::write(path, &contents) {
+            Ok(()) => println!("wrote {path}"),
+            Err(e) => eprintln!("could not write {path}: {e}"),
+        }
+    }
+}

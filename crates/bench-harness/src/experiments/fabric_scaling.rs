@@ -1,0 +1,376 @@
+//! Fabric protocol sweep: eager threshold × loss rate × reorder skew on
+//! a fixed all-to-all workload over the simulated interconnect.
+//!
+//! The paper's relaxations exist because the wire is not an ideal
+//! in-order memcpy; this sweep quantifies that wire. Each point drives
+//! the identical message mix through a [`fabric::Fabric`] and records
+//! how the protocol split (eager vs RTS/CTS), the injected faults and
+//! the credit flow shape completion time and wire overhead. The full
+//! sweep is exported as `BENCH_fabric.json`; with the same seed the
+//! artefact is byte-identical run to run.
+
+use bytes::Bytes;
+use fabric::{DeliveryOrder, Fabric, FabricConfig, FaultConfig};
+use msg_match::Envelope;
+use serde::{Deserialize, Serialize};
+
+use crate::table::Report;
+
+/// Eager thresholds swept (bytes): everything-rendezvous, the small
+/// payload only, everything-eager.
+pub const DEFAULT_EAGER_THRESHOLDS: [usize; 3] = [0, 256, 4096];
+
+/// Packet drop probabilities swept.
+pub const DEFAULT_DROP_PROBS: [f64; 3] = [0.0, 0.01, 0.05];
+
+/// Reorder skew bounds swept (ns); a non-zero skew also enables a 50%
+/// reorder probability.
+pub const DEFAULT_SKEWS: [u64; 2] = [0, 2_000];
+
+/// Small payload size in the workload mix (eager at the mid threshold).
+pub const SMALL_BYTES: usize = 64;
+
+/// Large payload size in the workload mix (rendezvous below the top
+/// threshold).
+pub const LARGE_BYTES: usize = 2_048;
+
+/// Sweep shape: which protocol/fault axes to cross with the fixed
+/// workload.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Endpoints in the all-to-all.
+    pub ranks: u32,
+    /// Messages per ordered pair (half small, half large).
+    pub msgs_per_pair: u32,
+    /// Fault-injection seed shared by every point.
+    pub seed: u64,
+    /// Eager thresholds to sweep.
+    pub eager_thresholds: Vec<usize>,
+    /// Drop probabilities to sweep.
+    pub drop_probs: Vec<f64>,
+    /// Reorder skew bounds to sweep.
+    pub skews: Vec<u64>,
+}
+
+impl SweepConfig {
+    /// The full default sweep (18 points).
+    pub fn full(seed: u64) -> Self {
+        SweepConfig {
+            ranks: 4,
+            msgs_per_pair: 20,
+            seed,
+            eager_thresholds: DEFAULT_EAGER_THRESHOLDS.to_vec(),
+            drop_probs: DEFAULT_DROP_PROBS.to_vec(),
+            skews: DEFAULT_SKEWS.to_vec(),
+        }
+    }
+
+    /// A tiny sweep for CI smoke runs (4 points, small workload).
+    pub fn smoke(seed: u64) -> Self {
+        SweepConfig {
+            ranks: 3,
+            msgs_per_pair: 6,
+            seed,
+            eager_thresholds: vec![0, 4096],
+            drop_probs: vec![0.0, 0.02],
+            skews: vec![0],
+        }
+    }
+}
+
+/// One sweep point: configuration axes plus the counters the run
+/// produced.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricPoint {
+    /// Eager threshold of this point (bytes).
+    pub eager_threshold: usize,
+    /// Drop probability of this point.
+    pub drop_prob: f64,
+    /// Reorder skew bound of this point (ns).
+    pub reorder_skew_ns: u64,
+    /// Simulated nanoseconds until the fabric quiesced.
+    pub finish_ns: u64,
+    /// Messages submitted.
+    pub messages: u64,
+    /// Messages delivered (must equal `messages`).
+    pub delivered: u64,
+    /// Messages that took the eager path.
+    pub eager: u64,
+    /// Messages that negotiated RTS/CTS.
+    pub rendezvous: u64,
+    /// First transmissions (all packet kinds).
+    pub packets: u64,
+    /// Timeout-driven retransmissions.
+    pub retransmits: u64,
+    /// Packets the fault model dropped.
+    pub drops: u64,
+    /// Duplicate packets the receiver suppressed.
+    pub duplicates_dropped: u64,
+    /// Data packets that waited for a flow-control credit.
+    pub credit_stalls: u64,
+    /// Total nanoseconds spent waiting for credits.
+    pub credit_stall_ns: u64,
+    /// Bytes serialized onto links (headers + retransmits included).
+    pub wire_bytes: u64,
+    /// Application payload bytes carried.
+    pub payload_bytes: u64,
+    /// `wire_bytes / payload_bytes`.
+    pub overhead: f64,
+}
+
+/// The exported artefact: sweep shape + every point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct FabricBenchReport {
+    /// Endpoints in the all-to-all.
+    pub ranks: u32,
+    /// Messages per ordered pair.
+    pub msgs_per_pair: u32,
+    /// Fault-injection seed.
+    pub seed: u64,
+    /// One entry per (threshold, drop, skew) combination.
+    pub points: Vec<FabricPoint>,
+}
+
+/// Drive the fixed all-to-all mix through `net`; returns payload bytes
+/// submitted.
+fn drive(net: &mut Fabric, msgs_per_pair: u32) -> u64 {
+    let ranks = net.ranks();
+    let mut payload_bytes = 0u64;
+    for m in 0..msgs_per_pair {
+        for src in 0..ranks {
+            for dst in 0..ranks {
+                if src == dst {
+                    continue;
+                }
+                let len = if m % 2 == 0 { SMALL_BYTES } else { LARGE_BYTES };
+                payload_bytes += len as u64;
+                let fill = (src * 31 + dst * 7 + m) as u8;
+                net.send(
+                    src,
+                    dst,
+                    Envelope::new(src, m, 0),
+                    Bytes::from(vec![fill; len]),
+                );
+            }
+        }
+    }
+    payload_bytes
+}
+
+fn fabric_config(cfg: &SweepConfig, threshold: usize, drop: f64, skew: u64) -> FabricConfig {
+    FabricConfig {
+        eager_threshold: threshold,
+        seed: cfg.seed,
+        order: DeliveryOrder::PerPairFifo,
+        fault: FaultConfig {
+            drop_prob: drop,
+            duplicate_prob: if drop > 0.0 { drop / 2.0 } else { 0.0 },
+            reorder_prob: if skew > 0 { 0.5 } else { 0.0 },
+            reorder_skew_ns: skew,
+        },
+        ..Default::default()
+    }
+}
+
+/// Run the sweep.
+///
+/// # Panics
+/// Panics if any point fails to quiesce — a lossy fabric that cannot
+/// reproduce the lossless delivery set is a protocol bug, not a data
+/// point.
+pub fn run(cfg: &SweepConfig) -> FabricBenchReport {
+    let mut points = Vec::new();
+    for &threshold in &cfg.eager_thresholds {
+        for &drop in &cfg.drop_probs {
+            for &skew in &cfg.skews {
+                let mut net = Fabric::new(cfg.ranks, fabric_config(cfg, threshold, drop, skew));
+                let payload_bytes = drive(&mut net, cfg.msgs_per_pair);
+                net.run_until_quiescent(60_000_000_000)
+                    .unwrap_or_else(|e| panic!("point thr={threshold} drop={drop}: {e}"));
+                for dst in 0..cfg.ranks {
+                    net.take_deliveries(dst);
+                }
+                let s = net.stats();
+                points.push(FabricPoint {
+                    eager_threshold: threshold,
+                    drop_prob: drop,
+                    reorder_skew_ns: skew,
+                    finish_ns: net.now_ns(),
+                    messages: s.messages_sent,
+                    delivered: s.messages_delivered,
+                    eager: s.eager_messages,
+                    rendezvous: s.rendezvous_messages,
+                    packets: s.packets_sent,
+                    retransmits: s.retransmits,
+                    drops: s.drops_injected,
+                    duplicates_dropped: s.duplicate_packets_dropped,
+                    credit_stalls: s.credit_stalls,
+                    credit_stall_ns: s.credit_stall_ns,
+                    wire_bytes: s.wire_bytes,
+                    payload_bytes,
+                    overhead: s.overhead_ratio(payload_bytes),
+                });
+            }
+        }
+    }
+    FabricBenchReport {
+        ranks: cfg.ranks,
+        msgs_per_pair: cfg.msgs_per_pair,
+        seed: cfg.seed,
+        points,
+    }
+}
+
+/// Render the sweep as a table.
+pub fn report(r: &FabricBenchReport) -> Report {
+    let mut rep = Report::new(
+        format!(
+            "Fabric sweep: eager threshold x loss x skew, {} ranks all-to-all, {} msgs/pair",
+            r.ranks, r.msgs_per_pair
+        ),
+        &[
+            "eager_thr",
+            "drop",
+            "skew_ns",
+            "finish_us",
+            "eager/rndv",
+            "pkts",
+            "retx",
+            "stalls",
+            "wire_KB",
+            "overhead",
+        ],
+    );
+    for p in &r.points {
+        rep.push(vec![
+            p.eager_threshold.to_string(),
+            format!("{:.2}", p.drop_prob),
+            p.reorder_skew_ns.to_string(),
+            format!("{:.1}", p.finish_ns as f64 / 1e3),
+            format!("{}/{}", p.eager, p.rendezvous),
+            p.packets.to_string(),
+            p.retransmits.to_string(),
+            p.credit_stalls.to_string(),
+            format!("{:.1}", p.wire_bytes as f64 / 1024.0),
+            format!("{:.3}", p.overhead),
+        ]);
+    }
+    rep
+}
+
+/// Serialize the artefact (pretty JSON, deterministic byte-for-byte for
+/// a given seed).
+pub fn to_json(r: &FabricBenchReport) -> String {
+    serde::json::to_string_pretty(r)
+}
+
+/// Parse an artefact back (CI schema validation, diffing).
+///
+/// # Errors
+/// Malformed JSON or a mismatched schema.
+pub fn from_json(s: &str) -> Result<FabricBenchReport, String> {
+    serde::json::from_str(s).map_err(|e| format!("BENCH_fabric.json does not parse: {e:?}"))
+}
+
+/// A tiny traced run whose per-link span timeline is exported as
+/// Perfetto-loadable JSON (`FABRIC_trace.json`).
+pub fn trace_artifact(seed: u64) -> String {
+    let cfg = FabricConfig {
+        mtu: 128,
+        credits: 2,
+        trace: true,
+        seed,
+        fault: FaultConfig {
+            drop_prob: 0.1,
+            duplicate_prob: 0.05,
+            reorder_prob: 0.3,
+            reorder_skew_ns: 5_000,
+        },
+        ..Default::default()
+    };
+    let mut net = Fabric::new(2, cfg);
+    for i in 0..8u32 {
+        let len = if i % 2 == 0 { 64 } else { 1536 };
+        net.send(
+            0,
+            1,
+            Envelope::new(0, i, 0),
+            Bytes::from(vec![i as u8; len]),
+        );
+    }
+    net.run_until_quiescent(60_000_000_000)
+        .expect("trace run must quiesce");
+    net.trace_json().expect("tracing is enabled")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_covers_every_combination_and_loses_nothing() {
+        let r = run(&SweepConfig::smoke(5));
+        assert_eq!(r.points.len(), 4);
+        for p in &r.points {
+            assert_eq!(p.delivered, p.messages, "lossy == lossless delivery set");
+            assert!(p.overhead > 1.0, "headers make overhead > 1");
+            match p.eager_threshold {
+                0 => assert_eq!(p.eager, 0, "threshold 0 forces rendezvous"),
+                4096 => assert_eq!(p.rendezvous, 0, "threshold 4096 forces eager"),
+                _ => {}
+            }
+            if p.drop_prob > 0.0 {
+                // (Not retransmits >= drops: a drop that hits a
+                // fault-injected duplicate copy needs no repair.)
+                assert!(p.retransmits > 0, "loss must force some repair");
+            }
+        }
+    }
+
+    #[test]
+    fn artifact_roundtrips_and_is_deterministic() {
+        let a = to_json(&run(&SweepConfig::smoke(5)));
+        let b = to_json(&run(&SweepConfig::smoke(5)));
+        assert_eq!(a, b, "same seed must produce a byte-identical artefact");
+        let parsed = from_json(&a).expect("roundtrip");
+        assert_eq!(parsed.points.len(), 4);
+        let c = to_json(&run(&SweepConfig::smoke(6)));
+        assert_ne!(a, c, "a different seed must show up in the artefact");
+    }
+
+    #[test]
+    fn eager_threshold_trades_packets_for_handshakes() {
+        let r = run(&SweepConfig {
+            drop_probs: vec![0.0],
+            skews: vec![0],
+            ..SweepConfig::smoke(5)
+        });
+        let by_thr = |t: usize| r.points.iter().find(|p| p.eager_threshold == t).unwrap();
+        let rndv = by_thr(0);
+        let eager = by_thr(4096);
+        assert!(
+            rndv.packets > eager.packets,
+            "all-rendezvous pays RTS/CTS packets: {} vs {}",
+            rndv.packets,
+            eager.packets
+        );
+        assert!(
+            rndv.finish_ns > eager.finish_ns,
+            "the handshake round-trip costs time"
+        );
+    }
+
+    #[test]
+    fn trace_artifact_is_perfetto_shaped() {
+        let json = trace_artifact(5);
+        let tree = serde::json::parse_value(&json).expect("trace JSON parses");
+        let events = tree.field("traceEvents").expect("traceEvents key");
+        match events {
+            serde::Value::Array(items) => {
+                assert!(!items.is_empty(), "a lossy traced run must emit spans")
+            }
+            other => panic!("traceEvents must be an array, got {other:?}"),
+        }
+        assert_eq!(json, trace_artifact(5), "trace export is deterministic");
+    }
+}

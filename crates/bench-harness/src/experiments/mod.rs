@@ -15,9 +15,11 @@
 //! | [`scaling`] | rank-0 hotspot depth scaling (related-work check) |
 //! | [`shard_scaling`] | sharded service: sustained rate vs shards × engine |
 //! | [`obs_report`] | traced service run: span timeline, exposition, stalls |
+//! | [`fabric_scaling`] | simulated interconnect: eager threshold × loss × skew |
 
 pub mod ablations;
 pub mod cpu_baseline;
+pub mod fabric_scaling;
 pub mod figure4;
 pub mod figure5;
 pub mod figure6b;

@@ -1,0 +1,215 @@
+//! Fabric configuration: link parameters, protocol thresholds, flow
+//! control, reliability and the fault model.
+
+/// Fault-injection probabilities, applied independently to every packet
+/// traversal (retransmissions included — the wire does not know a
+/// retransmit from a first attempt).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Probability a traversal is silently dropped.
+    pub drop_prob: f64,
+    /// Probability a traversal is duplicated (a second copy arrives
+    /// after an extra skew delay).
+    pub duplicate_prob: f64,
+    /// Probability a traversal picks up extra delivery skew, letting a
+    /// later packet overtake it.
+    pub reorder_prob: f64,
+    /// Upper bound on the extra skew, in nanoseconds. Reordering is
+    /// therefore *bounded*: a packet arrives at most this much later
+    /// than its fault-free delivery time.
+    pub reorder_skew_ns: u64,
+}
+
+impl FaultConfig {
+    /// A perfectly clean wire.
+    pub const NONE: FaultConfig = FaultConfig {
+        drop_prob: 0.0,
+        duplicate_prob: 0.0,
+        reorder_prob: 0.0,
+        reorder_skew_ns: 0,
+    };
+
+    /// True when no fault can ever fire.
+    pub fn is_lossless(&self) -> bool {
+        self.drop_prob == 0.0 && self.duplicate_prob == 0.0 && self.reorder_prob == 0.0
+    }
+}
+
+impl Default for FaultConfig {
+    fn default() -> Self {
+        FaultConfig::NONE
+    }
+}
+
+/// What order completed messages are released to the destination in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeliveryOrder {
+    /// Release messages of each `(src, dst)` channel strictly in send
+    /// order, holding back any that complete early — the transport
+    /// itself restores per-pair FIFO, which is what a full-MPI matching
+    /// domain requires of its wire.
+    PerPairFifo,
+    /// Release every message the moment its last fragment arrives.
+    /// Out-of-order wire behaviour becomes visible to the layer above —
+    /// the regime the paper's no-ordering relaxation targets, where
+    /// tags (or a user-level reorder buffer) disambiguate.
+    Unordered,
+}
+
+/// Complete fabric configuration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FabricConfig {
+    /// Maximum payload bytes per data packet; larger messages fragment.
+    pub mtu: usize,
+    /// Payloads at or below this many bytes ship eagerly; larger ones
+    /// negotiate RTS/CTS first.
+    pub eager_threshold: usize,
+    /// Propagation latency per link traversal, in nanoseconds.
+    pub link_latency_ns: u64,
+    /// Serialization rate in bytes per nanosecond (1.0 = 1 GB/s).
+    pub bandwidth_bytes_per_ns: f64,
+    /// Data-packet credits per `(src, dst)` channel — slots in the
+    /// destination's landing queue. A credit is consumed at first
+    /// transmission and returned when the packet is first acknowledged.
+    pub credits: u32,
+    /// Initial retransmission timeout, in nanoseconds.
+    pub retransmit_timeout_ns: u64,
+    /// Timeout multiplier applied per retry (exponential backoff).
+    pub backoff: u32,
+    /// Retransmissions allowed per packet before the fabric declares it
+    /// dead (surfaces as an error from [`crate::Fabric::run_until_quiescent`]).
+    pub max_retransmits: u32,
+    /// Release order for completed messages.
+    pub order: DeliveryOrder,
+    /// Receiver-side duplicate suppression. `true` models a reliable
+    /// exactly-once transport. `false` models an at-least-once wire:
+    /// duplicate single-fragment packets are re-delivered upward, so the
+    /// layer above (e.g. `gpu_msg::ReorderBuffer`) must drop them.
+    pub dedup: bool,
+    /// Seed for the fault-injection RNG.
+    pub seed: u64,
+    /// Fault model applied per traversal.
+    pub fault: FaultConfig,
+    /// Record per-link span timelines (packet flights, retransmits,
+    /// credit stalls, faults) for Perfetto export.
+    pub trace: bool,
+    /// Per-link recorder capacity when tracing.
+    pub trace_capacity: usize,
+}
+
+impl Default for FabricConfig {
+    fn default() -> Self {
+        FabricConfig {
+            mtu: 256,
+            eager_threshold: 1024,
+            link_latency_ns: 500,
+            bandwidth_bytes_per_ns: 16.0,
+            credits: 8,
+            retransmit_timeout_ns: 20_000,
+            backoff: 2,
+            max_retransmits: 16,
+            order: DeliveryOrder::PerPairFifo,
+            dedup: true,
+            seed: 0,
+            fault: FaultConfig::NONE,
+            trace: false,
+            trace_capacity: 4096,
+        }
+    }
+}
+
+impl FabricConfig {
+    /// Sanity-check the configuration.
+    ///
+    /// # Errors
+    /// Zero MTU, zero credits, non-positive bandwidth, a zero timeout or
+    /// an out-of-range probability.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.mtu == 0 {
+            return Err("mtu must be at least 1 byte".into());
+        }
+        if self.credits == 0 {
+            return Err("credit-based flow control needs at least 1 credit".into());
+        }
+        if self.bandwidth_bytes_per_ns.is_nan() || self.bandwidth_bytes_per_ns <= 0.0 {
+            return Err("bandwidth must be positive".into());
+        }
+        if self.retransmit_timeout_ns == 0 {
+            return Err("retransmit timeout must be non-zero".into());
+        }
+        if self.backoff == 0 {
+            return Err("backoff multiplier must be at least 1".into());
+        }
+        for (name, p) in [
+            ("drop_prob", self.fault.drop_prob),
+            ("duplicate_prob", self.fault.duplicate_prob),
+            ("reorder_prob", self.fault.reorder_prob),
+        ] {
+            if !(0.0..=1.0).contains(&p) {
+                return Err(format!("{name} must lie in [0, 1], got {p}"));
+            }
+        }
+        if self.fault.drop_prob >= 1.0 {
+            return Err("drop_prob 1.0 can never deliver anything".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        FabricConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn validation_rejects_degenerate_configs() {
+        for broken in [
+            FabricConfig {
+                mtu: 0,
+                ..Default::default()
+            },
+            FabricConfig {
+                credits: 0,
+                ..Default::default()
+            },
+            FabricConfig {
+                bandwidth_bytes_per_ns: 0.0,
+                ..Default::default()
+            },
+            FabricConfig {
+                retransmit_timeout_ns: 0,
+                ..Default::default()
+            },
+            FabricConfig {
+                fault: FaultConfig {
+                    drop_prob: 1.0,
+                    ..FaultConfig::NONE
+                },
+                ..Default::default()
+            },
+            FabricConfig {
+                fault: FaultConfig {
+                    reorder_prob: 1.5,
+                    ..FaultConfig::NONE
+                },
+                ..Default::default()
+            },
+        ] {
+            assert!(broken.validate().is_err(), "{broken:?} must be rejected");
+        }
+    }
+
+    #[test]
+    fn lossless_predicate() {
+        assert!(FaultConfig::NONE.is_lossless());
+        assert!(!FaultConfig {
+            duplicate_prob: 0.1,
+            ..FaultConfig::NONE
+        }
+        .is_lossless());
+    }
+}

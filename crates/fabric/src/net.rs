@@ -1,0 +1,1100 @@
+//! The fabric itself: a deterministic discrete-event simulation of a
+//! packetized interconnect.
+//!
+//! One [`Fabric`] models the node's full mesh of directed links. All
+//! state advances through a single event heap ordered by `(time, event
+//! id)`, and all randomness comes from one seeded generator, so a run is
+//! a pure function of `(config, call sequence)` — the determinism tests
+//! and the bench JSON rely on that.
+//!
+//! ## Protocol summary
+//!
+//! *Eager* (payload ≤ threshold): fragments ship immediately, each
+//! consuming a flow-control credit. *Rendezvous* (payload > threshold):
+//! an RTS announces the message; the receiver answers CTS (which doubles
+//! as the RTS ack); data then flows like the eager path. Every data
+//! packet is individually acknowledged (selective repeat). Unacked
+//! sequenced packets retransmit on timeout with exponential backoff
+//! until [`FabricConfig::max_retransmits`] is exhausted, at which point
+//! the packet is declared dead and surfaces as an error.
+//!
+//! Credits model slots in the destination's landing queue: consumed at
+//! first transmission, returned when the first acknowledgement arrives
+//! (or on packet death, so a lossy run cannot deadlock the channel).
+
+use std::cmp::Reverse;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap, HashMap, VecDeque};
+
+use bytes::Bytes;
+use msg_match::Envelope;
+use obs::{ArgValue, SpanCategory, SpanRecorder};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{DeliveryOrder, FabricConfig};
+use crate::packet::{Packet, PacketBody};
+use crate::stats::FabricStats;
+
+/// A message released to its destination endpoint.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Delivery {
+    /// Sending endpoint.
+    pub src: u32,
+    /// Receiving endpoint.
+    pub dst: u32,
+    /// Per-`(src, dst)` message index — the sequence a user-level
+    /// reorder buffer consumes under [`DeliveryOrder::Unordered`].
+    pub msg_seq: u64,
+    /// Matching header.
+    pub envelope: Envelope,
+    /// Reassembled payload.
+    pub payload: Bytes,
+    /// True when this is a re-delivery of an already-delivered message
+    /// (only possible with [`FabricConfig::dedup`] disabled).
+    pub duplicate: bool,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(Packet),
+    Timeout { src: u32, dst: u32, seq: u64 },
+}
+
+#[derive(Debug)]
+struct Scheduled {
+    at_ns: u64,
+    eid: u64,
+    event: Event,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.at_ns == other.at_ns && self.eid == other.eid
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.at_ns, self.eid).cmp(&(other.at_ns, other.eid))
+    }
+}
+
+#[derive(Debug)]
+struct Outstanding {
+    packet: Packet,
+    retries: u32,
+    rto_ns: u64,
+    credited: bool,
+}
+
+#[derive(Debug)]
+struct SenderChannel {
+    next_seq: u64,
+    next_msg_seq: u64,
+    credits: u32,
+    unacked: BTreeMap<u64, Outstanding>,
+    /// Data packets waiting for a credit, with their enqueue time.
+    stalled: VecDeque<(u64, Packet)>,
+    /// Rendezvous payloads awaiting CTS, keyed by message index.
+    pending_rendezvous: BTreeMap<u64, (Envelope, Bytes)>,
+}
+
+impl SenderChannel {
+    fn new(credits: u32) -> Self {
+        SenderChannel {
+            next_seq: 0,
+            next_msg_seq: 0,
+            credits,
+            unacked: BTreeMap::new(),
+            stalled: VecDeque::new(),
+            pending_rendezvous: BTreeMap::new(),
+        }
+    }
+
+    fn idle(&self) -> bool {
+        self.unacked.is_empty() && self.stalled.is_empty() && self.pending_rendezvous.is_empty()
+    }
+}
+
+#[derive(Debug)]
+struct Reassembly {
+    envelope: Envelope,
+    frags: Vec<Option<Bytes>>,
+    received: u32,
+}
+
+impl Reassembly {
+    fn concat(self) -> Bytes {
+        let mut frags = self.frags;
+        if frags.len() == 1 {
+            return frags.pop().flatten().unwrap_or_default();
+        }
+        let mut out = Vec::new();
+        for f in frags {
+            out.extend_from_slice(&f.expect("complete reassembly has every fragment"));
+        }
+        Bytes::from(out)
+    }
+}
+
+#[derive(Debug, Default)]
+struct ReceiverChannel {
+    /// Every reliability sequence below this has been received.
+    seen_floor: u64,
+    /// Received sequences at or above the floor.
+    seen: BTreeSet<u64>,
+    /// Partially reassembled messages, keyed by message index.
+    reassembly: BTreeMap<u64, Reassembly>,
+    /// FIFO mode: next message index to release.
+    next_deliver: u64,
+    /// FIFO mode: completed messages held for order.
+    stash: BTreeMap<u64, (Envelope, Bytes)>,
+}
+
+impl ReceiverChannel {
+    /// Record a sequenced packet; false when it is a duplicate.
+    fn mark_seen(&mut self, seq: u64) -> bool {
+        if seq < self.seen_floor || self.seen.contains(&seq) {
+            return false;
+        }
+        self.seen.insert(seq);
+        while self.seen.remove(&self.seen_floor) {
+            self.seen_floor += 1;
+        }
+        true
+    }
+
+    fn idle(&self) -> bool {
+        self.reassembly.is_empty() && self.stash.is_empty()
+    }
+}
+
+/// Deterministic simulated interconnect between `ranks` endpoints.
+pub struct Fabric {
+    cfg: FabricConfig,
+    ranks: u32,
+    now_ns: u64,
+    next_eid: u64,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    senders: HashMap<(u32, u32), SenderChannel>,
+    receivers: HashMap<(u32, u32), ReceiverChannel>,
+    /// Per directed link: when the serializer frees up.
+    link_busy: HashMap<(u32, u32), u64>,
+    inboxes: Vec<Vec<Delivery>>,
+    rng: StdRng,
+    stats: FabricStats,
+    /// Per-link trace recorders (BTreeMap: deterministic export order).
+    recorders: BTreeMap<(u32, u32), SpanRecorder>,
+    /// Human-readable records of packets that exhausted retransmission.
+    dead: Vec<String>,
+}
+
+impl Fabric {
+    /// A fabric connecting `ranks` endpoints pairwise.
+    ///
+    /// # Panics
+    /// Panics on an invalid configuration (see
+    /// [`FabricConfig::validate`]) or zero ranks.
+    pub fn new(ranks: u32, cfg: FabricConfig) -> Self {
+        assert!(ranks > 0, "a fabric needs at least one endpoint");
+        cfg.validate().expect("invalid fabric config");
+        Fabric {
+            cfg,
+            ranks,
+            now_ns: 0,
+            next_eid: 0,
+            heap: BinaryHeap::new(),
+            senders: HashMap::new(),
+            receivers: HashMap::new(),
+            link_busy: HashMap::new(),
+            inboxes: (0..ranks).map(|_| Vec::new()).collect(),
+            rng: StdRng::seed_from_u64(cfg.seed),
+            stats: FabricStats::default(),
+            recorders: BTreeMap::new(),
+            dead: Vec::new(),
+        }
+    }
+
+    /// Number of endpoints.
+    pub fn ranks(&self) -> u32 {
+        self.ranks
+    }
+
+    /// Current simulated time in nanoseconds.
+    pub fn now_ns(&self) -> u64 {
+        self.now_ns
+    }
+
+    /// Aggregate counters.
+    pub fn stats(&self) -> FabricStats {
+        self.stats
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &FabricConfig {
+        &self.cfg
+    }
+
+    /// Packets that exhausted their retransmission budget (empty on a
+    /// healthy run).
+    pub fn errors(&self) -> &[String] {
+        &self.dead
+    }
+
+    /// Inject `payload` from `src` to `dst` at the current simulated
+    /// time. Eager or rendezvous is chosen by
+    /// [`FabricConfig::eager_threshold`].
+    ///
+    /// # Panics
+    /// Panics on out-of-range ranks or a self-send.
+    pub fn send(&mut self, src: u32, dst: u32, envelope: Envelope, payload: Bytes) {
+        assert!(src < self.ranks && dst < self.ranks, "rank out of range");
+        assert_ne!(src, dst, "the fabric links distinct endpoints");
+        self.stats.messages_sent += 1;
+        let key = (src, dst);
+        let credits = self.cfg.credits;
+        let ch = self
+            .senders
+            .entry(key)
+            .or_insert_with(|| SenderChannel::new(credits));
+        let msg_seq = ch.next_msg_seq;
+        ch.next_msg_seq += 1;
+        if payload.len() <= self.cfg.eager_threshold {
+            self.stats.eager_messages += 1;
+            self.queue_message_data(key, msg_seq, envelope, payload);
+        } else {
+            self.stats.rendezvous_messages += 1;
+            let seq = ch.next_seq;
+            ch.next_seq += 1;
+            ch.pending_rendezvous
+                .insert(msg_seq, (envelope, payload.clone()));
+            let rts = Packet {
+                src,
+                dst,
+                seq,
+                body: PacketBody::Rts {
+                    msg_seq,
+                    total_len: payload.len(),
+                    envelope,
+                },
+            };
+            self.track_unacked(key, rts.clone(), false);
+            self.transmit(rts, false);
+        }
+    }
+
+    /// Fragment `payload` and enqueue its data packets (credits gate
+    /// each packet's transmission).
+    fn queue_message_data(
+        &mut self,
+        key: (u32, u32),
+        msg_seq: u64,
+        envelope: Envelope,
+        payload: Bytes,
+    ) {
+        let bytes = payload.to_vec();
+        let frags = bytes.len().div_ceil(self.cfg.mtu).max(1) as u32;
+        let ch = self.senders.get_mut(&key).expect("channel exists");
+        let base_seq = ch.next_seq;
+        ch.next_seq += frags as u64;
+        for frag in 0..frags {
+            let lo = frag as usize * self.cfg.mtu;
+            let hi = (lo + self.cfg.mtu).min(bytes.len());
+            let chunk = Bytes::from(bytes[lo.min(bytes.len())..hi].to_vec());
+            let pkt = Packet {
+                src: key.0,
+                dst: key.1,
+                seq: base_seq + frag as u64,
+                body: PacketBody::Data {
+                    msg_seq,
+                    frag,
+                    frags,
+                    total_len: bytes.len(),
+                    envelope,
+                    chunk,
+                },
+            };
+            let ch = self.senders.get_mut(&key).expect("channel exists");
+            if ch.credits == 0 || !ch.stalled.is_empty() {
+                self.stats.credit_stalls += 1;
+                let now = self.now_ns;
+                ch.stalled.push_back((now, pkt));
+                continue;
+            }
+            ch.credits -= 1;
+            self.track_unacked(key, pkt.clone(), true);
+            self.transmit(pkt, false);
+        }
+    }
+
+    /// Release stalled data packets while credits allow.
+    fn release_stalled(&mut self, key: (u32, u32)) {
+        loop {
+            let (waited_since, pkt) = {
+                let ch = self.senders.get_mut(&key).expect("channel exists");
+                if ch.credits == 0 || ch.stalled.is_empty() {
+                    return;
+                }
+                ch.credits -= 1;
+                ch.stalled.pop_front().expect("non-empty")
+            };
+            let stall_ns = self.now_ns - waited_since;
+            self.stats.credit_stall_ns += stall_ns;
+            let seq = pkt.seq;
+            if let Some(rec) = self.rec(key) {
+                rec.record_complete(
+                    SpanCategory::CreditStall,
+                    "credit_stall",
+                    waited_since,
+                    stall_ns,
+                    vec![("seq", ArgValue::U64(seq))],
+                );
+            }
+            self.track_unacked(key, pkt.clone(), true);
+            self.transmit(pkt, false);
+        }
+    }
+
+    /// Register a sequenced packet as unacknowledged and arm its timer.
+    fn track_unacked(&mut self, key: (u32, u32), packet: Packet, credited: bool) {
+        debug_assert!(packet.is_sequenced());
+        let rto = self.cfg.retransmit_timeout_ns;
+        let seq = packet.seq;
+        let ch = self.senders.get_mut(&key).expect("channel exists");
+        ch.unacked.insert(
+            seq,
+            Outstanding {
+                packet,
+                retries: 0,
+                rto_ns: rto,
+                credited,
+            },
+        );
+        self.schedule(
+            self.now_ns + rto,
+            Event::Timeout {
+                src: key.0,
+                dst: key.1,
+                seq,
+            },
+        );
+    }
+
+    fn schedule(&mut self, at_ns: u64, event: Event) {
+        let eid = self.next_eid;
+        self.next_eid += 1;
+        self.heap.push(Reverse(Scheduled { at_ns, eid, event }));
+    }
+
+    /// Per-link trace recorder, clock pinned to the fabric's `now`.
+    fn rec(&mut self, key: (u32, u32)) -> Option<&mut SpanRecorder> {
+        if !self.cfg.trace {
+            return None;
+        }
+        let track = key.0 * self.ranks + key.1;
+        let capacity = self.cfg.trace_capacity;
+        let now = self.now_ns;
+        let rec = self
+            .recorders
+            .entry(key)
+            .or_insert_with(|| SpanRecorder::new(track, capacity));
+        rec.set_now_ns(now);
+        Some(rec)
+    }
+
+    /// Put one packet on its link: serialize, apply faults, schedule
+    /// arrival(s), trace the flight.
+    fn transmit(&mut self, pkt: Packet, retransmit: bool) {
+        let key = (pkt.src, pkt.dst);
+        let wire = pkt.wire_bytes() as u64;
+        let busy = self.link_busy.entry(key).or_insert(0);
+        let start = self.now_ns.max(*busy);
+        let ser = (wire as f64 / self.cfg.bandwidth_bytes_per_ns).ceil() as u64;
+        *busy = start + ser;
+        self.stats.wire_bytes += wire;
+        if retransmit {
+            self.stats.retransmits += 1;
+            if let Some(rec) = self.rec(key) {
+                rec.record_instant(
+                    SpanCategory::Retransmit,
+                    "retransmit",
+                    vec![("seq", ArgValue::U64(pkt.seq))],
+                );
+            }
+        } else {
+            self.stats.packets_sent += 1;
+            if pkt.needs_credit() {
+                self.stats.data_packets += 1;
+            } else {
+                self.stats.control_packets += 1;
+            }
+        }
+
+        let base = start + ser + self.cfg.link_latency_ns;
+        let fault = self.cfg.fault;
+        let mut arrivals: Vec<u64> = Vec::new();
+        if fault.drop_prob > 0.0 && self.rng.gen_bool(fault.drop_prob) {
+            self.stats.drops_injected += 1;
+            if let Some(rec) = self.rec(key) {
+                rec.record_instant(
+                    SpanCategory::Fault,
+                    "drop",
+                    vec![("seq", ArgValue::U64(pkt.seq))],
+                );
+            }
+        } else {
+            let mut at = base;
+            if fault.reorder_prob > 0.0 && self.rng.gen_bool(fault.reorder_prob) {
+                let skew = if fault.reorder_skew_ns == 0 {
+                    0
+                } else {
+                    self.rng.gen_range(1..=fault.reorder_skew_ns)
+                };
+                at += skew;
+                self.stats.reorders_injected += 1;
+                if let Some(rec) = self.rec(key) {
+                    rec.record_instant(
+                        SpanCategory::Fault,
+                        "reorder",
+                        vec![
+                            ("seq", ArgValue::U64(pkt.seq)),
+                            ("skew_ns", ArgValue::U64(skew)),
+                        ],
+                    );
+                }
+            }
+            arrivals.push(at);
+        }
+        if fault.duplicate_prob > 0.0 && self.rng.gen_bool(fault.duplicate_prob) {
+            let extra = if fault.reorder_skew_ns == 0 {
+                self.cfg.link_latency_ns.max(1)
+            } else {
+                self.rng.gen_range(1..=fault.reorder_skew_ns)
+            };
+            arrivals.push(base + extra);
+            self.stats.duplicates_injected += 1;
+            if let Some(rec) = self.rec(key) {
+                rec.record_instant(
+                    SpanCategory::Fault,
+                    "duplicate",
+                    vec![("seq", ArgValue::U64(pkt.seq))],
+                );
+            }
+        }
+        for at in arrivals {
+            let name = pkt.kind_label();
+            let seq = pkt.seq;
+            if let Some(rec) = self.rec(key) {
+                rec.record_complete(
+                    SpanCategory::PacketFlight,
+                    name,
+                    start,
+                    at - start,
+                    vec![("seq", ArgValue::U64(seq)), ("bytes", ArgValue::U64(wire))],
+                );
+            }
+            self.schedule(at, Event::Arrival(pkt.clone()));
+        }
+    }
+
+    fn handle(&mut self, event: Event) {
+        match event {
+            Event::Arrival(pkt) => self.arrive(pkt),
+            Event::Timeout { src, dst, seq } => self.fire_timeout((src, dst), seq),
+        }
+    }
+
+    fn fire_timeout(&mut self, key: (u32, u32), seq: u64) {
+        let Some(ch) = self.senders.get_mut(&key) else {
+            return;
+        };
+        let Some(out) = ch.unacked.get_mut(&seq) else {
+            return; // acknowledged in the meantime — stale timer
+        };
+        if out.retries >= self.cfg.max_retransmits {
+            let out = ch.unacked.remove(&seq).expect("present");
+            if out.credited {
+                ch.credits += 1;
+            }
+            // The rendezvous payload (if any) will never be granted.
+            if let PacketBody::Rts { msg_seq, .. } = out.packet.body {
+                ch.pending_rendezvous.remove(&msg_seq);
+            }
+            self.stats.exhausted_retries += 1;
+            self.dead.push(format!(
+                "packet seq {seq} on link {}->{} dead after {} retransmits",
+                key.0, key.1, out.retries
+            ));
+            self.release_stalled(key);
+            return;
+        }
+        out.retries += 1;
+        out.rto_ns = out.rto_ns.saturating_mul(self.cfg.backoff as u64);
+        let pkt = out.packet.clone();
+        let next_deadline = self.now_ns + out.rto_ns;
+        self.schedule(
+            next_deadline,
+            Event::Timeout {
+                src: key.0,
+                dst: key.1,
+                seq,
+            },
+        );
+        self.transmit(pkt, true);
+    }
+
+    fn arrive(&mut self, pkt: Packet) {
+        match pkt.body.clone() {
+            PacketBody::Ack { data_seq } => {
+                let key = (pkt.dst, pkt.src);
+                let mut freed_credit = false;
+                if let Some(ch) = self.senders.get_mut(&key) {
+                    if let Some(out) = ch.unacked.remove(&data_seq) {
+                        if out.credited {
+                            ch.credits += 1;
+                            freed_credit = true;
+                        }
+                    }
+                }
+                if freed_credit {
+                    self.release_stalled(key);
+                }
+            }
+            PacketBody::Cts { msg_seq, rts_seq } => {
+                let key = (pkt.dst, pkt.src);
+                let granted = {
+                    let Some(ch) = self.senders.get_mut(&key) else {
+                        return;
+                    };
+                    ch.unacked.remove(&rts_seq);
+                    ch.pending_rendezvous.remove(&msg_seq)
+                };
+                if let Some((envelope, payload)) = granted {
+                    self.queue_message_data(key, msg_seq, envelope, payload);
+                }
+            }
+            PacketBody::Rts { msg_seq, .. } => {
+                let key = (pkt.src, pkt.dst);
+                let fresh = self.receivers.entry(key).or_default().mark_seen(pkt.seq);
+                if !fresh {
+                    self.stats.duplicate_packets_dropped += 1;
+                }
+                // Grant (or re-grant) unconditionally: CTS is the RTS
+                // ack, and a duplicate RTS means the first CTS was lost.
+                self.stats.acks_sent += 1;
+                let cts = Packet {
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    seq: pkt.seq,
+                    body: PacketBody::Cts {
+                        msg_seq,
+                        rts_seq: pkt.seq,
+                    },
+                };
+                self.transmit(cts, false);
+            }
+            PacketBody::Data {
+                msg_seq,
+                frag,
+                frags,
+                total_len: _,
+                envelope,
+                chunk,
+            } => {
+                let key = (pkt.src, pkt.dst);
+                // Selective repeat: every data packet is acked, duplicates
+                // included (the original ack may have been lost).
+                self.stats.acks_sent += 1;
+                let ack = Packet {
+                    src: pkt.dst,
+                    dst: pkt.src,
+                    seq: pkt.seq,
+                    body: PacketBody::Ack { data_seq: pkt.seq },
+                };
+                self.transmit(ack, false);
+
+                let fresh = self.receivers.entry(key).or_default().mark_seen(pkt.seq);
+                if !fresh {
+                    self.stats.duplicate_packets_dropped += 1;
+                    if !self.cfg.dedup && frags == 1 {
+                        // At-least-once modelling: hand the duplicate up
+                        // (bypassing FIFO release — a real duplicate does
+                        // not wait its turn twice) for the layer above to
+                        // suppress.
+                        self.stats.duplicate_deliveries += 1;
+                        self.inboxes[key.1 as usize].push(Delivery {
+                            src: key.0,
+                            dst: key.1,
+                            msg_seq,
+                            envelope,
+                            payload: chunk,
+                            duplicate: true,
+                        });
+                    }
+                    return;
+                }
+                let rch = self.receivers.get_mut(&key).expect("channel exists");
+                let entry = rch.reassembly.entry(msg_seq).or_insert_with(|| Reassembly {
+                    envelope,
+                    frags: vec![None; frags as usize],
+                    received: 0,
+                });
+                if entry.frags[frag as usize].is_none() {
+                    entry.frags[frag as usize] = Some(chunk);
+                    entry.received += 1;
+                }
+                if entry.received == frags {
+                    let done = rch.reassembly.remove(&msg_seq).expect("present");
+                    let env = done.envelope;
+                    let payload = done.concat();
+                    self.route_completed(key, msg_seq, env, payload);
+                }
+            }
+        }
+    }
+
+    /// A message finished reassembling: release it now (unordered) or
+    /// in per-pair send order (FIFO).
+    fn route_completed(
+        &mut self,
+        key: (u32, u32),
+        msg_seq: u64,
+        envelope: Envelope,
+        payload: Bytes,
+    ) {
+        match self.cfg.order {
+            DeliveryOrder::Unordered => self.deliver(key, msg_seq, envelope, payload),
+            DeliveryOrder::PerPairFifo => {
+                let rch = self.receivers.get_mut(&key).expect("channel exists");
+                if msg_seq != rch.next_deliver {
+                    rch.stash.insert(msg_seq, (envelope, payload));
+                    return;
+                }
+                rch.next_deliver += 1;
+                self.deliver(key, msg_seq, envelope, payload);
+                loop {
+                    let rch = self.receivers.get_mut(&key).expect("channel exists");
+                    let next = rch.next_deliver;
+                    let Some((env, pay)) = rch.stash.remove(&next) else {
+                        return;
+                    };
+                    rch.next_deliver += 1;
+                    self.deliver(key, next, env, pay);
+                }
+            }
+        }
+    }
+
+    fn deliver(&mut self, key: (u32, u32), msg_seq: u64, envelope: Envelope, payload: Bytes) {
+        self.stats.messages_delivered += 1;
+        self.inboxes[key.1 as usize].push(Delivery {
+            src: key.0,
+            dst: key.1,
+            msg_seq,
+            envelope,
+            payload,
+            duplicate: false,
+        });
+    }
+
+    /// Drain the messages delivered to `dst` so far, in delivery order.
+    pub fn take_deliveries(&mut self, dst: u32) -> Vec<Delivery> {
+        std::mem::take(&mut self.inboxes[dst as usize])
+    }
+
+    /// Process every event due within the next `dt_ns` nanoseconds and
+    /// advance the clock to `now + dt_ns`.
+    pub fn advance(&mut self, dt_ns: u64) {
+        let target = self.now_ns + dt_ns;
+        while let Some(Reverse(top)) = self.heap.peek() {
+            if top.at_ns > target {
+                break;
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now_ns = ev.at_ns;
+            self.handle(ev.event);
+        }
+        self.now_ns = target;
+    }
+
+    /// True when no transfer work is outstanding anywhere: no unacked
+    /// or stalled packets, no pending rendezvous, no partial
+    /// reassemblies, no stashed-for-order messages. Undrained inboxes
+    /// do not count — the consumer owns those.
+    pub fn in_flight_idle(&self) -> bool {
+        self.senders.values().all(SenderChannel::idle)
+            && self.receivers.values().all(ReceiverChannel::idle)
+    }
+
+    /// [`Self::in_flight_idle`] plus every inbox drained.
+    pub fn quiescent(&self) -> bool {
+        self.in_flight_idle() && self.inboxes.iter().all(Vec::is_empty)
+    }
+
+    /// Drive the event loop until no transfer work is outstanding.
+    ///
+    /// # Errors
+    /// Fails if quiescence needs more than `budget_ns` of simulated
+    /// time, if work is outstanding with no event scheduled (a protocol
+    /// bug), or if any packet exhausted its retransmission budget.
+    pub fn run_until_quiescent(&mut self, budget_ns: u64) -> Result<(), String> {
+        let deadline = self.now_ns.saturating_add(budget_ns);
+        while !self.in_flight_idle() {
+            let Some(Reverse(top)) = self.heap.peek() else {
+                return Err("fabric stuck: transfers outstanding but no events scheduled".into());
+            };
+            if top.at_ns > deadline {
+                return Err(format!(
+                    "fabric did not quiesce within {budget_ns} ns (next event at {} ns)",
+                    top.at_ns
+                ));
+            }
+            let Reverse(ev) = self.heap.pop().expect("peeked");
+            self.now_ns = ev.at_ns;
+            self.handle(ev.event);
+        }
+        if self.dead.is_empty() {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} packet(s) exhausted retransmission: {}",
+                self.dead.len(),
+                self.dead.join("; ")
+            ))
+        }
+    }
+
+    /// Export the per-link span timelines as Chrome `trace_event` JSON.
+    /// `None` unless [`FabricConfig::trace`] was set.
+    pub fn trace_json(&self) -> Option<String> {
+        if !self.cfg.trace {
+            return None;
+        }
+        let tracks: Vec<(String, &SpanRecorder)> = self
+            .recorders
+            .iter()
+            .map(|((s, d), rec)| (format!("link {s}\u{2192}{d}"), rec))
+            .collect();
+        Some(obs::perfetto::export(&tracks))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FaultConfig;
+
+    fn env(src: u32, tag: u32) -> Envelope {
+        Envelope::new(src, tag, 0)
+    }
+
+    fn payload(n: usize, fill: u8) -> Bytes {
+        Bytes::from(vec![fill; n])
+    }
+
+    #[test]
+    fn eager_single_fragment_delivers() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        f.send(0, 1, env(0, 7), Bytes::from_static(b"hi"));
+        f.run_until_quiescent(10_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(&got[0].payload[..], b"hi");
+        assert_eq!(got[0].msg_seq, 0);
+        assert_eq!(f.stats().eager_messages, 1);
+        assert_eq!(f.stats().rendezvous_messages, 0);
+        assert!(f.quiescent());
+    }
+
+    #[test]
+    fn large_payload_takes_rendezvous_and_fragments() {
+        let cfg = FabricConfig {
+            mtu: 64,
+            eager_threshold: 128,
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        let data: Vec<u8> = (0..1000u32).map(|i| i as u8).collect();
+        f.send(0, 1, env(0, 1), Bytes::from(data.clone()));
+        f.run_until_quiescent(100_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert_eq!(got.len(), 1);
+        assert_eq!(
+            got[0].payload.to_vec(),
+            data,
+            "fragments reassemble in order"
+        );
+        let s = f.stats();
+        assert_eq!(s.rendezvous_messages, 1);
+        assert_eq!(
+            s.data_packets,
+            1000u64.div_ceil(64),
+            "ceil(len/mtu) fragments"
+        );
+    }
+
+    #[test]
+    fn zero_length_payload_still_travels() {
+        let mut f = Fabric::new(2, FabricConfig::default());
+        f.send(0, 1, env(0, 9), Bytes::new());
+        f.run_until_quiescent(10_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert_eq!(got.len(), 1);
+        assert!(got[0].payload.is_empty());
+    }
+
+    #[test]
+    fn credits_bound_in_flight_data() {
+        let cfg = FabricConfig {
+            mtu: 16,
+            credits: 2,
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        f.send(0, 1, env(0, 1), payload(160, 0xAB)); // 10 fragments, 2 credits
+        assert!(
+            f.stats().credit_stalls >= 8,
+            "8 of 10 fragments must wait for credits, saw {}",
+            f.stats().credit_stalls
+        );
+        f.run_until_quiescent(100_000_000).unwrap();
+        assert_eq!(f.take_deliveries(1).len(), 1);
+        assert!(f.stats().credit_stall_ns > 0);
+    }
+
+    #[test]
+    fn drops_are_repaired_by_retransmission() {
+        let cfg = FabricConfig {
+            mtu: 32,
+            seed: 11,
+            fault: FaultConfig {
+                drop_prob: 0.3,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..20u32 {
+            f.send(0, 1, env(0, i), payload(100, i as u8));
+        }
+        f.run_until_quiescent(1_000_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert_eq!(got.len(), 20, "every message survives the lossy wire");
+        let s = f.stats();
+        assert!(s.drops_injected > 0, "the fault model must have fired");
+        assert!(
+            s.retransmits >= s.drops_injected,
+            "each drop costs at least one retransmit"
+        );
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_by_default() {
+        let cfg = FabricConfig {
+            seed: 3,
+            fault: FaultConfig {
+                duplicate_prob: 0.5,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..30u32 {
+            f.send(0, 1, env(0, i), payload(8, i as u8));
+        }
+        f.run_until_quiescent(1_000_000_000).unwrap();
+        assert_eq!(f.take_deliveries(1).len(), 30, "exactly-once delivery");
+        let s = f.stats();
+        assert!(s.duplicates_injected > 0);
+        assert!(s.duplicate_packets_dropped > 0);
+        assert_eq!(s.duplicate_deliveries, 0);
+    }
+
+    #[test]
+    fn dedup_off_redelivers_and_marks_duplicates() {
+        let cfg = FabricConfig {
+            dedup: false,
+            seed: 5,
+            order: DeliveryOrder::Unordered,
+            fault: FaultConfig {
+                duplicate_prob: 0.6,
+                reorder_skew_ns: 2_000,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..40u32 {
+            f.send(0, 1, env(0, i), payload(8, i as u8));
+        }
+        f.run_until_quiescent(1_000_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        let dups = got.iter().filter(|d| d.duplicate).count();
+        assert!(dups > 0, "at-least-once mode must redeliver some messages");
+        assert_eq!(got.len() - dups, 40, "non-duplicate deliveries are exact");
+        assert_eq!(f.stats().duplicate_deliveries, dups as u64);
+    }
+
+    #[test]
+    fn per_pair_fifo_restores_send_order_under_reordering() {
+        let cfg = FabricConfig {
+            seed: 9,
+            order: DeliveryOrder::PerPairFifo,
+            fault: FaultConfig {
+                reorder_prob: 0.7,
+                reorder_skew_ns: 50_000,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..50u32 {
+            f.send(0, 1, env(0, 1), payload(8, i as u8));
+        }
+        f.run_until_quiescent(1_000_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert!(
+            f.stats().reorders_injected > 0,
+            "reordering must have fired"
+        );
+        let fills: Vec<u8> = got.iter().map(|d| d.payload[0]).collect();
+        assert_eq!(fills, (0..50).map(|i| i as u8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn unordered_mode_exposes_disorder_but_delivers_everything() {
+        let cfg = FabricConfig {
+            seed: 13,
+            order: DeliveryOrder::Unordered,
+            fault: FaultConfig {
+                reorder_prob: 0.8,
+                reorder_skew_ns: 200_000,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..60u32 {
+            f.send(0, 1, env(0, i), payload(8, i as u8));
+        }
+        f.run_until_quiescent(1_000_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert_eq!(got.len(), 60);
+        let seqs: Vec<u64> = got.iter().map(|d| d.msg_seq).collect();
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        assert_ne!(seqs, sorted, "seed 13 must deliver out of order");
+        assert_eq!(
+            sorted,
+            (0..60).collect::<Vec<u64>>(),
+            "every msg_seq exactly once"
+        );
+    }
+
+    #[test]
+    fn lossy_run_is_deterministic_per_seed() {
+        let run = |seed: u64| {
+            let cfg = FabricConfig {
+                mtu: 32,
+                seed,
+                fault: FaultConfig {
+                    drop_prob: 0.1,
+                    duplicate_prob: 0.1,
+                    reorder_prob: 0.4,
+                    reorder_skew_ns: 10_000,
+                },
+                ..Default::default()
+            };
+            let mut f = Fabric::new(3, cfg);
+            for i in 0..15u32 {
+                f.send(i % 3, (i + 1) % 3, env(i % 3, i), payload(70, i as u8));
+            }
+            f.run_until_quiescent(1_000_000_000).unwrap();
+            let d1 = f.take_deliveries(1);
+            let d2 = f.take_deliveries(2);
+            (f.stats(), f.now_ns(), d1, d2)
+        };
+        assert_eq!(run(42), run(42), "same seed, same run");
+        let (a, ..) = run(42);
+        let (b, ..) = run(43);
+        assert_ne!(a, b, "different seeds must differ somewhere");
+    }
+
+    #[test]
+    fn trace_records_flights_faults_and_stalls() {
+        let cfg = FabricConfig {
+            mtu: 16,
+            credits: 1,
+            trace: true,
+            seed: 21,
+            fault: FaultConfig {
+                drop_prob: 0.2,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        f.send(0, 1, env(0, 4), payload(64, 1));
+        f.run_until_quiescent(1_000_000_000).unwrap();
+        let json = f.trace_json().expect("tracing on");
+        assert!(json.contains("\"cat\":\"packet_flight\""));
+        assert!(json.contains("\"cat\":\"credit_stall\""));
+        assert!(json.contains("link 0\u{2192}1"));
+        // Deterministic re-run exports byte-identically.
+        let mut g = Fabric::new(
+            2,
+            FabricConfig {
+                mtu: 16,
+                credits: 1,
+                trace: true,
+                seed: 21,
+                fault: FaultConfig {
+                    drop_prob: 0.2,
+                    ..FaultConfig::NONE
+                },
+                ..Default::default()
+            },
+        );
+        g.send(0, 1, env(0, 4), payload(64, 1));
+        g.run_until_quiescent(1_000_000_000).unwrap();
+        assert_eq!(json, g.trace_json().unwrap());
+    }
+
+    #[test]
+    fn exhausted_retries_surface_as_errors_not_hangs() {
+        let cfg = FabricConfig {
+            seed: 2,
+            max_retransmits: 1,
+            retransmit_timeout_ns: 1_000,
+            fault: FaultConfig {
+                drop_prob: 0.95,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..10u32 {
+            f.send(0, 1, env(0, i), payload(8, 0));
+        }
+        let err = f.run_until_quiescent(10_000_000_000).unwrap_err();
+        assert!(err.contains("exhausted retransmission"), "{err}");
+        assert!(f.stats().exhausted_retries > 0);
+    }
+
+    #[test]
+    fn advance_is_incremental() {
+        let cfg = FabricConfig::default();
+        let latency = cfg.link_latency_ns;
+        let mut f = Fabric::new(2, cfg);
+        f.send(0, 1, env(0, 0), payload(8, 1));
+        f.advance(1); // not enough for the flight to land
+        assert!(f.take_deliveries(1).is_empty());
+        f.advance(latency + 1_000);
+        assert_eq!(f.take_deliveries(1).len(), 1);
+    }
+}

@@ -1,0 +1,171 @@
+//! Packet types on the simulated wire.
+//!
+//! Two kinds of sequence number travel in the headers:
+//!
+//! * `seq` — the per-`(src, dst)` **reliability** sequence. Data and
+//!   RTS packets consume one each; acknowledgements name the sequence
+//!   they answer. The selective-repeat layer keys its unacked map,
+//!   duplicate suppression and retransmission timers on it.
+//! * `msg_seq` — the per-`(src, dst)` **message** index, shared by every
+//!   fragment of one payload. Reassembly and FIFO release key on it,
+//!   and it is the sequence a user-level reorder buffer consumes.
+
+use bytes::Bytes;
+use msg_match::Envelope;
+
+/// Wire overhead charged per packet (routing, sequencing, CRC — the
+/// moral equivalent of an NVLink flit header plus transport header).
+pub const HEADER_BYTES: usize = 32;
+
+/// What a packet carries.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PacketBody {
+    /// One fragment of a message payload (eager data or post-CTS
+    /// rendezvous data — the wire does not distinguish them).
+    Data {
+        /// Message index on this channel.
+        msg_seq: u64,
+        /// Fragment index within the message.
+        frag: u32,
+        /// Total fragments in the message.
+        frags: u32,
+        /// Total payload length of the message, in bytes.
+        total_len: usize,
+        /// Matching header, repeated on every fragment so reassembly
+        /// state is self-describing.
+        envelope: Envelope,
+        /// This fragment's bytes.
+        chunk: Bytes,
+    },
+    /// Rendezvous request-to-send: announces `total_len` bytes for
+    /// `msg_seq` and waits for a CTS grant.
+    Rts {
+        /// Message index being negotiated.
+        msg_seq: u64,
+        /// Announced payload length.
+        total_len: usize,
+        /// Matching header of the announced message.
+        envelope: Envelope,
+    },
+    /// Clear-to-send: the receiver grants the rendezvous. Also serves
+    /// as the acknowledgement of the RTS carrying `rts_seq`.
+    Cts {
+        /// Message index being granted.
+        msg_seq: u64,
+        /// Reliability sequence of the RTS this answers.
+        rts_seq: u64,
+    },
+    /// Selective-repeat acknowledgement of one data packet.
+    Ack {
+        /// Reliability sequence being acknowledged.
+        data_seq: u64,
+    },
+}
+
+/// A packet in flight between two endpoints.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Packet {
+    /// Sending endpoint.
+    pub src: u32,
+    /// Receiving endpoint.
+    pub dst: u32,
+    /// Reliability sequence on the `(src, dst)` channel. Meaningful for
+    /// sequenced bodies (`Data`, `Rts`); echoes the answered sequence
+    /// for `Cts`/`Ack`.
+    pub seq: u64,
+    /// Payload or control content.
+    pub body: PacketBody,
+}
+
+impl Packet {
+    /// Bytes this packet occupies on the wire (header + fragment).
+    pub fn wire_bytes(&self) -> usize {
+        HEADER_BYTES
+            + match &self.body {
+                PacketBody::Data { chunk, .. } => chunk.len(),
+                _ => 0,
+            }
+    }
+
+    /// True for bodies that consume a reliability sequence and are
+    /// retransmitted until acknowledged.
+    pub fn is_sequenced(&self) -> bool {
+        matches!(self.body, PacketBody::Data { .. } | PacketBody::Rts { .. })
+    }
+
+    /// True for bodies that consume a flow-control credit.
+    pub fn needs_credit(&self) -> bool {
+        matches!(self.body, PacketBody::Data { .. })
+    }
+
+    /// Stable label for traces and tables.
+    pub fn kind_label(&self) -> &'static str {
+        match self.body {
+            PacketBody::Data { .. } => "data",
+            PacketBody::Rts { .. } => "rts",
+            PacketBody::Cts { .. } => "cts",
+            PacketBody::Ack { .. } => "ack",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn data_packet(chunk: &[u8]) -> Packet {
+        Packet {
+            src: 0,
+            dst: 1,
+            seq: 5,
+            body: PacketBody::Data {
+                msg_seq: 2,
+                frag: 0,
+                frags: 1,
+                total_len: chunk.len(),
+                envelope: Envelope::new(0, 3, 0),
+                chunk: Bytes::copy_from_slice(chunk),
+            },
+        }
+    }
+
+    #[test]
+    fn wire_bytes_charge_header_overhead() {
+        assert_eq!(data_packet(&[0u8; 100]).wire_bytes(), HEADER_BYTES + 100);
+        let ack = Packet {
+            src: 1,
+            dst: 0,
+            seq: 5,
+            body: PacketBody::Ack { data_seq: 5 },
+        };
+        assert_eq!(ack.wire_bytes(), HEADER_BYTES);
+    }
+
+    #[test]
+    fn sequencing_and_credit_classes() {
+        let d = data_packet(b"x");
+        assert!(d.is_sequenced() && d.needs_credit());
+        let rts = Packet {
+            src: 0,
+            dst: 1,
+            seq: 9,
+            body: PacketBody::Rts {
+                msg_seq: 1,
+                total_len: 4096,
+                envelope: Envelope::new(0, 1, 0),
+            },
+        };
+        assert!(rts.is_sequenced() && !rts.needs_credit());
+        let cts = Packet {
+            src: 1,
+            dst: 0,
+            seq: 9,
+            body: PacketBody::Cts {
+                msg_seq: 1,
+                rts_seq: 9,
+            },
+        };
+        assert!(!cts.is_sequenced() && !cts.needs_credit());
+        assert_eq!(cts.kind_label(), "cts");
+    }
+}

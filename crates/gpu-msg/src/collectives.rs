@@ -20,9 +20,6 @@ use msg_match::{RecvRequest, Tag};
 
 use crate::domain::Domain;
 
-/// Progress-round bound for each internal receive.
-const ROUNDS: u32 = 4096;
-
 /// Ring all-reduce (sum) of one `f64` per rank. Returns the global sum.
 /// Costs `ranks − 1` steps of one send + one receive per rank.
 ///
@@ -51,7 +48,11 @@ pub fn ring_allreduce_sum(
             0,
             Bytes::from(carry.to_le_bytes().to_vec()),
         );
-        let m = domain.recv_blocking(rank, RecvRequest::exact(prev, tag, 0), ROUNDS)?;
+        let m = domain.recv_blocking(
+            rank,
+            RecvRequest::exact(prev, tag, 0),
+            domain.progress_bound(),
+        )?;
         carry = f64::from_le_bytes(m.payload[..8].try_into().expect("8 bytes"));
         acc += carry;
     }
@@ -84,7 +85,7 @@ pub fn broadcast(
         let m = domain.recv_blocking(
             rank,
             RecvRequest::exact(parent, tag_base + vrank, 0),
-            ROUNDS,
+            domain.progress_bound(),
         )?;
         m.payload
     };
@@ -122,7 +123,11 @@ pub fn barrier(domain: &Domain, rank: u32, tag_base: Tag) -> Result<(), String> 
         let to = (rank + dist) % n;
         let from = (rank + n - dist) % n;
         domain.send(rank, to, tag_base + round, 0, Bytes::new());
-        domain.recv_blocking(rank, RecvRequest::exact(from, tag_base + round, 0), ROUNDS)?;
+        domain.recv_blocking(
+            rank,
+            RecvRequest::exact(from, tag_base + round, 0),
+            domain.progress_bound(),
+        )?;
         dist <<= 1;
         round += 1;
     }
@@ -159,7 +164,11 @@ pub fn ring_allgather_u64(
             0,
             Bytes::from(carry.to_le_bytes().to_vec()),
         );
-        let m = domain.recv_blocking(rank, RecvRequest::exact(prev, tag, 0), ROUNDS)?;
+        let m = domain.recv_blocking(
+            rank,
+            RecvRequest::exact(prev, tag, 0),
+            domain.progress_bound(),
+        )?;
         carry_idx = (carry_idx + n - 1) % n;
         out[carry_idx as usize] = u64::from_le_bytes(m.payload[..8].try_into().expect("8 bytes"));
     }

@@ -22,10 +22,15 @@
 use bytes::Bytes;
 use parking_lot::Mutex;
 
+use fabric::{DeliveryOrder, FabricStats};
 use msg_match::prelude::*;
 use simt_sim::{Gpu, GpuGeneration};
 
 use crate::message::{Completion, EndpointStats, Message, RecvHandle};
+use crate::reorder::ReorderBuffer;
+use crate::transport::{
+    DirectTransport, FabricTransport, Transport, TransportConfig, TransportDelivery,
+};
 
 /// Which matching engine an endpoint's communication kernel runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -61,6 +66,9 @@ struct EndpointInner {
     gpu: Gpu,
     stats: EndpointStats,
     next_handle: u64,
+    /// User-level order restoration over an unordered wire (the paper's
+    /// "tags can restore ordering at the user level", mechanized).
+    reorder: Option<ReorderBuffer>,
 }
 
 impl EndpointInner {
@@ -140,16 +148,64 @@ impl EndpointInner {
     }
 }
 
+/// Full construction recipe for a [`Domain`]: who talks, how they match,
+/// what semantics the application gets, and what wire carries the bytes.
+#[derive(Debug, Clone, Copy)]
+pub struct DomainConfig {
+    /// Number of GPU endpoints.
+    pub ranks: u32,
+    /// Simulated device generation of every endpoint.
+    pub generation: GpuGeneration,
+    /// Matching engine the communication kernels run.
+    pub matcher: MatcherKind,
+    /// Semantics guaranteed to the application.
+    pub relax: RelaxationConfig,
+    /// The wire between endpoints.
+    pub transport: TransportConfig,
+    /// Restore per-source order in user space: the transport is forced
+    /// unordered and each endpoint feeds arrivals through a
+    /// [`ReorderBuffer`] keyed on the transport's message sequence —
+    /// real wire disorder exercising the user-level machinery.
+    pub restore_order: bool,
+    /// Progress-round bound for blocking receives and collectives.
+    /// `None` derives one from the rank count.
+    pub progress_bound: Option<u32>,
+}
+
+impl DomainConfig {
+    /// A direct-wire configuration with derived defaults.
+    pub fn new(
+        ranks: u32,
+        generation: GpuGeneration,
+        matcher: MatcherKind,
+        relax: RelaxationConfig,
+    ) -> Self {
+        DomainConfig {
+            ranks,
+            generation,
+            matcher,
+            relax,
+            transport: TransportConfig::Direct,
+            restore_order: false,
+            progress_bound: None,
+        }
+    }
+}
+
 /// A node of GPUs communicating over a simulated global address space.
 pub struct Domain {
     endpoints: Vec<Mutex<EndpointInner>>,
     matcher: MatcherKind,
     relax: RelaxationConfig,
+    transport: Mutex<Box<dyn Transport>>,
+    restore_order: bool,
+    progress_bound: u32,
 }
 
 impl Domain {
     /// Create a domain of `ranks` GPU endpoints of the given generation,
-    /// running `matcher` under `relax` semantics.
+    /// running `matcher` under `relax` semantics over the default
+    /// (direct, instantaneous) wire.
     ///
     /// # Panics
     /// Panics if the matcher requires more relaxation than `relax`
@@ -161,27 +217,63 @@ impl Domain {
         matcher: MatcherKind,
         relax: RelaxationConfig,
     ) -> Self {
-        let need = matcher.required_relaxation();
+        Domain::with_config(DomainConfig::new(ranks, generation, matcher, relax))
+    }
+
+    /// Create a domain from a full [`DomainConfig`].
+    ///
+    /// The wire's delivery order is coupled to the domain's semantics:
+    /// with [`DomainConfig::restore_order`] the fabric is forced
+    /// [`DeliveryOrder::Unordered`] (endpoints re-sequence in user
+    /// space); otherwise an ordering-guaranteeing relaxation forces
+    /// [`DeliveryOrder::PerPairFifo`] (the transport provides the order
+    /// that full-MPI matching requires of its wire).
+    ///
+    /// # Panics
+    /// Panics on a matcher/relaxation mismatch (see [`Domain::new`]) or
+    /// an invalid fabric configuration.
+    pub fn with_config(cfg: DomainConfig) -> Self {
+        let need = cfg.matcher.required_relaxation();
+        let relax = cfg.relax;
         assert!(
             (!need.partitionable() || relax.partitionable()) && (need.ordering || !relax.ordering),
-            "matcher {matcher:?} cannot provide the guarantees of {relax:?}"
+            "matcher {:?} cannot provide the guarantees of {relax:?}",
+            cfg.matcher
         );
+        let transport: Box<dyn Transport> = match cfg.transport {
+            TransportConfig::Direct => Box::new(DirectTransport::new()),
+            TransportConfig::Fabric(mut fc) => {
+                if cfg.restore_order {
+                    fc.order = DeliveryOrder::Unordered;
+                } else if relax.ordering {
+                    fc.order = DeliveryOrder::PerPairFifo;
+                }
+                Box::new(FabricTransport::new(cfg.ranks, fc))
+            }
+        };
+        let progress_bound = cfg
+            .progress_bound
+            .unwrap_or_else(|| 4096u32.max(cfg.ranks.saturating_mul(64)));
         Domain {
-            endpoints: (0..ranks)
+            endpoints: (0..cfg.ranks)
                 .map(|rank| {
                     Mutex::new(EndpointInner {
                         rank,
                         inbox: Vec::new(),
                         posted: Vec::new(),
                         completed: Vec::new(),
-                        gpu: Gpu::new(generation),
+                        gpu: Gpu::new(cfg.generation),
                         stats: EndpointStats::default(),
                         next_handle: 0,
+                        reorder: cfg.restore_order.then(ReorderBuffer::new),
                     })
                 })
                 .collect(),
-            matcher,
+            matcher: cfg.matcher,
             relax,
+            transport: Mutex::new(transport),
+            restore_order: cfg.restore_order,
+            progress_bound,
         }
     }
 
@@ -205,8 +297,57 @@ impl Domain {
         self.relax
     }
 
+    /// Whether arrivals pass through the user-level reorder stage.
+    pub fn restores_order(&self) -> bool {
+        self.restore_order
+    }
+
+    /// The progress-round bound blocking receives and collectives use by
+    /// default (configurable via [`DomainConfig::progress_bound`]).
+    pub fn progress_bound(&self) -> u32 {
+        self.progress_bound
+    }
+
+    /// Short label of the wire between endpoints.
+    pub fn transport_name(&self) -> &'static str {
+        self.transport.lock().name()
+    }
+
+    /// Fabric counters, when the wire is a fabric.
+    pub fn fabric_stats(&self) -> Option<FabricStats> {
+        self.transport.lock().fabric_stats()
+    }
+
+    /// Per-link transport trace JSON, when the wire is a traced fabric.
+    pub fn transport_trace_json(&self) -> Option<String> {
+        self.transport.lock().trace_json()
+    }
+
+    /// Land transported messages in their destination queues, through
+    /// the user-level reorder stage when this domain restores order.
+    fn deposit(&self, deliveries: Vec<TransportDelivery>) {
+        for d in deliveries {
+            let mut ep = self.endpoints[d.dst as usize].lock();
+            ep.stats.bytes_received += d.message.payload.len() as u64;
+            let ready = match ep.reorder.as_mut() {
+                Some(rb) => {
+                    let ready = rb.push(d.msg_seq, d.message);
+                    let dups = rb.duplicates;
+                    let hw = rb.max_buffered;
+                    ep.stats.reorder_duplicates = dups;
+                    ep.stats.reorder_high_water = hw;
+                    ready
+                }
+                None => vec![d.message],
+            };
+            ep.inbox.extend(ready);
+            let hw = ep.inbox.len();
+            ep.stats.umq_high_water = ep.stats.umq_high_water.max(hw);
+        }
+    }
+
     /// Send `payload` from `src` to `dst`: a GAS remote write into the
-    /// destination's message queue.
+    /// destination's message queue, carried by the configured transport.
     ///
     /// # Panics
     /// Panics on out-of-range ranks.
@@ -220,14 +361,14 @@ impl Domain {
             me.stats.sent += 1;
             me.stats.bytes_sent += payload.len() as u64;
         }
-        let mut ep = self.endpoints[dst as usize].lock();
-        ep.stats.bytes_received += payload.len() as u64;
-        ep.inbox.push(Message {
-            envelope: Envelope::new(src, tag, comm),
-            payload,
-        });
-        let hw = ep.inbox.len();
-        ep.stats.umq_high_water = ep.stats.umq_high_water.max(hw);
+        let deliveries = {
+            let mut wire = self.transport.lock();
+            wire.submit(src, dst, Envelope::new(src, tag, comm), payload);
+            // Anything already deliverable (everything, on the direct
+            // wire) lands without waiting for a progress call.
+            wire.pump(false)
+        };
+        self.deposit(deliveries);
     }
 
     /// Post a receive on `rank`. Returns a handle reported back in the
@@ -247,13 +388,22 @@ impl Domain {
         Ok(handle)
     }
 
-    /// Run `rank`'s communication kernel once: match the inbox against
-    /// the posted receives and queue completions. Returns the number of
-    /// new matches.
+    /// Run `rank`'s communication kernel once: pump the transport (which
+    /// advances a simulated wire's clock), land arrivals, then match the
+    /// inbox against the posted receives and queue completions. Returns
+    /// the number of new matches.
     ///
     /// # Errors
-    /// Propagates matcher/relaxation violations.
+    /// Propagates matcher/relaxation violations and unrecoverable
+    /// transport failures (a transfer that exhausted retransmission).
     pub fn progress(&self, rank: u32) -> Result<usize, String> {
+        let (deliveries, health) = {
+            let mut wire = self.transport.lock();
+            let d = wire.pump(true);
+            (d, wire.check())
+        };
+        self.deposit(deliveries);
+        health?;
         let mut ep = self.endpoints[rank as usize].lock();
         ep.run_comm_kernel(self.matcher, self.relax)
     }
@@ -307,7 +457,8 @@ impl Domain {
         let mut ep = self.endpoints[rank as usize].lock();
         ep.completed.extend(collected);
         Err(format!(
-            "rank {rank}: receive {handle:?} did not complete within {max_rounds} progress rounds"
+            "rank {rank}: receive {handle:?} ({request:?}) did not complete within \
+             {max_rounds} progress rounds"
         ))
     }
 
@@ -316,12 +467,17 @@ impl Domain {
         self.endpoints[rank as usize].lock().stats
     }
 
-    /// Are all queues of every endpoint empty (BSP phase boundary)?
+    /// Are all queues of every endpoint empty, nothing in flight on the
+    /// wire, and no arrivals held back for reordering (BSP phase
+    /// boundary)?
     pub fn quiescent(&self) -> bool {
         self.endpoints.iter().all(|e| {
             let e = e.lock();
-            e.inbox.is_empty() && e.posted.is_empty() && e.completed.is_empty()
-        })
+            e.inbox.is_empty()
+                && e.posted.is_empty()
+                && e.completed.is_empty()
+                && e.reorder.as_ref().is_none_or(ReorderBuffer::is_drained)
+        }) && self.transport.lock().quiescent()
     }
 }
 
@@ -434,6 +590,155 @@ mod tests {
         })
         .expect("threads join");
         assert!(d.quiescent());
+    }
+
+    fn fabric_cfg(fault: fabric::FaultConfig, seed: u64) -> TransportConfig {
+        TransportConfig::Fabric(fabric::FabricConfig {
+            seed,
+            fault,
+            ..Default::default()
+        })
+    }
+
+    #[test]
+    fn fabric_domain_delivers_like_direct() {
+        let mut cfg = DomainConfig::new(
+            2,
+            GpuGeneration::PascalGtx1080,
+            MatcherKind::Matrix,
+            RelaxationConfig::FULL_MPI,
+        );
+        cfg.transport = fabric_cfg(fabric::FaultConfig::NONE, 0);
+        let d = Domain::with_config(cfg);
+        assert_eq!(d.transport_name(), "fabric");
+        d.send(0, 1, 7, 0, payload("over the fabric"));
+        let m = d
+            .recv_blocking(1, RecvRequest::exact(0, 7, 0), d.progress_bound())
+            .expect("must deliver");
+        assert_eq!(&m.payload[..], b"over the fabric");
+        assert!(d.fabric_stats().unwrap().packets_sent > 0);
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn lossy_fabric_domain_keeps_full_mpi_ordering() {
+        let mut cfg = DomainConfig::new(
+            2,
+            GpuGeneration::PascalGtx1080,
+            MatcherKind::Matrix,
+            RelaxationConfig::FULL_MPI,
+        );
+        cfg.transport = fabric_cfg(
+            fabric::FaultConfig {
+                drop_prob: 0.15,
+                duplicate_prob: 0.1,
+                reorder_prob: 0.4,
+                reorder_skew_ns: 30_000,
+            },
+            17,
+        );
+        let d = Domain::with_config(cfg);
+        for i in 0..12u32 {
+            d.send(0, 1, 5, 0, Bytes::from(vec![i as u8]));
+        }
+        for i in 0..12u32 {
+            let m = d
+                .recv_blocking(1, RecvRequest::exact(0, 5, 0), d.progress_bound())
+                .unwrap();
+            assert_eq!(m.payload[0], i as u8, "per-pair FIFO over a lossy wire");
+        }
+        let fs = d.fabric_stats().unwrap();
+        assert!(
+            fs.drops_injected > 0,
+            "the wire must actually have lost packets"
+        );
+        assert_eq!(fs.messages_delivered, 12);
+    }
+
+    #[test]
+    fn restore_order_feeds_reorder_buffer_from_real_disorder() {
+        let mut cfg = DomainConfig::new(
+            2,
+            GpuGeneration::PascalGtx1080,
+            MatcherKind::Hash,
+            RelaxationConfig::UNORDERED,
+        );
+        cfg.transport = fabric_cfg(
+            fabric::FaultConfig {
+                reorder_prob: 0.7,
+                reorder_skew_ns: 100_000,
+                ..fabric::FaultConfig::NONE
+            },
+            13,
+        );
+        cfg.restore_order = true;
+        let d = Domain::with_config(cfg);
+        for i in 0..24u32 {
+            d.send(0, 1, i, 0, Bytes::from(vec![i as u8]));
+        }
+        // The reorder stage re-sequences arrivals, so inbox order is
+        // send order even though the wire delivered out of order.
+        for i in 0..24u32 {
+            let m = d
+                .recv_blocking(1, RecvRequest::exact(0, i, 0), d.progress_bound())
+                .unwrap();
+            assert_eq!(m.payload[0], i as u8);
+        }
+        let st = d.stats(1);
+        assert!(
+            st.reorder_high_water > 1,
+            "wire disorder must have exercised the stash, high water {}",
+            st.reorder_high_water
+        );
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn at_least_once_wire_duplicates_are_dropped_by_reorder_stage() {
+        let mut cfg = DomainConfig::new(
+            2,
+            GpuGeneration::PascalGtx1080,
+            MatcherKind::Hash,
+            RelaxationConfig::UNORDERED,
+        );
+        cfg.transport = TransportConfig::Fabric(fabric::FabricConfig {
+            seed: 29,
+            dedup: false,
+            fault: fabric::FaultConfig {
+                duplicate_prob: 0.5,
+                ..fabric::FaultConfig::NONE
+            },
+            ..Default::default()
+        });
+        cfg.restore_order = true;
+        let d = Domain::with_config(cfg);
+        for i in 0..20u32 {
+            d.send(0, 1, i, 0, Bytes::from(vec![i as u8]));
+        }
+        for i in 0..20u32 {
+            let m = d
+                .recv_blocking(1, RecvRequest::exact(0, i, 0), d.progress_bound())
+                .unwrap();
+            assert_eq!(m.payload[0], i as u8);
+        }
+        let st = d.stats(1);
+        assert!(
+            st.reorder_duplicates > 0,
+            "the wire re-delivered, the reorder stage must have dropped"
+        );
+        assert_eq!(st.matches, 20, "every message matched exactly once");
+        assert!(d.quiescent());
+    }
+
+    #[test]
+    fn recv_timeout_names_the_stuck_request() {
+        let d = Domain::full_mpi(2, GpuGeneration::PascalGtx1080);
+        let err = d
+            .recv_blocking(1, RecvRequest::exact(0, 99, 0), 2)
+            .unwrap_err();
+        assert!(err.contains("99"), "error must name the stuck tag: {err}");
+        assert!(err.contains("rank 1"), "error must name the rank: {err}");
+        d.take_completions(1);
     }
 
     #[test]

@@ -15,6 +15,13 @@
 //! * [`MatcherKind::Partitioned`] — no source wildcard;
 //! * [`MatcherKind::Hash`] — unordered, tags disambiguate.
 //!
+//! The wire between endpoints is pluggable ([`TransportConfig`]): the
+//! default [`DirectTransport`] is the ideal instantaneous GAS write,
+//! while [`FabricTransport`] routes sends through a simulated
+//! interconnect ([`fabric::Fabric`]) with packetization, eager/rendezvous
+//! protocols, credit-based flow control and fault injection — lossy yet,
+//! thanks to selective-repeat recovery, observationally equivalent.
+//!
 //! ```
 //! use bytes::Bytes;
 //! use gpu_msg::{Domain, MatcherKind};
@@ -36,10 +43,11 @@ pub mod message;
 pub mod metrics;
 pub mod reorder;
 pub mod service;
+pub mod transport;
 
 pub use bsp::BspProgram;
 pub use collectives::{barrier, broadcast, ring_allgather_u64, ring_allreduce_sum};
-pub use domain::{Domain, MatcherKind};
+pub use domain::{Domain, DomainConfig, MatcherKind};
 pub use message::{Completion, EndpointStats, Message, RecvHandle};
 pub use metrics::{EngineProfile, Histogram, ServiceMetrics, ShardMetrics};
 pub use reorder::ReorderBuffer;
@@ -47,4 +55,7 @@ pub use service::{
     engine_label, simulate_service, simulate_sharded_service, ServiceConfig, ServiceEngine,
     ServiceReport, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,
     ShardedServiceReport,
+};
+pub use transport::{
+    DirectTransport, FabricTransport, Transport, TransportConfig, TransportDelivery,
 };

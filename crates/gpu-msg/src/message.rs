@@ -47,6 +47,12 @@ pub struct EndpointStats {
     pub umq_high_water: usize,
     /// High-water mark of the posted-receive queue.
     pub prq_high_water: usize,
+    /// Duplicate transport sequences dropped by this endpoint's reorder
+    /// stage (only populated when the domain restores order in user
+    /// space over an unordered transport).
+    pub reorder_duplicates: u64,
+    /// High-water mark of the reorder stash (how far ahead the wire ran).
+    pub reorder_high_water: usize,
 }
 
 #[cfg(test)]

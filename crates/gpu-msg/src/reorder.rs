@@ -20,6 +20,8 @@ pub struct ReorderBuffer {
     buffered: usize,
     /// High-water mark of the stash (how far ahead delivery ran).
     pub max_buffered: usize,
+    /// Duplicate or replayed sequences dropped instead of delivered.
+    pub duplicates: u64,
 }
 
 impl ReorderBuffer {
@@ -31,13 +33,18 @@ impl ReorderBuffer {
     /// Offer a delivered message carrying sequence `seq` from its source.
     /// Returns every message that is now in order (possibly empty if
     /// `seq` arrived early; possibly several if it filled a gap).
+    ///
+    /// A duplicate or replayed sequence — one already released or
+    /// already stashed, as an at-least-once transport can legitimately
+    /// present — is dropped (never delivered twice, never corrupting the
+    /// stash accounting) and counted in [`Self::duplicates`].
     pub fn push(&mut self, seq: u64, message: Message) -> Vec<Message> {
         let src = message.envelope.src;
         let (next, stash) = self.streams.entry(src).or_insert((0, BTreeMap::new()));
-        debug_assert!(
-            seq >= *next && !stash.contains_key(&seq),
-            "duplicate or replayed sequence {seq} from {src}"
-        );
+        if seq < *next || stash.contains_key(&seq) {
+            self.duplicates += 1;
+            return Vec::new();
+        }
         stash.insert(seq, message);
         self.buffered += 1;
         self.max_buffered = self.max_buffered.max(self.buffered);
@@ -109,6 +116,30 @@ mod tests {
         assert!(rb.push(1, msg(7, 1)).is_empty(), "src 7 waits for seq 0");
         assert_eq!(rb.push(0, msg(9, 0)).len(), 1, "src 9 is unaffected");
         assert_eq!(rb.push(0, msg(7, 0)).len(), 2);
+    }
+
+    #[test]
+    fn replayed_sequence_is_dropped_not_redelivered() {
+        let mut rb = ReorderBuffer::new();
+        assert_eq!(rb.push(0, msg(1, 0)).len(), 1, "first copy delivers");
+        assert!(rb.push(0, msg(1, 0)).is_empty(), "replay must not deliver");
+        assert_eq!(rb.duplicates, 1);
+        assert!(rb.is_drained(), "replay must not inflate the stash count");
+        // The stream still advances normally afterwards.
+        assert_eq!(rb.push(1, msg(1, 1)).len(), 1);
+    }
+
+    #[test]
+    fn duplicate_of_stashed_sequence_is_dropped() {
+        let mut rb = ReorderBuffer::new();
+        assert!(rb.push(2, msg(1, 2)).is_empty(), "seq 2 stashes");
+        assert!(rb.push(2, msg(1, 2)).is_empty(), "second copy of seq 2");
+        assert_eq!(rb.duplicates, 1);
+        assert_eq!(rb.pending(), 1, "the stash holds exactly one copy");
+        assert!(rb.push(1, msg(1, 1)).is_empty());
+        let out = rb.push(0, msg(1, 0));
+        assert_eq!(out.len(), 3, "gap fill releases each sequence once");
+        assert!(rb.is_drained());
     }
 
     #[test]

@@ -41,6 +41,18 @@ pub enum SpanCategory {
     Match,
     /// A sanitizer race finding, surfaced as an instant.
     Race,
+    /// A packet traversing a fabric link (data, RTS, CTS or ack),
+    /// spanning departure to arrival.
+    PacketFlight,
+    /// A timeout-driven retransmission, surfaced as an instant on the
+    /// sender's link track.
+    Retransmit,
+    /// A data packet held back for lack of destination credits,
+    /// spanning enqueue to release.
+    CreditStall,
+    /// An injected fabric fault (drop, duplicate, reorder), surfaced as
+    /// an instant.
+    Fault,
 }
 
 impl SpanCategory {
@@ -56,6 +68,10 @@ impl SpanCategory {
             SpanCategory::Spill => "spill",
             SpanCategory::Match => "match",
             SpanCategory::Race => "race",
+            SpanCategory::PacketFlight => "packet_flight",
+            SpanCategory::Retransmit => "retransmit",
+            SpanCategory::CreditStall => "credit_stall",
+            SpanCategory::Fault => "fault",
         }
     }
 }
