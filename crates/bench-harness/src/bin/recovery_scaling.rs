@@ -1,0 +1,30 @@
+//! Fault-tolerance sweep: crash rate x checkpoint interval against the
+//! shard-scaling matrix configuration. Prints the sweep table, writes
+//! the summary artefact to `BENCH_recovery.json` and a traced
+//! single-crash run to `RECOVERY_trace.json`. Pass `--smoke` for the
+//! reduced CI sweep (crash-free plus one faulty point).
+use bench_harness::experiments::recovery_scaling;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (crash_rates, intervals): (&[f64], &[f64]) = if smoke {
+        (&[0.0, 1500.0], &[250e-6])
+    } else {
+        (
+            &recovery_scaling::DEFAULT_CRASH_RATES,
+            &recovery_scaling::DEFAULT_CKPT_INTERVALS,
+        )
+    };
+    let (baseline, points) = recovery_scaling::run(crash_rates, intervals, 5);
+    print!("{}", recovery_scaling::report(&baseline, &points).to_text());
+    let json = recovery_scaling::metrics_json(&baseline, &points);
+    match std::fs::write("BENCH_recovery.json", &json) {
+        Ok(()) => println!("wrote BENCH_recovery.json"),
+        Err(e) => eprintln!("could not write BENCH_recovery.json: {e}"),
+    }
+    let trace = recovery_scaling::trace_json(5);
+    match std::fs::write("RECOVERY_trace.json", &trace) {
+        Ok(()) => println!("wrote RECOVERY_trace.json"),
+        Err(e) => eprintln!("could not write RECOVERY_trace.json: {e}"),
+    }
+}

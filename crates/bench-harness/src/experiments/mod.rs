@@ -14,6 +14,7 @@
 //! | [`saturation`] | sustained message-rate ceilings (service model) |
 //! | [`scaling`] | rank-0 hotspot depth scaling (related-work check) |
 //! | [`shard_scaling`] | sharded service: sustained rate vs shards × engine |
+//! | [`recovery_scaling`] | fault tolerance: crash rate × checkpoint interval |
 //! | [`obs_report`] | traced service run: span timeline, exposition, stalls |
 //! | [`fabric_scaling`] | simulated interconnect: eager threshold × loss × skew |
 
@@ -25,6 +26,7 @@ pub mod figure5;
 pub mod figure6b;
 pub mod obs_report;
 pub mod profile;
+pub mod recovery_scaling;
 pub mod saturation;
 pub mod scaling;
 pub mod shard_scaling;

@@ -38,6 +38,7 @@ pub fn run(loads: &[f64], seed: u64) -> Vec<Point> {
                     arrival_rate: offered,
                     max_batch: 1024,
                     batch_threshold: 256,
+                    queue_capacity: 1 << 14,
                     duration: 0.002,
                     engine,
                     seed,
@@ -111,6 +112,7 @@ pub fn threshold_ablation(offered: f64, thresholds: &[usize], seed: u64) -> Repo
                 arrival_rate: offered,
                 max_batch: 1024,
                 batch_threshold: t,
+                queue_capacity: 1 << 14,
                 duration: 0.002,
                 engine: ServiceEngine::Matrix,
                 seed,

@@ -467,6 +467,17 @@ impl Domain {
         self.endpoints[rank as usize].lock().stats
     }
 
+    /// Transport-level sequence duplicates dropped by the endpoints'
+    /// reorder buffers, summed across ranks — the domain-side number a
+    /// [`crate::metrics::ServiceMetrics`] snapshot surfaces as
+    /// `reorder_duplicates`.
+    pub fn reorder_duplicates(&self) -> u64 {
+        self.endpoints
+            .iter()
+            .map(|e| e.lock().stats.reorder_duplicates)
+            .sum()
+    }
+
     /// Are all queues of every endpoint empty, nothing in flight on the
     /// wire, and no arrivals held back for reordering (BSP phase
     /// boundary)?

@@ -39,23 +39,29 @@
 pub mod bsp;
 pub mod collectives;
 pub mod domain;
+pub mod fault;
 pub mod message;
 pub mod metrics;
+pub mod recovery;
 pub mod reorder;
 pub mod service;
+pub mod supervisor;
 pub mod transport;
 
 pub use bsp::BspProgram;
 pub use collectives::{barrier, broadcast, ring_allgather_u64, ring_allreduce_sum};
 pub use domain::{Domain, DomainConfig, MatcherKind};
+pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use message::{Completion, EndpointStats, Message, RecvHandle};
-pub use metrics::{EngineProfile, Histogram, ServiceMetrics, ShardMetrics};
+pub use metrics::{EngineProfile, Histogram, OverflowStats, ServiceMetrics, ShardMetrics};
+pub use recovery::{RecoveryConfig, StreamState};
 pub use reorder::ReorderBuffer;
 pub use service::{
-    engine_label, simulate_service, simulate_sharded_service, ServiceConfig, ServiceEngine,
-    ServiceReport, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,
+    engine_label, simulate_service, simulate_sharded_service, FaultTolerance, ServiceConfig,
+    ServiceEngine, ServiceReport, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,
     ShardedServiceReport,
 };
+pub use supervisor::{Supervisor, SupervisorConfig};
 pub use transport::{
     DirectTransport, FabricTransport, Transport, TransportConfig, TransportDelivery,
 };

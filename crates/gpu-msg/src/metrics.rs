@@ -154,6 +154,38 @@ impl Histogram {
     }
 }
 
+/// Shared overflow accounting for every service model: arrivals the
+/// service accepted responsibility for but did not match.
+///
+/// The two counters are deliberately distinct. `spilled` is *admission
+/// control*: the bounded pending queue was full, so the arrival was
+/// rejected at the door (the unmodelled slow host path takes it).
+/// `shed` is *graceful degradation*: the arrival was admitted — and
+/// journaled — but the supervisor dropped it oldest-first because it
+/// could no longer meet the service deadline. Conflating them hides
+/// whether a deployment is under-provisioned (spill) or failing its
+/// latency SLO under faults (shed).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct OverflowStats {
+    /// Arrivals rejected because the pending queue was at capacity.
+    pub spilled: u64,
+    /// Admitted arrivals dropped (oldest first) by deadline shedding.
+    pub shed: u64,
+}
+
+impl OverflowStats {
+    /// Total messages the service gave up on.
+    pub fn total(&self) -> u64 {
+        self.spilled + self.shed
+    }
+
+    /// Fold another accounting into this one.
+    pub fn merge(&mut self, other: &OverflowStats) {
+        self.spilled += other.spilled;
+        self.shed += other.shed;
+    }
+}
+
 /// Rolled-up kernel profile for one shard's engine: every launch the
 /// shard performed, with cycles attributed per stall class and
 /// instructions per op class.
@@ -262,9 +294,9 @@ pub struct ShardMetrics {
     pub arrivals: u64,
     /// Arrivals admitted to the pending queue.
     pub admitted: u64,
-    /// Arrivals rejected because the pending queue was at capacity
-    /// (spilled to the slow host path; accounted, not simulated).
-    pub spilled: u64,
+    /// Arrivals the shard gave up on: spilled at admission or shed by
+    /// the supervisor's deadline enforcement (accounted, not simulated).
+    pub overflow: OverflowStats,
     /// Messages matched.
     pub matched: u64,
     /// Matching passes launched.
@@ -273,8 +305,46 @@ pub struct ShardMetrics {
     pub busy_seconds: f64,
     /// `busy_seconds` over the run duration.
     pub utilisation: f64,
-    /// Backlog still growing (or spilling) when time ran out.
+    /// Steady-state overload: the backlog was still growing — or the
+    /// shard was still spilling — when time ran out. A transient spill
+    /// burst (e.g. during a crash's downtime) that the shard later
+    /// drained does **not** set this; see
+    /// [`ever_spilled`](Self::ever_spilled) for that.
     pub saturated: bool,
+    /// True if admission control rejected at least one arrival at any
+    /// point in the run, transient or not.
+    pub ever_spilled: bool,
+    /// Injected crashes this shard suffered (device state lost).
+    pub crashes: u64,
+    /// Injected hangs this shard suffered (unresponsive, state kept).
+    pub hangs: u64,
+    /// Completed checkpoint/journal recoveries after crashes.
+    pub recoveries: u64,
+    /// In-flight batches destroyed by a crash before their matches
+    /// committed (their entries are re-matched from the journal).
+    pub lost_batches: u64,
+    /// Periodic state snapshots taken.
+    pub checkpoints: u64,
+    /// Entries restored from the checkpoint snapshot during recoveries.
+    pub snapshot_restored: u64,
+    /// Journal entries replayed (admitted after the last checkpoint)
+    /// during recoveries.
+    pub journal_replayed: u64,
+    /// Re-matched entries suppressed at commit because their seq was
+    /// already delivered — the duplicate half of exactly-once replay.
+    pub replay_duplicates: u64,
+    /// Times this shard took over a down peer's keys.
+    pub failovers_in: u64,
+    /// Times this shard's keys were routed away to a failover peer.
+    pub failovers_out: u64,
+    /// Outstanding journaled entries this shard inherited through
+    /// failover transfers (admitted elsewhere, matched here).
+    pub transferred_in: u64,
+    /// Times this shard's engine was swapped for a stricter one because
+    /// an inherited stream required ordering its own engine relaxes.
+    pub engine_fallbacks: u64,
+    /// Crash-to-service-resumed recovery latency (seconds).
+    pub recovery_seconds: Histogram,
     /// Distribution of batch sizes (messages per launch).
     pub batch_size: Histogram,
     /// Pending-queue depth sampled at batch boundaries.
@@ -295,12 +365,26 @@ impl ShardMetrics {
             engine: engine.into(),
             arrivals: 0,
             admitted: 0,
-            spilled: 0,
+            overflow: OverflowStats::default(),
             matched: 0,
             batches: 0,
             busy_seconds: 0.0,
             utilisation: 0.0,
             saturated: false,
+            ever_spilled: false,
+            crashes: 0,
+            hangs: 0,
+            recoveries: 0,
+            lost_batches: 0,
+            checkpoints: 0,
+            snapshot_restored: 0,
+            journal_replayed: 0,
+            replay_duplicates: 0,
+            failovers_in: 0,
+            failovers_out: 0,
+            transferred_in: 0,
+            engine_fallbacks: 0,
+            recovery_seconds: Histogram::new(1e9),
             batch_size: Histogram::new(1.0),
             queue_depth: Histogram::new(1.0),
             service_time: Histogram::new(1e9),
@@ -323,6 +407,18 @@ pub struct ServiceMetrics {
     pub total_matched: u64,
     /// Messages spilled across all shards.
     pub total_spilled: u64,
+    /// Messages shed by supervisor deadline enforcement, all shards.
+    pub total_shed: u64,
+    /// Injected crashes across all shards.
+    pub total_crashes: u64,
+    /// Completed recoveries across all shards.
+    pub total_recoveries: u64,
+    /// Failover reroutes across all shards (counted at the target).
+    pub total_failovers: u64,
+    /// Transport-level sequence duplicates dropped by the endpoints'
+    /// reorder buffers ([`crate::ReorderBuffer`]); zero for service
+    /// models that run without a transport underneath.
+    pub reorder_duplicates: u64,
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardMetrics>,
 }
@@ -438,6 +534,36 @@ impl ServiceMetrics {
                 unlabelled(self.total_spilled as f64),
             ),
             Family::scalar(
+                "service_shed_total",
+                "Messages shed by deadline enforcement across all shards",
+                FamilyKind::Counter,
+                unlabelled(self.total_shed as f64),
+            ),
+            Family::scalar(
+                "service_crashes_total",
+                "Injected shard crashes across the run",
+                FamilyKind::Counter,
+                unlabelled(self.total_crashes as f64),
+            ),
+            Family::scalar(
+                "service_recoveries_total",
+                "Completed checkpoint/journal recoveries across the run",
+                FamilyKind::Counter,
+                unlabelled(self.total_recoveries as f64),
+            ),
+            Family::scalar(
+                "service_failovers_total",
+                "Supervisor failover reroutes across the run",
+                FamilyKind::Counter,
+                unlabelled(self.total_failovers as f64),
+            ),
+            Family::scalar(
+                "service_reorder_duplicates_total",
+                "Transport sequence duplicates dropped by reorder buffers",
+                FamilyKind::Counter,
+                unlabelled(self.reorder_duplicates as f64),
+            ),
+            Family::scalar(
                 "shard_arrivals_total",
                 "Messages routed to the shard",
                 FamilyKind::Counter,
@@ -453,7 +579,13 @@ impl ServiceMetrics {
                 "shard_spilled_total",
                 "Arrivals rejected at the admission queue",
                 FamilyKind::Counter,
-                per_shard(|s| s.spilled as f64),
+                per_shard(|s| s.overflow.spilled as f64),
+            ),
+            Family::scalar(
+                "shard_shed_total",
+                "Admitted arrivals dropped oldest-first past the deadline",
+                FamilyKind::Counter,
+                per_shard(|s| s.overflow.shed as f64),
             ),
             Family::scalar(
                 "shard_matched_total",
@@ -486,6 +618,84 @@ impl ServiceMetrics {
                 per_shard(|s| if s.saturated { 1.0 } else { 0.0 }),
             ),
             Family::scalar(
+                "shard_ever_spilled",
+                "1 when admission control rejected at least one arrival",
+                FamilyKind::Gauge,
+                per_shard(|s| if s.ever_spilled { 1.0 } else { 0.0 }),
+            ),
+            Family::scalar(
+                "shard_crashes_total",
+                "Injected crashes the shard suffered",
+                FamilyKind::Counter,
+                per_shard(|s| s.crashes as f64),
+            ),
+            Family::scalar(
+                "shard_hangs_total",
+                "Injected hangs the shard suffered",
+                FamilyKind::Counter,
+                per_shard(|s| s.hangs as f64),
+            ),
+            Family::scalar(
+                "shard_recoveries_total",
+                "Completed checkpoint/journal recoveries",
+                FamilyKind::Counter,
+                per_shard(|s| s.recoveries as f64),
+            ),
+            Family::scalar(
+                "shard_lost_batches_total",
+                "In-flight batches destroyed by a crash before commit",
+                FamilyKind::Counter,
+                per_shard(|s| s.lost_batches as f64),
+            ),
+            Family::scalar(
+                "shard_checkpoints_total",
+                "Periodic state snapshots taken",
+                FamilyKind::Counter,
+                per_shard(|s| s.checkpoints as f64),
+            ),
+            Family::scalar(
+                "shard_snapshot_restored_total",
+                "Entries restored from checkpoint snapshots",
+                FamilyKind::Counter,
+                per_shard(|s| s.snapshot_restored as f64),
+            ),
+            Family::scalar(
+                "shard_journal_replayed_total",
+                "Journal entries replayed during recoveries",
+                FamilyKind::Counter,
+                per_shard(|s| s.journal_replayed as f64),
+            ),
+            Family::scalar(
+                "shard_replay_duplicates_total",
+                "Re-matched entries suppressed at commit (exactly-once)",
+                FamilyKind::Counter,
+                per_shard(|s| s.replay_duplicates as f64),
+            ),
+            Family::scalar(
+                "shard_failovers_in_total",
+                "Times the shard took over a down peer's keys",
+                FamilyKind::Counter,
+                per_shard(|s| s.failovers_in as f64),
+            ),
+            Family::scalar(
+                "shard_failovers_out_total",
+                "Times the shard's keys were routed to a failover peer",
+                FamilyKind::Counter,
+                per_shard(|s| s.failovers_out as f64),
+            ),
+            Family::scalar(
+                "shard_transferred_in_total",
+                "Outstanding entries inherited through failover transfers",
+                FamilyKind::Counter,
+                per_shard(|s| s.transferred_in as f64),
+            ),
+            Family::scalar(
+                "shard_engine_fallbacks_total",
+                "Engine swaps to a stricter engine for inherited streams",
+                FamilyKind::Counter,
+                per_shard(|s| s.engine_fallbacks as f64),
+            ),
+            Family::scalar(
                 "shard_kernel_launches_total",
                 "Kernel launches performed by the shard",
                 FamilyKind::Counter,
@@ -514,6 +724,11 @@ impl ServiceMetrics {
                 "Instructions executed per op class",
                 FamilyKind::Counter,
                 classed(&|s| s.profile.instruction_mix().to_vec()),
+            ),
+            Family::histogram(
+                "shard_recovery_seconds",
+                "Crash-to-service-resumed recovery latency",
+                shard_hist(|s| &s.recovery_seconds),
             ),
             Family::histogram(
                 "shard_batch_size",
@@ -657,17 +872,37 @@ mod tests {
         sm.profile.cycles = 100;
         sm.match_latency.record(8.1e-6);
         sm.match_latency.record(3.0e-6);
+        sm.overflow.shed = 3;
+        sm.crashes = 1;
+        sm.recoveries = 1;
+        sm.replay_duplicates = 7;
+        sm.recovery_seconds.record(62e-6);
         let m = ServiceMetrics {
             duration: 0.002,
             offered_rate: 2.0e6,
             sustained_rate: 1.9e6,
             total_matched: 990,
             total_spilled: 10,
+            total_shed: 3,
+            total_crashes: 1,
+            total_recoveries: 1,
+            total_failovers: 0,
+            reorder_duplicates: 4,
             shards: vec![sm],
         };
         let text = m.to_prometheus();
         assert!(text.contains("# TYPE service_matched_total counter"));
         assert!(text.contains("service_matched_total 990"));
+        assert!(text.contains("service_shed_total 3"));
+        assert!(text.contains("service_reorder_duplicates_total 4"));
+        assert!(text.contains("shard_shed_total{shard=\"2\",engine=\"hash\"} 3"));
+        assert!(text.contains("shard_crashes_total{shard=\"2\",engine=\"hash\"} 1"));
+        assert!(text.contains("shard_replay_duplicates_total{shard=\"2\",engine=\"hash\"} 7"));
+        assert!(text.contains("# TYPE shard_recovery_seconds histogram"));
+        assert!(
+            text.contains("shard_recovery_seconds_count{shard=\"2\",engine=\"hash\"} 1"),
+            "recovery latency histogram must be exported"
+        );
         assert!(text.contains("shard_arrivals_total{shard=\"2\",engine=\"hash\"} 1000"));
         assert!(text.contains(
             "shard_stall_cycles_total{shard=\"2\",engine=\"hash\",class=\"mem_dependency\"} 40"
@@ -687,8 +922,16 @@ mod tests {
         let mut sm = ShardMetrics::new(2, "hash");
         sm.arrivals = 1000;
         sm.matched = 990;
-        sm.spilled = 10;
+        sm.overflow.spilled = 10;
+        sm.overflow.shed = 2;
+        sm.ever_spilled = true;
+        sm.crashes = 1;
+        sm.recoveries = 1;
+        sm.journal_replayed = 120;
+        sm.snapshot_restored = 30;
+        sm.replay_duplicates = 5;
         sm.busy_seconds = 0.25;
+        sm.recovery_seconds.record(55e-6);
         sm.batch_size.record(512.0);
         sm.service_time.record(3.2e-6);
         sm.match_latency.record(8.1e-6);
@@ -698,6 +941,11 @@ mod tests {
             sustained_rate: 1.9e6,
             total_matched: 990,
             total_spilled: 10,
+            total_shed: 2,
+            total_crashes: 1,
+            total_recoveries: 1,
+            total_failovers: 1,
+            reorder_duplicates: 9,
             shards: vec![sm],
         };
         let back = ServiceMetrics::from_json(&m.to_json()).unwrap();

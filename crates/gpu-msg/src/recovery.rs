@@ -1,0 +1,138 @@
+//! Checkpointed recovery with exactly-once replay for service shards.
+//!
+//! Device state is volatile: a crash destroys the shard's resident
+//! [`simt_sim::Gpu`] queue state and whatever batch was in flight. What
+//! survives is *host-durable* bookkeeping, modelled here per stream (a
+//! stream is the arrival sequence a home shard's key range generates):
+//!
+//! * `admitted` — how many arrivals the service accepted (and journaled);
+//! * `committed` — how many of those have had their match *delivered*
+//!   (the commit point: once committed, a seq is never re-reported);
+//! * a **journal** of `(seq, arrival time)` for everything admitted
+//!   since the last durable checkpoint.
+//!
+//! A periodic **checkpoint** snapshots `(admitted, committed)` and
+//! truncates the journal below the committed watermark — the snapshot
+//! plus the remaining journal always reconstructs the pending queue.
+//! On crash, recovery restarts the device, restores the snapshot, and
+//! replays the journal: entries below `committed` may be re-matched but
+//! are suppressed at the commit point (counted as duplicates), entries
+//! in `[committed, admitted)` are re-queued and matched as if the crash
+//! never happened. The post-recovery *committed* set is therefore
+//! byte-identical to a fault-free run — exactly-once delivery built
+//! from at-least-once replay plus idempotent commit.
+
+use std::collections::VecDeque;
+
+/// Costs and cadence of the checkpoint/journal machinery, all in
+/// simulated seconds.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryConfig {
+    /// Interval between durable snapshots of a shard's stream state.
+    pub checkpoint_interval: f64,
+    /// Device time a snapshot occupies the shard (it pauses matching).
+    pub checkpoint_cost: f64,
+    /// Time to boot a fresh device after a crash, before replay starts.
+    pub restart_latency: f64,
+    /// Replay cost per journaled entry re-admitted to the queue.
+    pub replay_cost_per_entry: f64,
+}
+
+impl Default for RecoveryConfig {
+    fn default() -> Self {
+        RecoveryConfig {
+            checkpoint_interval: 250e-6,
+            checkpoint_cost: 2e-6,
+            restart_latency: 50e-6,
+            replay_cost_per_entry: 20e-9,
+        }
+    }
+}
+
+/// Host-durable state of one arrival stream: watermarks, the last
+/// checkpoint's watermarks, and the replay journal covering everything
+/// admitted since that checkpoint.
+#[derive(Debug, Clone, Default)]
+pub struct StreamState {
+    /// Arrivals admitted (journaled) so far; the next seq to admit.
+    pub admitted: u64,
+    /// Matches delivered so far; seqs below this are never re-reported.
+    pub committed: u64,
+    /// `admitted` at the last checkpoint.
+    pub ckpt_admitted: u64,
+    /// `committed` at the last checkpoint.
+    pub ckpt_committed: u64,
+    /// `(seq, arrival time)` for seqs in `[ckpt_committed, admitted)`,
+    /// in seq order — everything a crash could force us to re-match.
+    pub journal: VecDeque<(u64, f64)>,
+}
+
+impl StreamState {
+    /// Admit (and journal) the next arrival at time `t`; returns its seq.
+    pub fn admit(&mut self, t: f64) -> u64 {
+        let seq = self.admitted;
+        self.journal.push_back((seq, t));
+        self.admitted += 1;
+        seq
+    }
+
+    /// Take a durable snapshot: record the watermarks and drop journal
+    /// entries already committed (they can never be re-reported, so
+    /// replaying them would only produce suppressed duplicates).
+    pub fn checkpoint(&mut self) {
+        self.ckpt_admitted = self.admitted;
+        self.ckpt_committed = self.committed;
+        while matches!(self.journal.front(), Some(&(seq, _)) if seq < self.ckpt_committed) {
+            self.journal.pop_front();
+        }
+    }
+
+    /// Admitted arrivals not yet committed (the queue a recovery must
+    /// reconstruct).
+    pub fn outstanding(&self) -> u64 {
+        self.admitted - self.committed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn journal_covers_exactly_the_replayable_window() {
+        let mut s = StreamState::default();
+        for i in 0..10 {
+            assert_eq!(s.admit(i as f64 * 1e-6), i);
+        }
+        assert_eq!(s.outstanding(), 10);
+        s.committed = 6;
+        s.checkpoint();
+        assert_eq!((s.ckpt_admitted, s.ckpt_committed), (10, 6));
+        let seqs: Vec<u64> = s.journal.iter().map(|&(q, _)| q).collect();
+        assert_eq!(seqs, vec![6, 7, 8, 9], "journal starts at ckpt_committed");
+        assert_eq!(s.outstanding(), 4);
+    }
+
+    #[test]
+    fn checkpoint_is_idempotent_and_monotone() {
+        let mut s = StreamState::default();
+        for i in 0..4 {
+            s.admit(i as f64);
+        }
+        s.committed = 2;
+        s.checkpoint();
+        let before = s.journal.clone();
+        s.checkpoint();
+        assert_eq!(s.journal, before, "re-checkpointing changes nothing");
+        s.committed = 4;
+        s.checkpoint();
+        assert!(s.journal.is_empty(), "fully committed, nothing to replay");
+    }
+
+    #[test]
+    fn default_costs_are_ordered_sanely() {
+        let c = RecoveryConfig::default();
+        assert!(c.checkpoint_cost < c.checkpoint_interval);
+        assert!(c.replay_cost_per_entry < c.restart_latency);
+    }
+}

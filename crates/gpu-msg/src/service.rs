@@ -10,7 +10,7 @@
 //! Two tiers:
 //!
 //! * [`simulate_service`] — the original single-queue batch-service
-//!   model: one resident kernel, one pending queue, one engine.
+//!   model: one resident kernel, one bounded pending queue, one engine.
 //! * [`ShardedMatchService`] — N shards, each owning a persistent
 //!   [`Gpu`] (one communication SM's worth of matching capacity) and a
 //!   bounded pending queue. Traffic is keyed to shards by
@@ -27,13 +27,28 @@
 //! matcher reports; arrivals accumulate meanwhile. Below saturation the
 //! queue stays bounded; past the matcher's rate ceiling it grows (or
 //! spills) without bound — the reports flag it.
+//!
+//! The sharded tier additionally survives *shard failures*. With a
+//! [`FaultTolerance`] attached, a [`FaultPlan`] injects crashes, hangs
+//! and slow windows at simulated-time points; each shard periodically
+//! checkpoints its stream watermarks and journals admitted arrivals
+//! ([`crate::recovery`]), so a crashed shard restarts a fresh device,
+//! restores the snapshot and replays the journal with duplicate
+//! suppression — the committed match set is byte-identical to a
+//! fault-free run (exactly-once delivery). A [`Supervisor`] drives
+//! health checks on the same clock, failing a down shard's streams over
+//! to the healthiest peer via [`ShardPlacement::redirect`] and shedding
+//! deadline-expired work under sustained overload.
 
 use std::collections::VecDeque;
 
 use msg_match::prelude::*;
 use simt_sim::{Gpu, GpuGeneration};
 
-use crate::metrics::{ServiceMetrics, ShardMetrics};
+use crate::fault::{FaultEvent, FaultKind, FaultPlan};
+use crate::metrics::{OverflowStats, ServiceMetrics, ShardMetrics};
+use crate::recovery::{RecoveryConfig, StreamState};
+use crate::supervisor::{Supervisor, SupervisorConfig};
 
 /// Which matching engine the service kernel runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -65,6 +80,18 @@ pub fn engine_label(choice: EngineChoice) -> String {
     }
 }
 
+/// Ordering strictness of an engine (matrix preserves everything, hash
+/// nothing) — the supervisor falls a failover target back to the
+/// *stricter* of its own and the failed shard's engine, so inherited
+/// streams keep the ordering their relaxation level promised.
+fn strictness(choice: EngineChoice) -> u8 {
+    match choice {
+        EngineChoice::Matrix => 2,
+        EngineChoice::Partitioned { .. } => 1,
+        EngineChoice::Hash => 0,
+    }
+}
+
 /// Service simulation parameters (single-queue model).
 #[derive(Debug, Clone, Copy)]
 pub struct ServiceConfig {
@@ -77,6 +104,9 @@ pub struct ServiceConfig {
     /// the batching any real communication kernel applies to amortise
     /// launch overhead.
     pub batch_threshold: usize,
+    /// Bounded pending queue: arrivals beyond this backlog spill to the
+    /// (unmodelled) slow host path and are only counted.
+    pub queue_capacity: usize,
     /// Simulated duration in seconds.
     pub duration: f64,
     /// Engine to run.
@@ -98,8 +128,12 @@ pub struct ServiceReport {
     pub max_depth: usize,
     /// Fraction of device time spent matching (utilisation).
     pub utilisation: f64,
-    /// True if the backlog was still growing when time ran out.
+    /// True if the service was in steady-state overload when time ran
+    /// out: the backlog was still growing, or admission control was
+    /// still spilling in the final stretch of the run.
     pub saturated: bool,
+    /// Arrivals the service gave up on (spilled at admission or shed).
+    pub overflow: OverflowStats,
     /// Batches executed.
     pub batches: u64,
 }
@@ -116,9 +150,13 @@ pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> Servic
     }
     .generate();
 
+    let capacity = cfg.queue_capacity.max(cfg.max_batch);
     let mut now = 0.0f64; // simulated seconds
-    let mut arrived = 0u64; // messages that have arrived by `now`
+    let mut seen = 0u64; // arrivals walked through admission by `now`
+    let mut admitted = 0u64;
     let mut matched = 0u64;
+    let mut overflow = OverflowStats::default();
+    let mut last_spill = f64::NEG_INFINITY;
     let mut busy = 0.0f64;
     let mut depth_samples: Vec<f64> = Vec::new();
     let mut max_depth = 0usize;
@@ -132,9 +170,19 @@ pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> Servic
     let choice = cfg.engine.choice();
 
     while now < cfg.duration {
+        // Admission: walk every arrival due by `now` through the
+        // bounded queue; overflow spills (counted, not queued).
         let due = (cfg.arrival_rate * now) as u64;
-        arrived = arrived.max(due);
-        let pending = (arrived - matched) as usize;
+        while seen < due {
+            if ((admitted - matched) as usize) < capacity {
+                admitted += 1;
+            } else {
+                overflow.spilled += 1;
+                last_spill = (seen + 1) as f64 / cfg.arrival_rate;
+            }
+            seen += 1;
+        }
+        let pending = (admitted - matched) as usize;
         depth_samples.push(pending as f64);
         max_depth = max_depth.max(pending);
 
@@ -142,11 +190,11 @@ pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> Servic
         if pending < threshold {
             // Aggregate: idle until enough arrivals are due (or give the
             // stragglers a final pass at end of time).
-            let needed = matched + threshold as u64;
+            let need = (threshold - pending) as u64;
             // Half-an-arrival epsilon: landing exactly on the N-th
             // arrival time can truncate back to N-1 in float and stall
             // the clock.
-            let next = (needed as f64 + 0.5) / cfg.arrival_rate;
+            let next = ((seen + need) as f64 + 0.5) / cfg.arrival_rate;
             if next > cfg.duration {
                 if pending == 0 {
                     break;
@@ -185,15 +233,16 @@ pub fn simulate_service(generation: GpuGeneration, cfg: ServiceConfig) -> Servic
     }
 
     let elapsed = now.max(f64::MIN_POSITIVE);
-    let final_backlog = arrived.saturating_sub(matched) as usize;
+    let final_backlog = admitted.saturating_sub(matched) as usize;
     ServiceReport {
         sustained_rate: matched as f64 / elapsed,
         offered_rate: cfg.arrival_rate,
         mean_depth: depth_samples.iter().sum::<f64>() / depth_samples.len().max(1) as f64,
         max_depth,
         utilisation: (busy / elapsed).min(1.0),
-        saturated: final_backlog > 2 * cfg.max_batch
-            && final_backlog as f64 > 0.05 * arrived as f64,
+        saturated: (final_backlog > 2 * cfg.max_batch && final_backlog as f64 > 0.05 * seen as f64)
+            || last_spill >= 0.9 * cfg.duration,
+        overflow,
         batches,
     }
 }
@@ -223,8 +272,15 @@ pub struct ShardedServiceConfig {
     /// Bounded pending queue per shard: arrivals beyond this backlog
     /// spill to the (unmodelled) slow host path and are only counted.
     pub queue_capacity: usize,
-    /// Simulated duration in seconds.
+    /// Simulated duration in seconds (arrivals stop at this point).
     pub duration: f64,
+    /// Keep servicing after `duration` until every admitted arrival has
+    /// committed, every recovery has finished and every failover has
+    /// been handed back. Off (the default), the run stops once in-flight
+    /// work commits, leaving any backlog unmatched — the right model for
+    /// rate measurements. The exactly-once differential tests turn it on
+    /// so fault-free and faulty runs complete the same set.
+    pub drain: bool,
     /// Per-shard engine policy.
     pub policy: ShardEnginePolicy,
     /// Communicators in the traffic mix.
@@ -250,6 +306,7 @@ impl Default for ShardedServiceConfig {
             batch_threshold: 256,
             queue_capacity: 1 << 14,
             duration: 0.002,
+            drain: false,
             policy: ShardEnginePolicy::Fixed(ServiceEngine::Matrix),
             comms: 1,
             peers: 64,
@@ -260,6 +317,26 @@ impl Default for ShardedServiceConfig {
     }
 }
 
+/// The fault-tolerance stack attached to a [`ShardedMatchService`]:
+/// what breaks, how shards recover, and who supervises.
+///
+/// Carried outside the `Copy` [`ShardedServiceConfig`] (a fault plan
+/// owns its event list) and attached via
+/// [`ShardedMatchService::set_fault_tolerance`]. With none attached the
+/// service pays zero overhead: no checkpoints, no journal bookkeeping
+/// beyond watermark counters, no supervisor ticks.
+#[derive(Debug, Clone, Default)]
+pub struct FaultTolerance {
+    /// The deterministic fault schedule ([`FaultPlan::none`] for a
+    /// fault-free run that still exercises checkpoints).
+    pub plan: FaultPlan,
+    /// Checkpoint cadence and recovery costs.
+    pub recovery: RecoveryConfig,
+    /// Health-check/failover/shedding policy; `None` leaves shards to
+    /// recover on their own with no rerouting and no shedding.
+    pub supervisor: Option<SupervisorConfig>,
+}
+
 /// Outcome of a sharded service run.
 #[derive(Debug, Clone)]
 pub struct ShardedServiceReport {
@@ -267,6 +344,97 @@ pub struct ShardedServiceReport {
     pub aggregate: ServiceReport,
     /// Per-shard observability snapshot.
     pub metrics: ServiceMetrics,
+    /// Per-stream committed seqs in delivery order, recorded only when
+    /// [`ShardedMatchService::set_record_completions`] was turned on —
+    /// the artefact the exactly-once differential tests compare.
+    pub completions: Option<Vec<Vec<u64>>>,
+}
+
+/// One queued arrival: which stream it belongs to (streams are keyed by
+/// home shard), its per-stream sequence number, and when it arrived.
+#[derive(Debug, Clone, Copy)]
+struct QEntry {
+    stream: usize,
+    seq: u64,
+    arrived: f64,
+}
+
+/// A dispatched batch occupying a shard's device until `until`.
+struct InFlight {
+    until: f64,
+    entries: Vec<QEntry>,
+    report: GpuMatchReport,
+    service: f64,
+}
+
+/// What a shard's device is doing right now.
+enum Phase {
+    /// Ready to dispatch.
+    Idle,
+    /// Matching a batch; commits at `InFlight::until`.
+    Busy(Box<InFlight>),
+    /// Unresponsive but state intact; resumes any interrupted batch.
+    Hung {
+        until: f64,
+        resume: Option<Box<InFlight>>,
+    },
+    /// Crashed; booting a fresh device.
+    Restarting { until: f64, crashed_at: f64 },
+    /// Restoring the snapshot and replaying the journal.
+    Replaying { until: f64, crashed_at: f64 },
+    /// Taking a periodic snapshot (pauses matching for its cost).
+    Checkpointing { until: f64, started: f64 },
+}
+
+impl Phase {
+    fn next_event(&self) -> Option<f64> {
+        match self {
+            Phase::Idle => None,
+            Phase::Busy(f) => Some(f.until),
+            Phase::Hung { until, .. }
+            | Phase::Restarting { until, .. }
+            | Phase::Replaying { until, .. }
+            | Phase::Checkpointing { until, .. } => Some(*until),
+        }
+    }
+
+    /// Entries occupying the device (they count against queue capacity).
+    fn inflight_len(&self) -> usize {
+        match self {
+            Phase::Busy(f) => f.entries.len(),
+            Phase::Hung {
+                resume: Some(f), ..
+            } => f.entries.len(),
+            _ => 0,
+        }
+    }
+
+    /// Is any in-flight entry from stream `s`? (Failover handback must
+    /// wait until the target has fully drained the inherited stream.)
+    fn holds_stream(&self, s: usize) -> bool {
+        match self {
+            Phase::Busy(f) => f.entries.iter().any(|e| e.stream == s),
+            Phase::Hung {
+                resume: Some(f), ..
+            } => f.entries.iter().any(|e| e.stream == s),
+            _ => false,
+        }
+    }
+
+    /// Would a health check get an answer?
+    fn responsive(&self) -> bool {
+        !matches!(
+            self,
+            Phase::Hung { .. } | Phase::Restarting { .. } | Phase::Replaying { .. }
+        )
+    }
+
+    /// Is the shard dark (device state unavailable)? Arrivals admitted
+    /// while dark are journaled but not queued; the recovery rebuild
+    /// restores them.
+    fn dark(&self) -> bool {
+        matches!(self, Phase::Restarting { .. } | Phase::Replaying { .. })
+    }
 }
 
 /// One shard: a persistent device, a pinned engine, and the slice of the
@@ -274,7 +442,10 @@ pub struct ShardedServiceReport {
 struct ServiceShard {
     gpu: Gpu,
     choice: EngineChoice,
-    /// This shard's tuple pool, replayed cyclically as its arrivals.
+    /// This shard's tuple pool, replayed cyclically as its arrivals:
+    /// stream entry `seq` carries envelope `msgs[seq % len]`, so message
+    /// identity is a pure function of `(stream, seq)` — which is what
+    /// makes journal replay reproduce the fault-free matches.
     msgs: Vec<Envelope>,
     /// Share of the aggregate arrival rate this shard receives.
     rate: f64,
@@ -282,13 +453,15 @@ struct ServiceShard {
 
 /// A sharded streaming match service over persistent devices.
 ///
-/// Built once, run many times: [`run`](Self::run) resets all queue and
-/// metric state but keeps the shard devices and engine pins, so repeated
-/// runs with the same config are bit-identical.
+/// Built once, run many times: [`run`](Self::run) resets all queue,
+/// stream, placement and metric state but keeps the shard devices and
+/// engine pins, so repeated runs with the same config are bit-identical.
 pub struct ShardedMatchService {
     cfg: ShardedServiceConfig,
     placement: ShardPlacement,
     shards: Vec<ServiceShard>,
+    fault_tolerance: Option<FaultTolerance>,
+    record_completions: bool,
 }
 
 impl ShardedMatchService {
@@ -375,7 +548,43 @@ impl ShardedMatchService {
             cfg,
             placement,
             shards,
+            fault_tolerance: None,
+            record_completions: false,
         }
+    }
+
+    /// Attach (or detach) the fault-tolerance stack. `None` — the
+    /// default — runs the legacy fault-free fast path with no
+    /// checkpoint or supervisor overhead.
+    ///
+    /// # Panics
+    /// Panics if the plan names a shard the service doesn't have.
+    pub fn set_fault_tolerance(&mut self, ft: Option<FaultTolerance>) {
+        if let Some(ft) = &ft {
+            assert!(
+                ft.plan.events().iter().all(|e| e.shard < self.cfg.shards),
+                "fault plan names a shard outside the service"
+            );
+        }
+        self.fault_tolerance = ft;
+    }
+
+    /// The currently attached fault-tolerance stack.
+    pub fn fault_tolerance(&self) -> Option<&FaultTolerance> {
+        self.fault_tolerance.as_ref()
+    }
+
+    /// Record per-stream committed seqs during runs (differential-test
+    /// support; costs one `Vec` push per delivery).
+    pub fn set_record_completions(&mut self, on: bool) {
+        self.record_completions = on;
+    }
+
+    /// Re-pin one shard's engine after construction (test/bench hook
+    /// for heterogeneous shard fleets, e.g. to exercise the
+    /// supervisor's engine fallback).
+    pub fn repin_engine(&mut self, shard: usize, engine: ServiceEngine) {
+        self.shards[shard].choice = engine.choice();
     }
 
     /// The engine pinned on each shard, in shard order.
@@ -411,191 +620,758 @@ impl ShardedMatchService {
         }
     }
 
-    /// Simulate `cfg.duration` seconds of service.
+    /// Simulate `cfg.duration` seconds of service (longer in
+    /// [`drain`](ShardedServiceConfig::drain) mode).
     ///
-    /// Shards run concurrently in simulated time (each owns its device),
-    /// so the aggregate elapsed time is the maximum over shards and the
-    /// aggregate sustained rate is the sum of shard rates.
+    /// All shards share one simulated clock, advanced event to event:
+    /// batch commits, fault injections, checkpoint completions,
+    /// recovery milestones and supervisor health ticks. Everything is a
+    /// pure function of the configuration, the placement and the
+    /// attached [`FaultTolerance`], so repeated runs are bit-identical.
     pub fn run(&mut self) -> ShardedServiceReport {
-        let cfg = self.cfg;
-        let mut shard_metrics = Vec::with_capacity(self.shards.len());
-        let mut max_elapsed = 0.0f64;
-        let (mut total_matched, mut total_spilled, mut total_batches) = (0u64, 0u64, 0u64);
-        let mut max_depth = 0usize;
-        let (mut depth_sum, mut depth_n) = (0.0f64, 0u64);
-        let mut util_sum = 0.0f64;
-        let mut any_saturated = false;
+        let ShardedMatchService {
+            cfg,
+            placement,
+            shards,
+            fault_tolerance,
+            record_completions,
+        } = self;
+        let cfg = *cfg;
+        let n = shards.len();
+        let engine = MatchEngine::default();
+        let capacity = cfg.queue_capacity.max(cfg.max_batch);
+        let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
 
-        for (idx, shard) in self.shards.iter_mut().enumerate() {
-            // A clean timeline per run keeps repeated runs bit-identical.
+        // A clean slate per run keeps repeated runs bit-identical.
+        for s in 0..n {
+            placement.restore(s);
+        }
+        for shard in shards.iter_mut() {
             if let Some(rec) = shard.gpu.obs.as_mut() {
                 rec.reset();
             }
-            let mut m = ShardMetrics::new(idx, engine_label(shard.choice));
-            let elapsed = run_shard(shard, &cfg, &mut m);
-            max_elapsed = max_elapsed.max(elapsed);
-            total_matched += m.matched;
-            total_spilled += m.spilled;
-            total_batches += m.batches;
-            max_depth = max_depth.max(m.queue_depth.max as usize);
-            depth_sum += m.queue_depth.sum;
-            depth_n += m.queue_depth.count;
-            util_sum += m.utilisation;
-            any_saturated |= m.saturated;
-            shard_metrics.push(m);
         }
 
-        let elapsed = max_elapsed.max(f64::MIN_POSITIVE);
+        let recovery: Option<RecoveryConfig> = fault_tolerance.as_ref().map(|f| f.recovery);
+        let mut supervisor: Option<Supervisor> = fault_tolerance
+            .as_ref()
+            .and_then(|f| f.supervisor)
+            .map(|sc| Supervisor::new(n, sc));
+        let fault_events: Vec<FaultEvent> = fault_tolerance
+            .as_ref()
+            .map(|f| f.plan.events().to_vec())
+            .unwrap_or_default();
+        let mut fault_idx = 0usize;
+        let mut sup_tick: Option<f64> = supervisor
+            .as_ref()
+            .map(|s| s.config().health_check_interval);
+
+        let mut metrics: Vec<ShardMetrics> = (0..n)
+            .map(|i| ShardMetrics::new(i, engine_label(shards[i].choice)))
+            .collect();
+        let mut streams: Vec<StreamState> = (0..n).map(|_| StreamState::default()).collect();
+        let mut seen: Vec<u64> = vec![0; n];
+        let mut queues: Vec<VecDeque<QEntry>> = (0..n).map(|_| VecDeque::new()).collect();
+        let mut phases: Vec<Phase> = (0..n).map(|_| Phase::Idle).collect();
+        let mut busy = vec![0.0f64; n];
+        let mut last_activity = vec![0.0f64; n];
+        let mut last_spill = vec![f64::NEG_INFINITY; n];
+        let mut slow_until = vec![f64::NEG_INFINITY; n];
+        let mut slow_factor = vec![1.0f64; n];
+        let mut next_ckpt: Vec<f64> = (0..n)
+            .map(|_| recovery.map_or(f64::INFINITY, |r| r.checkpoint_interval))
+            .collect();
+        let mut active_choice: Vec<EngineChoice> = shards.iter().map(|s| s.choice).collect();
+        let mut completions: Option<Vec<Vec<u64>>> = if *record_completions {
+            Some(vec![Vec::new(); n])
+        } else {
+            None
+        };
+        let mut wake_candidates: Vec<f64> = Vec::new();
+
+        let mut now = 0.0f64;
+        loop {
+            // ---- Admission: walk every arrival due by `now` through the
+            // serving shard's bounded queue; overflow spills. Arrivals
+            // stop at `duration`.
+            let horizon = now.min(cfg.duration);
+            let spilled_before: Vec<u64> = metrics.iter().map(|m| m.overflow.spilled).collect();
+            for s in 0..n {
+                let rate = shards[s].rate;
+                if rate <= 0.0 || shards[s].msgs.is_empty() {
+                    continue;
+                }
+                let due = (rate * horizon) as u64;
+                while seen[s] < due {
+                    let t = (seen[s] + 1) as f64 / rate;
+                    let x = placement.target_of(s);
+                    metrics[x].arrivals += 1;
+                    if queues[x].len() + phases[x].inflight_len() < capacity {
+                        let seq = streams[s].admit(t);
+                        // A dark shard's queue died with its device;
+                        // journal-only until the rebuild restores it.
+                        if !phases[x].dark() {
+                            queues[x].push_back(QEntry {
+                                stream: s,
+                                seq,
+                                arrived: t,
+                            });
+                        }
+                        metrics[x].admitted += 1;
+                    } else {
+                        metrics[x].overflow.spilled += 1;
+                        metrics[x].ever_spilled = true;
+                        last_spill[x] = t;
+                    }
+                    seen[s] += 1;
+                }
+            }
+            for x in 0..n {
+                let newly = metrics[x].overflow.spilled - spilled_before[x];
+                if newly > 0 {
+                    if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                        rec.set_now_ns((now * 1e9).round() as u64);
+                        rec.record_instant(
+                            obs::SpanCategory::Spill,
+                            "spill",
+                            vec![("count", obs::ArgValue::U64(newly))],
+                        );
+                    }
+                }
+            }
+
+            // ---- Fault injections due at `now` (crash beats any commit
+            // scheduled for the same instant: faults process first).
+            while fault_idx < fault_events.len() && fault_events[fault_idx].at <= now {
+                let ev = fault_events[fault_idx];
+                fault_idx += 1;
+                let x = ev.shard;
+                match ev.kind {
+                    FaultKind::Crash => {
+                        let r = recovery.expect("faults imply fault tolerance");
+                        metrics[x].crashes += 1;
+                        if let Some(sup) = supervisor.as_mut() {
+                            sup.note_crash(x);
+                        }
+                        if phases[x].inflight_len() > 0 {
+                            metrics[x].lost_batches += 1;
+                        }
+                        // Device state is gone: queue and in-flight batch
+                        // alike. The journal still covers every admitted
+                        // seq, so nothing is lost — only re-matched.
+                        queues[x].clear();
+                        let crashed_at = match phases[x] {
+                            // A crash during recovery restarts the
+                            // restart but keeps the original outage start
+                            // for the latency histogram.
+                            Phase::Restarting { crashed_at, .. }
+                            | Phase::Replaying { crashed_at, .. } => crashed_at,
+                            _ => ev.at,
+                        };
+                        phases[x] = Phase::Restarting {
+                            until: ev.at + r.restart_latency,
+                            crashed_at,
+                        };
+                        if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(obs::SpanCategory::Crash, "crash", vec![]);
+                        }
+                    }
+                    FaultKind::Hang { seconds } => {
+                        metrics[x].hangs += 1;
+                        let prev = std::mem::replace(&mut phases[x], Phase::Idle);
+                        phases[x] = match prev {
+                            Phase::Busy(mut inf) => {
+                                // The stuck kernel finishes late.
+                                inf.until += seconds;
+                                Phase::Hung {
+                                    until: ev.at + seconds,
+                                    resume: Some(inf),
+                                }
+                            }
+                            Phase::Hung { until, resume } => Phase::Hung {
+                                until: until.max(ev.at + seconds),
+                                resume,
+                            },
+                            // Hanging a dead shard changes nothing.
+                            p @ (Phase::Restarting { .. } | Phase::Replaying { .. }) => p,
+                            // Idle or mid-checkpoint (snapshot abandoned).
+                            _ => Phase::Hung {
+                                until: ev.at + seconds,
+                                resume: None,
+                            },
+                        };
+                        if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(obs::SpanCategory::Crash, "hang", vec![]);
+                        }
+                    }
+                    FaultKind::Slow { factor, seconds } => {
+                        slow_until[x] = ev.at + seconds;
+                        slow_factor[x] = factor.max(1.0);
+                        if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(obs::SpanCategory::Crash, "slow", vec![]);
+                        }
+                    }
+                }
+            }
+
+            // ---- Phase transitions due at `now` (commits, hang ends,
+            // recovery milestones, checkpoint completions).
+            for x in 0..n {
+                while phases[x].next_event().is_some_and(|t| t <= now) {
+                    let phase = std::mem::replace(&mut phases[x], Phase::Idle);
+                    match phase {
+                        Phase::Busy(inf) => {
+                            commit_batch(
+                                *inf,
+                                &mut streams,
+                                &mut metrics[x],
+                                &mut busy[x],
+                                &mut last_activity[x],
+                                completions.as_mut(),
+                            );
+                        }
+                        Phase::Hung { resume, .. } => {
+                            phases[x] = match resume {
+                                Some(inf) => Phase::Busy(inf),
+                                None => Phase::Idle,
+                            };
+                        }
+                        Phase::Restarting { until, crashed_at } => {
+                            // Device is back; scan the snapshot and the
+                            // journal to size the replay.
+                            let r = recovery.expect("recovering implies fault tolerance");
+                            let mut scanned = 0u64;
+                            for (s, stream) in streams.iter().enumerate() {
+                                if placement.target_of(s) != x {
+                                    continue;
+                                }
+                                for &(seq, _) in stream.journal.iter() {
+                                    if seq < stream.ckpt_admitted {
+                                        metrics[x].snapshot_restored += 1;
+                                    } else {
+                                        metrics[x].journal_replayed += 1;
+                                    }
+                                    scanned += 1;
+                                }
+                            }
+                            phases[x] = Phase::Replaying {
+                                until: until + r.replay_cost_per_entry * scanned as f64,
+                                crashed_at,
+                            };
+                        }
+                        Phase::Replaying { until, crashed_at } => {
+                            // Rebuild the pending queue from the journal,
+                            // suppressing seqs already delivered — the
+                            // duplicate half of exactly-once replay.
+                            shards[x].gpu.reset_memory();
+                            for (s, stream) in streams.iter().enumerate() {
+                                if placement.target_of(s) != x {
+                                    continue;
+                                }
+                                let committed = stream.committed;
+                                for &(seq, t) in stream.journal.iter() {
+                                    if seq < committed {
+                                        metrics[x].replay_duplicates += 1;
+                                        continue;
+                                    }
+                                    queues[x].push_back(QEntry {
+                                        stream: s,
+                                        seq,
+                                        arrived: t,
+                                    });
+                                }
+                            }
+                            metrics[x].recoveries += 1;
+                            metrics[x].recovery_seconds.record(until - crashed_at);
+                            last_activity[x] = last_activity[x].max(until);
+                            if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                                let t0 = (crashed_at * 1e9).round() as u64;
+                                let t1 = (until * 1e9).round() as u64;
+                                rec.record_complete(
+                                    obs::SpanCategory::Recovery,
+                                    "recovery",
+                                    t0,
+                                    t1.saturating_sub(t0),
+                                    vec![("restored", obs::ArgValue::U64(queues[x].len() as u64))],
+                                );
+                            }
+                        }
+                        Phase::Checkpointing { until, started } => {
+                            for (s, stream) in streams.iter_mut().enumerate() {
+                                if placement.target_of(s) == x {
+                                    stream.checkpoint();
+                                }
+                            }
+                            metrics[x].checkpoints += 1;
+                            next_ckpt[x] = until
+                                + recovery
+                                    .expect("checkpointing implies fault tolerance")
+                                    .checkpoint_interval;
+                            if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                                let t0 = (started * 1e9).round() as u64;
+                                let t1 = (until * 1e9).round() as u64;
+                                rec.record_complete(
+                                    obs::SpanCategory::Checkpoint,
+                                    "checkpoint",
+                                    t0,
+                                    t1.saturating_sub(t0),
+                                    vec![],
+                                );
+                            }
+                        }
+                        Phase::Idle => unreachable!("idle phases have no events"),
+                    }
+                }
+            }
+
+            // ---- Supervisor health ticks due at `now`.
+            if let Some(sup) = supervisor.as_mut() {
+                while sup_tick.is_some_and(|t| t <= now) {
+                    let tick = sup_tick.unwrap();
+                    for x in 0..n {
+                        if phases[x].responsive() {
+                            sup.note_up(x);
+                            // Observe the same backlog admission gates on
+                            // (queued plus in-flight), else a pegged shard
+                            // alternating full queue / full batch never
+                            // looks overloaded.
+                            sup.observe_depth(
+                                x,
+                                queues[x].len() + phases[x].inflight_len(),
+                                capacity,
+                            );
+                            continue;
+                        }
+                        if !sup.note_down(x, tick) {
+                            continue;
+                        }
+                        // Fail the down shard's streams over to the
+                        // healthiest responsive peer.
+                        let moved: Vec<usize> =
+                            (0..n).filter(|&s| placement.target_of(s) == x).collect();
+                        if moved.is_empty() {
+                            continue;
+                        }
+                        let target = (0..n)
+                            .filter(|&u| u != x && phases[u].responsive())
+                            .min_by_key(|&u| (queues[u].len() + phases[u].inflight_len(), u));
+                        let Some(t) = target else { continue };
+                        for s in moved {
+                            if t == s {
+                                placement.restore(s);
+                            } else {
+                                placement.redirect(s, t);
+                            }
+                            // The hung shard keeps its device state, so
+                            // drop its queued copies; the journal is the
+                            // durable source the target inherits. Any
+                            // in-flight copies commit late and are
+                            // suppressed by the watermark.
+                            queues[x].retain(|e| e.stream != s);
+                            let committed = streams[s].committed;
+                            let mut transferred = 0u64;
+                            for &(seq, tm) in streams[s].journal.iter() {
+                                if seq < committed {
+                                    continue;
+                                }
+                                queues[t].push_back(QEntry {
+                                    stream: s,
+                                    seq,
+                                    arrived: tm,
+                                });
+                                transferred += 1;
+                            }
+                            metrics[t].transferred_in += transferred;
+                            // Inherited streams keep the ordering their
+                            // home engine promised: fall back to the
+                            // stricter discipline while serving them.
+                            let home = shards[s].choice;
+                            if strictness(home) > strictness(active_choice[t]) {
+                                active_choice[t] = home;
+                                metrics[t].engine_fallbacks += 1;
+                            }
+                            if let Some(rec) = shards[t].gpu.obs.as_mut() {
+                                rec.set_now_ns((tick * 1e9).round() as u64);
+                                rec.record_instant(
+                                    obs::SpanCategory::Failover,
+                                    "failover",
+                                    vec![
+                                        ("stream", obs::ArgValue::U64(s as u64)),
+                                        ("from", obs::ArgValue::U64(x as u64)),
+                                        ("transferred", obs::ArgValue::U64(transferred)),
+                                    ],
+                                );
+                            }
+                        }
+                        metrics[x].failovers_out += 1;
+                        metrics[t].failovers_in += 1;
+                    }
+                    // Handback: once a home shard is responsive again and
+                    // its failover target has drained the inherited
+                    // stream, route it home.
+                    for s in 0..n {
+                        let t = placement.target_of(s);
+                        if t == s || !phases[s].responsive() {
+                            continue;
+                        }
+                        let draining =
+                            queues[t].iter().any(|e| e.stream == s) || phases[t].holds_stream(s);
+                        if draining {
+                            continue;
+                        }
+                        placement.restore(s);
+                        if !(0..n).any(|u| u != t && placement.target_of(u) == t) {
+                            active_choice[t] = shards[t].choice;
+                        }
+                        if let Some(rec) = shards[t].gpu.obs.as_mut() {
+                            rec.set_now_ns((tick * 1e9).round() as u64);
+                            rec.record_instant(
+                                obs::SpanCategory::Failover,
+                                "handback",
+                                vec![("stream", obs::ArgValue::U64(s as u64))],
+                            );
+                        }
+                    }
+                    sup_tick = Some(tick + sup.config().health_check_interval);
+                }
+            }
+
+            // ---- Start periodic checkpoints on idle shards (only while
+            // arrivals are still flowing; the drain tail never pauses
+            // for a snapshot it won't need).
+            if let Some(r) = recovery {
+                if now < cfg.duration {
+                    for x in 0..n {
+                        if !matches!(phases[x], Phase::Idle) || now < next_ckpt[x] {
+                            continue;
+                        }
+                        let serves_traffic =
+                            (0..n).any(|s| placement.target_of(s) == x && shards[s].rate > 0.0);
+                        if !serves_traffic {
+                            continue;
+                        }
+                        phases[x] = Phase::Checkpointing {
+                            until: now + r.checkpoint_cost,
+                            started: now,
+                        };
+                    }
+                }
+            }
+
+            // ---- Shed + dispatch on idle shards.
+            wake_candidates.clear();
+            for x in 0..n {
+                if !matches!(phases[x], Phase::Idle) {
+                    continue;
+                }
+                // Graceful degradation: in shedding mode, drop queued
+                // arrivals past the deadline oldest-first. A shed entry
+                // advances the commit watermark like a delivery (it is
+                // durable — replay never resurrects it) but counts in
+                // `overflow.shed`, not `matched`.
+                if let Some(sup) = supervisor.as_ref() {
+                    if sup.is_shedding(x) {
+                        let deadline = sup.config().shed_deadline;
+                        let mut shed_now = 0u64;
+                        while let Some(front) = queues[x].front().copied() {
+                            if now - front.arrived <= deadline {
+                                break;
+                            }
+                            queues[x].pop_front();
+                            let st = &mut streams[front.stream];
+                            if front.seq >= st.committed {
+                                debug_assert_eq!(front.seq, st.committed);
+                                st.committed = front.seq + 1;
+                            }
+                            shed_now += 1;
+                        }
+                        if shed_now > 0 {
+                            metrics[x].overflow.shed += shed_now;
+                            if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                                rec.set_now_ns((now * 1e9).round() as u64);
+                                rec.record_instant(
+                                    obs::SpanCategory::Shed,
+                                    "shed",
+                                    vec![("count", obs::ArgValue::U64(shed_now))],
+                                );
+                            }
+                        }
+                    }
+                }
+
+                let pending = queues[x].len();
+                let feeds = (0..n).any(|s| {
+                    placement.target_of(s) == x
+                        && shards[s].rate > 0.0
+                        && seen[s] < (shards[s].rate * cfg.duration) as u64
+                });
+                if pending == 0 && !feeds {
+                    continue;
+                }
+                metrics[x].queue_depth.record(pending as f64);
+
+                if pending < threshold {
+                    // Aggregate: sleep until enough arrivals are due to
+                    // fill the threshold, or drain the tail at the end.
+                    let wake = fill_wake(shards, placement, &seen, x, threshold - pending);
+                    match wake {
+                        Some(w) if w <= cfg.duration => {
+                            wake_candidates.push(w);
+                            continue;
+                        }
+                        _ => {
+                            if pending == 0 {
+                                continue;
+                            }
+                        }
+                    }
+                }
+                if now >= cfg.duration && !cfg.drain {
+                    continue;
+                }
+
+                let batch = pending.min(cfg.max_batch);
+                let mut entries = Vec::with_capacity(batch);
+                for _ in 0..batch {
+                    entries.push(queues[x].pop_front().expect("pending counted"));
+                }
+                let msgs: Vec<Envelope> = entries
+                    .iter()
+                    .map(|e| {
+                        let pool = &shards[e.stream].msgs;
+                        pool[e.seq as usize % pool.len()]
+                    })
+                    .collect();
+                let reqs: Vec<RecvRequest> = msgs
+                    .iter()
+                    .map(|m| RecvRequest::exact(m.src, m.tag, m.comm))
+                    .collect();
+
+                if let Some(rec) = shards[x].gpu.obs.as_mut() {
+                    // Pin the recorder to the service clock so the launch
+                    // spans the engine records start at the dispatch
+                    // instant, and span the batch's accumulation time.
+                    let now_ns = (now * 1e9).round() as u64;
+                    rec.set_now_ns(now_ns);
+                    let oldest = entries.first().map_or(now, |e| e.arrived);
+                    let t0 = ((oldest * 1e9).round() as u64).min(now_ns);
+                    rec.record_complete(
+                        obs::SpanCategory::BatchAdmission,
+                        "batch",
+                        t0,
+                        now_ns - t0,
+                        vec![
+                            ("batch", obs::ArgValue::U64(batch as u64)),
+                            ("pending", obs::ArgValue::U64(pending as u64)),
+                        ],
+                    );
+                }
+
+                // The shard's resident device: reclaim the arena, not
+                // the device.
+                let shard = &mut shards[x];
+                shard.gpu.reset_memory();
+                let report = engine
+                    .match_with(&mut shard.gpu, active_choice[x], &msgs, &reqs)
+                    .expect("no wildcards in service traffic");
+                debug_assert_eq!(report.matches as usize, batch);
+                let factor = if now < slow_until[x] {
+                    slow_factor[x]
+                } else {
+                    1.0
+                };
+                let service = report.seconds * factor;
+                phases[x] = Phase::Busy(Box::new(InFlight {
+                    until: now + service,
+                    entries,
+                    report,
+                    service,
+                }));
+            }
+
+            // ---- Advance the clock to the next event.
+            let mut next = f64::INFINITY;
+            for p in &phases {
+                if let Some(t) = p.next_event() {
+                    next = next.min(t);
+                }
+            }
+            if fault_idx < fault_events.len() {
+                next = next.min(fault_events[fault_idx].at);
+            }
+            for &w in &wake_candidates {
+                next = next.min(w);
+            }
+            if recovery.is_some() && now < cfg.duration {
+                for x in 0..n {
+                    if matches!(phases[x], Phase::Idle)
+                        && next_ckpt[x] > now
+                        && next_ckpt[x] < cfg.duration
+                    {
+                        next = next.min(next_ckpt[x]);
+                    }
+                }
+            }
+            let arrivals_remain = (0..n)
+                .any(|s| shards[s].rate > 0.0 && seen[s] < (shards[s].rate * cfg.duration) as u64);
+            if cfg.drain && arrivals_remain && cfg.duration > now {
+                // The drain tail must admit everything up to `duration`.
+                next = next.min(cfg.duration);
+            }
+            let redirect_active = (0..n).any(|s| placement.target_of(s) != s);
+            let work_live = now < cfg.duration
+                || phases.iter().any(|p| !matches!(p, Phase::Idle))
+                || (cfg.drain
+                    && (redirect_active
+                        || arrivals_remain
+                        || queues.iter().any(|q| !q.is_empty())));
+            if work_live {
+                if let Some(t) = sup_tick {
+                    if t > now {
+                        next = next.min(t);
+                    }
+                }
+            }
+            if !next.is_finite() || next <= now {
+                break;
+            }
+            now = next;
+        }
+
+        // ---- Finalise per-shard metrics.
+        for x in 0..n {
+            let m = &mut metrics[x];
+            m.busy_seconds = busy[x];
+            m.utilisation = if last_activity[x] > 0.0 {
+                (busy[x] / last_activity[x]).min(1.0)
+            } else {
+                0.0
+            };
+            let backlog = (queues[x].len() + phases[x].inflight_len()) as u64;
+            m.saturated = (backlog > 2 * cfg.max_batch as u64
+                && backlog as f64 > 0.05 * m.arrivals as f64)
+                || last_spill[x] >= 0.9 * cfg.duration;
+            m.ever_spilled = m.overflow.spilled > 0;
+        }
+
+        let elapsed = last_activity
+            .iter()
+            .fold(0.0f64, |a, &b| a.max(b))
+            .max(f64::MIN_POSITIVE);
+        let total_matched: u64 = metrics.iter().map(|m| m.matched).sum();
+        let mut overflow = OverflowStats::default();
+        for m in &metrics {
+            overflow.merge(&m.overflow);
+        }
         let aggregate = ServiceReport {
             sustained_rate: total_matched as f64 / elapsed,
             offered_rate: cfg.arrival_rate,
-            mean_depth: depth_sum / depth_n.max(1) as f64,
-            max_depth,
-            utilisation: util_sum / self.shards.len() as f64,
-            saturated: any_saturated,
-            batches: total_batches,
+            mean_depth: {
+                let (sum, count) = metrics.iter().fold((0.0, 0u64), |(s, c), m| {
+                    (s + m.queue_depth.sum, c + m.queue_depth.count)
+                });
+                sum / count.max(1) as f64
+            },
+            max_depth: metrics
+                .iter()
+                .map(|m| m.queue_depth.max as usize)
+                .max()
+                .unwrap_or(0),
+            utilisation: metrics.iter().map(|m| m.utilisation).sum::<f64>() / n as f64,
+            saturated: metrics.iter().any(|m| m.saturated),
+            overflow,
+            batches: metrics.iter().map(|m| m.batches).sum(),
         };
-        let metrics = ServiceMetrics {
+        let service_metrics = ServiceMetrics {
             duration: cfg.duration,
             offered_rate: cfg.arrival_rate,
             sustained_rate: aggregate.sustained_rate,
             total_matched,
-            total_spilled,
-            shards: shard_metrics,
+            total_spilled: overflow.spilled,
+            total_shed: overflow.shed,
+            total_crashes: metrics.iter().map(|m| m.crashes).sum(),
+            total_recoveries: metrics.iter().map(|m| m.recoveries).sum(),
+            total_failovers: metrics.iter().map(|m| m.failovers_in).sum(),
+            reorder_duplicates: 0,
+            shards: metrics,
         };
-        ShardedServiceReport { aggregate, metrics }
+        ShardedServiceReport {
+            aggregate,
+            metrics: service_metrics,
+            completions,
+        }
     }
 }
 
-/// Run one shard's batch-service loop; returns its elapsed simulated
-/// time and fills `m` with its counters and distributions.
-fn run_shard(shard: &mut ServiceShard, cfg: &ShardedServiceConfig, m: &mut ShardMetrics) -> f64 {
-    if shard.msgs.is_empty() || shard.rate <= 0.0 {
-        return 0.0;
-    }
-    let capacity = cfg.queue_capacity.max(cfg.max_batch);
-    let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
-    let engine = MatchEngine::default();
-
-    let mut now = 0.0f64;
-    let mut seen = 0u64; // arrivals processed through admission
-    let mut admitted = 0u64;
-    let mut matched = 0u64;
-    let mut busy = 0.0f64;
-    let mut arrival_times: VecDeque<f64> = VecDeque::new();
-
-    while now < cfg.duration {
-        // Admission: walk every arrival due by `now` through the bounded
-        // queue; overflow spills (counted, not queued).
-        let due = (shard.rate * now) as u64;
-        let spilled_before = m.spilled;
-        while seen < due {
-            let t = (seen + 1) as f64 / shard.rate;
-            if ((admitted - matched) as usize) < capacity {
-                admitted += 1;
-                arrival_times.push_back(t);
-            } else {
-                m.spilled += 1;
-            }
-            seen += 1;
+/// Deliver a completed batch: advance each stream's commit watermark,
+/// suppressing entries a concurrent path (failover transfer, journal
+/// replay) already delivered — the idempotent-commit half of
+/// exactly-once matching.
+fn commit_batch(
+    inf: InFlight,
+    streams: &mut [StreamState],
+    m: &mut ShardMetrics,
+    busy: &mut f64,
+    last_activity: &mut f64,
+    mut completions: Option<&mut Vec<Vec<u64>>>,
+) {
+    *busy += inf.service;
+    m.profile.absorb(&inf.report);
+    m.batches += 1;
+    m.batch_size.record(inf.entries.len() as f64);
+    m.service_time.record(inf.service);
+    for e in &inf.entries {
+        let st = &mut streams[e.stream];
+        if e.seq < st.committed {
+            m.replay_duplicates += 1;
+            continue;
         }
-        m.arrivals = seen;
-        m.admitted = admitted;
-        if m.spilled > spilled_before {
-            if let Some(rec) = shard.gpu.obs.as_mut() {
-                rec.set_now_ns((now * 1e9).round() as u64);
-                rec.record_instant(
-                    obs::SpanCategory::Spill,
-                    "spill",
-                    vec![("count", obs::ArgValue::U64(m.spilled - spilled_before))],
-                );
-            }
-        }
-
-        let pending = (admitted - matched) as usize;
-        m.queue_depth.record(pending as f64);
-
-        if pending < threshold {
-            // Aggregate: idle until enough arrivals are due to fill the
-            // threshold (spills never help fill it, but below capacity
-            // spills don't happen either), or drain the tail at the end.
-            let need = (threshold - pending) as u64;
-            let next = ((seen + need) as f64 + 0.5) / shard.rate;
-            if next > cfg.duration {
-                if pending == 0 {
-                    break;
-                }
-                // Drain the tail.
-            } else {
-                now = next;
-                continue;
-            }
-        }
-
-        let batch = pending.min(cfg.max_batch);
-        if batch == 0 {
-            break;
-        }
-        let start = (matched as usize) % shard.msgs.len();
-        let mut msgs: Vec<Envelope> = Vec::with_capacity(batch);
-        for k in 0..batch {
-            msgs.push(shard.msgs[(start + k) % shard.msgs.len()]);
-        }
-        let reqs: Vec<RecvRequest> = msgs
-            .iter()
-            .map(|msg| RecvRequest::exact(msg.src, msg.tag, msg.comm))
-            .collect();
-
-        if let Some(rec) = shard.gpu.obs.as_mut() {
-            // Pin the recorder to the service clock so the launch spans
-            // the engine records start at the dispatch instant, and span
-            // the time the batch spent accumulating.
-            let now_ns = (now * 1e9).round() as u64;
-            rec.set_now_ns(now_ns);
-            if let Some(&oldest) = arrival_times.front() {
-                let t0 = ((oldest * 1e9).round() as u64).min(now_ns);
-                rec.record_complete(
-                    obs::SpanCategory::BatchAdmission,
-                    "batch",
-                    t0,
-                    now_ns - t0,
-                    vec![
-                        ("batch", obs::ArgValue::U64(batch as u64)),
-                        ("pending", obs::ArgValue::U64(pending as u64)),
-                    ],
-                );
-            }
-        }
-
-        // The shard's resident device: reclaim the arena, not the device.
-        shard.gpu.reset_memory();
-        let report = engine
-            .match_with(&mut shard.gpu, shard.choice, &msgs, &reqs)
-            .expect("no wildcards in service traffic");
-        debug_assert_eq!(report.matches as usize, batch);
-        matched += report.matches;
-        busy += report.seconds;
-        now += report.seconds;
-
-        m.profile.absorb(&report);
-        m.batches += 1;
-        m.matched = matched;
-        m.batch_size.record(batch as f64);
-        m.service_time.record(report.seconds);
-        for _ in 0..batch {
-            if let Some(t) = arrival_times.pop_front() {
-                m.match_latency.record(now - t);
-            }
+        debug_assert_eq!(e.seq, st.committed, "per-stream commits are FIFO");
+        st.committed = e.seq + 1;
+        m.matched += 1;
+        m.match_latency.record(inf.until - e.arrived);
+        if let Some(c) = completions.as_mut() {
+            c[e.stream].push(e.seq);
         }
     }
+    *last_activity = last_activity.max(inf.until);
+}
 
-    let elapsed = now.max(f64::MIN_POSITIVE);
-    let backlog = admitted.saturating_sub(matched);
-    m.busy_seconds = busy;
-    m.utilisation = (busy / elapsed).min(1.0);
-    m.saturated = m.spilled > 0
-        || (backlog > 2 * cfg.max_batch as u64 && backlog as f64 > 0.05 * seen as f64);
-    elapsed
+/// When will `need` more arrivals have been generated for the streams
+/// currently routed to shard `x`? Returns the wake time (half an
+/// arrival past the filling arrival, to dodge float truncation), or
+/// `None` when no stream feeds the shard.
+fn fill_wake(
+    shards: &[ServiceShard],
+    placement: &ShardPlacement,
+    seen: &[u64],
+    x: usize,
+    need: usize,
+) -> Option<f64> {
+    let mut cursors: Vec<(f64, u64)> = (0..shards.len())
+        .filter(|&s| placement.target_of(s) == x && shards[s].rate > 0.0)
+        .map(|s| (shards[s].rate, seen[s]))
+        .collect();
+    if cursors.is_empty() {
+        return None;
+    }
+    let mut wake = 0.0f64;
+    for _ in 0..need.max(1) {
+        let (rate, v) = cursors
+            .iter_mut()
+            .min_by(|a, b| {
+                let ta = (a.1 + 1) as f64 / a.0;
+                let tb = (b.1 + 1) as f64 / b.0;
+                ta.partial_cmp(&tb).expect("arrival times are finite")
+            })
+            .expect("cursors is non-empty");
+        *v += 1;
+        wake = (*v as f64 + 0.5) / *rate;
+    }
+    Some(wake)
 }
 
 /// Build and run a sharded service in one call.
@@ -609,12 +1385,14 @@ pub fn simulate_sharded_service(
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::fault::FaultRates;
 
     fn cfg(rate: f64, engine: ServiceEngine) -> ServiceConfig {
         ServiceConfig {
             arrival_rate: rate,
             max_batch: 1024,
             batch_threshold: 256,
+            queue_capacity: 1 << 14,
             duration: 0.004,
             engine,
             seed: 5,
@@ -631,6 +1409,7 @@ mod tests {
         assert!(!r.saturated, "{r:?}");
         assert!(r.utilisation < 0.75, "utilisation {}", r.utilisation);
         assert!((r.sustained_rate - 1.0e6).abs() / 1.0e6 < 0.15, "{r:?}");
+        assert_eq!(r.overflow.total(), 0, "no overload, no overflow");
     }
 
     #[test]
@@ -644,6 +1423,10 @@ mod tests {
         assert!(r.utilisation > 0.95, "the kernel must be pegged: {r:?}");
         // The sustained rate caps at the matcher's ceiling.
         assert!(r.sustained_rate < 8.0e6, "{r:?}");
+        // With a bounded queue the overload spills instead of growing
+        // the backlog without bound.
+        assert!(r.overflow.spilled > 0, "{r:?}");
+        assert!(r.max_depth <= 1 << 14, "{r:?}");
     }
 
     #[test]
@@ -716,7 +1499,8 @@ mod tests {
             },
         );
         let shard = &r.metrics.shards[0];
-        assert!(shard.spilled > 0, "overload must spill: {shard:?}");
+        assert!(shard.overflow.spilled > 0, "overload must spill: {shard:?}");
+        assert!(shard.ever_spilled);
         assert!(shard.saturated);
         assert!(
             shard.queue_depth.max as usize <= 2048,
@@ -724,10 +1508,11 @@ mod tests {
             shard.queue_depth.max
         );
         assert_eq!(
-            shard.admitted + shard.spilled,
+            shard.admitted + shard.overflow.spilled,
             shard.arrivals,
             "admission accounting must balance"
         );
+        assert_eq!(shard.overflow.shed, 0, "no supervisor, nothing shed");
     }
 
     #[test]
@@ -796,7 +1581,7 @@ mod tests {
         };
         let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, r);
         let report = svc.run();
-        assert!(report.metrics.shards[0].spilled > 0);
+        assert!(report.metrics.shards[0].overflow.spilled > 0);
         let json = svc.trace_json().unwrap();
         assert!(json.contains("\"cat\":\"spill\""));
     }
@@ -818,5 +1603,251 @@ mod tests {
         }
         let matched: u64 = r.metrics.shards.iter().map(|s| s.matched).sum();
         assert_eq!(matched, r.metrics.total_matched);
+    }
+
+    // ---- Fault tolerance ----
+
+    fn ft_cfg(shards: usize, rate: f64) -> ShardedServiceConfig {
+        ShardedServiceConfig {
+            queue_capacity: 1 << 20,
+            drain: true,
+            ..sharded_cfg(shards, rate)
+        }
+    }
+
+    fn crash_at(shard: usize, at: f64) -> FaultPlan {
+        FaultPlan::new(vec![FaultEvent {
+            at,
+            shard,
+            kind: FaultKind::Crash,
+        }])
+    }
+
+    #[test]
+    fn crashes_recover_and_preserve_exactly_once() {
+        let base = ft_cfg(2, 4.0e6);
+        // Fault-free baseline: what a perfect run commits.
+        let mut clean = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        clean.set_record_completions(true);
+        let want = clean.run().completions.unwrap();
+
+        // Same service, shard 0 crashes mid-run.
+        let mut faulty = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        faulty.set_record_completions(true);
+        faulty.set_fault_tolerance(Some(FaultTolerance {
+            plan: crash_at(0, 0.6e-3),
+            recovery: RecoveryConfig::default(),
+            supervisor: None,
+        }));
+        let r = faulty.run();
+        let got = r.completions.unwrap();
+
+        assert_eq!(got, want, "post-recovery matches must equal fault-free");
+        let s0 = &r.metrics.shards[0];
+        assert_eq!(s0.crashes, 1);
+        assert_eq!(s0.recoveries, 1);
+        assert!(s0.journal_replayed > 0, "{s0:?}");
+        assert!(
+            s0.replay_duplicates > 0,
+            "committed-but-journaled entries must be re-matched and suppressed: {s0:?}"
+        );
+        assert_eq!(s0.recovery_seconds.count, 1);
+        assert!(
+            s0.recovery_seconds.min >= RecoveryConfig::default().restart_latency,
+            "recovery cannot beat the restart latency: {}",
+            s0.recovery_seconds.min
+        );
+        assert_eq!(r.metrics.total_crashes, 1);
+        assert_eq!(r.metrics.total_recoveries, 1);
+    }
+
+    #[test]
+    fn faulty_runs_are_deterministic() {
+        let build = || {
+            let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, ft_cfg(3, 5.0e6));
+            svc.set_record_completions(true);
+            svc.set_fault_tolerance(Some(FaultTolerance {
+                plan: FaultPlan::random(
+                    13,
+                    3,
+                    0.002,
+                    &FaultRates {
+                        crash_rate: 1000.0,
+                        hang_rate: 500.0,
+                        ..Default::default()
+                    },
+                ),
+                recovery: RecoveryConfig::default(),
+                supervisor: Some(SupervisorConfig::default()),
+            }));
+            svc
+        };
+        let a = build().run();
+        let b = build().run();
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(a.metrics, b.metrics, "same plan, same metrics, bit for bit");
+    }
+
+    #[test]
+    fn supervisor_fails_over_and_hands_back() {
+        let base = ShardedServiceConfig {
+            trace: true,
+            ..ft_cfg(2, 4.0e6)
+        };
+        let mut clean = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        clean.set_record_completions(true);
+        clean.repin_engine(0, ServiceEngine::Matrix);
+        clean.repin_engine(1, ServiceEngine::Hash);
+        let want = clean.run().completions.unwrap();
+
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        svc.set_record_completions(true);
+        // Shard 0 promises full ordering; its failover target is the
+        // relaxed hash shard, forcing an engine fallback.
+        svc.repin_engine(0, ServiceEngine::Matrix);
+        svc.repin_engine(1, ServiceEngine::Hash);
+        svc.set_fault_tolerance(Some(FaultTolerance {
+            plan: FaultPlan::new(vec![FaultEvent {
+                at: 0.3e-3,
+                shard: 0,
+                kind: FaultKind::Hang { seconds: 500e-6 },
+            }]),
+            recovery: RecoveryConfig::default(),
+            supervisor: Some(SupervisorConfig::default()),
+        }));
+        let r = svc.run();
+
+        let (s0, s1) = (&r.metrics.shards[0], &r.metrics.shards[1]);
+        assert_eq!(s0.hangs, 1);
+        assert_eq!(s0.failovers_out, 1, "{s0:?}");
+        assert_eq!(s1.failovers_in, 1, "{s1:?}");
+        assert!(s1.transferred_in > 0, "{s1:?}");
+        assert_eq!(
+            s1.engine_fallbacks, 1,
+            "hash target must adopt the matrix stream's discipline: {s1:?}"
+        );
+        assert_eq!(r.metrics.total_failovers, 1);
+        assert_eq!(
+            svc.placement().target_of(0),
+            0,
+            "the stream must be handed back once shard 0 is up"
+        );
+        assert_eq!(
+            r.completions.unwrap(),
+            want,
+            "failover must not duplicate or lose a single match"
+        );
+        let json = svc.trace_json().unwrap();
+        assert!(json.contains("\"cat\":\"failover\""));
+        assert!(json.contains("\"name\":\"handback\""));
+    }
+
+    #[test]
+    fn overloaded_shards_shed_past_the_deadline() {
+        let mut svc = ShardedMatchService::new(
+            GpuGeneration::PascalGtx1080,
+            ShardedServiceConfig {
+                queue_capacity: 2048,
+                trace: true,
+                ..sharded_cfg(1, 30.0e6)
+            },
+        );
+        svc.set_fault_tolerance(Some(FaultTolerance {
+            plan: FaultPlan::none(),
+            recovery: RecoveryConfig::default(),
+            supervisor: Some(SupervisorConfig {
+                shed_deadline: 150e-6,
+                overload_checks: 2,
+                ..Default::default()
+            }),
+        }));
+        let r = svc.run();
+        let s = &r.metrics.shards[0];
+        assert!(s.overflow.shed > 0, "sustained overload must shed: {s:?}");
+        assert!(
+            s.overflow.spilled > 0,
+            "shedding does not replace admission spill: {s:?}"
+        );
+        assert_eq!(r.metrics.total_shed, s.overflow.shed);
+        let json = svc.trace_json().unwrap();
+        assert!(json.contains("\"cat\":\"shed\""));
+    }
+
+    #[test]
+    fn checkpoints_cost_little_when_nothing_crashes() {
+        let base = ft_cfg(2, 4.0e6);
+        let mut plain = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        let r_plain = plain.run();
+        let mut ckpt = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        ckpt.set_fault_tolerance(Some(FaultTolerance::default()));
+        let r_ckpt = ckpt.run();
+        assert!(
+            r_ckpt.metrics.shards.iter().all(|s| s.checkpoints > 0),
+            "every live shard must checkpoint"
+        );
+        assert_eq!(
+            r_ckpt.metrics.total_matched, r_plain.metrics.total_matched,
+            "a crash-free drain matches exactly the same set"
+        );
+        let (a, b) = (
+            r_plain.aggregate.sustained_rate,
+            r_ckpt.aggregate.sustained_rate,
+        );
+        assert!(
+            (a - b).abs() / a < 0.05,
+            "checkpointing should cost a few percent at most: {a} vs {b}"
+        );
+    }
+
+    #[test]
+    fn slow_shards_lose_throughput_but_nothing_else() {
+        let base = sharded_cfg(1, 4.0e6);
+        let clean = simulate_sharded_service(GpuGeneration::PascalGtx1080, base);
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        svc.set_fault_tolerance(Some(FaultTolerance {
+            plan: FaultPlan::new(vec![FaultEvent {
+                at: 0.2e-3,
+                shard: 0,
+                kind: FaultKind::Slow {
+                    factor: 4.0,
+                    seconds: 1.0e-3,
+                },
+            }]),
+            recovery: RecoveryConfig::default(),
+            supervisor: None,
+        }));
+        let slow = svc.run();
+        assert!(
+            slow.metrics.total_matched < clean.metrics.total_matched,
+            "a 4x slow window must cost throughput: {} vs {}",
+            slow.metrics.total_matched,
+            clean.metrics.total_matched
+        );
+        assert_eq!(slow.metrics.total_crashes, 0);
+        assert_eq!(slow.metrics.shards[0].overflow.shed, 0);
+    }
+
+    #[test]
+    fn fault_spans_land_in_the_trace() {
+        let mut svc = ShardedMatchService::new(
+            GpuGeneration::PascalGtx1080,
+            ShardedServiceConfig {
+                trace: true,
+                ..ft_cfg(2, 4.0e6)
+            },
+        );
+        svc.set_fault_tolerance(Some(FaultTolerance {
+            plan: crash_at(1, 0.5e-3),
+            recovery: RecoveryConfig::default(),
+            supervisor: None,
+        }));
+        svc.run();
+        let json = svc.trace_json().unwrap();
+        for cat in ["crash", "recovery", "checkpoint"] {
+            assert!(
+                json.contains(&format!("\"cat\":\"{cat}\"")),
+                "missing {cat}"
+            );
+        }
     }
 }

@@ -221,6 +221,13 @@ pub struct ShardPlacement {
     pub shards: usize,
     /// Explicit placements, checked in order before the hash fallback.
     pub rules: Vec<ShardRule>,
+    /// Failover indirection: `redirects[s]` is the shard actually
+    /// servicing keys homed on `s`. Identity while `s` is healthy; a
+    /// supervisor points it elsewhere while `s` is down and restores it
+    /// on recovery. Kept behind accessors so every lookup path resolves
+    /// through it — a stale direct read would split one key's stream
+    /// across two shards and break per-pair ordering.
+    redirects: Vec<usize>,
 }
 
 impl ShardPlacement {
@@ -230,6 +237,7 @@ impl ShardPlacement {
         ShardPlacement {
             shards,
             rules: Vec::new(),
+            redirects: (0..shards).collect(),
         }
     }
 
@@ -250,11 +258,16 @@ impl ShardPlacement {
             );
             assert!(r.rank_lo < r.rank_hi, "empty rank range in {r:?}");
         }
-        ShardPlacement { shards, rules }
+        ShardPlacement {
+            shards,
+            rules,
+            redirects: (0..shards).collect(),
+        }
     }
 
-    /// The shard owning `(comm, src)`.
-    pub fn shard_of(&self, comm: u16, src: u32) -> usize {
+    /// The *home* shard of `(comm, src)` — the stable key owner,
+    /// ignoring any active failover redirect.
+    pub fn home_of(&self, comm: u16, src: u32) -> usize {
         for r in &self.rules {
             if r.covers(comm, src) {
                 return r.shard;
@@ -264,6 +277,38 @@ impl ShardPlacement {
         // and spreads consecutive ranks across shards.
         let key = ((comm as u64) << 32) | src as u64;
         (key.wrapping_mul(0x9E3779B97F4A7C15) >> 33) as usize % self.shards
+    }
+
+    /// The shard currently servicing `(comm, src)`: the home shard,
+    /// resolved through any active failover redirect.
+    pub fn shard_of(&self, comm: u16, src: u32) -> usize {
+        self.redirects[self.home_of(comm, src)]
+    }
+
+    /// Route every key homed on `from` to `to` (a supervisor failing a
+    /// down shard over to a healthy peer). Redirects never chain: keys
+    /// homed on `from` go to `to` directly; keys homed on `to` are
+    /// unaffected.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range or `from == to`.
+    pub fn redirect(&mut self, from: usize, to: usize) {
+        assert!(from < self.shards && to < self.shards, "shard out of range");
+        assert_ne!(from, to, "a shard cannot fail over to itself");
+        self.redirects[from] = to;
+    }
+
+    /// Drop any redirect for `shard`, restoring it as the consumer of
+    /// its own keys (on recovery, after the failover target drains).
+    pub fn restore(&mut self, shard: usize) {
+        assert!(shard < self.shards, "shard out of range");
+        self.redirects[shard] = shard;
+    }
+
+    /// Where keys homed on `shard` are currently serviced (`shard`
+    /// itself unless a redirect is active).
+    pub fn target_of(&self, shard: usize) -> usize {
+        self.redirects[shard]
     }
 
     /// Split a batch into per-shard message/request index lists.
@@ -451,6 +496,43 @@ mod tests {
             assert!(s < 4);
             assert_eq!(s, p.shard_of(5, src));
         }
+    }
+
+    #[test]
+    fn redirects_reroute_and_restore_without_moving_homes() {
+        let mut p = ShardPlacement::hashed(4);
+        // Find a key homed on shard 2 via the hash fallback.
+        let src = (0..1000u32)
+            .find(|&s| p.home_of(0, s) == 2)
+            .expect("hash spreads over all shards");
+        assert_eq!(p.shard_of(0, src), 2);
+        p.redirect(2, 0);
+        assert_eq!(p.home_of(0, src), 2, "home ownership never moves");
+        assert_eq!(p.shard_of(0, src), 0, "service moves to the target");
+        assert_eq!(p.target_of(2), 0);
+        // Keys homed elsewhere are untouched (no chaining through 0).
+        for s in 0..1000u32 {
+            if p.home_of(0, s) != 2 {
+                assert_eq!(p.shard_of(0, s), p.home_of(0, s));
+            }
+        }
+        p.restore(2);
+        assert_eq!(p.shard_of(0, src), 2, "restore hands the keys back");
+        assert_eq!(p.target_of(2), 2);
+    }
+
+    #[test]
+    fn split_follows_active_redirects() {
+        let (msgs, reqs) = multi_comm_batch(200, 3, 13);
+        let mut p = ShardPlacement::hashed(4);
+        p.redirect(1, 3);
+        let parts = p.split(&msgs, &reqs);
+        assert!(
+            parts[1].0.is_empty() && parts[1].1.is_empty(),
+            "a redirected shard receives no traffic"
+        );
+        let total: usize = parts.iter().map(|(m, _)| m.len()).sum();
+        assert_eq!(total, msgs.len(), "redirects only move, never drop");
     }
 
     #[test]

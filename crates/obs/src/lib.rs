@@ -53,6 +53,20 @@ pub enum SpanCategory {
     /// An injected fabric fault (drop, duplicate, reorder), surfaced as
     /// an instant.
     Fault,
+    /// An injected shard crash (or hang onset), surfaced as an instant
+    /// on the shard's track.
+    Crash,
+    /// A crashed shard restarting and replaying its journal, spanning
+    /// restart to the moment it resumes service.
+    Recovery,
+    /// A periodic shard state snapshot, spanning its simulated cost.
+    Checkpoint,
+    /// The supervisor rerouting a down shard's keys to a failover peer
+    /// (or handing them back), surfaced as an instant.
+    Failover,
+    /// Queued arrivals dropped by the supervisor's deadline shedding,
+    /// surfaced as an instant (distinct from admission-control spills).
+    Shed,
 }
 
 impl SpanCategory {
@@ -72,6 +86,11 @@ impl SpanCategory {
             SpanCategory::Retransmit => "retransmit",
             SpanCategory::CreditStall => "credit_stall",
             SpanCategory::Fault => "fault",
+            SpanCategory::Crash => "crash",
+            SpanCategory::Recovery => "recovery",
+            SpanCategory::Checkpoint => "checkpoint",
+            SpanCategory::Failover => "failover",
+            SpanCategory::Shed => "shed",
         }
     }
 }

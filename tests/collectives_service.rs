@@ -124,6 +124,7 @@ fn service_ceiling_matches_batch_rate() {
             arrival_rate: batch.matches_per_sec * 4.0, // far past saturation
             max_batch: 1024,
             batch_threshold: 256,
+            queue_capacity: 1 << 14,
             duration: 0.002,
             engine: ServiceEngine::Matrix,
             seed: 5,

@@ -1,0 +1,196 @@
+//! Differential test for shard fault tolerance: a sharded service that
+//! crashes and recovers mid-run commits *exactly* the same per-stream
+//! match sequence as a fault-free run of the same seed — for every
+//! engine the paper's relaxation lattice offers. Plus determinism (same
+//! plan, same bytes) and a property sweep placing crashes at arbitrary
+//! points, including mid-batch (after admission, before the batch's
+//! matches commit), which is precisely where an at-least-once replay
+//! without idempotent commit would double-match.
+
+use gpu_msg::{
+    FaultEvent, FaultKind, FaultPlan, FaultRates, FaultTolerance, RecoveryConfig, ServiceEngine,
+    ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig, SupervisorConfig,
+};
+use proptest::prelude::*;
+use simt_sim::GpuGeneration;
+
+const GEN: GpuGeneration = GpuGeneration::PascalGtx1080;
+
+/// A drain-mode config with a queue deep enough that nothing spills or
+/// sheds: the committed set is then a pure function of the arrival
+/// schedule, which is what makes byte-equality the right oracle.
+fn cfg(engine: ServiceEngine, seed: u64) -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards: 2,
+        arrival_rate: 4.0e6,
+        duration: 0.002,
+        queue_capacity: 1 << 20,
+        drain: true,
+        policy: ShardEnginePolicy::Fixed(engine),
+        seed,
+        ..Default::default()
+    }
+}
+
+fn completions_with(
+    base: ShardedServiceConfig,
+    ft: Option<FaultTolerance>,
+) -> (Vec<Vec<u64>>, gpu_msg::ServiceMetrics) {
+    let mut svc = ShardedMatchService::new(GEN, base);
+    svc.set_record_completions(true);
+    svc.set_fault_tolerance(ft);
+    let r = svc.run();
+    (r.completions.expect("recording was enabled"), r.metrics)
+}
+
+fn crash_plan(shard: usize, at: f64) -> FaultTolerance {
+    FaultTolerance {
+        plan: FaultPlan::new(vec![FaultEvent {
+            at,
+            shard,
+            kind: FaultKind::Crash,
+        }]),
+        recovery: RecoveryConfig::default(),
+        supervisor: None,
+    }
+}
+
+/// Crash + checkpointed recovery replays to the identical committed
+/// sequence, per engine. The matrix engine is the interesting case —
+/// its users were promised per-pair MPI ordering, and sequence equality
+/// (not just set equality) checks the replay preserved it — but the
+/// relaxed engines must hold the exactly-once half too.
+#[test]
+fn recovery_is_invisible_for_every_engine() {
+    for engine in [
+        ServiceEngine::Matrix,
+        ServiceEngine::Partitioned(8),
+        ServiceEngine::Hash,
+    ] {
+        let base = cfg(engine, 5);
+        let (want, clean_m) = completions_with(base, None);
+        let (got, faulty_m) = completions_with(base, Some(crash_plan(0, 0.7e-3)));
+        assert_eq!(
+            got, want,
+            "{engine:?}: post-recovery commits must equal fault-free"
+        );
+        assert_eq!(faulty_m.total_crashes, 1, "{engine:?}");
+        assert_eq!(faulty_m.total_recoveries, 1, "{engine:?}");
+        assert!(
+            faulty_m.shards[0].journal_replayed > 0,
+            "{engine:?}: the journal must have had work to replay"
+        );
+        assert_eq!(
+            faulty_m.total_matched, clean_m.total_matched,
+            "{engine:?}: replay may re-match but never re-commit"
+        );
+        // Every stream's committed sequence is dense and ascending —
+        // the per-pair FIFO the paper's FULL_MPI level promises.
+        for stream in &got {
+            for (i, &seq) in stream.iter().enumerate() {
+                assert_eq!(seq, i as u64, "{engine:?}: commit order must be FIFO");
+            }
+        }
+    }
+}
+
+/// Crashing both shards (at different times) still converges to the
+/// fault-free outcome: recoveries are independent per shard.
+#[test]
+fn concurrent_outages_on_distinct_shards_recover() {
+    let base = cfg(ServiceEngine::Matrix, 9);
+    let (want, _) = completions_with(base, None);
+    let ft = FaultTolerance {
+        plan: FaultPlan::new(vec![
+            FaultEvent {
+                at: 0.5e-3,
+                shard: 0,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                at: 0.9e-3,
+                shard: 1,
+                kind: FaultKind::Crash,
+            },
+        ]),
+        recovery: RecoveryConfig::default(),
+        supervisor: None,
+    };
+    let (got, m) = completions_with(base, Some(ft));
+    assert_eq!(got, want);
+    assert_eq!(m.total_crashes, 2);
+    assert_eq!(m.total_recoveries, 2);
+}
+
+/// A random fault soup — crashes, hangs and slow windows under a
+/// supervisor — is bit-deterministic per seed: completions, metrics and
+/// the serialized snapshot all reproduce.
+#[test]
+fn faulty_runs_reproduce_bit_for_bit() {
+    let run = || {
+        let base = cfg(ServiceEngine::Partitioned(8), 17);
+        let ft = FaultTolerance {
+            plan: FaultPlan::random(
+                23,
+                base.shards,
+                base.duration,
+                &FaultRates {
+                    crash_rate: 1000.0,
+                    hang_rate: 500.0,
+                    slow_rate: 500.0,
+                    ..Default::default()
+                },
+            ),
+            recovery: RecoveryConfig::default(),
+            supervisor: Some(SupervisorConfig::default()),
+        };
+        completions_with(base, Some(ft))
+    };
+    let (ca, ma) = run();
+    let (cb, mb) = run();
+    assert_eq!(ca, cb);
+    assert_eq!(ma, mb);
+    assert_eq!(ma.to_json(), mb.to_json(), "artefact bytes must match");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sweep the crash over the run — the fraction lands it before,
+    /// inside and after busy windows, so some cases destroy a batch
+    /// after its entries were admitted but before its matches committed.
+    /// Exactly-once must hold everywhere: nothing lost (every fault-free
+    /// commit appears) and nothing doubled (sequence equality rules out
+    /// a second commit of any seq).
+    #[test]
+    fn prop_mid_batch_crashes_never_lose_or_double_match(
+        frac_pct in 10u64..90,
+        shard in 0usize..2,
+        seed in 0u64..20,
+        engine_idx in 0usize..3,
+    ) {
+        let frac = frac_pct as f64 / 100.0;
+        let engine = [
+            ServiceEngine::Matrix,
+            ServiceEngine::Partitioned(8),
+            ServiceEngine::Hash,
+        ][engine_idx];
+        let base = cfg(engine, seed);
+        let (want, clean_m) = completions_with(base, None);
+        let (got, m) = completions_with(base, Some(crash_plan(shard, frac * base.duration)));
+        prop_assert_eq!(&got, &want, "crash at {}*duration on shard {}", frac, shard);
+        prop_assert_eq!(m.total_matched, clean_m.total_matched);
+        prop_assert_eq!(m.total_recoveries, 1);
+        // A crash that destroyed an in-flight batch must surface as a
+        // lost batch AND as suppressed re-matches; one without in-flight
+        // work may legitimately show neither.
+        let s = &m.shards[shard];
+        if s.lost_batches > 0 {
+            prop_assert!(
+                s.replay_duplicates > 0 || s.journal_replayed > 0,
+                "a destroyed batch must be re-matched from the journal: {:?}",
+                s
+            );
+        }
+    }
+}

@@ -49,6 +49,7 @@ fn single_queue_service_is_deterministic() {
         arrival_rate: 3.0e6,
         max_batch: 1024,
         batch_threshold: 256,
+        queue_capacity: 1 << 14,
         duration: 0.001,
         engine: ServiceEngine::Partitioned(8),
         seed: 3,
@@ -80,10 +81,14 @@ fn sustained_rate_is_monotone_in_offered_rate() {
 
 /// Saturation is a boundary, not a scatter: once a configuration
 /// saturates at some offered rate, every higher rate saturates too.
+/// `ever_spilled` is monotone the same way — it records that admission
+/// control rejected at least one arrival, and a rate that overflows the
+/// bounded queue keeps overflowing it at every higher rate.
 #[test]
 fn saturation_flag_is_monotone_in_offered_rate() {
     let rates = [1.0e6, 2.0e6, 4.0e6, 8.0e6, 16.0e6, 32.0e6];
     let mut seen_saturated = false;
+    let mut seen_spilled = false;
     for &rate in &rates {
         let r = simulate_sharded_service(GEN, sharded_cfg(1, rate));
         if seen_saturated {
@@ -93,8 +98,30 @@ fn saturation_flag_is_monotone_in_offered_rate() {
             );
         }
         seen_saturated |= r.aggregate.saturated;
+        let spilled_now = r.metrics.shards.iter().any(|s| s.ever_spilled);
+        if seen_spilled {
+            assert!(
+                spilled_now,
+                "no spill at {rate:.0} after spilling at a lower rate"
+            );
+        }
+        seen_spilled |= spilled_now;
+        assert_eq!(
+            spilled_now,
+            r.metrics.shards.iter().any(|s| s.overflow.spilled > 0),
+            "ever_spilled must mirror the spill counter"
+        );
+        // Saturation means sustained overload; a saturated shard with a
+        // bounded queue must also have spilled. The converse is not
+        // required: a transient burst can spill without saturating.
+        for s in &r.metrics.shards {
+            if s.saturated && s.overflow.spilled > 0 {
+                assert!(s.ever_spilled);
+            }
+        }
     }
     assert!(seen_saturated, "the sweep must cross the matrix ceiling");
+    assert!(seen_spilled, "the sweep must overflow the bounded queue");
 }
 
 /// Adding shards never hurts at a fixed offered rate.
