@@ -10,7 +10,7 @@
 //! exported as JSON (`BENCH_service.json`) for downstream tooling.
 
 use gpu_msg::{
-    simulate_sharded_service, ServiceEngine, ShardEnginePolicy, ShardedServiceConfig,
+    simulate_sharded_service, Scheduler, ServiceEngine, ShardEnginePolicy, ShardedServiceConfig,
     ShardedServiceReport,
 };
 use simt_sim::GpuGeneration;
@@ -44,7 +44,11 @@ fn policy_name(p: ShardEnginePolicy) -> String {
     }
 }
 
-/// Run the sweep on the GTX 1080.
+/// Run the sweep on the GTX 1080. Every point executes under the
+/// thread-per-shard scheduler: the simulated artefacts are
+/// byte-identical to the global clock (the parallel differential test
+/// proves this), while `wall_seconds` measures the real OS-thread
+/// speedup that sharding buys the host.
 pub fn run(shard_counts: &[usize], offered: f64, seed: u64) -> Vec<Point> {
     let policies = [
         ShardEnginePolicy::Fixed(ServiceEngine::Matrix),
@@ -62,6 +66,7 @@ pub fn run(shard_counts: &[usize], offered: f64, seed: u64) -> Vec<Point> {
                     duration: 0.002,
                     policy,
                     seed,
+                    scheduler: Scheduler::ThreadPerShard,
                     ..Default::default()
                 },
             );
@@ -91,6 +96,7 @@ pub fn report(points: &[Point]) -> Report {
             "lat_p50_us",
             "lat_p99_us",
             "saturated",
+            "wall_ms",
         ],
     );
     for p in points {
@@ -111,6 +117,7 @@ pub fn report(points: &[Point]) -> Report {
             format!("{:.1}", worst.match_latency.p50() * 1e6),
             format!("{:.1}", worst.match_latency.p99() * 1e6),
             if agg.saturated { "YES" } else { "no" }.to_string(),
+            format!("{:.1}", p.report.wall_seconds * 1e3),
         ]);
     }
     r
@@ -118,7 +125,9 @@ pub fn report(points: &[Point]) -> Report {
 
 /// The JSON metrics artefact for the sweep: the snapshot of the highest
 /// shard count run per policy (the configuration a deployment would
-/// pick), keyed by policy name.
+/// pick), keyed by policy name, plus a `wall_clock` section recording
+/// the host-side timing of every sweep point under the thread-per-shard
+/// scheduler (sim time never depends on the scheduler; wall time does).
 pub fn metrics_json(points: &[Point]) -> String {
     let mut entries: Vec<(String, serde::Value)> = Vec::new();
     for p in points {
@@ -132,10 +141,52 @@ pub fn metrics_json(points: &[Point]) -> String {
             ));
         }
     }
+    entries.push(("wall_clock".to_string(), wall_clock_value(points)));
     let mut out = String::new();
     let tree = serde::Value::Object(entries);
     out.push_str(&serde::json::to_string_pretty(&ValueWrap(tree)));
     out
+}
+
+/// The `wall_clock` section: one point per sweep run with host-side
+/// seconds and throughput, so downstream tooling can chart the real
+/// parallel speedup alongside the simulated rates.
+fn wall_clock_value(points: &[Point]) -> serde::Value {
+    let pts: Vec<serde::Value> = points
+        .iter()
+        .map(|p| {
+            let matched = p.report.metrics.total_matched;
+            let wall = p.report.wall_seconds;
+            serde::Value::Object(vec![
+                (
+                    "engine".to_string(),
+                    serde::Value::Str(policy_name(p.policy)),
+                ),
+                ("shards".to_string(), serde::Value::U64(p.shards as u64)),
+                ("wall_seconds".to_string(), serde::Value::F64(wall)),
+                (
+                    "wall_matches_per_sec".to_string(),
+                    serde::Value::F64(if wall > 0.0 {
+                        matched as f64 / wall
+                    } else {
+                        0.0
+                    }),
+                ),
+                (
+                    "sim_matches_per_sec".to_string(),
+                    serde::Value::F64(p.report.aggregate.sustained_rate),
+                ),
+                ("total_matched".to_string(), serde::Value::U64(matched)),
+            ])
+        })
+        .collect();
+    serde::Value::Object(vec![
+        (
+            "scheduler".to_string(),
+            serde::Value::Str("thread-per-shard".to_string()),
+        ),
+        ("points".to_string(), serde::Value::Array(pts)),
+    ])
 }
 
 /// Newtype so a raw `serde::Value` tree can go through the JSON writer.
@@ -179,8 +230,15 @@ mod tests {
         let tree = serde::json::parse_value(&json).expect("metrics_json must emit parseable JSON");
         match &tree {
             serde::Value::Object(entries) => {
-                assert_eq!(entries.len(), 3, "one snapshot per policy");
+                assert_eq!(
+                    entries.len(),
+                    4,
+                    "one snapshot per policy plus the wall_clock section"
+                );
                 for (k, v) in entries {
+                    if k == "wall_clock" {
+                        continue;
+                    }
                     assert!(k.ends_with("@2shards"), "best shard count wins: {k}");
                     let m: ServiceMetrics =
                         serde::Deserialize::from_value(v).expect("snapshot must deserialize");
@@ -188,6 +246,39 @@ mod tests {
                 }
             }
             other => panic!("expected object, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn wall_clock_section_covers_every_sweep_point() {
+        let pts = run(&[1, 2], DEFAULT_OFFERED, 5);
+        let json = metrics_json(&pts);
+        let tree = serde::json::parse_value(&json).expect("parseable JSON");
+        let wall = tree.field("wall_clock").expect("wall_clock section");
+        assert_eq!(
+            wall.field("scheduler").unwrap(),
+            &serde::Value::Str("thread-per-shard".to_string())
+        );
+        let points = match wall.field("points").unwrap() {
+            serde::Value::Array(items) => items,
+            other => panic!("points must be an array, got {other:?}"),
+        };
+        assert_eq!(points.len(), pts.len(), "one wall point per sweep point");
+        for p in points {
+            let secs = match p.field("wall_seconds").unwrap() {
+                serde::Value::F64(s) => *s,
+                other => panic!("wall_seconds must be a float, got {other:?}"),
+            };
+            assert!(secs > 0.0, "wall clock must be measured");
+            for key in [
+                "engine",
+                "shards",
+                "wall_matches_per_sec",
+                "sim_matches_per_sec",
+                "total_matched",
+            ] {
+                p.field(key).unwrap_or_else(|_| panic!("missing {key}"));
+            }
         }
     }
 

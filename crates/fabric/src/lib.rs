@@ -56,8 +56,10 @@ pub mod config;
 pub mod net;
 pub mod packet;
 pub mod stats;
+pub mod vtime;
 
 pub use config::{DeliveryOrder, FabricConfig, FaultConfig};
 pub use net::{Delivery, Fabric};
 pub use packet::{Packet, PacketBody, HEADER_BYTES};
 pub use stats::FabricStats;
+pub use vtime::{VirtualClock, WatermarkExchange};

@@ -44,6 +44,7 @@ pub mod message;
 pub mod metrics;
 pub mod recovery;
 pub mod reorder;
+pub mod sched;
 pub mod service;
 pub mod supervisor;
 pub mod transport;
@@ -56,6 +57,7 @@ pub use message::{Completion, EndpointStats, Message, RecvHandle};
 pub use metrics::{EngineProfile, Histogram, OverflowStats, ServiceMetrics, ShardMetrics};
 pub use recovery::{RecoveryConfig, StreamState};
 pub use reorder::ReorderBuffer;
+pub use sched::Scheduler;
 pub use service::{
     engine_label, simulate_service, simulate_sharded_service, FaultTolerance, ServiceConfig,
     ServiceEngine, ServiceReport, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,

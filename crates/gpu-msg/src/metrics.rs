@@ -72,6 +72,35 @@ impl Histogram {
         self.sum += v;
     }
 
+    /// Fold another histogram into this one (bucket-wise; both sides
+    /// must use the same `scale`).
+    ///
+    /// Merging is commutative and associative up to `f64` rounding of
+    /// `sum`, so folding per-shard histograms in shard-id order yields
+    /// one canonical aggregate no matter which thread finished first.
+    pub fn merge(&mut self, other: &Histogram) {
+        debug_assert_eq!(
+            self.scale.to_bits(),
+            other.scale.to_bits(),
+            "merging histograms with different scales"
+        );
+        if other.count == 0 {
+            return;
+        }
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        if self.count == 0 {
+            self.min = other.min;
+            self.max = other.max;
+        } else {
+            self.min = self.min.min(other.min);
+            self.max = self.max.max(other.max);
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+    }
+
     /// Mean of recorded values (caller units; 0 when empty).
     pub fn mean(&self) -> f64 {
         if self.count == 0 {
@@ -347,7 +376,8 @@ pub struct ShardMetrics {
     pub recovery_seconds: Histogram,
     /// Distribution of batch sizes (messages per launch).
     pub batch_size: Histogram,
-    /// Pending-queue depth sampled at batch boundaries.
+    /// Pending-queue depth sampled at dispatch time, just before each
+    /// batch is popped.
     pub queue_depth: Histogram,
     /// Per-batch device service time (seconds).
     pub service_time: Histogram,
@@ -424,6 +454,41 @@ pub struct ServiceMetrics {
 }
 
 impl ServiceMetrics {
+    /// Build the whole-service snapshot from per-shard metrics.
+    ///
+    /// Shards are sorted by shard id before folding, so the aggregate
+    /// is independent of the order worker threads delivered them —
+    /// the merge-commutativity contract the parallel scheduler relies
+    /// on. `elapsed` is the simulated time the sustained rate is
+    /// normalised by (the latest shard activity, not the nominal
+    /// duration).
+    pub fn from_shards(
+        duration: f64,
+        offered_rate: f64,
+        elapsed: f64,
+        mut shards: Vec<ShardMetrics>,
+    ) -> Self {
+        shards.sort_by_key(|s| s.shard);
+        let total_matched: u64 = shards.iter().map(|s| s.matched).sum();
+        let mut overflow = OverflowStats::default();
+        for s in &shards {
+            overflow.merge(&s.overflow);
+        }
+        ServiceMetrics {
+            duration,
+            offered_rate,
+            sustained_rate: total_matched as f64 / elapsed.max(f64::MIN_POSITIVE),
+            total_matched,
+            total_spilled: overflow.spilled,
+            total_shed: overflow.shed,
+            total_crashes: shards.iter().map(|s| s.crashes).sum(),
+            total_recoveries: shards.iter().map(|s| s.recoveries).sum(),
+            total_failovers: shards.iter().map(|s| s.failovers_in).sum(),
+            reorder_duplicates: 0,
+            shards,
+        }
+    }
+
     /// Render as pretty-printed JSON.
     pub fn to_json(&self) -> String {
         serde::json::to_string_pretty(self)
@@ -737,7 +802,7 @@ impl ServiceMetrics {
             ),
             Family::histogram(
                 "shard_queue_depth",
-                "Pending-queue depth at batch boundaries",
+                "Pending-queue depth sampled at dispatch",
                 shard_hist(|s| &s.queue_depth),
             ),
             Family::histogram(
@@ -840,6 +905,70 @@ mod tests {
         assert!(b.contains(&(3.0, 4)), "cumulative through [2,3]");
         assert_eq!(b.last(), Some(&(1023.0, 5)), "trimmed at the top bucket");
         assert!(b.windows(2).all(|w| w[0].0 < w[1].0 && w[0].1 <= w[1].1));
+    }
+
+    #[test]
+    fn histogram_merge_is_commutative_and_matches_direct_recording() {
+        let mut a = Histogram::new(1.0);
+        let mut b = Histogram::new(1.0);
+        let mut direct = Histogram::new(1.0);
+        for v in [3.0, 100.0, 0.0] {
+            a.record(v);
+            direct.record(v);
+        }
+        for v in [7.0, 1.0] {
+            b.record(v);
+            direct.record(v);
+        }
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        assert_eq!(ab, ba, "merge must be commutative");
+        assert_eq!(ab, direct, "merge must equal recording into one");
+
+        // Empty operands on either side are identities.
+        let empty = Histogram::new(1.0);
+        let mut left = empty.clone();
+        left.merge(&a);
+        assert_eq!(left, a);
+        let mut right = a.clone();
+        right.merge(&empty);
+        assert_eq!(right, a);
+    }
+
+    #[test]
+    fn service_aggregation_is_independent_of_shard_arrival_order() {
+        let shard = |idx: usize, matched: u64, spilled: u64| {
+            let mut s = ShardMetrics::new(idx, "matrix");
+            s.arrivals = matched + spilled;
+            s.admitted = matched;
+            s.matched = matched;
+            s.overflow.spilled = spilled;
+            s.crashes = idx as u64 % 2;
+            s.failovers_in = idx as u64;
+            s.queue_depth.record(idx as f64 * 10.0);
+            s
+        };
+        let shards: Vec<ShardMetrics> =
+            (0..5).map(|i| shard(i, 100 + i as u64, i as u64)).collect();
+
+        let forward = ServiceMetrics::from_shards(0.002, 4.0e6, 0.002, shards.clone());
+        let mut shuffled = shards;
+        shuffled.reverse();
+        shuffled.swap(0, 2);
+        let scrambled = ServiceMetrics::from_shards(0.002, 4.0e6, 0.002, shuffled);
+        assert_eq!(
+            forward, scrambled,
+            "folding order must not leak into the aggregate"
+        );
+        assert_eq!(forward.total_matched, 100 + 101 + 102 + 103 + 104);
+        assert_eq!(forward.total_failovers, 1 + 2 + 3 + 4);
+        assert!(
+            forward.shards.windows(2).all(|w| w[0].shard < w[1].shard),
+            "shards must come back in id order"
+        );
     }
 
     #[test]

@@ -1,0 +1,1358 @@
+//! Execution scheduling for the sharded service: per-shard virtual-time
+//! domains advanced either on one OS thread or on one thread per
+//! conflict group, synchronized PDES-style at supervisor barriers.
+//!
+//! The legacy service advanced every shard on one global simulated
+//! clock. This module splits that clock into per-shard *domains*
+//! ([`fabric::vtime`]): each domain owns the complete state a group of
+//! shards needs (device, queue, stream watermarks, fault schedule) and
+//! advances through its own local events. Domains only interact at
+//! *barriers* — supervisor health-check times, where failover rewires
+//! placement — so between barriers they can run on separate OS threads.
+//! The conservative horizon for each epoch comes from a
+//! [`fabric::WatermarkExchange`]: no domain may run past the slowest
+//! domain's clock plus the supervisor's lookahead.
+//!
+//! Determinism is the contract: both schedulers produce byte-identical
+//! artefacts because every side effect is keyed to *local* events
+//! (activations), never to whichever boundary times a particular
+//! domain partition happens to visit:
+//!
+//! * a shard sheds, samples queue depth and dispatches only when it was
+//!   *activated* at the current instant — by its own commit, fault,
+//!   wake, checkpoint edge or a barrier tick — so a merged domain's
+//!   extra foreign-time boundaries change nothing;
+//! * admission interleaves arrivals across streams in (arrival-time,
+//!   stream) order, so a redirect target's queue content is a pure
+//!   function of the arrival set, not of boundary granularity;
+//! * spill instants coalesce per run and are stamped with the arrival
+//!   time of the last spill, not the boundary time that observed it.
+//!
+//! `tests/parallel_differential.rs` pins the equivalence per engine,
+//! per seed, including under fault injection.
+
+use std::collections::VecDeque;
+
+use msg_match::prelude::*;
+use simt_sim::Gpu;
+
+use crate::fault::{FaultEvent, FaultKind};
+use crate::metrics::ShardMetrics;
+use crate::recovery::{RecoveryConfig, StreamState};
+use crate::service::{
+    engine_label, strictness, FaultTolerance, ServiceShard, ShardedServiceConfig,
+};
+use crate::supervisor::Supervisor;
+
+/// How the sharded service executes its shard domains.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Scheduler {
+    /// All shards in one merged virtual-time domain on the calling
+    /// thread — the legacy single-threaded execution order.
+    #[default]
+    GlobalClock,
+    /// One OS thread per conflict group of shards (scoped threads over
+    /// the `crossbeam` shim), synchronized at supervisor barriers.
+    /// Produces byte-identical artefacts to [`Scheduler::GlobalClock`].
+    ThreadPerShard,
+}
+
+/// One queued arrival: which stream it belongs to (streams are keyed by
+/// home shard), its per-stream sequence number, and when it arrived.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct QEntry {
+    pub(crate) stream: usize,
+    pub(crate) seq: u64,
+    pub(crate) arrived: f64,
+}
+
+/// A dispatched batch occupying a shard's device until `until`.
+pub(crate) struct InFlight {
+    until: f64,
+    entries: Vec<QEntry>,
+    report: GpuMatchReport,
+    service: f64,
+}
+
+/// What a shard's device is doing right now.
+pub(crate) enum Phase {
+    /// Ready to dispatch.
+    Idle,
+    /// Matching a batch; commits at `InFlight::until`.
+    Busy(Box<InFlight>),
+    /// Unresponsive but state intact; resumes any interrupted batch.
+    Hung {
+        until: f64,
+        resume: Option<Box<InFlight>>,
+    },
+    /// Crashed; booting a fresh device.
+    Restarting { until: f64, crashed_at: f64 },
+    /// Restoring the snapshot and replaying the journal.
+    Replaying { until: f64, crashed_at: f64 },
+    /// Taking a periodic snapshot (pauses matching for its cost).
+    Checkpointing { until: f64, started: f64 },
+}
+
+impl Phase {
+    fn next_event(&self) -> Option<f64> {
+        match self {
+            Phase::Idle => None,
+            Phase::Busy(f) => Some(f.until),
+            Phase::Hung { until, .. }
+            | Phase::Restarting { until, .. }
+            | Phase::Replaying { until, .. }
+            | Phase::Checkpointing { until, .. } => Some(*until),
+        }
+    }
+
+    /// Entries occupying the device (they count against queue capacity).
+    pub(crate) fn inflight_len(&self) -> usize {
+        match self {
+            Phase::Busy(f) => f.entries.len(),
+            Phase::Hung {
+                resume: Some(f), ..
+            } => f.entries.len(),
+            _ => 0,
+        }
+    }
+
+    /// Is any in-flight entry from stream `s`? (Failover handback must
+    /// wait until the target has fully drained the inherited stream.)
+    fn holds_stream(&self, s: usize) -> bool {
+        match self {
+            Phase::Busy(f) => f.entries.iter().any(|e| e.stream == s),
+            Phase::Hung {
+                resume: Some(f), ..
+            } => f.entries.iter().any(|e| e.stream == s),
+            _ => false,
+        }
+    }
+
+    /// Would a health check get an answer?
+    fn responsive(&self) -> bool {
+        !matches!(
+            self,
+            Phase::Hung { .. } | Phase::Restarting { .. } | Phase::Replaying { .. }
+        )
+    }
+
+    /// Is the shard dark (device state unavailable)? Arrivals admitted
+    /// while dark are journaled but not queued; the recovery rebuild
+    /// restores them.
+    fn dark(&self) -> bool {
+        matches!(self, Phase::Restarting { .. } | Phase::Replaying { .. })
+    }
+}
+
+/// Everything one shard's execution owns: the device, the pending
+/// queue, the fault schedule and the counters. Moved wholesale between
+/// the coordinator and whichever domain runs the shard this epoch.
+pub(crate) struct ShardCell<'a> {
+    idx: usize,
+    gpu: &'a mut Gpu,
+    queue: VecDeque<QEntry>,
+    phase: Phase,
+    metrics: ShardMetrics,
+    busy: f64,
+    last_activity: f64,
+    last_spill: f64,
+    slow_until: f64,
+    slow_factor: f64,
+    next_ckpt: f64,
+    active_choice: EngineChoice,
+    home_choice: EngineChoice,
+    faults: Vec<FaultEvent>,
+    fault_idx: usize,
+    /// Coalesced spill run: count and arrival time of the last spill,
+    /// flushed as one obs instant on the next admit, dispatch or at the
+    /// end of the run.
+    pend_spill: u64,
+    pend_spill_t: f64,
+    /// Armed local wake (dispatch re-evaluation) time.
+    wake: Option<f64>,
+    /// True when the shard had a local event at the current instant and
+    /// must re-evaluate checkpoint/shed/dispatch.
+    active: bool,
+}
+
+/// Per-stream state: the arrival generator cursor, the recovery
+/// watermarks, and the optional committed-seq journal.
+pub(crate) struct StreamCell<'a> {
+    idx: usize,
+    msgs: &'a [Envelope],
+    rate: f64,
+    state: StreamState,
+    seen: u64,
+    completions: Option<Vec<u64>>,
+}
+
+/// Epoch-constant context shared (immutably) by every domain.
+struct EpochEnv<'a> {
+    cfg: ShardedServiceConfig,
+    capacity: usize,
+    threshold: usize,
+    recovery: Option<RecoveryConfig>,
+    placement: &'a ShardPlacement,
+    shedding: &'a [bool],
+    shed_deadline: f64,
+}
+
+/// A virtual-time domain: one conflict group's shards and streams plus
+/// its own simulated clock.
+struct Domain<'a> {
+    now: f64,
+    shards: Vec<ShardCell<'a>>,
+    streams: Vec<StreamCell<'a>>,
+}
+
+fn xpos(cells: &[ShardCell], idx: usize) -> usize {
+    cells
+        .binary_search_by_key(&idx, |c| c.idx)
+        .expect("target shard is in this domain")
+}
+
+fn spos(cells: &[StreamCell], idx: usize) -> usize {
+    cells
+        .binary_search_by_key(&idx, |c| c.idx)
+        .expect("stream is in this domain")
+}
+
+fn flush_spills(cell: &mut ShardCell) {
+    if cell.pend_spill == 0 {
+        return;
+    }
+    if let Some(rec) = cell.gpu.obs.as_mut() {
+        rec.set_now_ns((cell.pend_spill_t * 1e9).round() as u64);
+        rec.record_instant(
+            obs::SpanCategory::Spill,
+            "spill",
+            vec![("count", obs::ArgValue::U64(cell.pend_spill))],
+        );
+    }
+    cell.pend_spill = 0;
+}
+
+/// Deliver a completed batch: advance each stream's commit watermark,
+/// suppressing entries a concurrent path (failover transfer, journal
+/// replay) already delivered — the idempotent-commit half of
+/// exactly-once matching.
+fn commit_batch(inf: InFlight, cell: &mut ShardCell, streams: &mut [StreamCell]) {
+    cell.busy += inf.service;
+    cell.metrics.profile.absorb(&inf.report);
+    cell.metrics.batches += 1;
+    cell.metrics.batch_size.record(inf.entries.len() as f64);
+    cell.metrics.service_time.record(inf.service);
+    for e in &inf.entries {
+        let sp = spos(streams, e.stream);
+        let sc = &mut streams[sp];
+        if e.seq < sc.state.committed {
+            cell.metrics.replay_duplicates += 1;
+            continue;
+        }
+        debug_assert_eq!(e.seq, sc.state.committed, "per-stream commits are FIFO");
+        sc.state.committed = e.seq + 1;
+        cell.metrics.matched += 1;
+        cell.metrics.match_latency.record(inf.until - e.arrived);
+        if let Some(c) = sc.completions.as_mut() {
+            c.push(e.seq);
+        }
+    }
+    cell.last_activity = cell.last_activity.max(inf.until);
+}
+
+/// When will `need` more arrivals have been generated for the streams
+/// currently routed to shard `x`? Returns the wake time (half an
+/// arrival past the filling arrival, to dodge float truncation), or
+/// `None` when no stream feeds the shard.
+fn fill_wake(
+    streams: &[StreamCell],
+    placement: &ShardPlacement,
+    x: usize,
+    need: usize,
+) -> Option<f64> {
+    let mut cursors: Vec<(f64, u64)> = streams
+        .iter()
+        .filter(|sc| placement.target_of(sc.idx) == x && sc.rate > 0.0)
+        .map(|sc| (sc.rate, sc.seen))
+        .collect();
+    if cursors.is_empty() {
+        return None;
+    }
+    let mut wake = 0.0f64;
+    for _ in 0..need.max(1) {
+        let (rate, v) = cursors
+            .iter_mut()
+            .min_by(|a, b| {
+                let ta = (a.1 + 1) as f64 / a.0;
+                let tb = (b.1 + 1) as f64 / b.0;
+                ta.partial_cmp(&tb).expect("arrival times are finite")
+            })
+            .expect("cursors is non-empty");
+        *v += 1;
+        wake = (*v as f64 + 0.5) / *rate;
+    }
+    Some(wake)
+}
+
+impl<'a> Domain<'a> {
+    /// Process everything due at `self.now`: admission up to the
+    /// horizon, fault injections, then phase transitions — the same
+    /// intra-instant order the legacy loop used. Cells whose own state
+    /// changed (or whose armed wake / checkpoint edge is exactly now)
+    /// are marked active for the following [`post`](Self::post).
+    fn boundary(&mut self, env: &EpochEnv) {
+        let Domain {
+            now,
+            shards,
+            streams,
+        } = self;
+        let now = *now;
+
+        // ---- Admission, interleaved across streams in (arrival time,
+        // stream) order so queue contents are boundary-invariant.
+        let horizon = now.min(env.cfg.duration);
+        loop {
+            let mut best: Option<(f64, usize)> = None;
+            for (sp, sc) in streams.iter().enumerate() {
+                if sc.rate <= 0.0 || sc.msgs.is_empty() {
+                    continue;
+                }
+                let due = (sc.rate * horizon) as u64;
+                if sc.seen >= due {
+                    continue;
+                }
+                let t = (sc.seen + 1) as f64 / sc.rate;
+                if best.is_none_or(|(bt, _)| t < bt) {
+                    best = Some((t, sp));
+                }
+            }
+            let Some((t, sp)) = best else { break };
+            let s = streams[sp].idx;
+            let x = env.placement.target_of(s);
+            let xp = xpos(shards, x);
+            let cell = &mut shards[xp];
+            cell.metrics.arrivals += 1;
+            if cell.queue.len() + cell.phase.inflight_len() < env.capacity {
+                // An admit ends any spill run.
+                flush_spills(cell);
+                let seq = streams[sp].state.admit(t);
+                // A dark shard's queue died with its device;
+                // journal-only until the rebuild restores it.
+                if !cell.phase.dark() {
+                    cell.queue.push_back(QEntry {
+                        stream: s,
+                        seq,
+                        arrived: t,
+                    });
+                }
+                cell.metrics.admitted += 1;
+            } else {
+                cell.metrics.overflow.spilled += 1;
+                cell.metrics.ever_spilled = true;
+                cell.last_spill = t;
+                cell.pend_spill += 1;
+                cell.pend_spill_t = t;
+            }
+            streams[sp].seen += 1;
+        }
+
+        // In drain mode `duration` is a universal local event: every
+        // cell re-evaluates dispatch exactly there, so partial tails
+        // drain no matter how the domains were partitioned (the time is
+        // absolute, hence scheduler-invariant).
+        if env.cfg.drain && now == env.cfg.duration {
+            for cell in shards.iter_mut() {
+                cell.active = true;
+            }
+        }
+
+        // ---- Fault injections due now (a crash beats any commit
+        // scheduled for the same instant: faults process first).
+        for cell in shards.iter_mut() {
+            while cell.fault_idx < cell.faults.len() && cell.faults[cell.fault_idx].at <= now {
+                let ev = cell.faults[cell.fault_idx];
+                cell.fault_idx += 1;
+                cell.active = true;
+                match ev.kind {
+                    FaultKind::Crash => {
+                        let r = env.recovery.expect("faults imply fault tolerance");
+                        cell.metrics.crashes += 1;
+                        if cell.phase.inflight_len() > 0 {
+                            cell.metrics.lost_batches += 1;
+                        }
+                        // Device state is gone: queue and in-flight batch
+                        // alike. The journal still covers every admitted
+                        // seq, so nothing is lost — only re-matched.
+                        cell.queue.clear();
+                        let crashed_at = match cell.phase {
+                            // A crash during recovery restarts the
+                            // restart but keeps the original outage start
+                            // for the latency histogram.
+                            Phase::Restarting { crashed_at, .. }
+                            | Phase::Replaying { crashed_at, .. } => crashed_at,
+                            _ => ev.at,
+                        };
+                        cell.phase = Phase::Restarting {
+                            until: ev.at + r.restart_latency,
+                            crashed_at,
+                        };
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(obs::SpanCategory::Crash, "crash", vec![]);
+                        }
+                    }
+                    FaultKind::Hang { seconds } => {
+                        cell.metrics.hangs += 1;
+                        let prev = std::mem::replace(&mut cell.phase, Phase::Idle);
+                        cell.phase = match prev {
+                            Phase::Busy(mut inf) => {
+                                // The stuck kernel finishes late.
+                                inf.until += seconds;
+                                Phase::Hung {
+                                    until: ev.at + seconds,
+                                    resume: Some(inf),
+                                }
+                            }
+                            Phase::Hung { until, resume } => Phase::Hung {
+                                until: until.max(ev.at + seconds),
+                                resume,
+                            },
+                            // Hanging a dead shard changes nothing.
+                            p @ (Phase::Restarting { .. } | Phase::Replaying { .. }) => p,
+                            // Idle or mid-checkpoint (snapshot abandoned).
+                            _ => Phase::Hung {
+                                until: ev.at + seconds,
+                                resume: None,
+                            },
+                        };
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(obs::SpanCategory::Crash, "hang", vec![]);
+                        }
+                    }
+                    FaultKind::Slow { factor, seconds } => {
+                        cell.slow_until = ev.at + seconds;
+                        cell.slow_factor = factor.max(1.0);
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(obs::SpanCategory::Crash, "slow", vec![]);
+                        }
+                    }
+                }
+            }
+        }
+
+        // ---- Phase transitions due now (commits, hang ends, recovery
+        // milestones, checkpoint completions).
+        for cell in shards.iter_mut() {
+            while cell.phase.next_event().is_some_and(|t| t <= now) {
+                cell.active = true;
+                let phase = std::mem::replace(&mut cell.phase, Phase::Idle);
+                match phase {
+                    Phase::Busy(inf) => {
+                        commit_batch(*inf, cell, streams);
+                    }
+                    Phase::Hung { resume, .. } => {
+                        cell.phase = match resume {
+                            Some(inf) => Phase::Busy(inf),
+                            None => Phase::Idle,
+                        };
+                    }
+                    Phase::Restarting { until, crashed_at } => {
+                        // Device is back; scan the snapshot and the
+                        // journal to size the replay.
+                        let r = env.recovery.expect("recovering implies fault tolerance");
+                        let x = cell.idx;
+                        let mut scanned = 0u64;
+                        for sc in streams.iter() {
+                            if env.placement.target_of(sc.idx) != x {
+                                continue;
+                            }
+                            for &(seq, _) in sc.state.journal.iter() {
+                                if seq < sc.state.ckpt_admitted {
+                                    cell.metrics.snapshot_restored += 1;
+                                } else {
+                                    cell.metrics.journal_replayed += 1;
+                                }
+                                scanned += 1;
+                            }
+                        }
+                        cell.phase = Phase::Replaying {
+                            until: until + r.replay_cost_per_entry * scanned as f64,
+                            crashed_at,
+                        };
+                    }
+                    Phase::Replaying { until, crashed_at } => {
+                        // Rebuild the pending queue from the journal,
+                        // suppressing seqs already delivered — the
+                        // duplicate half of exactly-once replay.
+                        cell.gpu.reset_memory();
+                        let x = cell.idx;
+                        for sc in streams.iter() {
+                            if env.placement.target_of(sc.idx) != x {
+                                continue;
+                            }
+                            let committed = sc.state.committed;
+                            for &(seq, t) in sc.state.journal.iter() {
+                                if seq < committed {
+                                    cell.metrics.replay_duplicates += 1;
+                                    continue;
+                                }
+                                cell.queue.push_back(QEntry {
+                                    stream: sc.idx,
+                                    seq,
+                                    arrived: t,
+                                });
+                            }
+                        }
+                        cell.metrics.recoveries += 1;
+                        cell.metrics.recovery_seconds.record(until - crashed_at);
+                        cell.last_activity = cell.last_activity.max(until);
+                        let restored = cell.queue.len() as u64;
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            let t0 = (crashed_at * 1e9).round() as u64;
+                            let t1 = (until * 1e9).round() as u64;
+                            rec.record_complete(
+                                obs::SpanCategory::Recovery,
+                                "recovery",
+                                t0,
+                                t1.saturating_sub(t0),
+                                vec![("restored", obs::ArgValue::U64(restored))],
+                            );
+                        }
+                    }
+                    Phase::Checkpointing { until, started } => {
+                        let x = cell.idx;
+                        for sc in streams.iter_mut() {
+                            if env.placement.target_of(sc.idx) == x {
+                                sc.state.checkpoint();
+                            }
+                        }
+                        cell.metrics.checkpoints += 1;
+                        cell.next_ckpt = until
+                            + env
+                                .recovery
+                                .expect("checkpointing implies fault tolerance")
+                                .checkpoint_interval;
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            let t0 = (started * 1e9).round() as u64;
+                            let t1 = (until * 1e9).round() as u64;
+                            rec.record_complete(
+                                obs::SpanCategory::Checkpoint,
+                                "checkpoint",
+                                t0,
+                                t1.saturating_sub(t0),
+                                vec![],
+                            );
+                        }
+                    }
+                    Phase::Idle => unreachable!("idle phases have no events"),
+                }
+            }
+        }
+
+        // ---- Wake and checkpoint-edge activations. Both are exact
+        // event times the domain itself scheduled, so the comparisons
+        // fire identically no matter how the domains are partitioned.
+        for cell in shards.iter_mut() {
+            if cell.wake == Some(now) {
+                cell.active = true;
+                cell.wake = None;
+            }
+            if env.recovery.is_some()
+                && matches!(cell.phase, Phase::Idle)
+                && cell.next_ckpt == now
+                && cell.next_ckpt < env.cfg.duration
+            {
+                cell.active = true;
+            }
+        }
+    }
+
+    /// Checkpoint starts, deadline shedding and batch dispatch for every
+    /// cell activated at the current instant.
+    fn post(&mut self, env: &EpochEnv) {
+        let Domain {
+            now,
+            shards,
+            streams,
+        } = self;
+        let now = *now;
+        let engine = MatchEngine::default();
+        for cell in shards.iter_mut() {
+            if !cell.active {
+                continue;
+            }
+            cell.active = false;
+            let x = cell.idx;
+
+            // ---- Start a periodic checkpoint on an idle shard (only
+            // while arrivals still flow; the drain tail never pauses
+            // for a snapshot it won't need).
+            if let Some(r) = env.recovery {
+                if now < env.cfg.duration
+                    && matches!(cell.phase, Phase::Idle)
+                    && now >= cell.next_ckpt
+                {
+                    let serves_traffic = streams
+                        .iter()
+                        .any(|sc| env.placement.target_of(sc.idx) == x && sc.rate > 0.0);
+                    if serves_traffic {
+                        cell.phase = Phase::Checkpointing {
+                            until: now + r.checkpoint_cost,
+                            started: now,
+                        };
+                    }
+                }
+            }
+            if !matches!(cell.phase, Phase::Idle) {
+                continue;
+            }
+
+            // ---- Graceful degradation: in shedding mode, drop queued
+            // arrivals past the deadline oldest-first. A shed entry
+            // advances the commit watermark like a delivery (it is
+            // durable — replay never resurrects it) but counts in
+            // `overflow.shed`, not `matched`.
+            if env.shedding[x] {
+                let mut shed_now = 0u64;
+                while let Some(front) = cell.queue.front().copied() {
+                    if now - front.arrived <= env.shed_deadline {
+                        break;
+                    }
+                    cell.queue.pop_front();
+                    let sp = spos(streams, front.stream);
+                    let st = &mut streams[sp].state;
+                    if front.seq >= st.committed {
+                        debug_assert_eq!(front.seq, st.committed);
+                        st.committed = front.seq + 1;
+                    }
+                    shed_now += 1;
+                }
+                if shed_now > 0 {
+                    cell.metrics.overflow.shed += shed_now;
+                    if let Some(rec) = cell.gpu.obs.as_mut() {
+                        rec.set_now_ns((now * 1e9).round() as u64);
+                        rec.record_instant(
+                            obs::SpanCategory::Shed,
+                            "shed",
+                            vec![("count", obs::ArgValue::U64(shed_now))],
+                        );
+                    }
+                }
+            }
+
+            let pending = cell.queue.len();
+            let feeds = streams.iter().any(|sc| {
+                env.placement.target_of(sc.idx) == x
+                    && sc.rate > 0.0
+                    && sc.seen < (sc.rate * env.cfg.duration) as u64
+            });
+            if pending == 0 && !feeds {
+                cell.wake = None;
+                continue;
+            }
+            cell.metrics.queue_depth.record(pending as f64);
+
+            if pending < env.threshold {
+                // Aggregate: sleep until enough arrivals are due to
+                // fill the threshold, or drain the tail at the end.
+                let wake = fill_wake(streams, env.placement, x, env.threshold - pending);
+                match wake {
+                    Some(w) if w <= env.cfg.duration => {
+                        cell.wake = Some(w);
+                        continue;
+                    }
+                    _ => {
+                        if pending == 0 {
+                            cell.wake = None;
+                            continue;
+                        }
+                    }
+                }
+            }
+            if now >= env.cfg.duration && !env.cfg.drain {
+                cell.wake = None;
+                continue;
+            }
+
+            // ---- Dispatch.
+            cell.wake = None;
+            let batch = pending.min(env.cfg.max_batch);
+            let mut entries = Vec::with_capacity(batch);
+            for _ in 0..batch {
+                entries.push(cell.queue.pop_front().expect("pending counted"));
+            }
+            let msgs: Vec<Envelope> = entries
+                .iter()
+                .map(|e| {
+                    let pool = streams[spos(streams, e.stream)].msgs;
+                    pool[e.seq as usize % pool.len()]
+                })
+                .collect();
+            let reqs: Vec<RecvRequest> = msgs
+                .iter()
+                .map(|m| RecvRequest::exact(m.src, m.tag, m.comm))
+                .collect();
+
+            flush_spills(cell);
+            if let Some(rec) = cell.gpu.obs.as_mut() {
+                // Pin the recorder to the service clock so the launch
+                // spans the engine records start at the dispatch
+                // instant, and span the batch's accumulation time.
+                let now_ns = (now * 1e9).round() as u64;
+                rec.set_now_ns(now_ns);
+                let oldest = entries.first().map_or(now, |e| e.arrived);
+                let t0 = ((oldest * 1e9).round() as u64).min(now_ns);
+                rec.record_complete(
+                    obs::SpanCategory::BatchAdmission,
+                    "batch",
+                    t0,
+                    now_ns - t0,
+                    vec![
+                        ("batch", obs::ArgValue::U64(batch as u64)),
+                        ("pending", obs::ArgValue::U64(pending as u64)),
+                    ],
+                );
+            }
+
+            // The shard's resident device: reclaim the arena, not the
+            // device.
+            let choice = cell.active_choice;
+            cell.gpu.reset_memory();
+            let report = engine
+                .match_with(cell.gpu, choice, &msgs, &reqs)
+                .expect("no wildcards in service traffic");
+            debug_assert_eq!(report.matches as usize, batch);
+            let factor = if now < cell.slow_until {
+                cell.slow_factor
+            } else {
+                1.0
+            };
+            let service = report.seconds * factor;
+            cell.phase = Phase::Busy(Box::new(InFlight {
+                until: now + service,
+                entries,
+                report,
+                service,
+            }));
+        }
+    }
+
+    /// Earliest pending local event strictly after which nothing can
+    /// happen in this domain without outside input.
+    fn next_event(&self, env: &EpochEnv) -> f64 {
+        let mut next = f64::INFINITY;
+        for cell in &self.shards {
+            if let Some(t) = cell.phase.next_event() {
+                next = next.min(t);
+            }
+            if cell.fault_idx < cell.faults.len() {
+                next = next.min(cell.faults[cell.fault_idx].at);
+            }
+            if let Some(w) = cell.wake {
+                next = next.min(w);
+            }
+            if env.recovery.is_some()
+                && self.now < env.cfg.duration
+                && matches!(cell.phase, Phase::Idle)
+                && cell.next_ckpt > self.now
+                && cell.next_ckpt < env.cfg.duration
+            {
+                next = next.min(cell.next_ckpt);
+            }
+        }
+        if env.cfg.drain && env.cfg.duration > self.now {
+            // Drain mode: every domain visits `duration` — the final
+            // admission sweep and the universal tail-dispatch event.
+            next = next.min(env.cfg.duration);
+        }
+        next
+    }
+
+    /// Advance through local events up to (and including, via the final
+    /// boundary) `until`. With `until = ∞` the domain runs to local
+    /// completion.
+    fn advance(&mut self, env: &EpochEnv, until: f64) {
+        loop {
+            self.post(env);
+            let next = self.next_event(env);
+            if next.is_finite() && next > self.now && next < until {
+                self.now = next;
+                self.boundary(env);
+                continue;
+            }
+            if until.is_finite() && until > self.now {
+                self.now = until;
+                self.boundary(env);
+            }
+            break;
+        }
+    }
+}
+
+fn uf_find(parent: &mut [usize], mut i: usize) -> usize {
+    while parent[i] != i {
+        parent[i] = parent[parent[i]];
+        i = parent[i];
+    }
+    i
+}
+
+fn uf_union(parent: &mut [usize], a: usize, b: usize) {
+    let (ra, rb) = (uf_find(parent, a), uf_find(parent, b));
+    if ra != rb {
+        // Union by minimum so every root is its group's smallest member
+        // — groups come out ordered and internally ascending for free.
+        parent[ra.max(rb)] = ra.min(rb);
+    }
+}
+
+/// Partition shards (and their same-index streams) into groups closed
+/// under every cross-shard interaction that can happen between
+/// barriers: a stream's state is written by the shard currently serving
+/// it (admission, commits, checkpoints, shedding) and read by its home
+/// shard (recovery scans), and queued or in-flight entries tie their
+/// stream to the holding shard. Shards in different groups share
+/// nothing until the next barrier, so their domains may run on
+/// different threads.
+fn conflict_groups(
+    n: usize,
+    placement: &ShardPlacement,
+    cells: &[Option<ShardCell>],
+) -> Vec<Vec<usize>> {
+    let mut parent: Vec<usize> = (0..n).collect();
+    for s in 0..n {
+        uf_union(&mut parent, s, placement.target_of(s));
+    }
+    for (x, cell) in cells.iter().enumerate() {
+        let cell = cell.as_ref().expect("cells are home between epochs");
+        for e in &cell.queue {
+            uf_union(&mut parent, x, e.stream);
+        }
+        match &cell.phase {
+            Phase::Busy(f)
+            | Phase::Hung {
+                resume: Some(f), ..
+            } => {
+                for e in &f.entries {
+                    uf_union(&mut parent, x, e.stream);
+                }
+            }
+            _ => {}
+        }
+    }
+    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for i in 0..n {
+        let r = uf_find(&mut parent, i);
+        groups[r].push(i);
+    }
+    groups.retain(|g| !g.is_empty());
+    groups
+}
+
+/// One supervisor health tick at simulated time `tick`: liveness
+/// bookkeeping, failover of a down shard's streams to the healthiest
+/// responsive peer, and handback once a home shard has recovered and
+/// its stand-in has drained the inherited stream. Runs at the
+/// coordinator with every cell home, exactly as the legacy loop ran it
+/// on the global clock.
+#[allow(clippy::needless_range_loop)]
+fn supervisor_tick(
+    sup: &mut Supervisor,
+    tick: f64,
+    placement: &mut ShardPlacement,
+    cells: &mut [Option<ShardCell>],
+    streams: &mut [Option<StreamCell>],
+    capacity: usize,
+) {
+    let n = cells.len();
+    for x in 0..n {
+        let responsive = cells[x].as_ref().unwrap().phase.responsive();
+        if responsive {
+            sup.note_up(x);
+            // Observe the same backlog admission gates on (queued plus
+            // in-flight), else a pegged shard alternating full queue /
+            // full batch never looks overloaded.
+            let depth = {
+                let c = cells[x].as_ref().unwrap();
+                c.queue.len() + c.phase.inflight_len()
+            };
+            sup.observe_depth(x, depth, capacity);
+            continue;
+        }
+        if !sup.note_down(x, tick) {
+            continue;
+        }
+        // Fail the down shard's streams over to the healthiest
+        // responsive peer.
+        let moved: Vec<usize> = (0..n).filter(|&s| placement.target_of(s) == x).collect();
+        if moved.is_empty() {
+            continue;
+        }
+        let target = (0..n)
+            .filter(|&u| u != x && cells[u].as_ref().unwrap().phase.responsive())
+            .min_by_key(|&u| {
+                let c = cells[u].as_ref().unwrap();
+                (c.queue.len() + c.phase.inflight_len(), u)
+            });
+        let Some(t) = target else { continue };
+        for s in moved {
+            if t == s {
+                placement.restore(s);
+            } else {
+                placement.redirect(s, t);
+            }
+            // The hung shard keeps its device state, so drop its queued
+            // copies; the journal is the durable source the target
+            // inherits. Any in-flight copies commit late and are
+            // suppressed by the watermark.
+            cells[x].as_mut().unwrap().queue.retain(|e| e.stream != s);
+            let sc = streams[s].as_ref().unwrap();
+            let committed = sc.state.committed;
+            let mut transferred = 0u64;
+            let inherited: Vec<QEntry> = sc
+                .state
+                .journal
+                .iter()
+                .filter(|&&(seq, _)| seq >= committed)
+                .map(|&(seq, tm)| QEntry {
+                    stream: s,
+                    seq,
+                    arrived: tm,
+                })
+                .collect();
+            let home = cells[s].as_ref().unwrap().home_choice;
+            let tc = cells[t].as_mut().unwrap();
+            for e in inherited {
+                tc.queue.push_back(e);
+                transferred += 1;
+            }
+            tc.metrics.transferred_in += transferred;
+            // Inherited streams keep the ordering their home engine
+            // promised: fall back to the stricter discipline while
+            // serving them.
+            if strictness(home) > strictness(tc.active_choice) {
+                tc.active_choice = home;
+                tc.metrics.engine_fallbacks += 1;
+            }
+            if let Some(rec) = tc.gpu.obs.as_mut() {
+                rec.set_now_ns((tick * 1e9).round() as u64);
+                rec.record_instant(
+                    obs::SpanCategory::Failover,
+                    "failover",
+                    vec![
+                        ("stream", obs::ArgValue::U64(s as u64)),
+                        ("from", obs::ArgValue::U64(x as u64)),
+                        ("transferred", obs::ArgValue::U64(transferred)),
+                    ],
+                );
+            }
+        }
+        cells[x].as_mut().unwrap().metrics.failovers_out += 1;
+        cells[t].as_mut().unwrap().metrics.failovers_in += 1;
+    }
+    // Handback: once a home shard is responsive again and its failover
+    // target has drained the inherited stream, route it home.
+    for s in 0..n {
+        let t = placement.target_of(s);
+        if t == s || !cells[s].as_ref().unwrap().phase.responsive() {
+            continue;
+        }
+        let draining = {
+            let tc = cells[t].as_ref().unwrap();
+            tc.queue.iter().any(|e| e.stream == s) || tc.phase.holds_stream(s)
+        };
+        if draining {
+            continue;
+        }
+        placement.restore(s);
+        let tc = cells[t].as_mut().unwrap();
+        if !(0..n).any(|u| u != t && placement.target_of(u) == t) {
+            tc.active_choice = tc.home_choice;
+        }
+        if let Some(rec) = tc.gpu.obs.as_mut() {
+            rec.set_now_ns((tick * 1e9).round() as u64);
+            rec.record_instant(
+                obs::SpanCategory::Failover,
+                "handback",
+                vec![("stream", obs::ArgValue::U64(s as u64))],
+            );
+        }
+    }
+}
+
+/// Everything the coordinator hands back to the service for
+/// finalisation, in shard-index order.
+pub(crate) struct SchedOutcome {
+    pub(crate) metrics: Vec<ShardMetrics>,
+    pub(crate) completions: Option<Vec<Vec<u64>>>,
+    pub(crate) busy: Vec<f64>,
+    pub(crate) last_activity: Vec<f64>,
+    pub(crate) last_spill: Vec<f64>,
+    pub(crate) backlog: Vec<u64>,
+}
+
+/// Drive a full service run under the configured [`Scheduler`].
+///
+/// The coordinator owns every shard/stream cell between epochs. Each
+/// epoch it picks a conservative horizon (the next supervisor barrier,
+/// bounded by the [`fabric::WatermarkExchange`] over all domain
+/// clocks), partitions the cells into conflict groups, and advances
+/// each group's domain to the horizon — inline under
+/// [`Scheduler::GlobalClock`], on one scoped OS thread per group under
+/// [`Scheduler::ThreadPerShard`]. At the barrier it applies supervisor
+/// work (crash notifications, health ticks, failover/handback) with
+/// every cell home, then loops. Without a supervisor there are no
+/// barriers: the single epoch runs to completion.
+pub(crate) fn run_scheduled(
+    cfg: &ShardedServiceConfig,
+    placement: &mut ShardPlacement,
+    service_shards: &mut [ServiceShard],
+    fault_tolerance: Option<&FaultTolerance>,
+    record_completions: bool,
+    sched_rec: Option<&obs::sync::SharedSpanRecorder>,
+) -> SchedOutcome {
+    let n = service_shards.len();
+    let capacity = cfg.queue_capacity.max(cfg.max_batch);
+    let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
+    let recovery: Option<RecoveryConfig> = fault_tolerance.map(|f| f.recovery);
+    let mut supervisor: Option<Supervisor> = fault_tolerance
+        .and_then(|f| f.supervisor.as_ref())
+        .map(|&sc| Supervisor::new(n, sc));
+    let lookahead = supervisor
+        .as_ref()
+        .map(|s| s.config().health_check_interval);
+    let mut sup_tick: Option<f64> = lookahead;
+    let shed_deadline = supervisor
+        .as_ref()
+        .map_or(f64::INFINITY, |s| s.config().shed_deadline);
+
+    let mut fault_lists: Vec<Vec<FaultEvent>> = vec![Vec::new(); n];
+    if let Some(f) = fault_tolerance {
+        for ev in f.plan.events() {
+            fault_lists[ev.shard].push(*ev);
+        }
+    }
+
+    let mut shard_cells: Vec<Option<ShardCell>> = Vec::with_capacity(n);
+    let mut stream_cells: Vec<Option<StreamCell>> = Vec::with_capacity(n);
+    for (idx, (sh, faults)) in service_shards.iter_mut().zip(fault_lists).enumerate() {
+        let ServiceShard {
+            gpu,
+            choice,
+            msgs,
+            rate,
+        } = sh;
+        let choice = *choice;
+        shard_cells.push(Some(ShardCell {
+            idx,
+            gpu,
+            queue: VecDeque::new(),
+            phase: Phase::Idle,
+            metrics: ShardMetrics::new(idx, engine_label(choice)),
+            busy: 0.0,
+            last_activity: 0.0,
+            last_spill: f64::NEG_INFINITY,
+            slow_until: f64::NEG_INFINITY,
+            slow_factor: 1.0,
+            next_ckpt: recovery.map_or(f64::INFINITY, |r| r.checkpoint_interval),
+            active_choice: choice,
+            home_choice: choice,
+            faults,
+            fault_idx: 0,
+            pend_spill: 0,
+            pend_spill_t: 0.0,
+            wake: None,
+            // Every shard evaluates dispatch once at t = 0, as the
+            // legacy loop's first iteration did.
+            active: true,
+        }));
+        stream_cells.push(Some(StreamCell {
+            idx,
+            msgs: &*msgs,
+            rate: *rate,
+            state: StreamState::default(),
+            seen: 0,
+            completions: record_completions.then(Vec::new),
+        }));
+    }
+
+    let mut wx = fabric::WatermarkExchange::new(n);
+    let mut crash_seen = vec![0u64; n];
+    let mut t_now = 0.0f64;
+    let mut first = true;
+
+    loop {
+        // ---- Liveness (legacy `work_live`, evaluated at the barrier).
+        let arrivals_remain = stream_cells.iter().any(|c| {
+            let c = c.as_ref().unwrap();
+            c.rate > 0.0 && c.seen < (c.rate * cfg.duration) as u64
+        });
+        let redirect_active = (0..n).any(|s| placement.target_of(s) != s);
+        let queues_nonempty = shard_cells
+            .iter()
+            .any(|c| !c.as_ref().unwrap().queue.is_empty());
+        let phases_live = shard_cells
+            .iter()
+            .any(|c| !matches!(c.as_ref().unwrap().phase, Phase::Idle));
+        let work_live = t_now < cfg.duration
+            || phases_live
+            || (cfg.drain && (redirect_active || arrivals_remain || queues_nonempty));
+        let next_fault = shard_cells
+            .iter()
+            .filter_map(|c| {
+                let c = c.as_ref().unwrap();
+                c.faults.get(c.fault_idx).map(|ev| ev.at)
+            })
+            .fold(f64::INFINITY, f64::min);
+
+        // ---- Epoch horizon: the next supervisor barrier while work is
+        // live, bounded conservatively by the watermark exchange; the
+        // next fault when the supervisor is merely waiting for one;
+        // unbounded otherwise (the epoch runs to completion).
+        let horizon = match (supervisor.is_some(), work_live) {
+            (true, true) => wx.safe_until(lookahead.unwrap()).min(sup_tick.unwrap()),
+            (true, false) if next_fault.is_finite() => next_fault,
+            _ => f64::INFINITY,
+        };
+
+        // ---- Partition into conflict groups and advance each domain.
+        let shedding: Vec<bool> = (0..n)
+            .map(|x| supervisor.as_ref().is_some_and(|s| s.is_shedding(x)))
+            .collect();
+        let env = EpochEnv {
+            cfg: *cfg,
+            capacity,
+            threshold,
+            recovery,
+            placement,
+            shedding: &shedding,
+            shed_deadline,
+        };
+        let groups = match cfg.scheduler {
+            Scheduler::GlobalClock => vec![(0..n).collect::<Vec<usize>>()],
+            Scheduler::ThreadPerShard => conflict_groups(n, env.placement, &shard_cells),
+        };
+        let mut domains: Vec<Domain> = groups
+            .iter()
+            .map(|g| Domain {
+                now: t_now,
+                shards: g
+                    .iter()
+                    .map(|&i| shard_cells[i].take().expect("cell is home"))
+                    .collect(),
+                streams: g
+                    .iter()
+                    .map(|&i| stream_cells[i].take().expect("cell is home"))
+                    .collect(),
+            })
+            .collect();
+
+        let threaded = matches!(cfg.scheduler, Scheduler::ThreadPerShard) && domains.len() > 1;
+        if threaded {
+            let env = &env;
+            let done = crossbeam::scope(|scope| {
+                let (tx, rx) = crossbeam::channel::bounded(domains.len());
+                for (gi, mut dom) in domains.drain(..).enumerate() {
+                    let tx = tx.clone();
+                    scope.spawn(move |_| {
+                        if first {
+                            dom.boundary(env);
+                        }
+                        dom.advance(env, horizon);
+                        if tx.send((gi, dom)).is_err() {
+                            unreachable!("coordinator holds the receiver until all sends land");
+                        }
+                    });
+                }
+                drop(tx);
+                let mut done: Vec<(usize, Domain)> = rx.iter().collect();
+                done.sort_by_key(|&(gi, _)| gi);
+                done
+            })
+            .expect("no panics in shard domains");
+            domains = done.into_iter().map(|(_, d)| d).collect();
+        } else {
+            for dom in domains.iter_mut() {
+                if first {
+                    dom.boundary(&env);
+                }
+                dom.advance(&env, horizon);
+            }
+        }
+        first = false;
+
+        // ---- Reassemble and report each domain's clock to the
+        // watermark exchange.
+        let mut t_end = t_now;
+        for dom in domains {
+            let Domain {
+                now,
+                shards,
+                streams,
+                ..
+            } = dom;
+            t_end = t_end.max(now);
+            for c in shards {
+                wx.advance(c.idx, now);
+                let i = c.idx;
+                shard_cells[i] = Some(c);
+            }
+            for c in streams {
+                let i = c.idx;
+                stream_cells[i] = Some(c);
+            }
+        }
+        if let Some(rec) = sched_rec {
+            let groups_n = groups.len() as u64;
+            let threads_n = if threaded { groups.len() as u64 } else { 1 };
+            rec.with(|r| {
+                let t0 = (t_now * 1e9).round() as u64;
+                let t1 = (t_end * 1e9).round() as u64;
+                r.record_complete(
+                    obs::SpanCategory::Epoch,
+                    "epoch",
+                    t0,
+                    t1.saturating_sub(t0),
+                    vec![
+                        ("groups", obs::ArgValue::U64(groups_n)),
+                        ("threads", obs::ArgValue::U64(threads_n)),
+                    ],
+                );
+            });
+        }
+        if horizon.is_infinite() {
+            break;
+        }
+        t_now = horizon;
+
+        // ---- Supervisor barrier: crash deltas first (the legacy loop
+        // notified crashes as they happened, always before the next
+        // tick), then every health tick due by now — a fault jump can
+        // owe several — and wake every cell if any fired (shedding
+        // state may have changed anywhere).
+        if let Some(sup) = supervisor.as_mut() {
+            for x in 0..n {
+                let crashes = shard_cells[x].as_ref().unwrap().metrics.crashes;
+                for _ in crash_seen[x]..crashes {
+                    sup.note_crash(x);
+                }
+                crash_seen[x] = crashes;
+            }
+            let mut ticked = false;
+            while sup_tick.is_some_and(|t| t <= t_now) {
+                let tick = sup_tick.unwrap();
+                supervisor_tick(
+                    sup,
+                    tick,
+                    placement,
+                    &mut shard_cells,
+                    &mut stream_cells,
+                    capacity,
+                );
+                sup_tick = Some(tick + sup.config().health_check_interval);
+                ticked = true;
+            }
+            if ticked {
+                for c in shard_cells.iter_mut() {
+                    c.as_mut().unwrap().active = true;
+                }
+            }
+        }
+    }
+
+    // ---- Hand everything back in shard order.
+    let mut out = SchedOutcome {
+        metrics: Vec::with_capacity(n),
+        completions: record_completions.then(|| Vec::with_capacity(n)),
+        busy: Vec::with_capacity(n),
+        last_activity: Vec::with_capacity(n),
+        last_spill: Vec::with_capacity(n),
+        backlog: Vec::with_capacity(n),
+    };
+    for x in 0..n {
+        let mut c = shard_cells[x].take().expect("cell is home after the run");
+        flush_spills(&mut c);
+        out.busy.push(c.busy);
+        out.last_activity.push(c.last_activity);
+        out.last_spill.push(c.last_spill);
+        out.backlog
+            .push((c.queue.len() + c.phase.inflight_len()) as u64);
+        out.metrics.push(c.metrics);
+        let sc = stream_cells[x].take().expect("cell is home after the run");
+        if let Some(comps) = out.completions.as_mut() {
+            comps.push(sc.completions.unwrap_or_default());
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell_fixture(gpus: &mut [Gpu]) -> Vec<Option<ShardCell<'_>>> {
+        gpus.iter_mut()
+            .enumerate()
+            .map(|(idx, gpu)| {
+                Some(ShardCell {
+                    idx,
+                    gpu,
+                    queue: VecDeque::new(),
+                    phase: Phase::Idle,
+                    metrics: ShardMetrics::new(idx, "matrix"),
+                    busy: 0.0,
+                    last_activity: 0.0,
+                    last_spill: f64::NEG_INFINITY,
+                    slow_until: f64::NEG_INFINITY,
+                    slow_factor: 1.0,
+                    next_ckpt: f64::INFINITY,
+                    active_choice: EngineChoice::Matrix,
+                    home_choice: EngineChoice::Matrix,
+                    faults: Vec::new(),
+                    fault_idx: 0,
+                    pend_spill: 0,
+                    pend_spill_t: 0.0,
+                    wake: None,
+                    active: false,
+                })
+            })
+            .collect()
+    }
+
+    #[test]
+    fn identity_placement_yields_singleton_groups() {
+        let mut gpus: Vec<Gpu> = (0..3)
+            .map(|_| Gpu::new(simt_sim::GpuGeneration::PascalGtx1080))
+            .collect();
+        let cells = cell_fixture(&mut gpus);
+        let placement = ShardPlacement::hashed(3);
+        let groups = conflict_groups(3, &placement, &cells);
+        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+    }
+
+    #[test]
+    fn redirects_and_foreign_queue_entries_merge_groups() {
+        let mut gpus: Vec<Gpu> = (0..4)
+            .map(|_| Gpu::new(simt_sim::GpuGeneration::PascalGtx1080))
+            .collect();
+        let mut cells = cell_fixture(&mut gpus);
+        let mut placement = ShardPlacement::hashed(4);
+        // Stream 2's traffic now lands on shard 0: {0, 2} conflict.
+        placement.redirect(2, 0);
+        // Shard 3 still holds an undrained entry of stream 1: {1, 3}.
+        cells[3].as_mut().unwrap().queue.push_back(QEntry {
+            stream: 1,
+            seq: 0,
+            arrived: 0.0,
+        });
+        let groups = conflict_groups(4, &placement, &cells);
+        assert_eq!(groups, vec![vec![0, 2], vec![1, 3]]);
+    }
+
+    #[test]
+    fn scheduler_defaults_to_the_global_clock() {
+        assert_eq!(Scheduler::default(), Scheduler::GlobalClock);
+    }
+}

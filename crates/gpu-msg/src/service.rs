@@ -40,15 +40,14 @@
 //! to the healthiest peer via [`ShardPlacement::redirect`] and shedding
 //! deadline-expired work under sustained overload.
 
-use std::collections::VecDeque;
-
 use msg_match::prelude::*;
 use simt_sim::{Gpu, GpuGeneration};
 
-use crate::fault::{FaultEvent, FaultKind, FaultPlan};
-use crate::metrics::{OverflowStats, ServiceMetrics, ShardMetrics};
-use crate::recovery::{RecoveryConfig, StreamState};
-use crate::supervisor::{Supervisor, SupervisorConfig};
+use crate::fault::FaultPlan;
+use crate::metrics::{OverflowStats, ServiceMetrics};
+use crate::recovery::RecoveryConfig;
+use crate::sched::{self, Scheduler};
+use crate::supervisor::SupervisorConfig;
 
 /// Which matching engine the service kernel runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -84,7 +83,7 @@ pub fn engine_label(choice: EngineChoice) -> String {
 /// nothing) — the supervisor falls a failover target back to the
 /// *stricter* of its own and the failed shard's engine, so inherited
 /// streams keep the ordering their relaxation level promised.
-fn strictness(choice: EngineChoice) -> u8 {
+pub(crate) fn strictness(choice: EngineChoice) -> u8 {
     match choice {
         EngineChoice::Matrix => 2,
         EngineChoice::Partitioned { .. } => 1,
@@ -295,6 +294,12 @@ pub struct ShardedServiceConfig {
     /// Ring capacity (events) of each shard's flight recorder,
     /// preallocated once at build time.
     pub trace_capacity: usize,
+    /// How shard domains execute: one merged clock on the calling
+    /// thread, or one OS thread per conflict group synchronized at
+    /// supervisor barriers. Artefacts are byte-identical either way
+    /// (`tests/parallel_differential.rs` pins this); only wall-clock
+    /// time differs.
+    pub scheduler: Scheduler,
 }
 
 impl Default for ShardedServiceConfig {
@@ -313,6 +318,7 @@ impl Default for ShardedServiceConfig {
             seed: 5,
             trace: false,
             trace_capacity: 4096,
+            scheduler: Scheduler::GlobalClock,
         }
     }
 }
@@ -348,107 +354,24 @@ pub struct ShardedServiceReport {
     /// [`ShardedMatchService::set_record_completions`] was turned on —
     /// the artefact the exactly-once differential tests compare.
     pub completions: Option<Vec<Vec<u64>>>,
-}
-
-/// One queued arrival: which stream it belongs to (streams are keyed by
-/// home shard), its per-stream sequence number, and when it arrived.
-#[derive(Debug, Clone, Copy)]
-struct QEntry {
-    stream: usize,
-    seq: u64,
-    arrived: f64,
-}
-
-/// A dispatched batch occupying a shard's device until `until`.
-struct InFlight {
-    until: f64,
-    entries: Vec<QEntry>,
-    report: GpuMatchReport,
-    service: f64,
-}
-
-/// What a shard's device is doing right now.
-enum Phase {
-    /// Ready to dispatch.
-    Idle,
-    /// Matching a batch; commits at `InFlight::until`.
-    Busy(Box<InFlight>),
-    /// Unresponsive but state intact; resumes any interrupted batch.
-    Hung {
-        until: f64,
-        resume: Option<Box<InFlight>>,
-    },
-    /// Crashed; booting a fresh device.
-    Restarting { until: f64, crashed_at: f64 },
-    /// Restoring the snapshot and replaying the journal.
-    Replaying { until: f64, crashed_at: f64 },
-    /// Taking a periodic snapshot (pauses matching for its cost).
-    Checkpointing { until: f64, started: f64 },
-}
-
-impl Phase {
-    fn next_event(&self) -> Option<f64> {
-        match self {
-            Phase::Idle => None,
-            Phase::Busy(f) => Some(f.until),
-            Phase::Hung { until, .. }
-            | Phase::Restarting { until, .. }
-            | Phase::Replaying { until, .. }
-            | Phase::Checkpointing { until, .. } => Some(*until),
-        }
-    }
-
-    /// Entries occupying the device (they count against queue capacity).
-    fn inflight_len(&self) -> usize {
-        match self {
-            Phase::Busy(f) => f.entries.len(),
-            Phase::Hung {
-                resume: Some(f), ..
-            } => f.entries.len(),
-            _ => 0,
-        }
-    }
-
-    /// Is any in-flight entry from stream `s`? (Failover handback must
-    /// wait until the target has fully drained the inherited stream.)
-    fn holds_stream(&self, s: usize) -> bool {
-        match self {
-            Phase::Busy(f) => f.entries.iter().any(|e| e.stream == s),
-            Phase::Hung {
-                resume: Some(f), ..
-            } => f.entries.iter().any(|e| e.stream == s),
-            _ => false,
-        }
-    }
-
-    /// Would a health check get an answer?
-    fn responsive(&self) -> bool {
-        !matches!(
-            self,
-            Phase::Hung { .. } | Phase::Restarting { .. } | Phase::Replaying { .. }
-        )
-    }
-
-    /// Is the shard dark (device state unavailable)? Arrivals admitted
-    /// while dark are journaled but not queued; the recovery rebuild
-    /// restores them.
-    fn dark(&self) -> bool {
-        matches!(self, Phase::Restarting { .. } | Phase::Replaying { .. })
-    }
+    /// Wall-clock (host) seconds the run took — the only field that is
+    /// *not* deterministic, kept out of [`ServiceMetrics`] so metric
+    /// snapshots stay byte-comparable across schedulers and runs.
+    pub wall_seconds: f64,
 }
 
 /// One shard: a persistent device, a pinned engine, and the slice of the
 /// traffic sample it owns.
-struct ServiceShard {
-    gpu: Gpu,
-    choice: EngineChoice,
+pub(crate) struct ServiceShard {
+    pub(crate) gpu: Gpu,
+    pub(crate) choice: EngineChoice,
     /// This shard's tuple pool, replayed cyclically as its arrivals:
     /// stream entry `seq` carries envelope `msgs[seq % len]`, so message
     /// identity is a pure function of `(stream, seq)` — which is what
     /// makes journal replay reproduce the fault-free matches.
-    msgs: Vec<Envelope>,
+    pub(crate) msgs: Vec<Envelope>,
     /// Share of the aggregate arrival rate this shard receives.
-    rate: f64,
+    pub(crate) rate: f64,
 }
 
 /// A sharded streaming match service over persistent devices.
@@ -462,6 +385,11 @@ pub struct ShardedMatchService {
     shards: Vec<ServiceShard>,
     fault_tolerance: Option<FaultTolerance>,
     record_completions: bool,
+    /// Coordinator-track recorder for scheduler epoch spans, present
+    /// when tracing is on. Kept apart from the shard recorders so the
+    /// shard timeline stays byte-identical across schedulers (epoch
+    /// grouping legitimately differs between them).
+    sched_rec: Option<obs::sync::SharedSpanRecorder>,
 }
 
 impl ShardedMatchService {
@@ -544,12 +472,16 @@ impl ShardedMatchService {
             })
             .collect();
 
+        let sched_rec = cfg
+            .trace
+            .then(|| obs::sync::SharedSpanRecorder::new(cfg.shards as u32, cfg.trace_capacity));
         ShardedMatchService {
             cfg,
             placement,
             shards,
             fault_tolerance: None,
             record_completions: false,
+            sched_rec,
         }
     }
 
@@ -620,14 +552,58 @@ impl ShardedMatchService {
         }
     }
 
+    /// Export the scheduler coordinator's epoch timeline as Chrome
+    /// `trace_event` JSON — one span per synchronization epoch with the
+    /// conflict-group and thread counts as args.
+    ///
+    /// Separate from [`trace_json`](Self::trace_json) on purpose: the
+    /// shard timeline is a deterministic artefact compared byte-for-byte
+    /// across schedulers, while epoch grouping legitimately depends on
+    /// the scheduler. `None` unless [`ShardedServiceConfig::trace`] was
+    /// set.
+    pub fn scheduler_trace_json(&self) -> Option<String> {
+        let rec = self.sched_rec.as_ref()?;
+        let snap = rec.snapshot();
+        let name = format!("scheduler ({:?})", self.cfg.scheduler);
+        Some(obs::perfetto::export(&[(name, &snap)]))
+    }
+
+    /// Turn on the race sanitizer on every shard device, so service
+    /// runs surface cross-warp conflicts in the production kernels.
+    pub fn enable_sanitizer(&mut self) {
+        for s in self.shards.iter_mut() {
+            s.gpu.enable_sanitizer();
+        }
+    }
+
+    /// All sanitizer findings across shards as `(shard, finding)`
+    /// pairs; empty when clean (or when the sanitizer is off).
+    pub fn sanitizer_findings(&self) -> Vec<(usize, String)> {
+        self.shards
+            .iter()
+            .enumerate()
+            .flat_map(|(i, s)| {
+                s.gpu
+                    .sanitizer_findings
+                    .iter()
+                    .flatten()
+                    .map(move |r| (i, r.to_string()))
+            })
+            .collect()
+    }
+
     /// Simulate `cfg.duration` seconds of service (longer in
     /// [`drain`](ShardedServiceConfig::drain) mode).
     ///
-    /// All shards share one simulated clock, advanced event to event:
-    /// batch commits, fault injections, checkpoint completions,
-    /// recovery milestones and supervisor health ticks. Everything is a
-    /// pure function of the configuration, the placement and the
-    /// attached [`FaultTolerance`], so repeated runs are bit-identical.
+    /// Execution is delegated to [`crate::sched`]: shards advance in
+    /// per-shard virtual-time domains — merged on one thread under
+    /// [`Scheduler::GlobalClock`], one OS thread per conflict group
+    /// under [`Scheduler::ThreadPerShard`] — synchronized at supervisor
+    /// barriers. Every simulated artefact is a pure function of the
+    /// configuration, the placement and the attached
+    /// [`FaultTolerance`], so repeated runs are bit-identical and both
+    /// schedulers produce byte-identical metrics, completions and shard
+    /// traces; only [`ShardedServiceReport::wall_seconds`] varies.
     pub fn run(&mut self) -> ShardedServiceReport {
         let ShardedMatchService {
             cfg,
@@ -635,12 +611,10 @@ impl ShardedMatchService {
             shards,
             fault_tolerance,
             record_completions,
+            sched_rec,
         } = self;
         let cfg = *cfg;
         let n = shards.len();
-        let engine = MatchEngine::default();
-        let capacity = cfg.queue_capacity.max(cfg.max_batch);
-        let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
 
         // A clean slate per run keeps repeated runs bit-identical.
         for s in 0..n {
@@ -651,595 +625,28 @@ impl ShardedMatchService {
                 rec.reset();
             }
         }
-
-        let recovery: Option<RecoveryConfig> = fault_tolerance.as_ref().map(|f| f.recovery);
-        let mut supervisor: Option<Supervisor> = fault_tolerance
-            .as_ref()
-            .and_then(|f| f.supervisor)
-            .map(|sc| Supervisor::new(n, sc));
-        let fault_events: Vec<FaultEvent> = fault_tolerance
-            .as_ref()
-            .map(|f| f.plan.events().to_vec())
-            .unwrap_or_default();
-        let mut fault_idx = 0usize;
-        let mut sup_tick: Option<f64> = supervisor
-            .as_ref()
-            .map(|s| s.config().health_check_interval);
-
-        let mut metrics: Vec<ShardMetrics> = (0..n)
-            .map(|i| ShardMetrics::new(i, engine_label(shards[i].choice)))
-            .collect();
-        let mut streams: Vec<StreamState> = (0..n).map(|_| StreamState::default()).collect();
-        let mut seen: Vec<u64> = vec![0; n];
-        let mut queues: Vec<VecDeque<QEntry>> = (0..n).map(|_| VecDeque::new()).collect();
-        let mut phases: Vec<Phase> = (0..n).map(|_| Phase::Idle).collect();
-        let mut busy = vec![0.0f64; n];
-        let mut last_activity = vec![0.0f64; n];
-        let mut last_spill = vec![f64::NEG_INFINITY; n];
-        let mut slow_until = vec![f64::NEG_INFINITY; n];
-        let mut slow_factor = vec![1.0f64; n];
-        let mut next_ckpt: Vec<f64> = (0..n)
-            .map(|_| recovery.map_or(f64::INFINITY, |r| r.checkpoint_interval))
-            .collect();
-        let mut active_choice: Vec<EngineChoice> = shards.iter().map(|s| s.choice).collect();
-        let mut completions: Option<Vec<Vec<u64>>> = if *record_completions {
-            Some(vec![Vec::new(); n])
-        } else {
-            None
-        };
-        let mut wake_candidates: Vec<f64> = Vec::new();
-
-        let mut now = 0.0f64;
-        loop {
-            // ---- Admission: walk every arrival due by `now` through the
-            // serving shard's bounded queue; overflow spills. Arrivals
-            // stop at `duration`.
-            let horizon = now.min(cfg.duration);
-            let spilled_before: Vec<u64> = metrics.iter().map(|m| m.overflow.spilled).collect();
-            for s in 0..n {
-                let rate = shards[s].rate;
-                if rate <= 0.0 || shards[s].msgs.is_empty() {
-                    continue;
-                }
-                let due = (rate * horizon) as u64;
-                while seen[s] < due {
-                    let t = (seen[s] + 1) as f64 / rate;
-                    let x = placement.target_of(s);
-                    metrics[x].arrivals += 1;
-                    if queues[x].len() + phases[x].inflight_len() < capacity {
-                        let seq = streams[s].admit(t);
-                        // A dark shard's queue died with its device;
-                        // journal-only until the rebuild restores it.
-                        if !phases[x].dark() {
-                            queues[x].push_back(QEntry {
-                                stream: s,
-                                seq,
-                                arrived: t,
-                            });
-                        }
-                        metrics[x].admitted += 1;
-                    } else {
-                        metrics[x].overflow.spilled += 1;
-                        metrics[x].ever_spilled = true;
-                        last_spill[x] = t;
-                    }
-                    seen[s] += 1;
-                }
-            }
-            for x in 0..n {
-                let newly = metrics[x].overflow.spilled - spilled_before[x];
-                if newly > 0 {
-                    if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                        rec.set_now_ns((now * 1e9).round() as u64);
-                        rec.record_instant(
-                            obs::SpanCategory::Spill,
-                            "spill",
-                            vec![("count", obs::ArgValue::U64(newly))],
-                        );
-                    }
-                }
-            }
-
-            // ---- Fault injections due at `now` (crash beats any commit
-            // scheduled for the same instant: faults process first).
-            while fault_idx < fault_events.len() && fault_events[fault_idx].at <= now {
-                let ev = fault_events[fault_idx];
-                fault_idx += 1;
-                let x = ev.shard;
-                match ev.kind {
-                    FaultKind::Crash => {
-                        let r = recovery.expect("faults imply fault tolerance");
-                        metrics[x].crashes += 1;
-                        if let Some(sup) = supervisor.as_mut() {
-                            sup.note_crash(x);
-                        }
-                        if phases[x].inflight_len() > 0 {
-                            metrics[x].lost_batches += 1;
-                        }
-                        // Device state is gone: queue and in-flight batch
-                        // alike. The journal still covers every admitted
-                        // seq, so nothing is lost — only re-matched.
-                        queues[x].clear();
-                        let crashed_at = match phases[x] {
-                            // A crash during recovery restarts the
-                            // restart but keeps the original outage start
-                            // for the latency histogram.
-                            Phase::Restarting { crashed_at, .. }
-                            | Phase::Replaying { crashed_at, .. } => crashed_at,
-                            _ => ev.at,
-                        };
-                        phases[x] = Phase::Restarting {
-                            until: ev.at + r.restart_latency,
-                            crashed_at,
-                        };
-                        if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                            rec.set_now_ns((ev.at * 1e9).round() as u64);
-                            rec.record_instant(obs::SpanCategory::Crash, "crash", vec![]);
-                        }
-                    }
-                    FaultKind::Hang { seconds } => {
-                        metrics[x].hangs += 1;
-                        let prev = std::mem::replace(&mut phases[x], Phase::Idle);
-                        phases[x] = match prev {
-                            Phase::Busy(mut inf) => {
-                                // The stuck kernel finishes late.
-                                inf.until += seconds;
-                                Phase::Hung {
-                                    until: ev.at + seconds,
-                                    resume: Some(inf),
-                                }
-                            }
-                            Phase::Hung { until, resume } => Phase::Hung {
-                                until: until.max(ev.at + seconds),
-                                resume,
-                            },
-                            // Hanging a dead shard changes nothing.
-                            p @ (Phase::Restarting { .. } | Phase::Replaying { .. }) => p,
-                            // Idle or mid-checkpoint (snapshot abandoned).
-                            _ => Phase::Hung {
-                                until: ev.at + seconds,
-                                resume: None,
-                            },
-                        };
-                        if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                            rec.set_now_ns((ev.at * 1e9).round() as u64);
-                            rec.record_instant(obs::SpanCategory::Crash, "hang", vec![]);
-                        }
-                    }
-                    FaultKind::Slow { factor, seconds } => {
-                        slow_until[x] = ev.at + seconds;
-                        slow_factor[x] = factor.max(1.0);
-                        if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                            rec.set_now_ns((ev.at * 1e9).round() as u64);
-                            rec.record_instant(obs::SpanCategory::Crash, "slow", vec![]);
-                        }
-                    }
-                }
-            }
-
-            // ---- Phase transitions due at `now` (commits, hang ends,
-            // recovery milestones, checkpoint completions).
-            for x in 0..n {
-                while phases[x].next_event().is_some_and(|t| t <= now) {
-                    let phase = std::mem::replace(&mut phases[x], Phase::Idle);
-                    match phase {
-                        Phase::Busy(inf) => {
-                            commit_batch(
-                                *inf,
-                                &mut streams,
-                                &mut metrics[x],
-                                &mut busy[x],
-                                &mut last_activity[x],
-                                completions.as_mut(),
-                            );
-                        }
-                        Phase::Hung { resume, .. } => {
-                            phases[x] = match resume {
-                                Some(inf) => Phase::Busy(inf),
-                                None => Phase::Idle,
-                            };
-                        }
-                        Phase::Restarting { until, crashed_at } => {
-                            // Device is back; scan the snapshot and the
-                            // journal to size the replay.
-                            let r = recovery.expect("recovering implies fault tolerance");
-                            let mut scanned = 0u64;
-                            for (s, stream) in streams.iter().enumerate() {
-                                if placement.target_of(s) != x {
-                                    continue;
-                                }
-                                for &(seq, _) in stream.journal.iter() {
-                                    if seq < stream.ckpt_admitted {
-                                        metrics[x].snapshot_restored += 1;
-                                    } else {
-                                        metrics[x].journal_replayed += 1;
-                                    }
-                                    scanned += 1;
-                                }
-                            }
-                            phases[x] = Phase::Replaying {
-                                until: until + r.replay_cost_per_entry * scanned as f64,
-                                crashed_at,
-                            };
-                        }
-                        Phase::Replaying { until, crashed_at } => {
-                            // Rebuild the pending queue from the journal,
-                            // suppressing seqs already delivered — the
-                            // duplicate half of exactly-once replay.
-                            shards[x].gpu.reset_memory();
-                            for (s, stream) in streams.iter().enumerate() {
-                                if placement.target_of(s) != x {
-                                    continue;
-                                }
-                                let committed = stream.committed;
-                                for &(seq, t) in stream.journal.iter() {
-                                    if seq < committed {
-                                        metrics[x].replay_duplicates += 1;
-                                        continue;
-                                    }
-                                    queues[x].push_back(QEntry {
-                                        stream: s,
-                                        seq,
-                                        arrived: t,
-                                    });
-                                }
-                            }
-                            metrics[x].recoveries += 1;
-                            metrics[x].recovery_seconds.record(until - crashed_at);
-                            last_activity[x] = last_activity[x].max(until);
-                            if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                                let t0 = (crashed_at * 1e9).round() as u64;
-                                let t1 = (until * 1e9).round() as u64;
-                                rec.record_complete(
-                                    obs::SpanCategory::Recovery,
-                                    "recovery",
-                                    t0,
-                                    t1.saturating_sub(t0),
-                                    vec![("restored", obs::ArgValue::U64(queues[x].len() as u64))],
-                                );
-                            }
-                        }
-                        Phase::Checkpointing { until, started } => {
-                            for (s, stream) in streams.iter_mut().enumerate() {
-                                if placement.target_of(s) == x {
-                                    stream.checkpoint();
-                                }
-                            }
-                            metrics[x].checkpoints += 1;
-                            next_ckpt[x] = until
-                                + recovery
-                                    .expect("checkpointing implies fault tolerance")
-                                    .checkpoint_interval;
-                            if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                                let t0 = (started * 1e9).round() as u64;
-                                let t1 = (until * 1e9).round() as u64;
-                                rec.record_complete(
-                                    obs::SpanCategory::Checkpoint,
-                                    "checkpoint",
-                                    t0,
-                                    t1.saturating_sub(t0),
-                                    vec![],
-                                );
-                            }
-                        }
-                        Phase::Idle => unreachable!("idle phases have no events"),
-                    }
-                }
-            }
-
-            // ---- Supervisor health ticks due at `now`.
-            if let Some(sup) = supervisor.as_mut() {
-                while sup_tick.is_some_and(|t| t <= now) {
-                    let tick = sup_tick.unwrap();
-                    for x in 0..n {
-                        if phases[x].responsive() {
-                            sup.note_up(x);
-                            // Observe the same backlog admission gates on
-                            // (queued plus in-flight), else a pegged shard
-                            // alternating full queue / full batch never
-                            // looks overloaded.
-                            sup.observe_depth(
-                                x,
-                                queues[x].len() + phases[x].inflight_len(),
-                                capacity,
-                            );
-                            continue;
-                        }
-                        if !sup.note_down(x, tick) {
-                            continue;
-                        }
-                        // Fail the down shard's streams over to the
-                        // healthiest responsive peer.
-                        let moved: Vec<usize> =
-                            (0..n).filter(|&s| placement.target_of(s) == x).collect();
-                        if moved.is_empty() {
-                            continue;
-                        }
-                        let target = (0..n)
-                            .filter(|&u| u != x && phases[u].responsive())
-                            .min_by_key(|&u| (queues[u].len() + phases[u].inflight_len(), u));
-                        let Some(t) = target else { continue };
-                        for s in moved {
-                            if t == s {
-                                placement.restore(s);
-                            } else {
-                                placement.redirect(s, t);
-                            }
-                            // The hung shard keeps its device state, so
-                            // drop its queued copies; the journal is the
-                            // durable source the target inherits. Any
-                            // in-flight copies commit late and are
-                            // suppressed by the watermark.
-                            queues[x].retain(|e| e.stream != s);
-                            let committed = streams[s].committed;
-                            let mut transferred = 0u64;
-                            for &(seq, tm) in streams[s].journal.iter() {
-                                if seq < committed {
-                                    continue;
-                                }
-                                queues[t].push_back(QEntry {
-                                    stream: s,
-                                    seq,
-                                    arrived: tm,
-                                });
-                                transferred += 1;
-                            }
-                            metrics[t].transferred_in += transferred;
-                            // Inherited streams keep the ordering their
-                            // home engine promised: fall back to the
-                            // stricter discipline while serving them.
-                            let home = shards[s].choice;
-                            if strictness(home) > strictness(active_choice[t]) {
-                                active_choice[t] = home;
-                                metrics[t].engine_fallbacks += 1;
-                            }
-                            if let Some(rec) = shards[t].gpu.obs.as_mut() {
-                                rec.set_now_ns((tick * 1e9).round() as u64);
-                                rec.record_instant(
-                                    obs::SpanCategory::Failover,
-                                    "failover",
-                                    vec![
-                                        ("stream", obs::ArgValue::U64(s as u64)),
-                                        ("from", obs::ArgValue::U64(x as u64)),
-                                        ("transferred", obs::ArgValue::U64(transferred)),
-                                    ],
-                                );
-                            }
-                        }
-                        metrics[x].failovers_out += 1;
-                        metrics[t].failovers_in += 1;
-                    }
-                    // Handback: once a home shard is responsive again and
-                    // its failover target has drained the inherited
-                    // stream, route it home.
-                    for s in 0..n {
-                        let t = placement.target_of(s);
-                        if t == s || !phases[s].responsive() {
-                            continue;
-                        }
-                        let draining =
-                            queues[t].iter().any(|e| e.stream == s) || phases[t].holds_stream(s);
-                        if draining {
-                            continue;
-                        }
-                        placement.restore(s);
-                        if !(0..n).any(|u| u != t && placement.target_of(u) == t) {
-                            active_choice[t] = shards[t].choice;
-                        }
-                        if let Some(rec) = shards[t].gpu.obs.as_mut() {
-                            rec.set_now_ns((tick * 1e9).round() as u64);
-                            rec.record_instant(
-                                obs::SpanCategory::Failover,
-                                "handback",
-                                vec![("stream", obs::ArgValue::U64(s as u64))],
-                            );
-                        }
-                    }
-                    sup_tick = Some(tick + sup.config().health_check_interval);
-                }
-            }
-
-            // ---- Start periodic checkpoints on idle shards (only while
-            // arrivals are still flowing; the drain tail never pauses
-            // for a snapshot it won't need).
-            if let Some(r) = recovery {
-                if now < cfg.duration {
-                    for x in 0..n {
-                        if !matches!(phases[x], Phase::Idle) || now < next_ckpt[x] {
-                            continue;
-                        }
-                        let serves_traffic =
-                            (0..n).any(|s| placement.target_of(s) == x && shards[s].rate > 0.0);
-                        if !serves_traffic {
-                            continue;
-                        }
-                        phases[x] = Phase::Checkpointing {
-                            until: now + r.checkpoint_cost,
-                            started: now,
-                        };
-                    }
-                }
-            }
-
-            // ---- Shed + dispatch on idle shards.
-            wake_candidates.clear();
-            for x in 0..n {
-                if !matches!(phases[x], Phase::Idle) {
-                    continue;
-                }
-                // Graceful degradation: in shedding mode, drop queued
-                // arrivals past the deadline oldest-first. A shed entry
-                // advances the commit watermark like a delivery (it is
-                // durable — replay never resurrects it) but counts in
-                // `overflow.shed`, not `matched`.
-                if let Some(sup) = supervisor.as_ref() {
-                    if sup.is_shedding(x) {
-                        let deadline = sup.config().shed_deadline;
-                        let mut shed_now = 0u64;
-                        while let Some(front) = queues[x].front().copied() {
-                            if now - front.arrived <= deadline {
-                                break;
-                            }
-                            queues[x].pop_front();
-                            let st = &mut streams[front.stream];
-                            if front.seq >= st.committed {
-                                debug_assert_eq!(front.seq, st.committed);
-                                st.committed = front.seq + 1;
-                            }
-                            shed_now += 1;
-                        }
-                        if shed_now > 0 {
-                            metrics[x].overflow.shed += shed_now;
-                            if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                                rec.set_now_ns((now * 1e9).round() as u64);
-                                rec.record_instant(
-                                    obs::SpanCategory::Shed,
-                                    "shed",
-                                    vec![("count", obs::ArgValue::U64(shed_now))],
-                                );
-                            }
-                        }
-                    }
-                }
-
-                let pending = queues[x].len();
-                let feeds = (0..n).any(|s| {
-                    placement.target_of(s) == x
-                        && shards[s].rate > 0.0
-                        && seen[s] < (shards[s].rate * cfg.duration) as u64
-                });
-                if pending == 0 && !feeds {
-                    continue;
-                }
-                metrics[x].queue_depth.record(pending as f64);
-
-                if pending < threshold {
-                    // Aggregate: sleep until enough arrivals are due to
-                    // fill the threshold, or drain the tail at the end.
-                    let wake = fill_wake(shards, placement, &seen, x, threshold - pending);
-                    match wake {
-                        Some(w) if w <= cfg.duration => {
-                            wake_candidates.push(w);
-                            continue;
-                        }
-                        _ => {
-                            if pending == 0 {
-                                continue;
-                            }
-                        }
-                    }
-                }
-                if now >= cfg.duration && !cfg.drain {
-                    continue;
-                }
-
-                let batch = pending.min(cfg.max_batch);
-                let mut entries = Vec::with_capacity(batch);
-                for _ in 0..batch {
-                    entries.push(queues[x].pop_front().expect("pending counted"));
-                }
-                let msgs: Vec<Envelope> = entries
-                    .iter()
-                    .map(|e| {
-                        let pool = &shards[e.stream].msgs;
-                        pool[e.seq as usize % pool.len()]
-                    })
-                    .collect();
-                let reqs: Vec<RecvRequest> = msgs
-                    .iter()
-                    .map(|m| RecvRequest::exact(m.src, m.tag, m.comm))
-                    .collect();
-
-                if let Some(rec) = shards[x].gpu.obs.as_mut() {
-                    // Pin the recorder to the service clock so the launch
-                    // spans the engine records start at the dispatch
-                    // instant, and span the batch's accumulation time.
-                    let now_ns = (now * 1e9).round() as u64;
-                    rec.set_now_ns(now_ns);
-                    let oldest = entries.first().map_or(now, |e| e.arrived);
-                    let t0 = ((oldest * 1e9).round() as u64).min(now_ns);
-                    rec.record_complete(
-                        obs::SpanCategory::BatchAdmission,
-                        "batch",
-                        t0,
-                        now_ns - t0,
-                        vec![
-                            ("batch", obs::ArgValue::U64(batch as u64)),
-                            ("pending", obs::ArgValue::U64(pending as u64)),
-                        ],
-                    );
-                }
-
-                // The shard's resident device: reclaim the arena, not
-                // the device.
-                let shard = &mut shards[x];
-                shard.gpu.reset_memory();
-                let report = engine
-                    .match_with(&mut shard.gpu, active_choice[x], &msgs, &reqs)
-                    .expect("no wildcards in service traffic");
-                debug_assert_eq!(report.matches as usize, batch);
-                let factor = if now < slow_until[x] {
-                    slow_factor[x]
-                } else {
-                    1.0
-                };
-                let service = report.seconds * factor;
-                phases[x] = Phase::Busy(Box::new(InFlight {
-                    until: now + service,
-                    entries,
-                    report,
-                    service,
-                }));
-            }
-
-            // ---- Advance the clock to the next event.
-            let mut next = f64::INFINITY;
-            for p in &phases {
-                if let Some(t) = p.next_event() {
-                    next = next.min(t);
-                }
-            }
-            if fault_idx < fault_events.len() {
-                next = next.min(fault_events[fault_idx].at);
-            }
-            for &w in &wake_candidates {
-                next = next.min(w);
-            }
-            if recovery.is_some() && now < cfg.duration {
-                for x in 0..n {
-                    if matches!(phases[x], Phase::Idle)
-                        && next_ckpt[x] > now
-                        && next_ckpt[x] < cfg.duration
-                    {
-                        next = next.min(next_ckpt[x]);
-                    }
-                }
-            }
-            let arrivals_remain = (0..n)
-                .any(|s| shards[s].rate > 0.0 && seen[s] < (shards[s].rate * cfg.duration) as u64);
-            if cfg.drain && arrivals_remain && cfg.duration > now {
-                // The drain tail must admit everything up to `duration`.
-                next = next.min(cfg.duration);
-            }
-            let redirect_active = (0..n).any(|s| placement.target_of(s) != s);
-            let work_live = now < cfg.duration
-                || phases.iter().any(|p| !matches!(p, Phase::Idle))
-                || (cfg.drain
-                    && (redirect_active
-                        || arrivals_remain
-                        || queues.iter().any(|q| !q.is_empty())));
-            if work_live {
-                if let Some(t) = sup_tick {
-                    if t > now {
-                        next = next.min(t);
-                    }
-                }
-            }
-            if !next.is_finite() || next <= now {
-                break;
-            }
-            now = next;
+        if let Some(rec) = sched_rec.as_ref() {
+            rec.with(|r| r.reset());
         }
+
+        let wall_start = std::time::Instant::now();
+        let out = sched::run_scheduled(
+            &cfg,
+            placement,
+            shards,
+            fault_tolerance.as_ref(),
+            *record_completions,
+            sched_rec.as_ref(),
+        );
+        let wall_seconds = wall_start.elapsed().as_secs_f64();
+        let sched::SchedOutcome {
+            mut metrics,
+            completions,
+            busy,
+            last_activity,
+            last_spill,
+            backlog,
+        } = out;
 
         // ---- Finalise per-shard metrics.
         for x in 0..n {
@@ -1250,9 +657,8 @@ impl ShardedMatchService {
             } else {
                 0.0
             };
-            let backlog = (queues[x].len() + phases[x].inflight_len()) as u64;
-            m.saturated = (backlog > 2 * cfg.max_batch as u64
-                && backlog as f64 > 0.05 * m.arrivals as f64)
+            m.saturated = (backlog[x] > 2 * cfg.max_batch as u64
+                && backlog[x] as f64 > 0.05 * m.arrivals as f64)
                 || last_spill[x] >= 0.9 * cfg.duration;
             m.ever_spilled = m.overflow.spilled > 0;
         }
@@ -1285,93 +691,15 @@ impl ShardedMatchService {
             overflow,
             batches: metrics.iter().map(|m| m.batches).sum(),
         };
-        let service_metrics = ServiceMetrics {
-            duration: cfg.duration,
-            offered_rate: cfg.arrival_rate,
-            sustained_rate: aggregate.sustained_rate,
-            total_matched,
-            total_spilled: overflow.spilled,
-            total_shed: overflow.shed,
-            total_crashes: metrics.iter().map(|m| m.crashes).sum(),
-            total_recoveries: metrics.iter().map(|m| m.recoveries).sum(),
-            total_failovers: metrics.iter().map(|m| m.failovers_in).sum(),
-            reorder_duplicates: 0,
-            shards: metrics,
-        };
+        let service_metrics =
+            ServiceMetrics::from_shards(cfg.duration, cfg.arrival_rate, elapsed, metrics);
         ShardedServiceReport {
             aggregate,
             metrics: service_metrics,
             completions,
+            wall_seconds,
         }
     }
-}
-
-/// Deliver a completed batch: advance each stream's commit watermark,
-/// suppressing entries a concurrent path (failover transfer, journal
-/// replay) already delivered — the idempotent-commit half of
-/// exactly-once matching.
-fn commit_batch(
-    inf: InFlight,
-    streams: &mut [StreamState],
-    m: &mut ShardMetrics,
-    busy: &mut f64,
-    last_activity: &mut f64,
-    mut completions: Option<&mut Vec<Vec<u64>>>,
-) {
-    *busy += inf.service;
-    m.profile.absorb(&inf.report);
-    m.batches += 1;
-    m.batch_size.record(inf.entries.len() as f64);
-    m.service_time.record(inf.service);
-    for e in &inf.entries {
-        let st = &mut streams[e.stream];
-        if e.seq < st.committed {
-            m.replay_duplicates += 1;
-            continue;
-        }
-        debug_assert_eq!(e.seq, st.committed, "per-stream commits are FIFO");
-        st.committed = e.seq + 1;
-        m.matched += 1;
-        m.match_latency.record(inf.until - e.arrived);
-        if let Some(c) = completions.as_mut() {
-            c[e.stream].push(e.seq);
-        }
-    }
-    *last_activity = last_activity.max(inf.until);
-}
-
-/// When will `need` more arrivals have been generated for the streams
-/// currently routed to shard `x`? Returns the wake time (half an
-/// arrival past the filling arrival, to dodge float truncation), or
-/// `None` when no stream feeds the shard.
-fn fill_wake(
-    shards: &[ServiceShard],
-    placement: &ShardPlacement,
-    seen: &[u64],
-    x: usize,
-    need: usize,
-) -> Option<f64> {
-    let mut cursors: Vec<(f64, u64)> = (0..shards.len())
-        .filter(|&s| placement.target_of(s) == x && shards[s].rate > 0.0)
-        .map(|s| (shards[s].rate, seen[s]))
-        .collect();
-    if cursors.is_empty() {
-        return None;
-    }
-    let mut wake = 0.0f64;
-    for _ in 0..need.max(1) {
-        let (rate, v) = cursors
-            .iter_mut()
-            .min_by(|a, b| {
-                let ta = (a.1 + 1) as f64 / a.0;
-                let tb = (b.1 + 1) as f64 / b.0;
-                ta.partial_cmp(&tb).expect("arrival times are finite")
-            })
-            .expect("cursors is non-empty");
-        *v += 1;
-        wake = (*v as f64 + 0.5) / *rate;
-    }
-    Some(wake)
 }
 
 /// Build and run a sharded service in one call.
@@ -1385,7 +713,7 @@ pub fn simulate_sharded_service(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::fault::FaultRates;
+    use crate::fault::{FaultEvent, FaultKind, FaultRates};
 
     fn cfg(rate: f64, engine: ServiceEngine) -> ServiceConfig {
         ServiceConfig {

@@ -18,6 +18,7 @@
 
 pub mod perfetto;
 pub mod prom;
+pub mod sync;
 
 /// What a span measures. Categories become the Perfetto `cat` field, so
 /// a viewer can filter one tier of the pipeline at a time.
@@ -67,6 +68,10 @@ pub enum SpanCategory {
     /// Queued arrivals dropped by the supervisor's deadline shedding,
     /// surfaced as an instant (distinct from admission-control spills).
     Shed,
+    /// One synchronization epoch of the parallel scheduler: the window
+    /// between two virtual-time barriers in which shard domains advance
+    /// independently.
+    Epoch,
 }
 
 impl SpanCategory {
@@ -91,6 +96,7 @@ impl SpanCategory {
             SpanCategory::Checkpoint => "checkpoint",
             SpanCategory::Failover => "failover",
             SpanCategory::Shed => "shed",
+            SpanCategory::Epoch => "epoch",
         }
     }
 }

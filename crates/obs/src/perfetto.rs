@@ -88,6 +88,14 @@ fn write_metadata(out: &mut String, name: &str, tid: Option<u32>, value: &str) {
     out.push_str("\"}}");
 }
 
+fn write_sort_index(out: &mut String, tid: u32, sort_index: u32) {
+    out.push_str("{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"ts\":0.000,\"pid\":");
+    out.push_str(&PID.to_string());
+    out.push_str(&format!(
+        ",\"tid\":{tid},\"args\":{{\"sort_index\":{sort_index}}}}}"
+    ));
+}
+
 /// Render `(track name, recorder)` pairs as a complete trace document.
 ///
 /// Each recorder becomes one named thread (`tid` = the recorder's track
@@ -110,11 +118,18 @@ pub fn export(tracks: &[(String, &SpanRecorder)]) -> String {
         emit(&mut out, &mut first);
         out.push_str(&meta);
     }
-    for (name, rec) in tracks {
+    for (i, (name, rec)) in tracks.iter().enumerate() {
         let mut meta = String::new();
         write_metadata(&mut meta, "thread_name", Some(rec.track()), name);
         emit(&mut out, &mut first);
         out.push_str(&meta);
+        // Pin viewer ordering to caller ordering: with per-thread shard
+        // tracks the viewer would otherwise sort by whatever tid scheme
+        // the producer picked.
+        let mut sort = String::new();
+        write_sort_index(&mut sort, rec.track(), i as u32);
+        emit(&mut out, &mut first);
+        out.push_str(&sort);
     }
     for (_, rec) in tracks {
         for ev in rec.events() {
@@ -170,5 +185,7 @@ mod tests {
         assert!(ja.contains("\\\"vs\\\""), "text args must be escaped");
         assert!(ja.contains("\"ts\":0.100"));
         assert!(ja.contains("\"dur\":2.500"));
+        assert!(ja.contains("\"thread_sort_index\""));
+        assert!(ja.contains("\"sort_index\":0"));
     }
 }

@@ -1,7 +1,123 @@
 //! Offline stand-in for `crossbeam` (API subset): scoped threads over
-//! `std::thread::scope`, with crossbeam's panic-to-`Err` contract.
+//! `std::thread::scope` with crossbeam's panic-to-`Err` contract, and
+//! MPSC channels over `std::sync::mpsc` with crossbeam's
+//! `bounded`/`unbounded` constructors.
 
 pub use thread::scope;
+
+/// Multi-producer single-consumer channels (`crossbeam-channel` API
+/// subset: `bounded`, `unbounded`, cloneable senders, blocking and
+/// non-blocking receives, and a draining iterator).
+pub mod channel {
+    use std::sync::mpsc;
+
+    /// Error returned by [`Sender::send`] when every receiver is gone;
+    /// carries the unsent value back.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty
+    /// and every sender is gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct RecvError;
+
+    /// Error returned by [`Receiver::try_recv`].
+    #[derive(Debug, PartialEq, Eq)]
+    pub enum TryRecvError {
+        /// No message is currently queued.
+        Empty,
+        /// The channel is empty and every sender is gone.
+        Disconnected,
+    }
+
+    enum Tx<T> {
+        Bounded(mpsc::SyncSender<T>),
+        Unbounded(mpsc::Sender<T>),
+    }
+
+    impl<T> Clone for Tx<T> {
+        fn clone(&self) -> Self {
+            match self {
+                Tx::Bounded(s) => Tx::Bounded(s.clone()),
+                Tx::Unbounded(s) => Tx::Unbounded(s.clone()),
+            }
+        }
+    }
+
+    /// Sending half of a channel; clone one per producer thread.
+    pub struct Sender<T>(Tx<T>);
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Sender<T> {
+        /// Deliver `msg`, blocking while a bounded channel is full.
+        ///
+        /// # Errors
+        /// Returns the message when every receiver has been dropped.
+        pub fn send(&self, msg: T) -> Result<(), SendError<T>> {
+            match &self.0 {
+                Tx::Bounded(s) => s.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
+                Tx::Unbounded(s) => s.send(msg).map_err(|mpsc::SendError(v)| SendError(v)),
+            }
+        }
+    }
+
+    /// Receiving half of a channel.
+    pub struct Receiver<T>(mpsc::Receiver<T>);
+
+    impl<T> Receiver<T> {
+        /// Block until a message arrives.
+        ///
+        /// # Errors
+        /// The channel is empty and every sender has been dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            self.0.recv().map_err(|mpsc::RecvError| RecvError)
+        }
+
+        /// Take a queued message without blocking.
+        ///
+        /// # Errors
+        /// [`TryRecvError::Empty`] when nothing is queued,
+        /// [`TryRecvError::Disconnected`] when the channel is dead.
+        pub fn try_recv(&self) -> Result<T, TryRecvError> {
+            self.0.try_recv().map_err(|e| match e {
+                mpsc::TryRecvError::Empty => TryRecvError::Empty,
+                mpsc::TryRecvError::Disconnected => TryRecvError::Disconnected,
+            })
+        }
+
+        /// Blocking iterator that drains messages until every sender is
+        /// dropped.
+        pub fn iter(&self) -> impl Iterator<Item = T> + '_ {
+            self.0.iter()
+        }
+    }
+
+    impl<T> IntoIterator for Receiver<T> {
+        type Item = T;
+        type IntoIter = mpsc::IntoIter<T>;
+        fn into_iter(self) -> Self::IntoIter {
+            self.0.into_iter()
+        }
+    }
+
+    /// Channel with room for `cap` in-flight messages; senders block
+    /// when it is full (backpressure).
+    pub fn bounded<T>(cap: usize) -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::sync_channel(cap);
+        (Sender(Tx::Bounded(tx)), Receiver(rx))
+    }
+
+    /// Channel with no capacity bound; sends never block.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let (tx, rx) = mpsc::channel();
+        (Sender(Tx::Unbounded(tx)), Receiver(rx))
+    }
+}
 
 /// Scoped threads.
 pub mod thread {
@@ -76,6 +192,42 @@ mod tests {
             s.spawn(|_| panic!("boom"));
         });
         assert!(r.is_err());
+    }
+
+    #[test]
+    fn channel_fans_in_from_scoped_threads() {
+        let (tx, rx) = crate::channel::bounded::<(usize, u32)>(2);
+        let got = crate::scope(|s| {
+            for i in 0..4usize {
+                let tx = tx.clone();
+                s.spawn(move |_| tx.send((i, i as u32 * 10)).unwrap());
+            }
+            drop(tx);
+            let mut got: Vec<_> = rx.iter().collect();
+            got.sort();
+            got
+        })
+        .unwrap();
+        assert_eq!(got, vec![(0, 0), (1, 10), (2, 20), (3, 30)]);
+    }
+
+    #[test]
+    fn unbounded_try_recv_reports_empty_then_disconnected() {
+        use crate::channel::TryRecvError;
+        let (tx, rx) = crate::channel::unbounded::<u8>();
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Empty));
+        tx.send(7).unwrap();
+        assert_eq!(rx.try_recv(), Ok(7));
+        drop(tx);
+        assert_eq!(rx.try_recv(), Err(TryRecvError::Disconnected));
+        assert_eq!(rx.recv(), Err(crate::channel::RecvError));
+    }
+
+    #[test]
+    fn send_after_receiver_drop_returns_the_value() {
+        let (tx, rx) = crate::channel::bounded::<u8>(1);
+        drop(rx);
+        assert_eq!(tx.send(9), Err(crate::channel::SendError(9)));
     }
 
     #[test]

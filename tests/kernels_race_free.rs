@@ -106,3 +106,59 @@ fn device_algorithms_are_race_free() {
     let (_hist, _) = histogram(&mut gpu, &data, 13);
     assert_clean(&gpu, "device algorithms");
 }
+
+/// The full sharded service with the sanitizer armed on every shard
+/// GPU, under both schedulers and with a crash mid-run: no kernel
+/// launched anywhere in the service layer may exhibit a cross-warp
+/// same-segment conflict. This extends the per-kernel harness above to
+/// the composition — replay after recovery, engine fallback, and
+/// batch dispatch all route through these engines.
+#[test]
+fn sharded_service_is_race_free_under_both_schedulers() {
+    use gpu_msg::{
+        FaultEvent, FaultKind, FaultPlan, FaultTolerance, RecoveryConfig, Scheduler, ServiceEngine,
+        ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,
+    };
+    for scheduler in [Scheduler::GlobalClock, Scheduler::ThreadPerShard] {
+        for engine in [
+            ServiceEngine::Matrix,
+            ServiceEngine::Partitioned(8),
+            ServiceEngine::Hash,
+        ] {
+            let mut svc = ShardedMatchService::new(
+                GpuGeneration::PascalGtx1080,
+                ShardedServiceConfig {
+                    shards: 3,
+                    arrival_rate: 3.0e6,
+                    duration: 0.5e-3,
+                    queue_capacity: 1 << 20,
+                    drain: true,
+                    policy: ShardEnginePolicy::Fixed(engine),
+                    seed: 17,
+                    scheduler,
+                    ..Default::default()
+                },
+            );
+            svc.enable_sanitizer();
+            svc.set_fault_tolerance(Some(FaultTolerance {
+                plan: FaultPlan::new(vec![FaultEvent {
+                    at: 0.25e-3,
+                    shard: 0,
+                    kind: FaultKind::Crash,
+                }]),
+                recovery: RecoveryConfig::default(),
+                supervisor: None,
+            }));
+            let report = svc.run();
+            assert!(
+                report.metrics.total_matched > 0,
+                "{scheduler:?}/{engine:?} ran dry"
+            );
+            let findings = svc.sanitizer_findings();
+            assert!(
+                findings.is_empty(),
+                "{scheduler:?}/{engine:?} service raced: {findings:?}"
+            );
+        }
+    }
+}

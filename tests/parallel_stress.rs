@@ -1,0 +1,116 @@
+//! Release-mode stress test for the thread-per-shard scheduler:
+//! repeated heavy runs must be **byte-identical run to run** — the
+//! scheduler's determinism contract must survive real OS-thread
+//! interleaving under load, not just the small differential fixtures.
+//!
+//! The heavy sweep is `#[ignore]`d under debug builds (the simulated
+//! matrix engine is O(batch²) and a debug binary would take minutes);
+//! CI runs it via `cargo test --release`. A scaled-down smoke version
+//! always runs so the harness is never silently dead.
+
+use gpu_msg::{
+    FaultEvent, FaultKind, FaultPlan, FaultTolerance, RecoveryConfig, Scheduler, ServiceEngine,
+    ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig, SupervisorConfig,
+};
+use simt_sim::GpuGeneration;
+
+const GEN: GpuGeneration = GpuGeneration::PascalGtx1080;
+
+fn stress_cfg(shards: usize, duration: f64, scheduler: Scheduler) -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards,
+        arrival_rate: 6.0e6,
+        duration,
+        queue_capacity: 1 << 20,
+        drain: true,
+        policy: ShardEnginePolicy::Fixed(ServiceEngine::Partitioned(8)),
+        seed: 29,
+        trace: true,
+        scheduler,
+        ..Default::default()
+    }
+}
+
+fn faults() -> Option<FaultTolerance> {
+    Some(FaultTolerance {
+        plan: FaultPlan::new(vec![
+            FaultEvent {
+                at: 0.2e-3,
+                shard: 1,
+                kind: FaultKind::Crash,
+            },
+            FaultEvent {
+                at: 0.45e-3,
+                shard: 0,
+                kind: FaultKind::Hang { seconds: 400e-6 },
+            },
+        ]),
+        recovery: RecoveryConfig::default(),
+        supervisor: Some(SupervisorConfig::default()),
+    })
+}
+
+/// One full run reduced to its comparable artefact bytes.
+fn fingerprint(cfg: ShardedServiceConfig, ft: Option<FaultTolerance>) -> (String, String, String) {
+    let mut svc = ShardedMatchService::new(GEN, cfg);
+    svc.set_record_completions(true);
+    svc.set_fault_tolerance(ft);
+    let r = svc.run();
+    let completions = format!("{:?}", r.completions.expect("recording on"));
+    (
+        r.metrics.to_json(),
+        completions,
+        svc.trace_json().expect("tracing on"),
+    )
+}
+
+fn assert_run_to_run_identical(scheduler: Scheduler, shards: usize, duration: f64, reps: usize) {
+    let reference = fingerprint(stress_cfg(shards, duration, scheduler), faults());
+    for rep in 1..reps {
+        let again = fingerprint(stress_cfg(shards, duration, scheduler), faults());
+        assert_eq!(
+            reference.0, again.0,
+            "{scheduler:?} rep {rep}: metrics JSON drifted between identical runs"
+        );
+        assert_eq!(
+            reference.1, again.1,
+            "{scheduler:?} rep {rep}: completion order drifted between identical runs"
+        );
+        assert_eq!(
+            reference.2, again.2,
+            "{scheduler:?} rep {rep}: shard timeline drifted between identical runs"
+        );
+    }
+}
+
+/// Always-on smoke: a short faulted run repeated a few times per
+/// scheduler. Keeps the harness alive in debug `cargo test -q`.
+#[test]
+fn repeated_runs_are_identical_smoke() {
+    for scheduler in [Scheduler::GlobalClock, Scheduler::ThreadPerShard] {
+        assert_run_to_run_identical(scheduler, 3, 0.4e-3, 3);
+    }
+}
+
+/// Heavy sweep: many shards, long horizon, many repetitions, faults and
+/// supervisor failover active — any scheduling nondeterminism in the
+/// thread fan-out has many chances to surface as a byte diff.
+#[test]
+#[cfg_attr(
+    debug_assertions,
+    ignore = "heavy stress sweep; run with `cargo test --release`"
+)]
+fn repeated_heavy_runs_are_identical_under_load() {
+    for scheduler in [Scheduler::GlobalClock, Scheduler::ThreadPerShard] {
+        assert_run_to_run_identical(scheduler, 8, 1.5e-3, 6);
+    }
+    // And the two schedulers agree with each other at this scale too.
+    let gc = fingerprint(stress_cfg(8, 1.5e-3, Scheduler::GlobalClock), faults());
+    let tp = fingerprint(stress_cfg(8, 1.5e-3, Scheduler::ThreadPerShard), faults());
+    assert_eq!(gc.0, tp.0, "metrics diverged across schedulers at scale");
+    assert_eq!(
+        gc.1, tp.1,
+        "completions diverged across schedulers at scale"
+    );
+    assert_eq!(gc.2, tp.2, "timelines diverged across schedulers at scale");
+}
