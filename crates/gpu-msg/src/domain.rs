@@ -19,7 +19,10 @@
 //! destination endpoint — the moral equivalent of the NVLink remote
 //! write.
 
+use std::collections::HashMap;
+
 use bytes::Bytes;
+use obs::SpanRecorder;
 use parking_lot::Mutex;
 
 use fabric::{DeliveryOrder, FabricStats};
@@ -69,6 +72,9 @@ struct EndpointInner {
     /// User-level order restoration over an unordered wire (the paper's
     /// "tags can restore ordering at the user level", mechanized).
     reorder: Option<ReorderBuffer>,
+    /// Flow trace points of this endpoint (send / deposit / matched),
+    /// present when the domain traces.
+    obs: Option<SpanRecorder>,
 }
 
 impl EndpointInner {
@@ -76,6 +82,7 @@ impl EndpointInner {
         &mut self,
         matcher: MatcherKind,
         relax: RelaxationConfig,
+        now_ns: u64,
     ) -> Result<usize, String> {
         if self.inbox.is_empty() || self.posted.is_empty() {
             return Ok(0);
@@ -119,9 +126,19 @@ impl EndpointInner {
         let n = matched_posts.len();
         // Collect in post order for deterministic completion order.
         for (&j, &i) in matched_posts.iter().zip(&matched_msgs) {
+            let message = self.inbox[i].clone();
+            if let (Some(fid), Some(rec)) = (message.flow, self.obs.as_mut()) {
+                rec.record_flow(
+                    "matched",
+                    obs::FlowId(fid),
+                    obs::FlowPhase::End,
+                    now_ns,
+                    vec![],
+                );
+            }
             self.completed.push(Completion {
                 handle: self.posted[j].0,
-                message: self.inbox[i].clone(),
+                message,
             });
         }
         let mut drop_msgs = vec![false; self.inbox.len()];
@@ -170,6 +187,20 @@ pub struct DomainConfig {
     /// Progress-round bound for blocking receives and collectives.
     /// `None` derives one from the rank count.
     pub progress_bound: Option<u32>,
+    /// Record per-endpoint causal flow trace points
+    /// (send → deposit → matched) for Perfetto export.
+    pub trace: bool,
+    /// Per-endpoint recorder capacity when tracing.
+    pub trace_capacity: usize,
+    /// Sample 1-in-this-many sends for flow tracing (0 and 1 both mean
+    /// every send). The choice is a pure hash of the flow id, so it is
+    /// independent of thread interleaving.
+    pub flow_sample_every: u32,
+    /// Track-id window for this domain's endpoint tracks inside a merged
+    /// trace (pass `obs::tracks::instance_base(i)` when merging several
+    /// domains; also set [`fabric::FabricConfig::trace_track_base`] to
+    /// the same value for the link tracks).
+    pub trace_track_base: u32,
 }
 
 impl DomainConfig {
@@ -188,6 +219,10 @@ impl DomainConfig {
             transport: TransportConfig::Direct,
             restore_order: false,
             progress_bound: None,
+            trace: false,
+            trace_capacity: 4096,
+            flow_sample_every: 1,
+            trace_track_base: 0,
         }
     }
 }
@@ -200,6 +235,11 @@ pub struct Domain {
     transport: Mutex<Box<dyn Transport>>,
     restore_order: bool,
     progress_bound: u32,
+    /// Flow sampling, present when the domain traces.
+    sampler: Option<obs::FlowSampler>,
+    /// Per-`(src, dst)` send counters feeding flow-id construction
+    /// (mirrors the transport's message sequencing).
+    flow_seqs: Mutex<HashMap<(u32, u32), u64>>,
 }
 
 impl Domain {
@@ -266,6 +306,12 @@ impl Domain {
                         stats: EndpointStats::default(),
                         next_handle: 0,
                         reorder: cfg.restore_order.then(ReorderBuffer::new),
+                        obs: cfg.trace.then(|| {
+                            SpanRecorder::new(
+                                obs::tracks::endpoint(cfg.trace_track_base, rank),
+                                cfg.trace_capacity,
+                            )
+                        }),
                     })
                 })
                 .collect(),
@@ -274,6 +320,10 @@ impl Domain {
             transport: Mutex::new(transport),
             restore_order: cfg.restore_order,
             progress_bound,
+            sampler: cfg
+                .trace
+                .then(|| obs::FlowSampler::new(cfg.flow_sample_every, 0)),
+            flow_seqs: Mutex::new(HashMap::new()),
         }
     }
 
@@ -323,12 +373,43 @@ impl Domain {
         self.transport.lock().trace_json()
     }
 
+    /// Per-endpoint flow trace JSON (send / deposit / matched points),
+    /// when the domain was configured with [`DomainConfig::trace`].
+    /// Merge with [`Self::transport_trace_json`] via
+    /// [`obs::perfetto::merge`] for the full admission→wire→match chain.
+    pub fn endpoint_trace_json(&self) -> Option<String> {
+        let guards: Vec<_> = self.endpoints.iter().map(|e| e.lock()).collect();
+        if guards.iter().all(|g| g.obs.is_none()) {
+            return None;
+        }
+        let tracks: Vec<(String, &SpanRecorder)> = guards
+            .iter()
+            .filter_map(|g| {
+                g.obs
+                    .as_ref()
+                    .map(|rec| (format!("endpoint {}", g.rank), rec))
+            })
+            .collect();
+        Some(obs::perfetto::export(&tracks))
+    }
+
     /// Land transported messages in their destination queues, through
     /// the user-level reorder stage when this domain restores order.
-    fn deposit(&self, deliveries: Vec<TransportDelivery>) {
+    fn deposit(&self, deliveries: Vec<TransportDelivery>, now_ns: u64) {
         for d in deliveries {
             let mut ep = self.endpoints[d.dst as usize].lock();
             ep.stats.bytes_received += d.message.payload.len() as u64;
+            if let Some(fid) = d.flow {
+                if let Some(rec) = ep.obs.as_mut() {
+                    rec.record_flow(
+                        "deposit",
+                        obs::FlowId(fid),
+                        obs::FlowPhase::Step,
+                        now_ns,
+                        vec![("msg_seq", obs::ArgValue::U64(d.msg_seq))],
+                    );
+                }
+            }
             let ready = match ep.reorder.as_mut() {
                 Some(rb) => {
                     let ready = rb.push(d.msg_seq, d.message);
@@ -356,19 +437,49 @@ impl Domain {
             src < self.ranks() && dst < self.ranks(),
             "rank out of range"
         );
+        let flow_id = self.sampler.and_then(|sampler| {
+            let mut seqs = self.flow_seqs.lock();
+            let ctr = seqs.entry((src, dst)).or_insert(0);
+            let seq = *ctr;
+            *ctr += 1;
+            let id = obs::FlowId::fabric(src, dst, seq);
+            sampler.admits(id).then_some(id)
+        });
+        let now_ns = if flow_id.is_some() {
+            self.transport.lock().now_ns()
+        } else {
+            0
+        };
         {
             let mut me = self.endpoints[src as usize].lock();
             me.stats.sent += 1;
             me.stats.bytes_sent += payload.len() as u64;
+            if let Some(fid) = flow_id {
+                if let Some(rec) = me.obs.as_mut() {
+                    rec.record_flow(
+                        "send",
+                        fid,
+                        obs::FlowPhase::Start,
+                        now_ns,
+                        vec![("dst", obs::ArgValue::U64(dst as u64))],
+                    );
+                }
+            }
         }
-        let deliveries = {
+        let (deliveries, now_ns) = {
             let mut wire = self.transport.lock();
-            wire.submit(src, dst, Envelope::new(src, tag, comm), payload);
+            wire.submit_flow(
+                src,
+                dst,
+                Envelope::new(src, tag, comm),
+                payload,
+                flow_id.map(|f| f.0),
+            );
             // Anything already deliverable (everything, on the direct
             // wire) lands without waiting for a progress call.
-            wire.pump(false)
+            (wire.pump(false), wire.now_ns())
         };
-        self.deposit(deliveries);
+        self.deposit(deliveries, now_ns);
     }
 
     /// Post a receive on `rank`. Returns a handle reported back in the
@@ -397,15 +508,15 @@ impl Domain {
     /// Propagates matcher/relaxation violations and unrecoverable
     /// transport failures (a transfer that exhausted retransmission).
     pub fn progress(&self, rank: u32) -> Result<usize, String> {
-        let (deliveries, health) = {
+        let (deliveries, health, now_ns) = {
             let mut wire = self.transport.lock();
             let d = wire.pump(true);
-            (d, wire.check())
+            (d, wire.check(), wire.now_ns())
         };
-        self.deposit(deliveries);
+        self.deposit(deliveries, now_ns);
         health?;
         let mut ep = self.endpoints[rank as usize].lock();
-        ep.run_comm_kernel(self.matcher, self.relax)
+        ep.run_comm_kernel(self.matcher, self.relax, now_ns)
     }
 
     /// Run every endpoint's communication kernel once; returns total new

@@ -54,7 +54,10 @@ pub use collectives::{barrier, broadcast, ring_allgather_u64, ring_allreduce_sum
 pub use domain::{Domain, DomainConfig, MatcherKind};
 pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use message::{Completion, EndpointStats, Message, RecvHandle};
-pub use metrics::{EngineProfile, Histogram, OverflowStats, ServiceMetrics, ShardMetrics};
+pub use metrics::{
+    EngineProfile, Histogram, OverflowStats, SchedulerProfile, ServiceMetrics, ShardMetrics,
+    ShardWallProfile,
+};
 pub use recovery::{RecoveryConfig, StreamState};
 pub use reorder::ReorderBuffer;
 pub use sched::Scheduler;

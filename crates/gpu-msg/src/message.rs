@@ -15,6 +15,10 @@ pub struct Message {
     pub envelope: Envelope,
     /// Payload bytes (zero-copy shared buffer).
     pub payload: Bytes,
+    /// Causal flow id assigned at admission when flow tracing sampled
+    /// this message (`None` otherwise). Travels with the message across
+    /// the transport so delivery-side trace points chain to the sender's.
+    pub flow: Option<u64>,
 }
 
 /// A completed receive: which post matched which message.
@@ -69,6 +73,7 @@ mod tests {
         let m = Message {
             envelope: Envelope::new(1, 2, 0),
             payload: Bytes::from_static(b"hello"),
+            flow: None,
         };
         assert_eq!(&m.payload[..], b"hello");
     }

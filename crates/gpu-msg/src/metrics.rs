@@ -372,6 +372,11 @@ pub struct ShardMetrics {
     /// Times this shard's engine was swapped for a stricter one because
     /// an inherited stream required ordering its own engine relaxes.
     pub engine_fallbacks: u64,
+    /// Trace events overwritten by the shard's bounded span recorder
+    /// (0 when tracing is off or the ring never filled). Deterministic:
+    /// the recorder sees the same virtual-time event stream in every
+    /// scheduler interleaving.
+    pub trace_dropped: u64,
     /// Crash-to-service-resumed recovery latency (seconds).
     pub recovery_seconds: Histogram,
     /// Distribution of batch sizes (messages per launch).
@@ -414,6 +419,7 @@ impl ShardMetrics {
             failovers_out: 0,
             transferred_in: 0,
             engine_fallbacks: 0,
+            trace_dropped: 0,
             recovery_seconds: Histogram::new(1e9),
             batch_size: Histogram::new(1.0),
             queue_depth: Histogram::new(1.0),
@@ -761,6 +767,12 @@ impl ServiceMetrics {
                 per_shard(|s| s.engine_fallbacks as f64),
             ),
             Family::scalar(
+                "shard_trace_dropped_total",
+                "Trace events overwritten by the shard's bounded recorder",
+                FamilyKind::Counter,
+                per_shard(|s| s.trace_dropped as f64),
+            ),
+            Family::scalar(
                 "shard_kernel_launches_total",
                 "Kernel launches performed by the shard",
                 FamilyKind::Counter,
@@ -814,6 +826,168 @@ impl ServiceMetrics {
                 "shard_match_latency_seconds",
                 "Arrival-to-match latency",
                 shard_hist(|s| &s.match_latency),
+            ),
+        ];
+        obs::prom::render(&families)
+    }
+}
+
+/// One shard's wall-clock profile: where the host's time went while
+/// the scheduler ran this shard, decomposed into the four
+/// [`obs::wallprof::WallBucket`]s. All values are measured wall
+/// nanoseconds — nondeterministic by nature, which is why this struct
+/// lives in [`crate::ShardedServiceReport`] and never inside
+/// [`ServiceMetrics`] (whose JSON the differential tests byte-compare).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ShardWallProfile {
+    /// Shard index.
+    pub shard: usize,
+    /// Scheduler epochs the shard participated in.
+    pub epochs: u64,
+    /// Wall ns a worker spent advancing this shard's domain.
+    pub compute_ns: u64,
+    /// Wall ns idle at the epoch barrier behind slower workers.
+    pub barrier_wait_ns: u64,
+    /// Wall ns blocked on the bounded result channel.
+    pub backpressure_ns: u64,
+    /// Wall ns inside the coordinator's supervisor barrier.
+    pub supervisor_sync_ns: u64,
+    /// Measured wall ns across the shard's epochs (what the four
+    /// buckets partition).
+    pub total_ns: u64,
+}
+
+impl ShardWallProfile {
+    /// Sum of the four buckets (equals [`total_ns`](Self::total_ns) by
+    /// residual construction; the sum-identity test pins the gap ≤1%).
+    pub fn bucket_sum_ns(&self) -> u64 {
+        self.compute_ns + self.barrier_wait_ns + self.backpressure_ns + self.supervisor_sync_ns
+    }
+
+    /// `(bucket label, ns)` pairs in [`obs::wallprof::WallBucket::ALL`]
+    /// order.
+    pub fn buckets(&self) -> [(&'static str, u64); 4] {
+        [
+            ("compute", self.compute_ns),
+            ("barrier_wait", self.barrier_wait_ns),
+            ("backpressure", self.backpressure_ns),
+            ("supervisor_sync", self.supervisor_sync_ns),
+        ]
+    }
+}
+
+/// Whole-run dual-clock scheduler profile: per-shard wall-time bucket
+/// decompositions plus run totals. Exported to its own Prometheus
+/// document (`OBS_wall.prom`) — never merged into the deterministic
+/// exposition.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct SchedulerProfile {
+    /// Scheduler the run used (`"global_clock"` / `"thread_per_shard"`).
+    pub scheduler: String,
+    /// Wall seconds for the whole run (same value as
+    /// `ShardedServiceReport::wall_seconds`).
+    pub wall_seconds: f64,
+    /// One entry per shard, in shard order.
+    pub shards: Vec<ShardWallProfile>,
+}
+
+impl SchedulerProfile {
+    /// Total wall ns across shards per bucket, in bucket order.
+    pub fn totals(&self) -> [(&'static str, u64); 4] {
+        let mut t = [
+            ("compute", 0u64),
+            ("barrier_wait", 0),
+            ("backpressure", 0),
+            ("supervisor_sync", 0),
+        ];
+        for s in &self.shards {
+            for (slot, (_, v)) in t.iter_mut().zip(s.buckets()) {
+                slot.1 += v;
+            }
+        }
+        t
+    }
+
+    /// Fraction of summed shard wall time spent at the epoch barrier
+    /// (0 when nothing was measured).
+    pub fn barrier_wait_fraction(&self) -> f64 {
+        let total: u64 = self.shards.iter().map(|s| s.total_ns).sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let wait: u64 = self.shards.iter().map(|s| s.barrier_wait_ns).sum();
+        wait as f64 / total as f64
+    }
+
+    /// Render as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde::json::to_string_pretty(self)
+    }
+
+    /// Render the wall-clock profile in the Prometheus text exposition
+    /// format. Kept separate from [`ServiceMetrics::to_prometheus`] so
+    /// wall-clock nondeterminism never lands in the byte-compared
+    /// deterministic exposition.
+    pub fn to_prometheus(&self) -> String {
+        use obs::prom::{Family, FamilyKind, Sample};
+        let bucketed: Vec<Sample> = self
+            .shards
+            .iter()
+            .flat_map(|s| {
+                s.buckets().into_iter().map(move |(bucket, ns)| Sample {
+                    labels: vec![
+                        ("shard".to_string(), s.shard.to_string()),
+                        ("bucket".to_string(), bucket.to_string()),
+                    ],
+                    value: ns as f64,
+                })
+            })
+            .collect();
+        let per_shard = |v: fn(&ShardWallProfile) -> f64| -> Vec<Sample> {
+            self.shards
+                .iter()
+                .map(|s| Sample {
+                    labels: vec![("shard".to_string(), s.shard.to_string())],
+                    value: v(s),
+                })
+                .collect()
+        };
+        let families = vec![
+            Family::scalar(
+                "scheduler_wall_seconds",
+                "Wall-clock duration of the run",
+                FamilyKind::Gauge,
+                vec![Sample {
+                    labels: vec![("scheduler".to_string(), self.scheduler.clone())],
+                    value: self.wall_seconds,
+                }],
+            ),
+            Family::scalar(
+                "scheduler_shard_epochs_total",
+                "Scheduler epochs the shard participated in",
+                FamilyKind::Counter,
+                per_shard(|s| s.epochs as f64),
+            ),
+            Family::scalar(
+                "scheduler_shard_wall_ns_total",
+                "Measured wall nanoseconds across the shard's epochs",
+                FamilyKind::Counter,
+                per_shard(|s| s.total_ns as f64),
+            ),
+            Family::scalar(
+                "scheduler_shard_bucket_ns_total",
+                "Wall nanoseconds attributed per scheduler bucket",
+                FamilyKind::Counter,
+                bucketed,
+            ),
+            Family::scalar(
+                "scheduler_barrier_wait_fraction",
+                "Fraction of summed shard wall time idle at the epoch barrier",
+                FamilyKind::Gauge,
+                vec![Sample {
+                    labels: Vec::new(),
+                    value: self.barrier_wait_fraction(),
+                }],
             ),
         ];
         obs::prom::render(&families)
@@ -1044,6 +1218,44 @@ mod tests {
             "+Inf bucket must equal _count"
         );
         assert!(text.contains("shard_match_latency_seconds_count{shard=\"2\",engine=\"hash\"} 2"));
+    }
+
+    #[test]
+    fn scheduler_profile_totals_and_prometheus() {
+        let p = SchedulerProfile {
+            scheduler: "thread_per_shard".to_string(),
+            wall_seconds: 0.5,
+            shards: vec![
+                ShardWallProfile {
+                    shard: 0,
+                    epochs: 10,
+                    compute_ns: 70,
+                    barrier_wait_ns: 20,
+                    backpressure_ns: 5,
+                    supervisor_sync_ns: 5,
+                    total_ns: 100,
+                },
+                ShardWallProfile {
+                    shard: 1,
+                    epochs: 10,
+                    compute_ns: 50,
+                    barrier_wait_ns: 40,
+                    backpressure_ns: 0,
+                    supervisor_sync_ns: 10,
+                    total_ns: 100,
+                },
+            ],
+        };
+        assert_eq!(p.shards[0].bucket_sum_ns(), p.shards[0].total_ns);
+        assert_eq!(p.totals()[1], ("barrier_wait", 60));
+        assert!((p.barrier_wait_fraction() - 0.3).abs() < 1e-12);
+        let text = p.to_prometheus();
+        assert!(text.contains("scheduler_wall_seconds{scheduler=\"thread_per_shard\"} 0.5"));
+        assert!(text
+            .contains("scheduler_shard_bucket_ns_total{shard=\"1\",bucket=\"barrier_wait\"} 40"));
+        assert!(text.contains("scheduler_barrier_wait_fraction 0.3"));
+        let back: SchedulerProfile = serde::json::from_str(&p.to_json()).unwrap();
+        assert_eq!(back, p);
     }
 
     #[test]

@@ -77,6 +77,7 @@ mod tests {
 
     fn msg(src: u32, seq: u64) -> Message {
         Message {
+            flow: None,
             envelope: Envelope::new(src, (seq % 1000) as u32, 0),
             payload: Bytes::from(seq.to_le_bytes().to_vec()),
         }

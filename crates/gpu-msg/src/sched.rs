@@ -195,6 +195,10 @@ struct EpochEnv<'a> {
     placement: &'a ShardPlacement,
     shedding: &'a [bool],
     shed_deadline: f64,
+    /// Deterministic 1-in-K admission into the causal flow trace. A
+    /// pure function of `(seed, flow id)`, so the sampled set — and
+    /// therefore the recorded event stream — is scheduler-invariant.
+    sampler: obs::FlowSampler,
 }
 
 /// A virtual-time domain: one conflict group's shards and streams plus
@@ -232,16 +236,42 @@ fn flush_spills(cell: &mut ShardCell) {
     cell.pend_spill = 0;
 }
 
+/// The stall class that dominated a batch's critical path (the flow
+/// trace annotates each sampled match with it).
+fn dominant_stall(report: &GpuMatchReport) -> &'static str {
+    const LABELS: [&str; 5] = [
+        "issue",
+        "mem_dependency",
+        "barrier",
+        "occupancy_wait",
+        "pipe_contention",
+    ];
+    let mut best = 0;
+    for (i, &c) in report.stall_cycles.iter().enumerate() {
+        if c > report.stall_cycles[best] {
+            best = i;
+        }
+    }
+    LABELS[best]
+}
+
 /// Deliver a completed batch: advance each stream's commit watermark,
 /// suppressing entries a concurrent path (failover transfer, journal
 /// replay) already delivered — the idempotent-commit half of
 /// exactly-once matching.
-fn commit_batch(inf: InFlight, cell: &mut ShardCell, streams: &mut [StreamCell]) {
+fn commit_batch(
+    inf: InFlight,
+    cell: &mut ShardCell,
+    streams: &mut [StreamCell],
+    sampler: obs::FlowSampler,
+) {
     cell.busy += inf.service;
     cell.metrics.profile.absorb(&inf.report);
     cell.metrics.batches += 1;
     cell.metrics.batch_size.record(inf.entries.len() as f64);
     cell.metrics.service_time.record(inf.service);
+    let stall = dominant_stall(&inf.report);
+    let until_ns = (inf.until * 1e9).round() as u64;
     for e in &inf.entries {
         let sp = spos(streams, e.stream);
         let sc = &mut streams[sp];
@@ -255,6 +285,19 @@ fn commit_batch(inf: InFlight, cell: &mut ShardCell, streams: &mut [StreamCell])
         cell.metrics.match_latency.record(inf.until - e.arrived);
         if let Some(c) = sc.completions.as_mut() {
             c.push(e.seq);
+        }
+        let fid = obs::FlowId::service(e.stream as u32, e.seq);
+        if sampler.admits(fid) {
+            if let Some(rec) = cell.gpu.obs.as_mut() {
+                rec.record_flow(
+                    "matched",
+                    fid,
+                    obs::FlowPhase::Step,
+                    until_ns,
+                    vec![("stall", obs::ArgValue::Text(stall.to_string()))],
+                );
+                rec.record_flow("delivered", fid, obs::FlowPhase::End, until_ns, vec![]);
+            }
         }
     }
     cell.last_activity = cell.last_activity.max(inf.until);
@@ -346,6 +389,18 @@ impl<'a> Domain<'a> {
                     });
                 }
                 cell.metrics.admitted += 1;
+                let fid = obs::FlowId::service(s as u32, seq);
+                if env.sampler.admits(fid) {
+                    if let Some(rec) = cell.gpu.obs.as_mut() {
+                        rec.record_flow(
+                            "admitted",
+                            fid,
+                            obs::FlowPhase::Start,
+                            (t * 1e9).round() as u64,
+                            vec![("stream", obs::ArgValue::U64(s as u64))],
+                        );
+                    }
+                }
             } else {
                 cell.metrics.overflow.spilled += 1;
                 cell.metrics.ever_spilled = true;
@@ -450,7 +505,7 @@ impl<'a> Domain<'a> {
                 let phase = std::mem::replace(&mut cell.phase, Phase::Idle);
                 match phase {
                     Phase::Busy(inf) => {
-                        commit_batch(*inf, cell, streams);
+                        commit_batch(*inf, cell, streams, env.sampler);
                     }
                     Phase::Hung { resume, .. } => {
                         cell.phase = match resume {
@@ -503,6 +558,18 @@ impl<'a> Domain<'a> {
                                     seq,
                                     arrived: t,
                                 });
+                                let fid = obs::FlowId::service(sc.idx as u32, seq);
+                                if env.sampler.admits(fid) {
+                                    if let Some(rec) = cell.gpu.obs.as_mut() {
+                                        rec.record_flow(
+                                            "replayed",
+                                            fid,
+                                            obs::FlowPhase::Step,
+                                            (until * 1e9).round() as u64,
+                                            vec![],
+                                        );
+                                    }
+                                }
                             }
                         }
                         cell.metrics.recoveries += 1;
@@ -628,6 +695,18 @@ impl<'a> Domain<'a> {
                         st.committed = front.seq + 1;
                     }
                     shed_now += 1;
+                    let fid = obs::FlowId::service(front.stream as u32, front.seq);
+                    if env.sampler.admits(fid) {
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            rec.record_flow(
+                                "shed",
+                                fid,
+                                obs::FlowPhase::End,
+                                (now * 1e9).round() as u64,
+                                vec![],
+                            );
+                        }
+                    }
                 }
                 if shed_now > 0 {
                     cell.metrics.overflow.shed += shed_now;
@@ -714,6 +793,12 @@ impl<'a> Domain<'a> {
                         ("pending", obs::ArgValue::U64(pending as u64)),
                     ],
                 );
+                for e in &entries {
+                    let fid = obs::FlowId::service(e.stream as u32, e.seq);
+                    if env.sampler.admits(fid) {
+                        rec.record_flow("dispatched", fid, obs::FlowPhase::Step, now_ns, vec![]);
+                    }
+                }
             }
 
             // The shard's resident device: reclaim the arena, not the
@@ -865,6 +950,7 @@ fn supervisor_tick(
     cells: &mut [Option<ShardCell>],
     streams: &mut [Option<StreamCell>],
     capacity: usize,
+    sampler: obs::FlowSampler,
 ) {
     let n = cells.len();
     for x in 0..n {
@@ -924,9 +1010,22 @@ fn supervisor_tick(
                 .collect();
             let home = cells[s].as_ref().unwrap().home_choice;
             let tc = cells[t].as_mut().unwrap();
+            let tick_ns = (tick * 1e9).round() as u64;
             for e in inherited {
+                let fid = obs::FlowId::service(e.stream as u32, e.seq);
                 tc.queue.push_back(e);
                 transferred += 1;
+                if sampler.admits(fid) {
+                    if let Some(rec) = tc.gpu.obs.as_mut() {
+                        rec.record_flow(
+                            "failover",
+                            fid,
+                            obs::FlowPhase::Step,
+                            tick_ns,
+                            vec![("from", obs::ArgValue::U64(x as u64))],
+                        );
+                    }
+                }
             }
             tc.metrics.transferred_in += transferred;
             // Inherited streams keep the ordering their home engine
@@ -982,6 +1081,52 @@ fn supervisor_tick(
     }
 }
 
+/// Close one scheduler epoch for the wall profiler: the barrier-wait
+/// bucket is the residual `epoch total − worker-measured − supervisor`,
+/// so the four buckets partition each shard's measured epoch total
+/// exactly, by construction. Runs on the coordinator after every worker
+/// thread has joined (their relaxed lane adds are ordered before these
+/// reads by the join).
+fn close_wall_epoch(
+    wp: Option<&obs::wallprof::WallProfiler>,
+    pre_lanes: &[[u64; 4]],
+    epoch_wall_start: std::time::Instant,
+    epoch_offset_ns: u64,
+    epoch: u64,
+    sup_ns: u64,
+) {
+    use obs::wallprof::WallBucket;
+    let Some(wp) = wp else { return };
+    let total = epoch_wall_start.elapsed().as_nanos() as u64;
+    for (x, before) in pre_lanes.iter().enumerate() {
+        let after = wp.bucket_ns(x);
+        let compute = after[WallBucket::Compute as usize] - before[WallBucket::Compute as usize];
+        let backpressure =
+            after[WallBucket::Backpressure as usize] - before[WallBucket::Backpressure as usize];
+        let worker = compute + backpressure;
+        wp.add(x, WallBucket::SupervisorSync, sup_ns);
+        let wait = total.saturating_sub(worker + sup_ns);
+        wp.add(x, WallBucket::BarrierWait, wait);
+        wp.note_epoch(x, total.max(worker + sup_ns));
+        wp.record_epoch(
+            x,
+            epoch,
+            epoch_offset_ns,
+            [compute, wait, backpressure, sup_ns],
+        );
+    }
+}
+
+/// The observability hooks threaded through a scheduled run: the
+/// shared span recorder (virtual clock), the causal-flow sampler, and
+/// the wall-clock profiler. Bundled so the scheduler entry point stays
+/// a scheduling signature, not an instrumentation one.
+pub(crate) struct ObsHooks<'a> {
+    pub(crate) sched_rec: Option<&'a obs::sync::SharedSpanRecorder>,
+    pub(crate) flow_sampler: obs::FlowSampler,
+    pub(crate) wallprof: Option<&'a obs::wallprof::WallProfiler>,
+}
+
 /// Everything the coordinator hands back to the service for
 /// finalisation, in shard-index order.
 pub(crate) struct SchedOutcome {
@@ -1011,8 +1156,13 @@ pub(crate) fn run_scheduled(
     service_shards: &mut [ServiceShard],
     fault_tolerance: Option<&FaultTolerance>,
     record_completions: bool,
-    sched_rec: Option<&obs::sync::SharedSpanRecorder>,
+    hooks: ObsHooks<'_>,
 ) -> SchedOutcome {
+    let ObsHooks {
+        sched_rec,
+        flow_sampler,
+        wallprof,
+    } = hooks;
     let n = service_shards.len();
     let capacity = cfg.queue_capacity.max(cfg.max_batch);
     let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
@@ -1082,8 +1232,17 @@ pub(crate) fn run_scheduled(
     let mut crash_seen = vec![0u64; n];
     let mut t_now = 0.0f64;
     let mut first = true;
+    let run_start = std::time::Instant::now();
+    let mut epoch_idx = 0u64;
 
     loop {
+        let epoch_offset_ns = run_start.elapsed().as_nanos() as u64;
+        let epoch_wall_start = std::time::Instant::now();
+        // Lane snapshot the residual-bucket construction diffs against
+        // at the end of the epoch.
+        let pre_lanes: Vec<[u64; 4]> = wallprof
+            .map(|wp| (0..n).map(|x| wp.bucket_ns(x)).collect())
+            .unwrap_or_default();
         // ---- Liveness (legacy `work_live`, evaluated at the barrier).
         let arrivals_remain = stream_cells.iter().any(|c| {
             let c = c.as_ref().unwrap();
@@ -1129,6 +1288,7 @@ pub(crate) fn run_scheduled(
             placement,
             shedding: &shedding,
             shed_deadline,
+            sampler: flow_sampler,
         };
         let groups = match cfg.scheduler {
             Scheduler::GlobalClock => vec![(0..n).collect::<Vec<usize>>()],
@@ -1157,12 +1317,30 @@ pub(crate) fn run_scheduled(
                 for (gi, mut dom) in domains.drain(..).enumerate() {
                     let tx = tx.clone();
                     scope.spawn(move |_| {
+                        let t0 = std::time::Instant::now();
                         if first {
                             dom.boundary(env);
                         }
                         dom.advance(env, horizon);
+                        // Wall attribution: the domain's compute time is
+                        // split evenly over its shards (relaxed adds —
+                        // no effect on the simulated state).
+                        let shard_ids: Vec<usize> = dom.shards.iter().map(|c| c.idx).collect();
+                        if let Some(wp) = wallprof {
+                            let per = t0.elapsed().as_nanos() as u64 / shard_ids.len() as u64;
+                            for &i in &shard_ids {
+                                wp.add(i, obs::wallprof::WallBucket::Compute, per);
+                            }
+                        }
+                        let s0 = std::time::Instant::now();
                         if tx.send((gi, dom)).is_err() {
                             unreachable!("coordinator holds the receiver until all sends land");
+                        }
+                        if let Some(wp) = wallprof {
+                            let per = s0.elapsed().as_nanos() as u64 / shard_ids.len() as u64;
+                            for &i in &shard_ids {
+                                wp.add(i, obs::wallprof::WallBucket::Backpressure, per);
+                            }
                         }
                     });
                 }
@@ -1175,10 +1353,17 @@ pub(crate) fn run_scheduled(
             domains = done.into_iter().map(|(_, d)| d).collect();
         } else {
             for dom in domains.iter_mut() {
+                let t0 = std::time::Instant::now();
                 if first {
                     dom.boundary(&env);
                 }
                 dom.advance(&env, horizon);
+                if let Some(wp) = wallprof {
+                    let per = t0.elapsed().as_nanos() as u64 / dom.shards.len().max(1) as u64;
+                    for c in &dom.shards {
+                        wp.add(c.idx, obs::wallprof::WallBucket::Compute, per);
+                    }
+                }
             }
         }
         first = false;
@@ -1223,6 +1408,14 @@ pub(crate) fn run_scheduled(
             });
         }
         if horizon.is_infinite() {
+            close_wall_epoch(
+                wallprof,
+                &pre_lanes,
+                epoch_wall_start,
+                epoch_offset_ns,
+                epoch_idx,
+                0,
+            );
             break;
         }
         t_now = horizon;
@@ -1232,6 +1425,7 @@ pub(crate) fn run_scheduled(
         // tick), then every health tick due by now — a fault jump can
         // owe several — and wake every cell if any fired (shedding
         // state may have changed anywhere).
+        let sup_start = std::time::Instant::now();
         if let Some(sup) = supervisor.as_mut() {
             for x in 0..n {
                 let crashes = shard_cells[x].as_ref().unwrap().metrics.crashes;
@@ -1250,6 +1444,7 @@ pub(crate) fn run_scheduled(
                     &mut shard_cells,
                     &mut stream_cells,
                     capacity,
+                    flow_sampler,
                 );
                 sup_tick = Some(tick + sup.config().health_check_interval);
                 ticked = true;
@@ -1260,6 +1455,15 @@ pub(crate) fn run_scheduled(
                 }
             }
         }
+        close_wall_epoch(
+            wallprof,
+            &pre_lanes,
+            epoch_wall_start,
+            epoch_offset_ns,
+            epoch_idx,
+            sup_start.elapsed().as_nanos() as u64,
+        );
+        epoch_idx += 1;
     }
 
     // ---- Hand everything back in shard order.

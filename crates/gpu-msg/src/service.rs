@@ -44,7 +44,7 @@ use msg_match::prelude::*;
 use simt_sim::{Gpu, GpuGeneration};
 
 use crate::fault::FaultPlan;
-use crate::metrics::{OverflowStats, ServiceMetrics};
+use crate::metrics::{OverflowStats, SchedulerProfile, ServiceMetrics, ShardWallProfile};
 use crate::recovery::RecoveryConfig;
 use crate::sched::{self, Scheduler};
 use crate::supervisor::SupervisorConfig;
@@ -294,6 +294,12 @@ pub struct ShardedServiceConfig {
     /// Ring capacity (events) of each shard's flight recorder,
     /// preallocated once at build time.
     pub trace_capacity: usize,
+    /// Causal flow tracing samples one in this many messages (0 and 1
+    /// both mean "every message"). Membership is a pure hash of
+    /// `(seed, flow id)` — never arrival order — so the sampled set is
+    /// identical across runs and schedulers; 1-in-64 keeps bounded
+    /// recorders useful at 10 M msg/s.
+    pub flow_sample_every: u32,
     /// How shard domains execute: one merged clock on the calling
     /// thread, or one OS thread per conflict group synchronized at
     /// supervisor barriers. Artefacts are byte-identical either way
@@ -318,6 +324,7 @@ impl Default for ShardedServiceConfig {
             seed: 5,
             trace: false,
             trace_capacity: 4096,
+            flow_sample_every: 64,
             scheduler: Scheduler::GlobalClock,
         }
     }
@@ -354,10 +361,15 @@ pub struct ShardedServiceReport {
     /// [`ShardedMatchService::set_record_completions`] was turned on —
     /// the artefact the exactly-once differential tests compare.
     pub completions: Option<Vec<Vec<u64>>>,
-    /// Wall-clock (host) seconds the run took — the only field that is
-    /// *not* deterministic, kept out of [`ServiceMetrics`] so metric
-    /// snapshots stay byte-comparable across schedulers and runs.
+    /// Wall-clock (host) seconds the run took — *not* deterministic,
+    /// kept out of [`ServiceMetrics`] so metric snapshots stay
+    /// byte-comparable across schedulers and runs.
     pub wall_seconds: f64,
+    /// Dual-clock scheduler profile: per-shard wall-time bucket
+    /// decompositions (compute / barrier-wait / backpressure /
+    /// supervisor-sync). Wall-clock data, so it also lives outside
+    /// [`ServiceMetrics`] and exports to its own Prometheus document.
+    pub scheduler_profile: crate::metrics::SchedulerProfile,
 }
 
 /// One shard: a persistent device, a pinned engine, and the slice of the
@@ -390,6 +402,11 @@ pub struct ShardedMatchService {
     /// shard timeline stays byte-identical across schedulers (epoch
     /// grouping legitimately differs between them).
     sched_rec: Option<obs::sync::SharedSpanRecorder>,
+    /// Wall-clock trace tracks captured from the last run's profiler
+    /// (empty before the first traced run). Exported separately from
+    /// the virtual-time documents; see
+    /// [`wall_trace_json`](Self::wall_trace_json).
+    wall_tracks: Vec<(String, obs::SpanRecorder)>,
 }
 
 impl ShardedMatchService {
@@ -461,7 +478,7 @@ impl ShardedMatchService {
                 let rate = cfg.arrival_rate * msgs.len() as f64 / total;
                 let mut gpu = Gpu::new(generation);
                 if cfg.trace {
-                    gpu.enable_tracing(idx as u32, cfg.trace_capacity);
+                    gpu.enable_tracing(obs::tracks::shard(idx), cfg.trace_capacity);
                 }
                 ServiceShard {
                     gpu,
@@ -472,9 +489,9 @@ impl ShardedMatchService {
             })
             .collect();
 
-        let sched_rec = cfg
-            .trace
-            .then(|| obs::sync::SharedSpanRecorder::new(cfg.shards as u32, cfg.trace_capacity));
+        let sched_rec = cfg.trace.then(|| {
+            obs::sync::SharedSpanRecorder::new(obs::tracks::COORDINATOR, cfg.trace_capacity)
+        });
         ShardedMatchService {
             cfg,
             placement,
@@ -482,6 +499,7 @@ impl ShardedMatchService {
             fault_tolerance: None,
             record_completions: false,
             sched_rec,
+            wall_tracks: Vec::new(),
         }
     }
 
@@ -568,6 +586,27 @@ impl ShardedMatchService {
         Some(obs::perfetto::export(&[(name, &snap)]))
     }
 
+    /// Export the last run's wall-clock tracks (one `epoch_wall` span
+    /// per shard per scheduler epoch, decomposed into the dual-clock
+    /// buckets) as Chrome `trace_event` JSON.
+    ///
+    /// Wall time is nondeterministic, so this document is never merged
+    /// into [`trace_json`](Self::trace_json) — combine them offline
+    /// with [`obs::perfetto::merge`] when a side-by-side view is
+    /// wanted. `None` unless [`ShardedServiceConfig::trace`] was set
+    /// and a run has completed.
+    pub fn wall_trace_json(&self) -> Option<String> {
+        if self.wall_tracks.is_empty() {
+            return None;
+        }
+        let tracks: Vec<(String, &obs::SpanRecorder)> = self
+            .wall_tracks
+            .iter()
+            .map(|(name, rec)| (name.clone(), rec))
+            .collect();
+        Some(obs::perfetto::export(&tracks))
+    }
+
     /// Turn on the race sanitizer on every shard device, so service
     /// runs surface cross-warp conflicts in the production kernels.
     pub fn enable_sanitizer(&mut self) {
@@ -612,6 +651,7 @@ impl ShardedMatchService {
             fault_tolerance,
             record_completions,
             sched_rec,
+            wall_tracks,
         } = self;
         let cfg = *cfg;
         let n = shards.len();
@@ -629,6 +669,13 @@ impl ShardedMatchService {
             rec.with(|r| r.reset());
         }
 
+        let sampler = obs::FlowSampler::new(cfg.flow_sample_every, cfg.seed);
+        let wallprof = if cfg.trace {
+            obs::wallprof::WallProfiler::with_trace(n, cfg.trace_capacity)
+        } else {
+            obs::wallprof::WallProfiler::new(n)
+        };
+
         let wall_start = std::time::Instant::now();
         let out = sched::run_scheduled(
             &cfg,
@@ -636,7 +683,11 @@ impl ShardedMatchService {
             shards,
             fault_tolerance.as_ref(),
             *record_completions,
-            sched_rec.as_ref(),
+            sched::ObsHooks {
+                sched_rec: sched_rec.as_ref(),
+                flow_sampler: sampler,
+                wallprof: Some(&wallprof),
+            },
         );
         let wall_seconds = wall_start.elapsed().as_secs_f64();
         let sched::SchedOutcome {
@@ -647,6 +698,7 @@ impl ShardedMatchService {
             last_spill,
             backlog,
         } = out;
+        *wall_tracks = wallprof.wall_tracks();
 
         // ---- Finalise per-shard metrics.
         for x in 0..n {
@@ -661,7 +713,30 @@ impl ShardedMatchService {
                 && backlog[x] as f64 > 0.05 * m.arrivals as f64)
                 || last_spill[x] >= 0.9 * cfg.duration;
             m.ever_spilled = m.overflow.spilled > 0;
+            m.trace_dropped = shards[x].gpu.obs.as_ref().map_or(0, |r| r.dropped());
         }
+
+        let scheduler_profile = SchedulerProfile {
+            scheduler: match cfg.scheduler {
+                Scheduler::GlobalClock => "global_clock".to_string(),
+                Scheduler::ThreadPerShard => "thread_per_shard".to_string(),
+            },
+            wall_seconds,
+            shards: (0..n)
+                .map(|x| {
+                    let s = wallprof.snapshot(x);
+                    ShardWallProfile {
+                        shard: x,
+                        epochs: s.epochs,
+                        compute_ns: s.bucket_ns[0],
+                        barrier_wait_ns: s.bucket_ns[1],
+                        backpressure_ns: s.bucket_ns[2],
+                        supervisor_sync_ns: s.bucket_ns[3],
+                        total_ns: s.total_ns,
+                    }
+                })
+                .collect(),
+        };
 
         let elapsed = last_activity
             .iter()
@@ -698,6 +773,7 @@ impl ShardedMatchService {
             metrics: service_metrics,
             completions,
             wall_seconds,
+            scheduler_profile,
         }
     }
 }

@@ -46,6 +46,9 @@ pub struct TransportDelivery {
     /// True when an at-least-once wire re-delivered an already-delivered
     /// message.
     pub duplicate: bool,
+    /// Causal flow id echoed back from [`Transport::submit_flow`], when
+    /// the sender sampled this message for flow tracing.
+    pub flow: Option<u64>,
     /// The message itself.
     pub message: Message,
 }
@@ -56,6 +59,22 @@ pub trait Transport: Send {
     /// Accept a message for delivery. `src == dst` is a local write and
     /// must always succeed without touching the wire.
     fn submit(&mut self, src: u32, dst: u32, envelope: Envelope, payload: Bytes);
+
+    /// Like [`Transport::submit`], but carrying an optional causal flow
+    /// id that the delivery echoes back ([`TransportDelivery::flow`]).
+    /// The default drops the id; delivery order and content never depend
+    /// on it.
+    fn submit_flow(
+        &mut self,
+        src: u32,
+        dst: u32,
+        envelope: Envelope,
+        payload: Bytes,
+        flow: Option<u64>,
+    ) {
+        let _ = flow;
+        self.submit(src, dst, envelope, payload);
+    }
 
     /// Collect every message that has reached its destination. With
     /// `advance`, a time-based transport first moves its simulated clock
@@ -75,6 +94,12 @@ pub trait Transport: Send {
 
     /// Short label for reports.
     fn name(&self) -> &'static str;
+
+    /// Simulated wire time in nanoseconds, used to timestamp flow trace
+    /// points. The instantaneous direct wire has no clock (always 0).
+    fn now_ns(&self) -> u64 {
+        0
+    }
 
     /// Fabric counters, when the wire is a fabric.
     fn fabric_stats(&self) -> Option<FabricStats> {
@@ -104,6 +129,17 @@ impl DirectTransport {
 
 impl Transport for DirectTransport {
     fn submit(&mut self, src: u32, dst: u32, envelope: Envelope, payload: Bytes) {
+        self.submit_flow(src, dst, envelope, payload, None);
+    }
+
+    fn submit_flow(
+        &mut self,
+        src: u32,
+        dst: u32,
+        envelope: Envelope,
+        payload: Bytes,
+        flow: Option<u64>,
+    ) {
         let seq = self.seqs.entry((src, dst)).or_insert(0);
         let msg_seq = *seq;
         *seq += 1;
@@ -111,7 +147,12 @@ impl Transport for DirectTransport {
             dst,
             msg_seq,
             duplicate: false,
-            message: Message { envelope, payload },
+            flow,
+            message: Message {
+                envelope,
+                payload,
+                flow,
+            },
         });
     }
 
@@ -170,6 +211,17 @@ impl FabricTransport {
 
 impl Transport for FabricTransport {
     fn submit(&mut self, src: u32, dst: u32, envelope: Envelope, payload: Bytes) {
+        self.submit_flow(src, dst, envelope, payload, None);
+    }
+
+    fn submit_flow(
+        &mut self,
+        src: u32,
+        dst: u32,
+        envelope: Envelope,
+        payload: Bytes,
+        flow: Option<u64>,
+    ) {
         if src == dst {
             let seq = self.local_seqs.entry(src).or_insert(0);
             let msg_seq = *seq;
@@ -178,11 +230,16 @@ impl Transport for FabricTransport {
                 dst,
                 msg_seq,
                 duplicate: false,
-                message: Message { envelope, payload },
+                flow,
+                message: Message {
+                    envelope,
+                    payload,
+                    flow,
+                },
             });
             return;
         }
-        self.net.send(src, dst, envelope, payload);
+        self.net.send_flow(src, dst, envelope, payload, flow);
     }
 
     fn pump(&mut self, advance: bool) -> Vec<TransportDelivery> {
@@ -196,9 +253,11 @@ impl Transport for FabricTransport {
                     dst,
                     msg_seq: d.msg_seq,
                     duplicate: d.duplicate,
+                    flow: d.flow,
                     message: Message {
                         envelope: d.envelope,
                         payload: d.payload,
+                        flow: d.flow,
                     },
                 });
             }
@@ -225,6 +284,10 @@ impl Transport for FabricTransport {
 
     fn name(&self) -> &'static str {
         "fabric"
+    }
+
+    fn now_ns(&self) -> u64 {
+        self.net.now_ns()
     }
 
     fn fabric_stats(&self) -> Option<FabricStats> {

@@ -450,7 +450,7 @@ mod tests {
         let dispatches: Vec<&str> = rec
             .events()
             .filter(|e| e.category == obs::SpanCategory::ShardDispatch)
-            .map(|e| e.name.as_str())
+            .map(|e| e.name.as_ref())
             .collect();
         assert_eq!(dispatches, vec!["comm0", "comm1"]);
         assert!(

@@ -16,9 +16,14 @@
 //! off, producers hold `None` and the hot path performs no allocation
 //! and no work beyond a branch.
 
+pub mod flow;
 pub mod perfetto;
 pub mod prom;
 pub mod sync;
+pub mod tracks;
+pub mod wallprof;
+
+pub use flow::{FlowId, FlowPhase, FlowPoint, FlowSampler};
 
 /// What a span measures. Categories become the Perfetto `cat` field, so
 /// a viewer can filter one tier of the pipeline at a time.
@@ -72,6 +77,16 @@ pub enum SpanCategory {
     /// between two virtual-time barriers in which shard domains advance
     /// independently.
     Epoch,
+    /// A causal flow point on one message's end-to-end chain (rendered
+    /// as a Perfetto flow event, see [`flow`]).
+    Flow,
+    /// Wall-clock (host-time) spans — the dual-clock profiler's tracks,
+    /// never mixed into virtual-time artefacts.
+    Wall,
+    /// A recorder's ring overflowed for the first time: events after
+    /// this instant displaced older ones, so the trace is truncated at
+    /// the front.
+    TraceOverflow,
 }
 
 impl SpanCategory {
@@ -97,6 +112,9 @@ impl SpanCategory {
             SpanCategory::Failover => "failover",
             SpanCategory::Shed => "shed",
             SpanCategory::Epoch => "epoch",
+            SpanCategory::Flow => "flow",
+            SpanCategory::Wall => "wall",
+            SpanCategory::TraceOverflow => "trace_overflow",
         }
     }
 }
@@ -117,14 +135,19 @@ pub enum ArgValue {
 pub struct SpanEvent {
     /// Filterable category.
     pub category: SpanCategory,
-    /// Display name.
-    pub name: String,
+    /// Display name. Borrowed for the (hot-path) literal names so a
+    /// record costs no string allocation; owned only when a producer
+    /// computes the name.
+    pub name: std::borrow::Cow<'static, str>,
     /// Start time on the shared simulated clock, in nanoseconds.
     pub start_ns: u64,
     /// Duration in nanoseconds (instants record 0 and `instant = true`).
     pub dur_ns: u64,
     /// True for point-in-time events (Perfetto phase `i`).
     pub instant: bool,
+    /// When set, this event is a causal flow point (Perfetto phase
+    /// `s`/`t`/`f`) rather than a span or instant.
+    pub flow: Option<FlowPoint>,
     /// Key/value details.
     pub args: Vec<(&'static str, ArgValue)>,
 }
@@ -145,6 +168,8 @@ pub struct SpanRecorder {
     head: usize,
     wrapped: bool,
     dropped: u64,
+    /// Whether the first-overflow announce instant has been emitted.
+    overflow_announced: bool,
     /// Simulated-time cursor in nanoseconds.
     now_ns: u64,
 }
@@ -160,6 +185,7 @@ impl SpanRecorder {
             head: 0,
             wrapped: false,
             dropped: 0,
+            overflow_announced: false,
             now_ns: 0,
         }
     }
@@ -208,25 +234,46 @@ impl SpanRecorder {
         self.head = 0;
         self.wrapped = false;
         self.dropped = 0;
+        self.overflow_announced = false;
         self.now_ns = 0;
     }
 
     fn push(&mut self, ev: SpanEvent) {
         if self.ring.len() < self.capacity {
             self.ring.push(ev);
-        } else {
-            self.ring[self.head] = ev;
-            self.head = (self.head + 1) % self.capacity;
-            self.wrapped = true;
-            self.dropped += 1;
+            return;
         }
+        // First overwrite: make the truncation self-announcing. The
+        // announce instant itself displaces the oldest event (and is
+        // counted dropped), so capacity stays exact.
+        if !self.overflow_announced {
+            self.overflow_announced = true;
+            let announce = SpanEvent {
+                category: SpanCategory::TraceOverflow,
+                name: std::borrow::Cow::Borrowed("trace_overflow"),
+                start_ns: self.now_ns,
+                dur_ns: 0,
+                instant: true,
+                flow: None,
+                args: vec![("capacity", ArgValue::U64(self.capacity as u64))],
+            };
+            self.overwrite(announce);
+        }
+        self.overwrite(ev);
+    }
+
+    fn overwrite(&mut self, ev: SpanEvent) {
+        self.ring[self.head] = ev;
+        self.head = (self.head + 1) % self.capacity;
+        self.wrapped = true;
+        self.dropped += 1;
     }
 
     /// Record a complete span `[start_ns, start_ns + dur_ns]`.
     pub fn record_complete(
         &mut self,
         category: SpanCategory,
-        name: impl Into<String>,
+        name: impl Into<std::borrow::Cow<'static, str>>,
         start_ns: u64,
         dur_ns: u64,
         args: Vec<(&'static str, ArgValue)>,
@@ -237,6 +284,7 @@ impl SpanRecorder {
             start_ns,
             dur_ns,
             instant: false,
+            flow: None,
             args,
         });
     }
@@ -245,7 +293,7 @@ impl SpanRecorder {
     pub fn record_instant(
         &mut self,
         category: SpanCategory,
-        name: impl Into<String>,
+        name: impl Into<std::borrow::Cow<'static, str>>,
         args: Vec<(&'static str, ArgValue)>,
     ) {
         self.push(SpanEvent {
@@ -254,6 +302,28 @@ impl SpanRecorder {
             start_ns: self.now_ns,
             dur_ns: 0,
             instant: true,
+            flow: None,
+            args,
+        });
+    }
+
+    /// Record a causal flow point (see [`flow`]) at `start_ns` — one
+    /// arrowhead on the message's end-to-end chain.
+    pub fn record_flow(
+        &mut self,
+        name: impl Into<std::borrow::Cow<'static, str>>,
+        id: FlowId,
+        phase: FlowPhase,
+        start_ns: u64,
+        args: Vec<(&'static str, ArgValue)>,
+    ) {
+        self.push(SpanEvent {
+            category: SpanCategory::Flow,
+            name: name.into(),
+            start_ns,
+            dur_ns: 0,
+            instant: false,
+            flow: Some(FlowPoint { id, phase }),
             args,
         });
     }
@@ -277,13 +347,45 @@ mod tests {
             r.record_instant(SpanCategory::Spill, format!("e{i}"), vec![]);
         }
         assert_eq!(r.len(), 3);
-        assert_eq!(r.dropped(), 2);
-        let names: Vec<&str> = r.events().map(|e| e.name.as_str()).collect();
+        assert_eq!(
+            r.dropped(),
+            3,
+            "two displaced events plus the announce's own overwrite"
+        );
+        let names: Vec<&str> = r.events().map(|e| e.name.as_ref()).collect();
         assert_eq!(
             names,
-            vec!["e2", "e3", "e4"],
-            "oldest first, drops from the front"
+            vec!["trace_overflow", "e3", "e4"],
+            "oldest first, the first overflow announces itself"
         );
+        let announce = r.events().next().unwrap();
+        assert_eq!(announce.category, SpanCategory::TraceOverflow);
+        assert!(announce.instant);
+    }
+
+    #[test]
+    fn flow_points_record_with_ids_and_phases() {
+        let mut r = SpanRecorder::new(2, 8);
+        let id = FlowId::service(1, 7);
+        r.record_flow("admitted", id, FlowPhase::Start, 100, vec![]);
+        r.record_flow("delivered", id, FlowPhase::End, 900, vec![]);
+        let points: Vec<&SpanEvent> = r.events().collect();
+        assert_eq!(points.len(), 2);
+        assert_eq!(
+            points[0].flow,
+            Some(FlowPoint {
+                id,
+                phase: FlowPhase::Start
+            })
+        );
+        assert_eq!(
+            points[1].flow,
+            Some(FlowPoint {
+                id,
+                phase: FlowPhase::End
+            })
+        );
+        assert!(points.iter().all(|e| e.category == SpanCategory::Flow));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! convention), keys are emitted in a fixed order, and events appear in
 //! recorder order. The golden determinism test pins this.
 
+use crate::flow::FlowPhase;
 use crate::{ArgValue, SpanEvent, SpanRecorder};
 
 /// Process id used for all tracks (one simulated service = one process).
@@ -58,14 +59,31 @@ fn write_event(out: &mut String, tid: u32, ev: &SpanEvent) {
     out.push_str("\",\"cat\":\"");
     out.push_str(ev.category.label());
     out.push_str("\",\"ph\":\"");
-    out.push_str(if ev.instant { "i" } else { "X" });
-    out.push_str("\",\"ts\":");
-    out.push_str(&us(ev.start_ns));
-    if !ev.instant {
-        out.push_str(",\"dur\":");
-        out.push_str(&us(ev.dur_ns));
+    if let Some(flow) = &ev.flow {
+        // Flow events: ph s/t/f chained by id; steps and ends bind to
+        // the enclosing slice ("bp":"e") so arrows land on the track's
+        // spans rather than floating.
+        out.push_str(match flow.phase {
+            FlowPhase::Start => "s",
+            FlowPhase::Step => "t",
+            FlowPhase::End => "f",
+        });
+        out.push_str("\",\"ts\":");
+        out.push_str(&us(ev.start_ns));
+        out.push_str(&format!(",\"id\":\"0x{:x}\"", flow.id.0));
+        if flow.phase != FlowPhase::Start {
+            out.push_str(",\"bp\":\"e\"");
+        }
     } else {
-        out.push_str(",\"s\":\"t\"");
+        out.push_str(if ev.instant { "i" } else { "X" });
+        out.push_str("\",\"ts\":");
+        out.push_str(&us(ev.start_ns));
+        if !ev.instant {
+            out.push_str(",\"dur\":");
+            out.push_str(&us(ev.dur_ns));
+        } else {
+            out.push_str(",\"s\":\"t\"");
+        }
     }
     out.push_str(&format!(",\"pid\":{PID},\"tid\":{tid}"));
     if !ev.args.is_empty() {
@@ -143,6 +161,36 @@ pub fn export(tracks: &[(String, &SpanRecorder)]) -> String {
     out
 }
 
+const DOC_HEAD: &str = "{\"traceEvents\":[\n";
+const DOC_TAIL: &str = "\n],\"displayTimeUnit\":\"ms\"}\n";
+
+/// Splice several [`export`]ed documents into one. Callers must
+/// allocate non-overlapping track ids (see [`crate::tracks`]); the
+/// merge is purely textual and byte-deterministic. Empty or malformed
+/// inputs are skipped.
+pub fn merge(docs: &[&str]) -> String {
+    let mut out = String::from(DOC_HEAD);
+    let mut first = true;
+    for doc in docs {
+        let Some(body) = doc
+            .strip_prefix(DOC_HEAD)
+            .and_then(|rest| rest.strip_suffix(DOC_TAIL))
+        else {
+            continue;
+        };
+        if body.is_empty() {
+            continue;
+        }
+        if !first {
+            out.push_str(",\n");
+        }
+        first = false;
+        out.push_str(body);
+    }
+    out.push_str(DOC_TAIL);
+    out
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -187,5 +235,63 @@ mod tests {
         assert!(ja.contains("\"dur\":2.500"));
         assert!(ja.contains("\"thread_sort_index\""));
         assert!(ja.contains("\"sort_index\":0"));
+    }
+
+    #[test]
+    fn flow_events_render_as_chained_phases() {
+        use crate::flow::{FlowId, FlowPhase};
+        let mut r = SpanRecorder::new(3, 8);
+        let id = FlowId::service(0, 1);
+        r.record_flow("admitted", id, FlowPhase::Start, 1_000, vec![]);
+        r.record_flow("queued", id, FlowPhase::Step, 2_000, vec![]);
+        r.record_flow(
+            "delivered",
+            id,
+            FlowPhase::End,
+            3_000,
+            vec![("stall", ArgValue::Text("mem_dependency".into()))],
+        );
+        let j = export(&[("shard 3".to_string(), &r)]);
+        let want_id = format!("\"id\":\"0x{:x}\"", id.0);
+        assert!(j.contains("\"ph\":\"s\""), "{j}");
+        assert!(j.contains("\"ph\":\"t\",\"ts\":2.000"));
+        assert!(j.contains("\"ph\":\"f\""));
+        assert_eq!(
+            j.matches(&want_id).count(),
+            3,
+            "all three points share the id"
+        );
+        assert!(
+            j.contains("\"bp\":\"e\""),
+            "steps/ends bind to enclosing slices"
+        );
+        let start = j
+            .lines()
+            .find(|l| l.contains("\"ph\":\"s\""))
+            .expect("start point present");
+        assert!(
+            !start.contains("\"bp\""),
+            "starts carry no binding point: {start}"
+        );
+    }
+
+    #[test]
+    fn merge_splices_documents_and_keeps_them_loadable() {
+        let mut a = SpanRecorder::new(0, 4);
+        a.record_complete(SpanCategory::KernelLaunch, "k", 0, 10, vec![]);
+        let mut b = SpanRecorder::new(crate::tracks::wall_shard(0), 4);
+        b.record_complete(SpanCategory::Wall, "epoch_wall", 0, 10, vec![]);
+        let da = export(&[("shard 0".to_string(), &a)]);
+        let db = export(&[("wall shard 0".to_string(), &b)]);
+        let merged = merge(&[&da, &db, ""]);
+        assert!(merged.starts_with(DOC_HEAD) && merged.ends_with(DOC_TAIL));
+        assert!(merged.contains("\"cat\":\"kernel_launch\""));
+        assert!(merged.contains("\"cat\":\"wall\""));
+        assert_eq!(
+            merged.matches("\"displayTimeUnit\"").count(),
+            1,
+            "one wrapper survives the splice"
+        );
+        assert_eq!(merge(&[&da, &db, ""]), merged, "merge is deterministic");
     }
 }

@@ -67,7 +67,7 @@ mod tests {
         });
         let snap = rec.snapshot();
         assert_eq!(snap.track(), 9);
-        let names: Vec<&str> = snap.events().map(|e| e.name.as_str()).collect();
+        let names: Vec<&str> = snap.events().map(|e| e.name.as_ref()).collect();
         assert_eq!(names, vec!["a", "b"]);
     }
 

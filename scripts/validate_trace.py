@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Validate an exported trace document against the checked-in JSON schema.
+
+Dependency-free: implements the small JSON Schema subset the schema
+uses (type, required, properties, items, enum, pattern, allOf,
+if/then), so CI needs nothing beyond the standard library.
+
+Usage: validate_trace.py SCHEMA TRACE [TRACE...]
+"""
+
+import json
+import re
+import sys
+
+TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float)) and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+def matches(schema, value):
+    """True when `value` would validate (used for `if` clauses)."""
+    return not validate(schema, value, "$", [])
+
+
+def validate(schema, value, path, errors):
+    """Append one message per violation; returns the error list."""
+    t = schema.get("type")
+    if t is not None and not TYPE_CHECKS[t](value):
+        errors.append(f"{path}: expected {t}, got {type(value).__name__}")
+        return errors  # structure is wrong; deeper checks would throw
+    if "enum" in schema and value not in schema["enum"]:
+        errors.append(f"{path}: {value!r} not in {schema['enum']}")
+    if "pattern" in schema and isinstance(value, str):
+        if not re.search(schema["pattern"], value):
+            errors.append(f"{path}: {value!r} does not match {schema['pattern']!r}")
+    if isinstance(value, dict):
+        for key in schema.get("required", []):
+            if key not in value:
+                errors.append(f"{path}: missing required field {key!r}")
+        for key, sub in schema.get("properties", {}).items():
+            if key in value:
+                validate(sub, value[key], f"{path}.{key}", errors)
+    if isinstance(value, list) and "items" in schema:
+        for i, item in enumerate(value):
+            validate(schema["items"], item, f"{path}[{i}]", errors)
+    for clause in schema.get("allOf", []):
+        cond = clause.get("if")
+        then = clause.get("then")
+        if cond is None or then is None:
+            validate(clause, value, path, errors)
+        elif matches(cond, value):
+            validate(then, value, path, errors)
+    return errors
+
+
+def main(argv):
+    if len(argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1], encoding="utf-8") as f:
+        schema = json.load(f)
+    status = 0
+    for trace_path in argv[2:]:
+        with open(trace_path, encoding="utf-8") as f:
+            try:
+                doc = json.load(f)
+            except json.JSONDecodeError as e:
+                print(f"{trace_path}: not valid JSON: {e}", file=sys.stderr)
+                status = 1
+                continue
+        errors = validate(schema, doc, "$", [])
+        if errors:
+            for e in errors[:20]:
+                print(f"{trace_path}: {e}", file=sys.stderr)
+            if len(errors) > 20:
+                print(f"{trace_path}: ... {len(errors) - 20} more", file=sys.stderr)
+            status = 1
+        else:
+            n = len(doc.get("traceEvents", []))
+            flows = sum(1 for ev in doc["traceEvents"] if ev.get("ph") in ("s", "t", "f"))
+            print(f"{trace_path}: OK ({n} events, {flows} flow events)")
+    return status
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

@@ -1,0 +1,258 @@
+//! Causal message-flow tracing, end to end.
+//!
+//! A sampled message's `FlowId` must stitch a *connected* arrow chain
+//! through the exported trace: admission (`ph:"s"`) → dispatch →
+//! stall-annotated kernel match (`ph:"t"`) → delivery (`ph:"f"`), and
+//! under an injected crash the journal replay joins the same chain.
+//! The chain is checked for every service engine configuration, and at
+//! the domain level across the simulated fabric (send → packetize →
+//! delivered → deposit → matched).
+//!
+//! The dual-clock side rides along: the wall-time buckets of the
+//! scheduler profile must partition each shard's measured wall time
+//! exactly, and turning flow tracing on must leave the virtual-clock
+//! artefacts byte-identical across schedulers.
+
+use std::collections::BTreeMap;
+
+use gpu_msg::{
+    FaultPlan, FaultRates, FaultTolerance, RecoveryConfig, Scheduler, ServiceEngine,
+    ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig, SupervisorConfig,
+};
+use msg_match::RelaxationConfig;
+use simt_sim::GpuGeneration;
+
+fn traced_cfg(policy: ShardEnginePolicy) -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards: 3,
+        arrival_rate: 2.0e6,
+        comms: 2,
+        duration: 0.001,
+        policy,
+        trace: true,
+        trace_capacity: 1 << 15,
+        flow_sample_every: 1,
+        ..Default::default()
+    }
+}
+
+/// Flow events grouped by id: `(ph, name)` in document order.
+fn flows_by_id(trace_json: &str) -> BTreeMap<String, Vec<(String, String)>> {
+    let tree = serde::json::parse_value(trace_json).expect("trace must parse");
+    let serde::Value::Array(events) = tree.field("traceEvents").expect("traceEvents").clone()
+    else {
+        panic!("traceEvents must be an array");
+    };
+    let mut flows: BTreeMap<String, Vec<(String, String)>> = BTreeMap::new();
+    for ev in &events {
+        let ph = match ev.field("ph") {
+            Ok(serde::Value::Str(s)) => s.clone(),
+            _ => continue,
+        };
+        if !matches!(ph.as_str(), "s" | "t" | "f") {
+            continue;
+        }
+        let id = match ev.field("id") {
+            Ok(serde::Value::Str(s)) => s.clone(),
+            other => panic!("flow event without a string id: {other:?}"),
+        };
+        let name = match ev.field("name") {
+            Ok(serde::Value::Str(s)) => s.clone(),
+            other => panic!("flow event without a name: {other:?}"),
+        };
+        flows.entry(id).or_default().push((ph, name));
+    }
+    flows
+}
+
+fn has_point(chain: &[(String, String)], ph: &str, name: &str) -> bool {
+    chain.iter().any(|(p, n)| p == ph && n == name)
+}
+
+/// A chain is connected when it starts (`s`), finishes (`f`) and every
+/// step between is present in order-insensitive terms: admission,
+/// dispatch, stall-annotated match, delivery.
+fn connected_service_chain(chain: &[(String, String)]) -> bool {
+    has_point(chain, "s", "admitted")
+        && has_point(chain, "t", "dispatched")
+        && has_point(chain, "t", "matched")
+        && has_point(chain, "f", "delivered")
+}
+
+#[test]
+fn every_engine_yields_connected_admission_to_delivery_chains() {
+    let policies: [(&str, ShardEnginePolicy); 5] = [
+        ("matrix", ShardEnginePolicy::Fixed(ServiceEngine::Matrix)),
+        (
+            "partitioned x4",
+            ShardEnginePolicy::Fixed(ServiceEngine::Partitioned(4)),
+        ),
+        (
+            "partitioned x16",
+            ShardEnginePolicy::Fixed(ServiceEngine::Partitioned(16)),
+        ),
+        ("hash", ShardEnginePolicy::Fixed(ServiceEngine::Hash)),
+        ("auto", ShardEnginePolicy::Auto(RelaxationConfig::UNORDERED)),
+    ];
+    for (label, policy) in policies {
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, traced_cfg(policy));
+        let report = svc.run();
+        assert!(report.metrics.total_matched > 0, "{label}: nothing matched");
+        let trace = svc.trace_json().expect("tracing was enabled");
+        let flows = flows_by_id(&trace);
+        assert!(!flows.is_empty(), "{label}: no flow events in the trace");
+        let connected = flows
+            .values()
+            .filter(|chain| connected_service_chain(chain))
+            .count();
+        assert!(
+            connected > 0,
+            "{label}: no connected admission→dispatch→match→delivery chain"
+        );
+        // Every delivered flow must have its admission in the same
+        // document — an arrow that ends must have started.
+        for (id, chain) in &flows {
+            if has_point(chain, "f", "delivered") {
+                assert!(
+                    has_point(chain, "s", "admitted"),
+                    "{label}: flow {id} delivered without an admission: {chain:?}"
+                );
+            }
+        }
+        // The match step carries its stall-class annotation.
+        assert!(
+            trace.contains("\"stall\":"),
+            "{label}: matched steps must be stall-annotated"
+        );
+    }
+}
+
+#[test]
+fn crash_replay_joins_the_same_flow_chain() {
+    let cfg = ShardedServiceConfig {
+        drain: true,
+        ..traced_cfg(ShardEnginePolicy::Fixed(ServiceEngine::Matrix))
+    };
+    let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg);
+    svc.set_fault_tolerance(Some(FaultTolerance {
+        plan: FaultPlan::random(
+            5,
+            cfg.shards,
+            cfg.duration,
+            &FaultRates {
+                crash_rate: 2000.0,
+                ..Default::default()
+            },
+        ),
+        recovery: RecoveryConfig::default(),
+        supervisor: Some(SupervisorConfig::default()),
+    }));
+    let report = svc.run();
+    assert!(report.metrics.total_crashes > 0, "a crash must land");
+    let trace = svc.trace_json().expect("tracing was enabled");
+    let flows = flows_by_id(&trace);
+    let replayed: Vec<_> = flows
+        .iter()
+        .filter(|(_, chain)| has_point(chain, "t", "replayed"))
+        .collect();
+    assert!(
+        !replayed.is_empty(),
+        "a crash behind the commit frontier must replay sampled flows"
+    );
+    assert!(
+        replayed.iter().any(|(_, chain)| {
+            has_point(chain, "s", "admitted") && has_point(chain, "f", "delivered")
+        }),
+        "at least one replayed flow must still form a full admission→delivery chain"
+    );
+}
+
+#[test]
+fn wall_buckets_partition_each_shards_measured_wall_time() {
+    for scheduler in [Scheduler::GlobalClock, Scheduler::ThreadPerShard] {
+        let cfg = ShardedServiceConfig {
+            scheduler,
+            ..traced_cfg(ShardEnginePolicy::Fixed(ServiceEngine::Matrix))
+        };
+        let report = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg).run();
+        let prof = &report.scheduler_profile;
+        assert!(prof.wall_seconds > 0.0);
+        assert_eq!(prof.shards.len(), cfg.shards);
+        for s in &prof.shards {
+            assert!(s.epochs > 0, "shard {} profiled no epochs", s.shard);
+            let sum = s.compute_ns + s.barrier_wait_ns + s.backpressure_ns + s.supervisor_sync_ns;
+            // The buckets partition the measured total by construction;
+            // the acceptance bound is 1%, the implementation is exact.
+            assert_eq!(
+                sum, s.total_ns,
+                "shard {}: wall buckets must sum to the measured wall time",
+                s.shard
+            );
+        }
+    }
+}
+
+#[test]
+fn flow_tracing_keeps_virtual_artefacts_byte_identical_across_schedulers() {
+    let run = |scheduler| {
+        // `drain: true` — the byte-identity contract is defined over
+        // drained runs (see tests/parallel_differential.rs): without it
+        // the schedulers legitimately admit different arrival tails
+        // after the last match completes.
+        let cfg = ShardedServiceConfig {
+            scheduler,
+            drain: true,
+            ..traced_cfg(ShardEnginePolicy::Auto(RelaxationConfig::UNORDERED))
+        };
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg);
+        let report = svc.run();
+        (
+            svc.trace_json().expect("tracing was enabled"),
+            report.metrics.to_json(),
+            report.metrics.to_prometheus(),
+        )
+    };
+    let (trace_a, json_a, prom_a) = run(Scheduler::GlobalClock);
+    let (trace_b, json_b, prom_b) = run(Scheduler::ThreadPerShard);
+    assert_eq!(
+        trace_a, trace_b,
+        "flow events must not break scheduler byte-identity"
+    );
+    assert_eq!(json_a, json_b);
+    assert_eq!(prom_a, prom_b);
+    assert!(
+        trace_a.contains("\"ph\":\"s\"") && trace_a.contains("\"ph\":\"f\""),
+        "the compared traces actually carry flow events"
+    );
+}
+
+#[test]
+fn domain_flows_cross_the_fabric_into_the_match() {
+    use bench_harness::experiments::obs_report;
+    for demo in obs_report::flow_demos(11) {
+        let flows = flows_by_id(&demo.trace_json);
+        assert!(!flows.is_empty(), "{}: no flow events", demo.label);
+        let connected = flows
+            .values()
+            .filter(|chain| {
+                has_point(chain, "s", "send")
+                    && has_point(chain, "t", "packetize")
+                    && has_point(chain, "t", "delivered")
+                    && has_point(chain, "t", "deposit")
+                    && has_point(chain, "f", "matched")
+            })
+            .count();
+        assert!(
+            connected > 0,
+            "{}: no send→packetize→delivered→deposit→matched chain",
+            demo.label
+        );
+        // The wire's own packet-flight spans made it into the merged
+        // document alongside the endpoint tracks.
+        assert!(
+            demo.trace_json.contains("\"cat\":\"packet_flight\""),
+            "{}: fabric link activity missing from the merged demo trace",
+            demo.label
+        );
+    }
+}

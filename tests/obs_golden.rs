@@ -102,6 +102,105 @@ fn stall_classes_partition_cycles_for_every_engine() {
 }
 
 #[test]
+fn flow_events_are_part_of_the_golden_trace() {
+    let run = || {
+        let cfg = ShardedServiceConfig {
+            flow_sample_every: 1,
+            ..traced_config()
+        };
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg);
+        svc.run();
+        svc.trace_json().expect("tracing was enabled")
+    };
+    let (a, b) = (run(), run());
+    assert_eq!(a, b, "flow events must be as deterministic as the spans");
+    for marker in [
+        "\"ph\":\"s\"",
+        "\"ph\":\"t\"",
+        "\"ph\":\"f\"",
+        "\"bp\":\"e\"",
+        "\"cat\":\"flow\"",
+    ] {
+        assert!(a.contains(marker), "golden trace must carry {marker}");
+    }
+    // Flow ids render as lowercase hex with the service stream layout.
+    assert!(
+        a.contains("\"id\":\"0x1"),
+        "service flow ids must encode stream+1 in the high bits"
+    );
+    // Sampling keeps determinism: a 1-in-4 run is a strict subset and
+    // still byte-stable.
+    let sampled = || {
+        let cfg = ShardedServiceConfig {
+            flow_sample_every: 4,
+            ..traced_config()
+        };
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, cfg);
+        svc.run();
+        svc.trace_json().expect("tracing was enabled")
+    };
+    let (s1, s2) = (sampled(), sampled());
+    assert_eq!(s1, s2, "sampled flow traces must be byte-stable too");
+    assert!(
+        s1.matches("\"ph\":\"s\"").count() < a.matches("\"ph\":\"s\"").count(),
+        "1-in-4 sampling must admit strictly fewer flows than 1-in-1"
+    );
+}
+
+#[test]
+fn json_escaping_survives_hostile_strings() {
+    use obs::{ArgValue, FlowId, FlowPhase, SpanCategory, SpanRecorder};
+    let hostile = "quote:\" backslash:\\ newline:\n tab:\t bell:\u{0007} unicode:µs";
+    let mut rec = SpanRecorder::new(42, 16);
+    rec.record_complete(
+        SpanCategory::Match,
+        hostile,
+        10,
+        5,
+        vec![("note", ArgValue::Text(hostile.to_string()))],
+    );
+    rec.record_instant(SpanCategory::Fault, hostile, vec![]);
+    rec.record_flow(
+        hostile,
+        FlowId(0xdead_beef),
+        FlowPhase::Step,
+        20,
+        vec![("ctx", ArgValue::Text("\u{0001}\u{001f}".to_string()))],
+    );
+    let doc = obs::perfetto::export(&[(hostile.to_string(), &rec)]);
+    let tree =
+        serde::json::parse_value(&doc).expect("hostile strings must still export valid JSON");
+    let serde::Value::Array(events) = tree.field("traceEvents").unwrap().clone() else {
+        panic!("traceEvents must be an array");
+    };
+    let names: Vec<&str> = events
+        .iter()
+        .filter_map(|e| match e.field("name") {
+            Ok(serde::Value::Str(s)) => Some(s.as_str()),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        names.iter().filter(|n| **n == hostile).count() >= 3,
+        "escaped names must round-trip exactly: {names:?}"
+    );
+    let ctl = events.iter().find_map(|e| {
+        e.field("args")
+            .ok()
+            .and_then(|a| a.field("ctx").ok())
+            .and_then(|v| match v {
+                serde::Value::Str(s) => Some(s.clone()),
+                _ => None,
+            })
+    });
+    assert_eq!(
+        ctl.as_deref(),
+        Some("\u{0001}\u{001f}"),
+        "control characters must survive as \\u escapes"
+    );
+}
+
+#[test]
 fn per_launch_profiles_sum_to_the_merged_report() {
     let w = WorkloadSpec::fully_matching(256, 7).generate();
     let mut gpu = Gpu::new(GpuGeneration::PascalGtx1080);
