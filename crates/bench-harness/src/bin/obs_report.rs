@@ -6,10 +6,12 @@
 //!   (`OBS_metrics.prom`), the wall-clock scheduler exposition
 //!   (`OBS_wall.prom`) and a stall-attribution table on stdout.
 //! * `obs_report --check [baseline_path]` — bench-regression gate:
-//!   diffs `BENCH_service.json` / `BENCH_recovery.json` in the current
-//!   directory against the committed baseline
-//!   (`docs/bench_baseline.json` by default); exits 1 on a >10%
-//!   goodput or >20% barrier-stall regression.
+//!   diffs `BENCH_service.json` / `BENCH_recovery.json` /
+//!   `BENCH_tenancy.json` in the current directory against the
+//!   committed baseline (`docs/bench_baseline.json` by default); exits
+//!   1 on a >10% goodput or >20% barrier-stall regression, or on any
+//!   violated tenancy invariant (guaranteed-tenant loss, live/static
+//!   resharding divergence, scheduler divergence — no tolerance).
 //! * `obs_report --overhead [duration_seconds]` — asserts flow tracing
 //!   at the default 1-in-64 sampling costs under 5% of wall-clock
 //!   matches/s against an untraced run (median of five interleaved
@@ -35,7 +37,8 @@ fn run_check(baseline_path: &str) {
     let baseline = read_json(baseline_path);
     let service = read_json("BENCH_service.json");
     let recovery = read_json("BENCH_recovery.json");
-    match obs_report::check_regressions(&baseline, &service, &recovery) {
+    let tenancy = read_json("BENCH_tenancy.json");
+    match obs_report::check_regressions(&baseline, &service, &recovery, &tenancy) {
         Ok(regressions) if regressions.is_empty() => {
             println!("bench regression gate: OK (baseline {baseline_path})");
         }

@@ -1,0 +1,46 @@
+//! Multi-tenant QoS bench: Zipf tenant popularity × shard count sweep
+//! plus the isolation and live-resharding invariant scenarios, each run
+//! under both schedulers. Prints the sweep table and writes the
+//! artefact to `BENCH_tenancy.json`. Pass `--smoke` for the reduced CI
+//! sweep (keeps the headline point and both scenarios).
+use bench_harness::experiments::tenancy_scaling;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let (tenants, shards): (&[usize], &[usize]) = if smoke {
+        (
+            &tenancy_scaling::SMOKE_TENANTS,
+            &tenancy_scaling::SMOKE_SHARDS,
+        )
+    } else {
+        (
+            &tenancy_scaling::DEFAULT_TENANTS,
+            &tenancy_scaling::DEFAULT_SHARDS,
+        )
+    };
+    let points = tenancy_scaling::sweep(tenants, shards, 5);
+    let bench = tenancy_scaling::bench(
+        points,
+        tenancy_scaling::isolation(11),
+        tenancy_scaling::resharding(23),
+    );
+    print!("{}", tenancy_scaling::report(&bench).to_text());
+    println!(
+        "isolation: guaranteed shed {} / spilled {}, aggressor shed {}, schedulers identical {}",
+        bench.isolation.global_clock.guaranteed_shed,
+        bench.isolation.global_clock.guaranteed_spilled,
+        bench.isolation.global_clock.aggressor_shed,
+        bench.isolation.schedulers_byte_identical,
+    );
+    println!(
+        "resharding: {} migrations, static match {}, schedulers identical {}",
+        bench.resharding.global_clock.migrations,
+        bench.resharding.global_clock.completions_match_static,
+        bench.resharding.schedulers_byte_identical,
+    );
+    let json = tenancy_scaling::metrics_json(&bench);
+    match std::fs::write("BENCH_tenancy.json", &json) {
+        Ok(()) => println!("wrote BENCH_tenancy.json"),
+        Err(e) => eprintln!("could not write BENCH_tenancy.json: {e}"),
+    }
+}

@@ -17,6 +17,7 @@
 //! | [`recovery_scaling`] | fault tolerance: crash rate × checkpoint interval |
 //! | [`obs_report`] | traced service run: span timeline, exposition, stalls |
 //! | [`fabric_scaling`] | simulated interconnect: eager threshold × loss × skew |
+//! | [`tenancy_scaling`] | multi-tenant QoS: Zipf tenants × shards, isolation, resharding |
 
 pub mod ablations;
 pub mod cpu_baseline;
@@ -31,5 +32,6 @@ pub mod saturation;
 pub mod scaling;
 pub mod shard_scaling;
 pub mod table2;
+pub mod tenancy_scaling;
 pub mod traces;
 pub mod unexpected;

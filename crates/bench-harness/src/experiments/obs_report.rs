@@ -270,6 +270,19 @@ fn field_num(v: &serde::Value, path: &[&str]) -> Result<f64, String> {
     num(cur).ok_or_else(|| format!("{} is not numeric", path.join(".")))
 }
 
+fn field_bool(v: &serde::Value, path: &[&str]) -> Result<bool, String> {
+    let mut cur = v;
+    for p in path {
+        cur = cur
+            .field(p)
+            .map_err(|e| format!("missing {}: {e}", path.join(".")))?;
+    }
+    match cur {
+        serde::Value::Bool(b) => Ok(*b),
+        _ => Err(format!("{} is not a bool", path.join("."))),
+    }
+}
+
 /// Maximum tolerated goodput regression against the committed baseline.
 pub const GOODPUT_DROP_TOLERANCE: f64 = 0.10;
 
@@ -280,13 +293,16 @@ pub const BARRIER_STALL_RISE_TOLERANCE: f64 = 0.20;
 
 /// The bench-regression gate behind `obs_report --check`: diff the
 /// wall-clock-independent goodput and stall-attribution sections of
-/// `BENCH_service.json` / `BENCH_recovery.json` against the committed
-/// baseline (`docs/bench_baseline.json`). Returns one message per
-/// regression; an empty vector passes the gate.
+/// `BENCH_service.json` / `BENCH_recovery.json` / `BENCH_tenancy.json`
+/// against the committed baseline (`docs/bench_baseline.json`).
+/// Returns one message per regression; an empty vector passes the gate.
 ///
-/// Both benches are pure simulation at a fixed seed, so the compared
+/// The benches are pure simulation at a fixed seed, so the compared
 /// numbers are deterministic — the tolerances exist to let intentional
-/// performance work move them without a lockstep baseline edit.
+/// performance work move them without a lockstep baseline edit. The
+/// tenancy isolation and resharding fields are *invariants*, not
+/// measurements, so they get no tolerance at all: any guaranteed-tenant
+/// loss, failed byte-equality or scheduler divergence is a regression.
 ///
 /// # Errors
 /// Malformed or structurally incomplete artefacts fail loudly rather
@@ -295,6 +311,7 @@ pub fn check_regressions(
     baseline: &serde::Value,
     service: &serde::Value,
     recovery: &serde::Value,
+    tenancy: &serde::Value,
 ) -> Result<Vec<String>, String> {
     let mut regressions = Vec::new();
     let base_service = baseline.field("service").map_err(|e| e.to_string())?;
@@ -364,6 +381,53 @@ pub fn check_regressions(
              {:.0}% below the baseline {base_goodput:.4}",
             GOODPUT_DROP_TOLERANCE * 100.0
         ));
+    }
+
+    let base_ten = baseline.field("tenancy").map_err(|e| e.to_string())?;
+    let base_rate = field_num(base_ten, &["headline_sustained_rate"])?;
+    let got_rate = field_num(tenancy, &["headline_sustained_rate"])?;
+    if got_rate < base_rate * (1.0 - GOODPUT_DROP_TOLERANCE) {
+        regressions.push(format!(
+            "tenancy: headline sustained rate {got_rate:.0} msgs/s is more than \
+             {:.0}% below the baseline {base_rate:.0}",
+            GOODPUT_DROP_TOLERANCE * 100.0
+        ));
+    }
+    for sched in ["global_clock", "thread_per_shard"] {
+        let shed = field_num(tenancy, &["isolation", sched, "guaranteed_shed"])?;
+        let spilled = field_num(tenancy, &["isolation", sched, "guaranteed_spilled"])?;
+        if shed != 0.0 || spilled != 0.0 {
+            regressions.push(format!(
+                "tenancy: {sched} isolation broken — guaranteed tenant shed {shed:.0} / \
+                 spilled {spilled:.0} under a saturating best-effort aggressor"
+            ));
+        }
+        if field_num(tenancy, &["isolation", sched, "aggressor_shed"])? == 0.0 {
+            regressions.push(format!(
+                "tenancy: {sched} isolation scenario lost its teeth — the best-effort \
+                 aggressor was never shed, so the guarantee was not exercised"
+            ));
+        }
+        if field_num(tenancy, &["resharding", sched, "migrations"])? < 1.0 {
+            regressions.push(format!(
+                "tenancy: {sched} resharding scenario lost its teeth — the skew no \
+                 longer triggers a migration"
+            ));
+        }
+        if !field_bool(tenancy, &["resharding", sched, "completions_match_static"])? {
+            regressions.push(format!(
+                "tenancy: {sched} live resharding diverged from the static run with \
+                 the final placement — migration is no longer exactly-once"
+            ));
+        }
+    }
+    for section in ["isolation", "resharding"] {
+        if !field_bool(tenancy, &[section, "schedulers_byte_identical"])? {
+            regressions.push(format!(
+                "tenancy: {section} artefacts differ between GlobalClock and \
+                 ThreadPerShard — scheduler independence is broken"
+            ));
+        }
     }
     Ok(regressions)
 }
@@ -537,6 +601,48 @@ mod tests {
                     ("crash_free_goodput_retained".to_string(), V::F64(goodput)),
                 ]),
             ),
+            (
+                "tenancy".to_string(),
+                V::Object(vec![("headline_sustained_rate".to_string(), V::F64(rate))]),
+            ),
+        ])
+    }
+
+    /// A `BENCH_tenancy.json`-shaped value with healthy invariants
+    /// unless overridden by the arguments.
+    fn tenancy_value(rate: f64, guaranteed_shed: f64, matches_static: bool) -> serde::Value {
+        use serde::Value as V;
+        let iso = |shed: f64| {
+            V::Object(vec![
+                ("guaranteed_shed".to_string(), V::F64(shed)),
+                ("guaranteed_spilled".to_string(), V::F64(0.0)),
+                ("aggressor_shed".to_string(), V::F64(1000.0)),
+            ])
+        };
+        let reshard = |ok: bool| {
+            V::Object(vec![
+                ("migrations".to_string(), V::F64(1.0)),
+                ("completions_match_static".to_string(), V::Bool(ok)),
+            ])
+        };
+        V::Object(vec![
+            ("headline_sustained_rate".to_string(), V::F64(rate)),
+            (
+                "isolation".to_string(),
+                V::Object(vec![
+                    ("global_clock".to_string(), iso(guaranteed_shed)),
+                    ("thread_per_shard".to_string(), iso(0.0)),
+                    ("schedulers_byte_identical".to_string(), V::Bool(true)),
+                ]),
+            ),
+            (
+                "resharding".to_string(),
+                V::Object(vec![
+                    ("global_clock".to_string(), reshard(matches_static)),
+                    ("thread_per_shard".to_string(), reshard(true)),
+                    ("schedulers_byte_identical".to_string(), V::Bool(true)),
+                ]),
+            ),
         ])
     }
 
@@ -572,13 +678,14 @@ mod tests {
     #[test]
     fn regression_gate_passes_matching_artefacts_and_catches_drops() {
         let baseline = baseline_value(8.0e6, 0.30, 0.99);
+        let tenancy = tenancy_value(8.0e6, 0.0, true);
         let (service, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
-        let ok = check_regressions(&baseline, &service, &recovery).expect("well-formed");
+        let ok = check_regressions(&baseline, &service, &recovery, &tenancy).expect("well-formed");
         assert!(ok.is_empty(), "identical numbers must pass: {ok:?}");
 
         // An 11% goodput drop and a 25% barrier-stall rise both trip.
         let (service, recovery) = artefacts_value(8.0e6 * 0.89, 0.30 * 1.25 + 0.02, 0.99);
-        let bad = check_regressions(&baseline, &service, &recovery).expect("well-formed");
+        let bad = check_regressions(&baseline, &service, &recovery, &tenancy).expect("well-formed");
         assert!(
             bad.iter().any(|m| m.contains("sustained rate")),
             "goodput drop must be reported: {bad:?}"
@@ -590,7 +697,38 @@ mod tests {
 
         // A malformed artefact errors instead of passing silently.
         let empty = serde::Value::Object(vec![]);
-        assert!(check_regressions(&baseline, &empty, &empty).is_err());
+        assert!(check_regressions(&baseline, &empty, &empty, &tenancy).is_err());
+        assert!(check_regressions(&baseline, &service, &recovery, &empty).is_err());
+    }
+
+    #[test]
+    fn regression_gate_holds_the_tenancy_invariants_without_tolerance() {
+        let baseline = baseline_value(8.0e6, 0.30, 0.99);
+        let (service, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
+
+        // Even one shed guaranteed message is a regression.
+        let bad = tenancy_value(8.0e6, 1.0, true);
+        let msgs = check_regressions(&baseline, &service, &recovery, &bad).expect("well-formed");
+        assert!(
+            msgs.iter().any(|m| m.contains("isolation broken")),
+            "guaranteed loss must be reported: {msgs:?}"
+        );
+
+        // A live/static divergence is a regression at any magnitude.
+        let bad = tenancy_value(8.0e6, 0.0, false);
+        let msgs = check_regressions(&baseline, &service, &recovery, &bad).expect("well-formed");
+        assert!(
+            msgs.iter().any(|m| m.contains("exactly-once")),
+            "byte-equality failure must be reported: {msgs:?}"
+        );
+
+        // A headline rate drop uses the shared goodput tolerance.
+        let bad = tenancy_value(8.0e6 * 0.89, 0.0, true);
+        let msgs = check_regressions(&baseline, &service, &recovery, &bad).expect("well-formed");
+        assert!(
+            msgs.iter().any(|m| m.contains("headline sustained rate")),
+            "headline drop must be reported: {msgs:?}"
+        );
     }
 
     #[test]

@@ -1,0 +1,521 @@
+//! Multi-tenant QoS bench: Zipf tenant popularity × bursty arrivals,
+//! swept over tenant count × shard count, plus the two invariant
+//! scenarios CI gates on:
+//!
+//! * **isolation** — an unmetered best-effort aggressor saturates the
+//!   service while a small guaranteed tenant stays conformant; the
+//!   guaranteed tenant must finish with zero shed and zero spill, under
+//!   both schedulers, with byte-identical artefacts between them;
+//! * **resharding** — a hot tenant confined to one shard triggers the
+//!   live reshard planner; the migrated run's per-stream completion
+//!   sequences must byte-equal a static run that starts from the final
+//!   placement.
+//!
+//! Everything is pure simulation at a fixed seed, so the artefact
+//! (`BENCH_tenancy.json`) is deterministic; `obs_report --check` diffs
+//! its headline sustained rate and invariants against
+//! `docs/bench_baseline.json`.
+
+use gpu_msg::{
+    tenancy::zipf_shares, ArrivalPattern, QosClass, ReshardPolicy, Scheduler, ServiceEngine,
+    ServiceMetrics, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig, TenancyConfig,
+    TenantSpec,
+};
+use serde::{Deserialize, Serialize};
+use simt_sim::GpuGeneration;
+
+use crate::table::Report;
+
+/// Tenant counts swept in the full run.
+pub const DEFAULT_TENANTS: [usize; 3] = [2, 4, 8];
+
+/// Shard counts swept in the full run.
+pub const DEFAULT_SHARDS: [usize; 2] = [2, 4];
+
+/// Reduced CI smoke sweep (must keep the headline point).
+pub const SMOKE_TENANTS: [usize; 2] = [2, 4];
+
+/// Reduced CI smoke shard axis (must keep the headline point).
+pub const SMOKE_SHARDS: [usize; 1] = [4];
+
+/// Aggregate offered load for the sweep (messages/s).
+pub const DEFAULT_OFFERED: f64 = 16.0e6;
+
+/// The sweep point whose sustained rate the regression gate watches.
+pub const HEADLINE_POINT: (usize, usize) = (4, 4);
+
+/// Zipf exponent over tenant popularity.
+pub const ZIPF_EXPONENT: f64 = 1.0;
+
+const GEN: GpuGeneration = GpuGeneration::PascalGtx1080;
+
+/// Per-QoS-class rollup of one sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ClassRow {
+    /// Class label (`guaranteed` / `burstable` / `best_effort`).
+    pub class: String,
+    /// Tenants in the class at this point.
+    pub tenants: u64,
+    /// Messages that arrived for the class.
+    pub arrivals: u64,
+    /// Arrivals admitted (journaled).
+    pub admitted: u64,
+    /// Messages matched.
+    pub matched: u64,
+    /// Arrivals rejected for lack of physical queue space.
+    pub spilled: u64,
+    /// Arrivals shed by quota or fill policy.
+    pub shed: u64,
+}
+
+/// One tenant-count × shard-count sweep point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SweepPoint {
+    /// Tenants at this point (Zipf-shared).
+    pub tenants: u64,
+    /// Shards at this point.
+    pub shards: u64,
+    /// Aggregate matched messages per simulated second.
+    pub sustained_rate: f64,
+    /// Messages matched.
+    pub matched: u64,
+    /// Messages spilled (physical overflow).
+    pub spilled: u64,
+    /// Messages shed (tenant policy + deadline).
+    pub shed: u64,
+    /// Planned migrations the reshard planner completed.
+    pub migrations: u64,
+    /// Per-class rollups, in class-declaration order.
+    pub classes: Vec<ClassRow>,
+}
+
+/// One scheduler's isolation outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsolationOutcome {
+    /// Arrivals of the guaranteed tenant.
+    pub guaranteed_arrivals: u64,
+    /// Its admitted count (must equal arrivals).
+    pub guaranteed_admitted: u64,
+    /// Its shed count (the invariant: must be 0).
+    pub guaranteed_shed: u64,
+    /// Its spill count (the invariant: must be 0).
+    pub guaranteed_spilled: u64,
+    /// Arrivals of the best-effort aggressor.
+    pub aggressor_arrivals: u64,
+    /// The aggressor's shed count (must be > 0: it saturates).
+    pub aggressor_shed: u64,
+}
+
+/// The isolation scenario under both schedulers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IsolationSection {
+    /// Outcome under `Scheduler::GlobalClock`.
+    pub global_clock: IsolationOutcome,
+    /// Outcome under `Scheduler::ThreadPerShard`.
+    pub thread_per_shard: IsolationOutcome,
+    /// Completions and metrics JSON byte-equal across the schedulers.
+    pub schedulers_byte_identical: bool,
+}
+
+/// One scheduler's resharding outcome.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReshardOutcome {
+    /// Planned migrations completed (must be ≥ 1: the skew triggers).
+    pub migrations: u64,
+    /// Planned migrations aborted.
+    pub aborted: u64,
+    /// Journal entries that moved with migrated slots.
+    pub transferred_in: u64,
+    /// Live-resharded completions byte-equal the static run that
+    /// started from the final placement (the invariant).
+    pub completions_match_static: bool,
+}
+
+/// The resharding scenario under both schedulers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ReshardSection {
+    /// Outcome under `Scheduler::GlobalClock`.
+    pub global_clock: ReshardOutcome,
+    /// Outcome under `Scheduler::ThreadPerShard`.
+    pub thread_per_shard: ReshardOutcome,
+    /// Completions and metrics JSON byte-equal across the schedulers.
+    pub schedulers_byte_identical: bool,
+}
+
+/// The whole `BENCH_tenancy.json` artefact.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct TenancyBench {
+    /// Aggregate offered load of the sweep (messages/s).
+    pub offered_rate: f64,
+    /// Simulated duration per run (seconds).
+    pub duration: f64,
+    /// Zipf exponent over tenant popularity.
+    pub zipf_exponent: f64,
+    /// Tenant count of the headline point.
+    pub headline_tenants: u64,
+    /// Shard count of the headline point.
+    pub headline_shards: u64,
+    /// Sustained rate of the headline point (regression-gated).
+    pub headline_sustained_rate: f64,
+    /// One row per sweep point, tenant count major, shards minor.
+    pub sweep: Vec<SweepPoint>,
+    /// The noisy-neighbour isolation scenario.
+    pub isolation: IsolationSection,
+    /// The live-resharding byte-equality scenario.
+    pub resharding: ReshardSection,
+}
+
+/// Zipf-shared tenants with classes cycling guaranteed → burstable →
+/// best-effort down the popularity ranking. Metered classes get 1.5×
+/// their fair share as quota so conformant traffic passes while bursts
+/// are policed; odd-ranked tenants arrive bursty.
+fn zipf_tenants(n: usize, offered: f64) -> Vec<TenantSpec> {
+    let shares = zipf_shares(n, ZIPF_EXPONENT);
+    shares
+        .iter()
+        .enumerate()
+        .map(|(i, &share)| {
+            let class = [
+                QosClass::Guaranteed,
+                QosClass::Burstable,
+                QosClass::BestEffort,
+            ][i % 3];
+            let metered = !matches!(class, QosClass::BestEffort);
+            TenantSpec {
+                streams: 2,
+                quota_rate: if metered { share * offered * 1.5 } else { 0.0 },
+                burst: if metered { 256.0 } else { 0.0 },
+                pattern: if i % 2 == 1 {
+                    ArrivalPattern::Bursty {
+                        period: 2.0e-4,
+                        duty: 0.5,
+                    }
+                } else {
+                    ArrivalPattern::Uniform
+                },
+                ..TenantSpec::new(&format!("tenant{i}"), class, share)
+            }
+        })
+        .collect()
+}
+
+fn sweep_cfg(shards: usize, scheduler: Scheduler, seed: u64) -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards,
+        arrival_rate: DEFAULT_OFFERED,
+        duration: 1.0e-3,
+        queue_capacity: 4096,
+        policy: ShardEnginePolicy::Fixed(ServiceEngine::Hash),
+        seed,
+        scheduler,
+        ..Default::default()
+    }
+}
+
+fn class_rows(m: &ServiceMetrics) -> Vec<ClassRow> {
+    let mut rows: Vec<ClassRow> = Vec::new();
+    for t in &m.tenants {
+        match rows.iter_mut().find(|r| r.class == t.class) {
+            Some(r) => {
+                r.tenants += 1;
+                r.arrivals += t.arrivals;
+                r.admitted += t.admitted;
+                r.matched += t.matched;
+                r.spilled += t.overflow.spilled;
+                r.shed += t.overflow.shed;
+            }
+            None => rows.push(ClassRow {
+                class: t.class.clone(),
+                tenants: 1,
+                arrivals: t.arrivals,
+                admitted: t.admitted,
+                matched: t.matched,
+                spilled: t.overflow.spilled,
+                shed: t.overflow.shed,
+            }),
+        }
+    }
+    rows
+}
+
+/// Run the Zipf sweep (tenant count major, shard count minor) with the
+/// default reshard policy armed.
+pub fn sweep(tenant_counts: &[usize], shard_counts: &[usize], seed: u64) -> Vec<SweepPoint> {
+    let mut points = Vec::new();
+    for &tenants in tenant_counts {
+        for &shards in shard_counts {
+            let tenancy = TenancyConfig {
+                reshard: Some(ReshardPolicy::default()),
+                ..TenancyConfig::new(zipf_tenants(tenants, DEFAULT_OFFERED))
+            };
+            let cfg = sweep_cfg(shards, Scheduler::GlobalClock, seed);
+            let m = ShardedMatchService::with_tenancy(GEN, cfg, tenancy)
+                .run()
+                .metrics;
+            points.push(SweepPoint {
+                tenants: tenants as u64,
+                shards: shards as u64,
+                sustained_rate: m.sustained_rate,
+                matched: m.total_matched,
+                spilled: m.total_spilled,
+                shed: m.total_shed,
+                migrations: m.total_migrations,
+                classes: class_rows(&m),
+            });
+        }
+    }
+    points
+}
+
+fn run_completions(
+    cfg: ShardedServiceConfig,
+    tenancy: TenancyConfig,
+    assignments: Option<Vec<usize>>,
+) -> (Vec<Vec<u64>>, ServiceMetrics, Vec<usize>) {
+    let mut svc = ShardedMatchService::with_tenancy(GEN, cfg, tenancy);
+    if let Some(a) = assignments {
+        svc.set_assignments(a);
+    }
+    svc.set_record_completions(true);
+    let r = svc.run();
+    let p = svc.placement();
+    let finals = (0..p.slots()).map(|j| p.home_of_slot(j)).collect();
+    (
+        r.completions.expect("recording was enabled"),
+        r.metrics,
+        finals,
+    )
+}
+
+/// The noisy-neighbour scenario: a 2%-share guaranteed tenant next to a
+/// 98%-share unmetered best-effort aggressor on the slow matrix engine,
+/// far past saturation.
+pub fn isolation(seed: u64) -> IsolationSection {
+    let mut outcomes = Vec::new();
+    let mut artefacts = Vec::new();
+    for scheduler in [Scheduler::GlobalClock, Scheduler::ThreadPerShard] {
+        let cfg = ShardedServiceConfig {
+            shards: 2,
+            arrival_rate: 48.0e6,
+            duration: 1.0e-3,
+            queue_capacity: 1024,
+            policy: ShardEnginePolicy::Fixed(ServiceEngine::Matrix),
+            seed,
+            scheduler,
+            ..Default::default()
+        };
+        let tenancy = TenancyConfig::new(vec![
+            TenantSpec {
+                streams: 2,
+                ..TenantSpec::new("gold", QosClass::Guaranteed, 0.02)
+            },
+            TenantSpec {
+                streams: 2,
+                pattern: ArrivalPattern::Bursty {
+                    period: 2.0e-4,
+                    duty: 0.5,
+                },
+                ..TenantSpec::new("noisy", QosClass::BestEffort, 0.98)
+            },
+        ]);
+        let (completions, m, _) = run_completions(cfg, tenancy, None);
+        let gold = &m.tenants[0];
+        let noisy = &m.tenants[1];
+        outcomes.push(IsolationOutcome {
+            guaranteed_arrivals: gold.arrivals,
+            guaranteed_admitted: gold.admitted,
+            guaranteed_shed: gold.overflow.shed,
+            guaranteed_spilled: gold.overflow.spilled,
+            aggressor_arrivals: noisy.arrivals,
+            aggressor_shed: noisy.overflow.shed,
+        });
+        artefacts.push((completions, m.to_json()));
+    }
+    let thread_per_shard = outcomes.pop().expect("two schedulers ran");
+    let global_clock = outcomes.pop().expect("two schedulers ran");
+    IsolationSection {
+        global_clock,
+        thread_per_shard,
+        schedulers_byte_identical: artefacts[0] == artefacts[1],
+    }
+}
+
+/// The live-resharding scenario: a hot tenant confined to shard 0
+/// overloads it until the planner moves slots, then the same workload
+/// is replayed from the final placement and byte-compared.
+pub fn resharding(seed: u64) -> ReshardSection {
+    let mut outcomes = Vec::new();
+    let mut artefacts = Vec::new();
+    for scheduler in [Scheduler::GlobalClock, Scheduler::ThreadPerShard] {
+        let cfg = ShardedServiceConfig {
+            shards: 2,
+            arrival_rate: 8.0e6,
+            duration: 1.0e-3,
+            queue_capacity: 1 << 20,
+            drain: true,
+            policy: ShardEnginePolicy::Fixed(ServiceEngine::Hash),
+            seed,
+            scheduler,
+            ..Default::default()
+        };
+        let tenancy = TenancyConfig {
+            reshard: Some(ReshardPolicy {
+                tick: 5.0e-5,
+                min_imbalance: 32,
+                max_migrations: 2,
+            }),
+            ..TenancyConfig::new(vec![
+                TenantSpec {
+                    streams: 2,
+                    shard_set: vec![0],
+                    ..TenantSpec::new("hot", QosClass::Guaranteed, 0.875)
+                },
+                TenantSpec {
+                    shard_set: vec![1],
+                    ..TenantSpec::new("cold", QosClass::Guaranteed, 0.125)
+                },
+            ])
+        };
+        let (live, m, finals) = run_completions(cfg, tenancy.clone(), None);
+        let static_tenancy = TenancyConfig {
+            reshard: None,
+            ..tenancy
+        };
+        let (fixed, _, _) = run_completions(cfg, static_tenancy, Some(finals));
+        outcomes.push(ReshardOutcome {
+            migrations: m.total_migrations,
+            aborted: m.aborted_migrations,
+            transferred_in: m.shards.iter().map(|s| s.transferred_in).sum(),
+            completions_match_static: live == fixed,
+        });
+        artefacts.push((live, m.to_json()));
+    }
+    let thread_per_shard = outcomes.pop().expect("two schedulers ran");
+    let global_clock = outcomes.pop().expect("two schedulers ran");
+    ReshardSection {
+        global_clock,
+        thread_per_shard,
+        schedulers_byte_identical: artefacts[0] == artefacts[1],
+    }
+}
+
+/// Fold sweep + scenarios into the persisted artefact.
+///
+/// # Panics
+/// Panics if the sweep is missing the headline point.
+pub fn bench(
+    points: Vec<SweepPoint>,
+    isolation: IsolationSection,
+    resharding: ReshardSection,
+) -> TenancyBench {
+    let (ht, hs) = HEADLINE_POINT;
+    let headline = points
+        .iter()
+        .find(|p| p.tenants == ht as u64 && p.shards == hs as u64)
+        .unwrap_or_else(|| panic!("sweep must include the headline point {ht}x{hs}"));
+    TenancyBench {
+        offered_rate: DEFAULT_OFFERED,
+        duration: 1.0e-3,
+        zipf_exponent: ZIPF_EXPONENT,
+        headline_tenants: ht as u64,
+        headline_shards: hs as u64,
+        headline_sustained_rate: headline.sustained_rate,
+        sweep: points,
+        isolation,
+        resharding,
+    }
+}
+
+/// Render the sweep as a table.
+pub fn report(b: &TenancyBench) -> Report {
+    let mut r = Report::new(
+        format!(
+            "Tenancy scaling: Zipf(s={}) tenants x shards, {:.0} M msgs/s offered, hash, GTX 1080",
+            b.zipf_exponent,
+            b.offered_rate / 1e6
+        ),
+        &[
+            "tenants",
+            "shards",
+            "sustained_M/s",
+            "matched",
+            "spilled",
+            "shed",
+            "migrations",
+        ],
+    );
+    for p in &b.sweep {
+        r.push(vec![
+            p.tenants.to_string(),
+            p.shards.to_string(),
+            format!("{:.2}", p.sustained_rate / 1e6),
+            p.matched.to_string(),
+            p.spilled.to_string(),
+            p.shed.to_string(),
+            p.migrations.to_string(),
+        ]);
+    }
+    r
+}
+
+/// The JSON artefact (`BENCH_tenancy.json`).
+pub fn metrics_json(b: &TenancyBench) -> String {
+    serde::json::to_string_pretty(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zipf_tenants_cover_all_classes_and_normalise() {
+        let ts = zipf_tenants(6, DEFAULT_OFFERED);
+        assert_eq!(ts.len(), 6);
+        let total: f64 = ts.iter().map(|t| t.share).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert!(ts[0].share > ts[5].share, "popularity must be skewed");
+        for class in ["guaranteed", "burstable", "best_effort"] {
+            assert!(
+                ts.iter().any(|t| t.class.label() == class),
+                "missing {class}"
+            );
+        }
+    }
+
+    #[test]
+    fn isolation_invariant_holds_and_is_scheduler_independent() {
+        let s = isolation(11);
+        for o in [&s.global_clock, &s.thread_per_shard] {
+            assert_eq!(o.guaranteed_shed, 0);
+            assert_eq!(o.guaranteed_spilled, 0);
+            assert_eq!(o.guaranteed_admitted, o.guaranteed_arrivals);
+            assert!(o.aggressor_shed > 0, "the aggressor must saturate");
+        }
+        assert!(s.schedulers_byte_identical);
+    }
+
+    #[test]
+    fn resharding_invariant_holds_and_is_scheduler_independent() {
+        let s = resharding(23);
+        for o in [&s.global_clock, &s.thread_per_shard] {
+            assert!(o.migrations >= 1, "the skew must trigger a migration");
+            assert!(o.completions_match_static);
+            assert!(o.transferred_in > 0);
+        }
+        assert!(s.schedulers_byte_identical);
+    }
+
+    #[test]
+    fn bench_artefact_round_trips_and_keeps_the_headline() {
+        let points = sweep(&SMOKE_TENANTS, &SMOKE_SHARDS, 5);
+        let b = bench(points, isolation(11), resharding(23));
+        assert!(b.headline_sustained_rate > 0.0);
+        let json = metrics_json(&b);
+        let back: TenancyBench = serde::json::from_str(&json).expect("artefact must parse back");
+        assert_eq!(back, b);
+        for p in &back.sweep {
+            let class_arrivals: u64 = p.classes.iter().map(|c| c.arrivals).sum();
+            assert!(class_arrivals > 0, "class rows must carry the traffic");
+        }
+    }
+}

@@ -47,6 +47,7 @@ pub mod reorder;
 pub mod sched;
 pub mod service;
 pub mod supervisor;
+pub mod tenancy;
 pub mod transport;
 
 pub use bsp::BspProgram;
@@ -56,7 +57,7 @@ pub use fault::{FaultEvent, FaultKind, FaultPlan, FaultRates};
 pub use message::{Completion, EndpointStats, Message, RecvHandle};
 pub use metrics::{
     EngineProfile, Histogram, OverflowStats, SchedulerProfile, ServiceMetrics, ShardMetrics,
-    ShardWallProfile,
+    ShardWallProfile, TenantMetrics,
 };
 pub use recovery::{RecoveryConfig, StreamState};
 pub use reorder::ReorderBuffer;
@@ -67,6 +68,10 @@ pub use service::{
     ShardedServiceReport,
 };
 pub use supervisor::{Supervisor, SupervisorConfig};
+pub use tenancy::{
+    ArrivalPattern, FillLimits, QosClass, ReshardPlanner, ReshardPolicy, TenancyConfig, TenantSpec,
+    TokenBucket,
+};
 pub use transport::{
     DirectTransport, FabricTransport, Transport, TransportConfig, TransportDelivery,
 };

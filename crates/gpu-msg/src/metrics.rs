@@ -366,6 +366,10 @@ pub struct ShardMetrics {
     pub failovers_in: u64,
     /// Times this shard's keys were routed away to a failover peer.
     pub failovers_out: u64,
+    /// Planned migrations that moved a slot onto this shard.
+    pub migrations_in: u64,
+    /// Planned migrations that drained a slot off this shard.
+    pub migrations_out: u64,
     /// Outstanding journaled entries this shard inherited through
     /// failover transfers (admitted elsewhere, matched here).
     pub transferred_in: u64,
@@ -417,6 +421,8 @@ impl ShardMetrics {
             replay_duplicates: 0,
             failovers_in: 0,
             failovers_out: 0,
+            migrations_in: 0,
+            migrations_out: 0,
             transferred_in: 0,
             engine_fallbacks: 0,
             trace_dropped: 0,
@@ -428,6 +434,35 @@ impl ShardMetrics {
             profile: EngineProfile::default(),
         }
     }
+}
+
+/// Per-tenant rollup: arrivals and their fates accumulated across every
+/// stream the tenant owns, regardless of which shard hosted the slot.
+///
+/// The `overflow` split is the isolation contract made observable: a
+/// guaranteed tenant under a noisy neighbour must show `shed == 0`
+/// (its quota was never breached) and `spilled == 0` (headroom was
+/// reserved for it), while the best-effort aggressor absorbs all the
+/// loss in its own row.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct TenantMetrics {
+    /// Tenant id (index into the run's `TenancyConfig` tenant list).
+    pub tenant: u32,
+    /// Human-readable tenant name from the config.
+    pub name: String,
+    /// QoS class label: `guaranteed` / `burstable` / `best_effort`.
+    pub class: String,
+    /// Streams (slots) the tenant owns.
+    pub streams: u64,
+    /// Messages that arrived for the tenant's streams.
+    pub arrivals: u64,
+    /// Arrivals admitted (journaled) across the tenant's streams.
+    pub admitted: u64,
+    /// Messages matched across the tenant's streams.
+    pub matched: u64,
+    /// The tenant's own spilled/shed accounting: `shed` counts quota
+    /// rejections (and deadline sheds) of this tenant's traffic only.
+    pub overflow: OverflowStats,
 }
 
 /// Whole-service snapshot: per-shard metrics plus run-level aggregates.
@@ -455,8 +490,15 @@ pub struct ServiceMetrics {
     /// reorder buffers ([`crate::ReorderBuffer`]); zero for service
     /// models that run without a transport underneath.
     pub reorder_duplicates: u64,
+    /// Planned migrations the reshard planner completed.
+    pub total_migrations: u64,
+    /// Planned migrations aborted (endpoint down or redirected).
+    pub aborted_migrations: u64,
     /// One entry per shard, in shard order.
     pub shards: Vec<ShardMetrics>,
+    /// One entry per tenant, in tenant-id order; empty for runs without
+    /// a tenancy config.
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl ServiceMetrics {
@@ -491,7 +533,10 @@ impl ServiceMetrics {
             total_recoveries: shards.iter().map(|s| s.recoveries).sum(),
             total_failovers: shards.iter().map(|s| s.failovers_in).sum(),
             reorder_duplicates: 0,
+            total_migrations: shards.iter().map(|s| s.migrations_in).sum(),
+            aborted_migrations: 0,
             shards,
+            tenants: Vec::new(),
         }
     }
 
@@ -573,7 +618,7 @@ impl ServiceMetrics {
                 value,
             }]
         };
-        let families = vec![
+        let mut families = vec![
             Family::scalar(
                 "service_duration_seconds",
                 "Simulated run duration",
@@ -633,6 +678,18 @@ impl ServiceMetrics {
                 "Transport sequence duplicates dropped by reorder buffers",
                 FamilyKind::Counter,
                 unlabelled(self.reorder_duplicates as f64),
+            ),
+            Family::scalar(
+                "service_migrations_total",
+                "Planned slot migrations completed by the reshard planner",
+                FamilyKind::Counter,
+                unlabelled(self.total_migrations as f64),
+            ),
+            Family::scalar(
+                "service_migrations_aborted_total",
+                "Planned migrations aborted before transfer",
+                FamilyKind::Counter,
+                unlabelled(self.aborted_migrations as f64),
             ),
             Family::scalar(
                 "shard_arrivals_total",
@@ -761,6 +818,18 @@ impl ServiceMetrics {
                 per_shard(|s| s.transferred_in as f64),
             ),
             Family::scalar(
+                "shard_migrations_in_total",
+                "Planned migrations that moved a slot onto the shard",
+                FamilyKind::Counter,
+                per_shard(|s| s.migrations_in as f64),
+            ),
+            Family::scalar(
+                "shard_migrations_out_total",
+                "Planned migrations that drained a slot off the shard",
+                FamilyKind::Counter,
+                per_shard(|s| s.migrations_out as f64),
+            ),
+            Family::scalar(
                 "shard_engine_fallbacks_total",
                 "Engine swaps to a stricter engine for inherited streams",
                 FamilyKind::Counter,
@@ -828,6 +897,61 @@ impl ServiceMetrics {
                 shard_hist(|s| &s.match_latency),
             ),
         ];
+        if !self.tenants.is_empty() {
+            let tenant_labels = |t: &TenantMetrics| {
+                vec![
+                    ("tenant".to_string(), t.name.clone()),
+                    ("class".to_string(), t.class.clone()),
+                ]
+            };
+            let per_tenant = |v: fn(&TenantMetrics) -> f64| -> Vec<Sample> {
+                self.tenants
+                    .iter()
+                    .map(|t| Sample {
+                        labels: tenant_labels(t),
+                        value: v(t),
+                    })
+                    .collect()
+            };
+            families.extend([
+                Family::scalar(
+                    "tenant_streams",
+                    "Streams (slots) the tenant owns",
+                    FamilyKind::Gauge,
+                    per_tenant(|t| t.streams as f64),
+                ),
+                Family::scalar(
+                    "tenant_arrivals_total",
+                    "Messages that arrived for the tenant's streams",
+                    FamilyKind::Counter,
+                    per_tenant(|t| t.arrivals as f64),
+                ),
+                Family::scalar(
+                    "tenant_admitted_total",
+                    "Arrivals admitted across the tenant's streams",
+                    FamilyKind::Counter,
+                    per_tenant(|t| t.admitted as f64),
+                ),
+                Family::scalar(
+                    "tenant_matched_total",
+                    "Messages matched across the tenant's streams",
+                    FamilyKind::Counter,
+                    per_tenant(|t| t.matched as f64),
+                ),
+                Family::scalar(
+                    "tenant_spilled_total",
+                    "The tenant's arrivals rejected for lack of physical queue space",
+                    FamilyKind::Counter,
+                    per_tenant(|t| t.overflow.spilled as f64),
+                ),
+                Family::scalar(
+                    "tenant_shed_total",
+                    "The tenant's arrivals shed by its own quota or the deadline",
+                    FamilyKind::Counter,
+                    per_tenant(|t| t.overflow.shed as f64),
+                ),
+            ]);
+        }
         obs::prom::render(&families)
     }
 }
@@ -1191,7 +1315,19 @@ mod tests {
             total_recoveries: 1,
             total_failovers: 0,
             reorder_duplicates: 4,
+            total_migrations: 2,
+            aborted_migrations: 1,
             shards: vec![sm],
+            tenants: vec![TenantMetrics {
+                tenant: 0,
+                name: "acme".to_string(),
+                class: "guaranteed".to_string(),
+                streams: 3,
+                arrivals: 500,
+                admitted: 500,
+                matched: 495,
+                overflow: OverflowStats::default(),
+            }],
         };
         let text = m.to_prometheus();
         assert!(text.contains("# TYPE service_matched_total counter"));
@@ -1218,6 +1354,21 @@ mod tests {
             "+Inf bucket must equal _count"
         );
         assert!(text.contains("shard_match_latency_seconds_count{shard=\"2\",engine=\"hash\"} 2"));
+        assert!(text.contains("service_migrations_total 2"));
+        assert!(text.contains("service_migrations_aborted_total 1"));
+        assert!(text.contains("# TYPE tenant_shed_total counter"));
+        assert!(text.contains("tenant_admitted_total{tenant=\"acme\",class=\"guaranteed\"} 500"));
+        assert!(text.contains("tenant_shed_total{tenant=\"acme\",class=\"guaranteed\"} 0"));
+    }
+
+    #[test]
+    fn tenant_families_absent_without_tenancy() {
+        let m =
+            ServiceMetrics::from_shards(0.002, 1.0e6, 0.002, vec![ShardMetrics::new(0, "hash")]);
+        assert!(m.tenants.is_empty());
+        let text = m.to_prometheus();
+        assert!(!text.contains("tenant_shed_total"));
+        assert!(text.contains("shard_migrations_in_total{shard=\"0\",engine=\"hash\"} 0"));
     }
 
     #[test]
@@ -1287,7 +1438,22 @@ mod tests {
             total_recoveries: 1,
             total_failovers: 1,
             reorder_duplicates: 9,
+            total_migrations: 1,
+            aborted_migrations: 0,
             shards: vec![sm],
+            tenants: vec![TenantMetrics {
+                tenant: 1,
+                name: "burst-co".to_string(),
+                class: "burstable".to_string(),
+                streams: 2,
+                arrivals: 400,
+                admitted: 390,
+                matched: 388,
+                overflow: OverflowStats {
+                    spilled: 4,
+                    shed: 6,
+                },
+            }],
         };
         let back = ServiceMetrics::from_json(&m.to_json()).unwrap();
         assert_eq!(back, m);

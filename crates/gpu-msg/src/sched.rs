@@ -40,9 +40,13 @@ use crate::fault::{FaultEvent, FaultKind};
 use crate::metrics::ShardMetrics;
 use crate::recovery::{RecoveryConfig, StreamState};
 use crate::service::{
-    engine_label, strictness, FaultTolerance, ServiceShard, ShardedServiceConfig,
+    engine_label, strictness, FaultTolerance, ServiceShard, ServiceStream, ShardedServiceConfig,
 };
 use crate::supervisor::Supervisor;
+use crate::tenancy::{
+    AdmitVerdict, ArrivalPattern, FillLimits, PlannedMigration, ReshardPlanner, ReshardPolicy,
+    StreamQos,
+};
 
 /// How the sharded service executes its shard domains.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -168,6 +172,10 @@ pub(crate) struct ShardCell<'a> {
     /// end of the run.
     pend_spill: u64,
     pend_spill_t: f64,
+    /// Coalesced admission-shed run (QoS rejections), same flushing
+    /// discipline as spills.
+    pend_shed: u64,
+    pend_shed_t: f64,
     /// Armed local wake (dispatch re-evaluation) time.
     wake: Option<f64>,
     /// True when the shard had a local event at the current instant and
@@ -176,7 +184,9 @@ pub(crate) struct ShardCell<'a> {
 }
 
 /// Per-stream state: the arrival generator cursor, the recovery
-/// watermarks, and the optional committed-seq journal.
+/// watermarks, the optional committed-seq journal, and the tenant QoS
+/// gate. Streams are *slots* in the placement — their home shard is
+/// `placement.home_of_slot(idx)`, not `idx` itself.
 pub(crate) struct StreamCell<'a> {
     idx: usize,
     msgs: &'a [Envelope],
@@ -184,6 +194,16 @@ pub(crate) struct StreamCell<'a> {
     state: StreamState,
     seen: u64,
     completions: Option<Vec<u64>>,
+    /// Arrival-time shape (uniform for legacy streams).
+    pattern: ArrivalPattern,
+    /// Owning tenant (0 for the implicit single tenant).
+    tenant: u32,
+    /// Per-stream QoS gate; `None` admits on raw capacity (legacy).
+    qos: Option<StreamQos>,
+    /// Per-stream overflow split, aggregated per tenant at the end.
+    spilled_n: u64,
+    shed_n: u64,
+    matched_n: u64,
 }
 
 /// Epoch-constant context shared (immutably) by every domain.
@@ -195,6 +215,8 @@ struct EpochEnv<'a> {
     placement: &'a ShardPlacement,
     shedding: &'a [bool],
     shed_deadline: f64,
+    /// Queue-fill ceilings for non-guaranteed QoS classes.
+    fill: FillLimits,
     /// Deterministic 1-in-K admission into the causal flow trace. A
     /// pure function of `(seed, flow id)`, so the sampled set — and
     /// therefore the recorded event stream — is scheduler-invariant.
@@ -222,18 +244,28 @@ fn spos(cells: &[StreamCell], idx: usize) -> usize {
 }
 
 fn flush_spills(cell: &mut ShardCell) {
-    if cell.pend_spill == 0 {
-        return;
+    if cell.pend_spill > 0 {
+        if let Some(rec) = cell.gpu.obs.as_mut() {
+            rec.set_now_ns((cell.pend_spill_t * 1e9).round() as u64);
+            rec.record_instant(
+                obs::SpanCategory::Spill,
+                "spill",
+                vec![("count", obs::ArgValue::U64(cell.pend_spill))],
+            );
+        }
+        cell.pend_spill = 0;
     }
-    if let Some(rec) = cell.gpu.obs.as_mut() {
-        rec.set_now_ns((cell.pend_spill_t * 1e9).round() as u64);
-        rec.record_instant(
-            obs::SpanCategory::Spill,
-            "spill",
-            vec![("count", obs::ArgValue::U64(cell.pend_spill))],
-        );
+    if cell.pend_shed > 0 {
+        if let Some(rec) = cell.gpu.obs.as_mut() {
+            rec.set_now_ns((cell.pend_shed_t * 1e9).round() as u64);
+            rec.record_instant(
+                obs::SpanCategory::Shed,
+                "admission_shed",
+                vec![("count", obs::ArgValue::U64(cell.pend_shed))],
+            );
+        }
+        cell.pend_shed = 0;
     }
-    cell.pend_spill = 0;
 }
 
 /// The stall class that dominated a batch's critical path (the flow
@@ -281,6 +313,7 @@ fn commit_batch(
         }
         debug_assert_eq!(e.seq, sc.state.committed, "per-stream commits are FIFO");
         sc.state.committed = e.seq + 1;
+        sc.matched_n += 1;
         cell.metrics.matched += 1;
         cell.metrics.match_latency.record(inf.until - e.arrived);
         if let Some(c) = sc.completions.as_mut() {
@@ -313,26 +346,26 @@ fn fill_wake(
     x: usize,
     need: usize,
 ) -> Option<f64> {
-    let mut cursors: Vec<(f64, u64)> = streams
+    let mut cursors: Vec<(ArrivalPattern, f64, u64)> = streams
         .iter()
         .filter(|sc| placement.target_of(sc.idx) == x && sc.rate > 0.0)
-        .map(|sc| (sc.rate, sc.seen))
+        .map(|sc| (sc.pattern, sc.rate, sc.seen))
         .collect();
     if cursors.is_empty() {
         return None;
     }
     let mut wake = 0.0f64;
     for _ in 0..need.max(1) {
-        let (rate, v) = cursors
+        let (pat, rate, v) = cursors
             .iter_mut()
             .min_by(|a, b| {
-                let ta = (a.1 + 1) as f64 / a.0;
-                let tb = (b.1 + 1) as f64 / b.0;
+                let ta = a.0.arrival_time(a.2 + 1, a.1);
+                let tb = b.0.arrival_time(b.2 + 1, b.1);
                 ta.partial_cmp(&tb).expect("arrival times are finite")
             })
             .expect("cursors is non-empty");
         *v += 1;
-        wake = (*v as f64 + 0.5) / *rate;
+        wake = pat.wake_after(*v, *rate);
     }
     Some(wake)
 }
@@ -360,11 +393,11 @@ impl<'a> Domain<'a> {
                 if sc.rate <= 0.0 || sc.msgs.is_empty() {
                     continue;
                 }
-                let due = (sc.rate * horizon) as u64;
+                let due = sc.pattern.due(sc.rate, horizon);
                 if sc.seen >= due {
                     continue;
                 }
-                let t = (sc.seen + 1) as f64 / sc.rate;
+                let t = sc.pattern.arrival_time(sc.seen + 1, sc.rate);
                 if best.is_none_or(|(bt, _)| t < bt) {
                     best = Some((t, sp));
                 }
@@ -375,38 +408,67 @@ impl<'a> Domain<'a> {
             let xp = xpos(shards, x);
             let cell = &mut shards[xp];
             cell.metrics.arrivals += 1;
-            if cell.queue.len() + cell.phase.inflight_len() < env.capacity {
-                // An admit ends any spill run.
-                flush_spills(cell);
-                let seq = streams[sp].state.admit(t);
-                // A dark shard's queue died with its device;
-                // journal-only until the rebuild restores it.
-                if !cell.phase.dark() {
-                    cell.queue.push_back(QEntry {
-                        stream: s,
-                        seq,
-                        arrived: t,
-                    });
-                }
-                cell.metrics.admitted += 1;
-                let fid = obs::FlowId::service(s as u32, seq);
-                if env.sampler.admits(fid) {
-                    if let Some(rec) = cell.gpu.obs.as_mut() {
-                        rec.record_flow(
-                            "admitted",
-                            fid,
-                            obs::FlowPhase::Start,
-                            (t * 1e9).round() as u64,
-                            vec![("stream", obs::ArgValue::U64(s as u64))],
-                        );
+            let backlog = cell.queue.len() + cell.phase.inflight_len();
+            // QoS verdict: unmetered legacy streams admit on raw
+            // capacity; tenant streams consult their token bucket and
+            // class fill ceiling. The verdict is a pure function of
+            // (arrival time, backlog), both boundary-invariant, so it
+            // is identical under either scheduler.
+            let verdict = match streams[sp].qos.as_mut() {
+                None => {
+                    if backlog < env.capacity {
+                        AdmitVerdict::Admit
+                    } else {
+                        AdmitVerdict::Spill
                     }
                 }
-            } else {
-                cell.metrics.overflow.spilled += 1;
-                cell.metrics.ever_spilled = true;
-                cell.last_spill = t;
-                cell.pend_spill += 1;
-                cell.pend_spill_t = t;
+                Some(q) => q.admit(t, backlog, env.capacity, env.fill),
+            };
+            match verdict {
+                AdmitVerdict::Admit => {
+                    // An admit ends any spill/shed run.
+                    flush_spills(cell);
+                    let seq = streams[sp].state.admit(t);
+                    // A dark shard's queue died with its device;
+                    // journal-only until the rebuild restores it.
+                    if !cell.phase.dark() {
+                        cell.queue.push_back(QEntry {
+                            stream: s,
+                            seq,
+                            arrived: t,
+                        });
+                    }
+                    cell.metrics.admitted += 1;
+                    let fid = obs::FlowId::service(s as u32, seq);
+                    if env.sampler.admits(fid) {
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            rec.record_flow(
+                                "admitted",
+                                fid,
+                                obs::FlowPhase::Start,
+                                (t * 1e9).round() as u64,
+                                vec![("stream", obs::ArgValue::U64(s as u64))],
+                            );
+                        }
+                    }
+                }
+                AdmitVerdict::Spill => {
+                    cell.metrics.overflow.spilled += 1;
+                    cell.metrics.ever_spilled = true;
+                    cell.last_spill = t;
+                    cell.pend_spill += 1;
+                    cell.pend_spill_t = t;
+                    streams[sp].spilled_n += 1;
+                }
+                AdmitVerdict::Shed => {
+                    // A quota breach sheds the offending tenant's own
+                    // arrival — never admitted, never journaled, so it
+                    // consumes nothing downstream.
+                    cell.metrics.overflow.shed += 1;
+                    cell.pend_shed += 1;
+                    cell.pend_shed_t = t;
+                    streams[sp].shed_n += 1;
+                }
             }
             streams[sp].seen += 1;
         }
@@ -694,6 +756,7 @@ impl<'a> Domain<'a> {
                         debug_assert_eq!(front.seq, st.committed);
                         st.committed = front.seq + 1;
                     }
+                    streams[sp].shed_n += 1;
                     shed_now += 1;
                     let fid = obs::FlowId::service(front.stream as u32, front.seq);
                     if env.sampler.admits(fid) {
@@ -725,7 +788,7 @@ impl<'a> Domain<'a> {
             let feeds = streams.iter().any(|sc| {
                 env.placement.target_of(sc.idx) == x
                     && sc.rate > 0.0
-                    && sc.seen < (sc.rate * env.cfg.duration) as u64
+                    && sc.seen < sc.pattern.due(sc.rate, env.cfg.duration)
             });
             if pending == 0 && !feeds {
                 cell.wake = None;
@@ -893,27 +956,34 @@ fn uf_union(parent: &mut [usize], a: usize, b: usize) {
     }
 }
 
-/// Partition shards (and their same-index streams) into groups closed
-/// under every cross-shard interaction that can happen between
-/// barriers: a stream's state is written by the shard currently serving
-/// it (admission, commits, checkpoints, shedding) and read by its home
-/// shard (recovery scans), and queued or in-flight entries tie their
-/// stream to the holding shard. Shards in different groups share
-/// nothing until the next barrier, so their domains may run on
-/// different threads.
+/// Partition shards and stream slots into groups closed under every
+/// cross-shard interaction that can happen between barriers: a stream's
+/// state is written by the shard currently serving it (admission,
+/// commits, checkpoints, shedding) and read by its home shard (recovery
+/// scans), and queued or in-flight entries tie their stream to the
+/// holding shard. Shards in different groups share nothing until the
+/// next barrier, so their domains may run on different threads.
+///
+/// Nodes `0..n` are shards, `n..n + m` are stream slots; each returned
+/// group is `(shards, streams)`, both ascending, groups ordered by
+/// their smallest shard.
 fn conflict_groups(
     n: usize,
+    m: usize,
     placement: &ShardPlacement,
     cells: &[Option<ShardCell>],
-) -> Vec<Vec<usize>> {
-    let mut parent: Vec<usize> = (0..n).collect();
-    for s in 0..n {
-        uf_union(&mut parent, s, placement.target_of(s));
+) -> Vec<(Vec<usize>, Vec<usize>)> {
+    let mut parent: Vec<usize> = (0..n + m).collect();
+    for j in 0..m {
+        let h = placement.home_of_slot(j);
+        uf_union(&mut parent, h, placement.redirect_of(h));
+        uf_union(&mut parent, n + j, placement.target_of(j));
+        uf_union(&mut parent, n + j, h);
     }
     for (x, cell) in cells.iter().enumerate() {
         let cell = cell.as_ref().expect("cells are home between epochs");
         for e in &cell.queue {
-            uf_union(&mut parent, x, e.stream);
+            uf_union(&mut parent, x, n + e.stream);
         }
         match &cell.phase {
             Phase::Busy(f)
@@ -921,18 +991,25 @@ fn conflict_groups(
                 resume: Some(f), ..
             } => {
                 for e in &f.entries {
-                    uf_union(&mut parent, x, e.stream);
+                    uf_union(&mut parent, x, n + e.stream);
                 }
             }
             _ => {}
         }
     }
-    let mut groups: Vec<Vec<usize>> = vec![Vec::new(); n];
-    for i in 0..n {
+    // Every stream node is unioned with a shard node and unions pick
+    // the minimum as root, so group roots are always shard indices.
+    let mut groups: Vec<(Vec<usize>, Vec<usize>)> = vec![(Vec::new(), Vec::new()); n];
+    for i in 0..n + m {
         let r = uf_find(&mut parent, i);
-        groups[r].push(i);
+        debug_assert!(r < n, "group roots are shards");
+        if i < n {
+            groups[r].0.push(i);
+        } else {
+            groups[r].1.push(i - n);
+        }
     }
-    groups.retain(|g| !g.is_empty());
+    groups.retain(|(s, _)| !s.is_empty());
     groups
 }
 
@@ -953,6 +1030,7 @@ fn supervisor_tick(
     sampler: obs::FlowSampler,
 ) {
     let n = cells.len();
+    let m = streams.len();
     for x in 0..n {
         let responsive = cells[x].as_ref().unwrap().phase.responsive();
         if responsive {
@@ -972,7 +1050,7 @@ fn supervisor_tick(
         }
         // Fail the down shard's streams over to the healthiest
         // responsive peer.
-        let moved: Vec<usize> = (0..n).filter(|&s| placement.target_of(s) == x).collect();
+        let moved: Vec<usize> = (0..m).filter(|&s| placement.target_of(s) == x).collect();
         if moved.is_empty() {
             continue;
         }
@@ -984,10 +1062,14 @@ fn supervisor_tick(
             });
         let Some(t) = target else { continue };
         for s in moved {
-            if t == s {
-                placement.restore(s);
+            // Failover rewrites the slot's *home shard* redirect, the
+            // temporary second hop; the durable home assignment is
+            // migration's to change.
+            let h = placement.home_of_slot(s);
+            if t == h {
+                placement.restore(h);
             } else {
-                placement.redirect(s, t);
+                placement.redirect(h, t);
             }
             // The hung shard keeps its device state, so drop its queued
             // copies; the journal is the durable source the target
@@ -1008,7 +1090,7 @@ fn supervisor_tick(
                     arrived: tm,
                 })
                 .collect();
-            let home = cells[s].as_ref().unwrap().home_choice;
+            let home = cells[h].as_ref().unwrap().home_choice;
             let tc = cells[t].as_mut().unwrap();
             let tick_ns = (tick * 1e9).round() as u64;
             for e in inherited {
@@ -1052,22 +1134,25 @@ fn supervisor_tick(
         cells[t].as_mut().unwrap().metrics.failovers_in += 1;
     }
     // Handback: once a home shard is responsive again and its failover
-    // target has drained the inherited stream, route it home.
-    for s in 0..n {
-        let t = placement.target_of(s);
-        if t == s || !cells[s].as_ref().unwrap().phase.responsive() {
+    // target has drained the inherited streams, route them home.
+    for h in 0..n {
+        let t = placement.redirect_of(h);
+        if t == h || !cells[h].as_ref().unwrap().phase.responsive() {
             continue;
         }
         let draining = {
             let tc = cells[t].as_ref().unwrap();
-            tc.queue.iter().any(|e| e.stream == s) || tc.phase.holds_stream(s)
+            (0..m).any(|s| {
+                placement.home_of_slot(s) == h
+                    && (tc.queue.iter().any(|e| e.stream == s) || tc.phase.holds_stream(s))
+            })
         };
         if draining {
             continue;
         }
-        placement.restore(s);
+        placement.restore(h);
         let tc = cells[t].as_mut().unwrap();
-        if !(0..n).any(|u| u != t && placement.target_of(u) == t) {
+        if !(0..m).any(|u| placement.home_of_slot(u) != t && placement.target_of(u) == t) {
             tc.active_choice = tc.home_choice;
         }
         if let Some(rec) = tc.gpu.obs.as_mut() {
@@ -1075,10 +1160,195 @@ fn supervisor_tick(
             rec.record_instant(
                 obs::SpanCategory::Failover,
                 "handback",
-                vec![("stream", obs::ArgValue::U64(s as u64))],
+                vec![("stream", obs::ArgValue::U64(h as u64))],
             );
         }
     }
+}
+
+/// One reshard planner barrier at simulated time `tick`: execute (or
+/// abort) the in-flight migration, then plan the next one from
+/// barrier-visible backlogs. Runs at the coordinator with every cell
+/// home, like [`supervisor_tick`]. Returns `true` when routing changed
+/// and every cell must re-evaluate dispatch.
+///
+/// Execution repurposes the failover journal-window transfer as a
+/// drain-transfer-handback: drop the source's undispatched queue copies
+/// (the journal is the durable source of truth), re-enqueue the window
+/// `[committed, admitted)` at the target in admission order, then
+/// rebind the slot's durable home via [`ShardPlacement::migrate`]. Any
+/// copy still in flight at a third shard commits first and the
+/// transferred duplicate is suppressed by the commit watermark — the
+/// same exactly-once argument failover relies on (`DESIGN.md` §13).
+fn reshard_tick(
+    planner: &mut ReshardPlanner,
+    tick: f64,
+    placement: &mut ShardPlacement,
+    cells: &mut [Option<ShardCell>],
+    streams: &mut [Option<StreamCell>],
+    sampler: obs::FlowSampler,
+) -> bool {
+    let n = cells.len();
+    let m = streams.len();
+    let tick_ns = (tick * 1e9).round() as u64;
+    if let Some(plan) = planner.pending {
+        let PlannedMigration {
+            slot,
+            from,
+            to,
+            planned_at,
+        } = plan;
+        let from_ok = cells[from].as_ref().unwrap().phase.responsive();
+        let to_ok = cells[to].as_ref().unwrap().phase.responsive();
+        let routed_clean = placement.redirect_of(from) == from && placement.redirect_of(to) == to;
+        if !from_ok || !to_ok || !routed_clean {
+            // A crash, hang or failover intervened between plan and
+            // execution. Nothing has moved yet — routing only changes
+            // at the migrate() below — so aborting is a pure
+            // bookkeeping rollback.
+            planner.pending = None;
+            planner.aborted += 1;
+            if let Some(rec) = cells[from].as_mut().unwrap().gpu.obs.as_mut() {
+                rec.set_now_ns(tick_ns);
+                rec.record_instant(
+                    obs::SpanCategory::Migration,
+                    "migration_abort",
+                    vec![
+                        ("slot", obs::ArgValue::U64(slot as u64)),
+                        ("to", obs::ArgValue::U64(to as u64)),
+                    ],
+                );
+            }
+            return false;
+        }
+        if cells[from].as_ref().unwrap().phase.holds_stream(slot) {
+            // The source still has the slot's entries on device; they
+            // commit at batch end. Wait for the next barrier.
+            return false;
+        }
+        // ---- Drain: the source's queued copies die here; the journal
+        // window is the durable hand-off.
+        let fc = cells[from].as_mut().unwrap();
+        let before = fc.queue.len();
+        fc.queue.retain(|e| e.stream != slot);
+        let drained = (before - fc.queue.len()) as u64;
+        fc.metrics.migrations_out += 1;
+        if let Some(rec) = fc.gpu.obs.as_mut() {
+            rec.set_now_ns(tick_ns);
+            rec.record_instant(
+                obs::SpanCategory::Migration,
+                "migration_drain",
+                vec![
+                    ("slot", obs::ArgValue::U64(slot as u64)),
+                    ("drained", obs::ArgValue::U64(drained)),
+                ],
+            );
+        }
+        // ---- Transfer: re-enqueue the journal window at the target in
+        // admission order, joining each sampled arrival's existing
+        // admission→match flow chain.
+        let sc = streams[slot].as_ref().unwrap();
+        let committed = sc.state.committed;
+        let window: Vec<QEntry> = sc
+            .state
+            .journal
+            .iter()
+            .filter(|&&(seq, _)| seq >= committed)
+            .map(|&(seq, tm)| QEntry {
+                stream: slot,
+                seq,
+                arrived: tm,
+            })
+            .collect();
+        let mut transferred = 0u64;
+        let tc = cells[to].as_mut().unwrap();
+        for e in window {
+            let fid = obs::FlowId::service(e.stream as u32, e.seq);
+            tc.queue.push_back(e);
+            transferred += 1;
+            if sampler.admits(fid) {
+                if let Some(rec) = tc.gpu.obs.as_mut() {
+                    rec.record_flow(
+                        "migrated",
+                        fid,
+                        obs::FlowPhase::Step,
+                        tick_ns,
+                        vec![("from", obs::ArgValue::U64(from as u64))],
+                    );
+                }
+            }
+        }
+        tc.metrics.transferred_in += transferred;
+        tc.metrics.migrations_in += 1;
+        if let Some(rec) = tc.gpu.obs.as_mut() {
+            let t0 = (planned_at * 1e9).round() as u64;
+            rec.record_complete(
+                obs::SpanCategory::Migration,
+                "migration_transfer",
+                t0,
+                tick_ns.saturating_sub(t0),
+                vec![
+                    ("slot", obs::ArgValue::U64(slot as u64)),
+                    ("from", obs::ArgValue::U64(from as u64)),
+                    ("to", obs::ArgValue::U64(to as u64)),
+                    ("transferred", obs::ArgValue::U64(transferred)),
+                ],
+            );
+        }
+        // ---- Handback: rebind the slot's durable home.
+        placement.migrate(slot, to);
+        if let Some(rec) = cells[from].as_mut().unwrap().gpu.obs.as_mut() {
+            rec.set_now_ns(tick_ns);
+            rec.record_instant(
+                obs::SpanCategory::Migration,
+                "migration_handback",
+                vec![
+                    ("slot", obs::ArgValue::U64(slot as u64)),
+                    ("to", obs::ArgValue::U64(to as u64)),
+                ],
+            );
+        }
+        planner.pending = None;
+        planner.completed += 1;
+        return true;
+    }
+    if !planner.may_plan() {
+        return false;
+    }
+    // ---- Plan: hot/cold from barrier-visible backlogs; shards that
+    // are down or entangled in a failover redirect are ineligible.
+    let backlogs: Vec<Option<usize>> = (0..n)
+        .map(|x| {
+            let c = cells[x].as_ref().unwrap();
+            (c.phase.responsive() && placement.redirect_of(x) == x)
+                .then(|| c.queue.len() + c.phase.inflight_len())
+        })
+        .collect();
+    let Some((hot, cold)) = planner.pick(&backlogs) else {
+        return false;
+    };
+    // Move the lowest live slot homed on the hot shard.
+    let slot = (0..m)
+        .find(|&j| placement.home_of_slot(j) == hot && streams[j].as_ref().unwrap().rate > 0.0);
+    let Some(slot) = slot else { return false };
+    planner.pending = Some(PlannedMigration {
+        slot,
+        from: hot,
+        to: cold,
+        planned_at: tick,
+    });
+    if let Some(rec) = cells[hot].as_mut().unwrap().gpu.obs.as_mut() {
+        rec.set_now_ns(tick_ns);
+        rec.record_instant(
+            obs::SpanCategory::Migration,
+            "migration_plan",
+            vec![
+                ("slot", obs::ArgValue::U64(slot as u64)),
+                ("to", obs::ArgValue::U64(cold as u64)),
+            ],
+        );
+    }
+    false
 }
 
 /// Close one scheduler epoch for the wall profiler: the barrier-wait
@@ -1127,8 +1397,30 @@ pub(crate) struct ObsHooks<'a> {
     pub(crate) wallprof: Option<&'a obs::wallprof::WallProfiler>,
 }
 
+/// Per-run knobs threaded from the service into a scheduled run: the
+/// shared queue fill limits, the optional reshard policy and whether to
+/// record per-stream completion sequences. Bundled for the same reason
+/// as [`ObsHooks`].
+pub(crate) struct RunKnobs {
+    pub(crate) fill: FillLimits,
+    pub(crate) reshard: Option<ReshardPolicy>,
+    pub(crate) record_completions: bool,
+}
+
+/// Per-stream accounting handed back for tenant aggregation, in
+/// slot-index order.
+pub(crate) struct StreamOutcome {
+    pub(crate) tenant: u32,
+    pub(crate) arrivals: u64,
+    pub(crate) admitted: u64,
+    pub(crate) spilled: u64,
+    pub(crate) shed: u64,
+    pub(crate) matched: u64,
+}
+
 /// Everything the coordinator hands back to the service for
-/// finalisation, in shard-index order.
+/// finalisation: shard-index order for the shard vectors, slot-index
+/// order for `completions` and `streams`.
 pub(crate) struct SchedOutcome {
     pub(crate) metrics: Vec<ShardMetrics>,
     pub(crate) completions: Option<Vec<Vec<u64>>>,
@@ -1136,6 +1428,9 @@ pub(crate) struct SchedOutcome {
     pub(crate) last_activity: Vec<f64>,
     pub(crate) last_spill: Vec<f64>,
     pub(crate) backlog: Vec<u64>,
+    pub(crate) streams: Vec<StreamOutcome>,
+    /// Completed / aborted migration counts (zero without resharding).
+    pub(crate) migrations: (u64, u64),
 }
 
 /// Drive a full service run under the configured [`Scheduler`].
@@ -1154,8 +1449,9 @@ pub(crate) fn run_scheduled(
     cfg: &ShardedServiceConfig,
     placement: &mut ShardPlacement,
     service_shards: &mut [ServiceShard],
+    service_streams: &[ServiceStream],
     fault_tolerance: Option<&FaultTolerance>,
-    record_completions: bool,
+    knobs: RunKnobs,
     hooks: ObsHooks<'_>,
 ) -> SchedOutcome {
     let ObsHooks {
@@ -1163,17 +1459,24 @@ pub(crate) fn run_scheduled(
         flow_sampler,
         wallprof,
     } = hooks;
+    let RunKnobs {
+        fill,
+        reshard,
+        record_completions,
+    } = knobs;
     let n = service_shards.len();
+    let m = service_streams.len();
     let capacity = cfg.queue_capacity.max(cfg.max_batch);
     let threshold = cfg.batch_threshold.clamp(1, cfg.max_batch);
     let recovery: Option<RecoveryConfig> = fault_tolerance.map(|f| f.recovery);
     let mut supervisor: Option<Supervisor> = fault_tolerance
         .and_then(|f| f.supervisor.as_ref())
         .map(|&sc| Supervisor::new(n, sc));
-    let lookahead = supervisor
+    let mut planner: Option<ReshardPlanner> = reshard.map(ReshardPlanner::new);
+    let mut finished_planner: Option<(u64, u64)> = None;
+    let mut sup_tick: Option<f64> = supervisor
         .as_ref()
         .map(|s| s.config().health_check_interval);
-    let mut sup_tick: Option<f64> = lookahead;
     let shed_deadline = supervisor
         .as_ref()
         .map_or(f64::INFINITY, |s| s.config().shed_deadline);
@@ -1186,14 +1489,8 @@ pub(crate) fn run_scheduled(
     }
 
     let mut shard_cells: Vec<Option<ShardCell>> = Vec::with_capacity(n);
-    let mut stream_cells: Vec<Option<StreamCell>> = Vec::with_capacity(n);
     for (idx, (sh, faults)) in service_shards.iter_mut().zip(fault_lists).enumerate() {
-        let ServiceShard {
-            gpu,
-            choice,
-            msgs,
-            rate,
-        } = sh;
+        let ServiceShard { gpu, choice } = sh;
         let choice = *choice;
         shard_cells.push(Some(ShardCell {
             idx,
@@ -1213,20 +1510,35 @@ pub(crate) fn run_scheduled(
             fault_idx: 0,
             pend_spill: 0,
             pend_spill_t: 0.0,
+            pend_shed: 0,
+            pend_shed_t: 0.0,
             wake: None,
             // Every shard evaluates dispatch once at t = 0, as the
             // legacy loop's first iteration did.
             active: true,
         }));
-        stream_cells.push(Some(StreamCell {
-            idx,
-            msgs: &*msgs,
-            rate: *rate,
-            state: StreamState::default(),
-            seen: 0,
-            completions: record_completions.then(Vec::new),
-        }));
     }
+    let mut stream_cells: Vec<Option<StreamCell>> = service_streams
+        .iter()
+        .enumerate()
+        .map(|(idx, st)| {
+            Some(StreamCell {
+                idx,
+                msgs: &st.msgs,
+                rate: st.rate,
+                state: StreamState::default(),
+                seen: 0,
+                completions: record_completions.then(Vec::new),
+                pattern: st.pattern,
+                tenant: st.tenant,
+                // Each run starts from a full, fresh bucket.
+                qos: st.qos.clone(),
+                spilled_n: 0,
+                shed_n: 0,
+                matched_n: 0,
+            })
+        })
+        .collect();
 
     let mut wx = fabric::WatermarkExchange::new(n);
     let mut crash_seen = vec![0u64; n];
@@ -1246,9 +1558,9 @@ pub(crate) fn run_scheduled(
         // ---- Liveness (legacy `work_live`, evaluated at the barrier).
         let arrivals_remain = stream_cells.iter().any(|c| {
             let c = c.as_ref().unwrap();
-            c.rate > 0.0 && c.seen < (c.rate * cfg.duration) as u64
+            c.rate > 0.0 && c.seen < c.pattern.due(c.rate, cfg.duration)
         });
-        let redirect_active = (0..n).any(|s| placement.target_of(s) != s);
+        let redirect_active = (0..n).any(|h| placement.redirect_of(h) != h);
         let queues_nonempty = shard_cells
             .iter()
             .any(|c| !c.as_ref().unwrap().queue.is_empty());
@@ -1266,13 +1578,28 @@ pub(crate) fn run_scheduled(
             })
             .fold(f64::INFINITY, f64::min);
 
-        // ---- Epoch horizon: the next supervisor barrier while work is
-        // live, bounded conservatively by the watermark exchange; the
-        // next fault when the supervisor is merely waiting for one;
-        // unbounded otherwise (the epoch runs to completion).
-        let horizon = match (supervisor.is_some(), work_live) {
-            (true, true) => wx.safe_until(lookahead.unwrap()).min(sup_tick.unwrap()),
-            (true, false) if next_fault.is_finite() => next_fault,
+        // ---- Epoch horizon: the next barrier (supervisor health tick
+        // or reshard planner tick) while work is live, bounded
+        // conservatively by the watermark exchange; the next fault when
+        // the supervisor is merely waiting for one; unbounded otherwise
+        // (the epoch runs to completion).
+        let next_barrier = sup_tick
+            .unwrap_or(f64::INFINITY)
+            .min(planner.as_ref().map_or(f64::INFINITY, |p| p.next_tick));
+        // Conservative lookahead: the tightest barrier cadence still in
+        // play (an exhausted planner stops contributing barriers).
+        let lookahead = match (
+            supervisor
+                .as_ref()
+                .map(|s| s.config().health_check_interval),
+            planner.as_ref().map(|p| p.policy.tick),
+        ) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        let horizon = match (lookahead, work_live) {
+            (Some(la), true) => wx.safe_until(la).min(next_barrier),
+            (Some(_), false) if next_fault.is_finite() => next_fault,
             _ => f64::INFINITY,
         };
 
@@ -1288,21 +1615,27 @@ pub(crate) fn run_scheduled(
             placement,
             shedding: &shedding,
             shed_deadline,
+            fill,
             sampler: flow_sampler,
         };
         let groups = match cfg.scheduler {
-            Scheduler::GlobalClock => vec![(0..n).collect::<Vec<usize>>()],
-            Scheduler::ThreadPerShard => conflict_groups(n, env.placement, &shard_cells),
+            Scheduler::GlobalClock => {
+                vec![(
+                    (0..n).collect::<Vec<usize>>(),
+                    (0..m).collect::<Vec<usize>>(),
+                )]
+            }
+            Scheduler::ThreadPerShard => conflict_groups(n, m, env.placement, &shard_cells),
         };
         let mut domains: Vec<Domain> = groups
             .iter()
-            .map(|g| Domain {
+            .map(|(gs, gt)| Domain {
                 now: t_now,
-                shards: g
+                shards: gs
                     .iter()
                     .map(|&i| shard_cells[i].take().expect("cell is home"))
                     .collect(),
-                streams: g
+                streams: gt
                     .iter()
                     .map(|&i| stream_cells[i].take().expect("cell is home"))
                     .collect(),
@@ -1426,6 +1759,7 @@ pub(crate) fn run_scheduled(
         // owe several — and wake every cell if any fired (shedding
         // state may have changed anywhere).
         let sup_start = std::time::Instant::now();
+        let mut wake_all = false;
         if let Some(sup) = supervisor.as_mut() {
             for x in 0..n {
                 let crashes = shard_cells[x].as_ref().unwrap().metrics.crashes;
@@ -1434,7 +1768,6 @@ pub(crate) fn run_scheduled(
                 }
                 crash_seen[x] = crashes;
             }
-            let mut ticked = false;
             while sup_tick.is_some_and(|t| t <= t_now) {
                 let tick = sup_tick.unwrap();
                 supervisor_tick(
@@ -1447,12 +1780,40 @@ pub(crate) fn run_scheduled(
                     flow_sampler,
                 );
                 sup_tick = Some(tick + sup.config().health_check_interval);
-                ticked = true;
+                // Shedding state may have changed anywhere.
+                wake_all = true;
             }
-            if ticked {
-                for c in shard_cells.iter_mut() {
-                    c.as_mut().unwrap().active = true;
+        }
+        // Reshard planner barriers run after supervisor work at the
+        // same instant: failover rewires first, so the planner sees
+        // (and aborts on) any redirect it would race with.
+        if let Some(pl) = planner.as_mut() {
+            while pl.next_tick <= t_now {
+                let tick = pl.next_tick;
+                if reshard_tick(
+                    pl,
+                    tick,
+                    placement,
+                    &mut shard_cells,
+                    &mut stream_cells,
+                    flow_sampler,
+                ) {
+                    // Routing changed: every cell re-evaluates dispatch.
+                    wake_all = true;
                 }
+                pl.next_tick += pl.policy.tick;
+            }
+            if pl.pending.is_none() && !pl.may_plan() {
+                // Migration budget exhausted: stop scheduling planner
+                // barriers so the final epoch can run to completion.
+                let done = (pl.completed, pl.aborted);
+                finished_planner = Some(done);
+                planner = None;
+            }
+        }
+        if wake_all {
+            for c in shard_cells.iter_mut() {
+                c.as_mut().unwrap().active = true;
             }
         }
         close_wall_epoch(
@@ -1466,17 +1827,22 @@ pub(crate) fn run_scheduled(
         epoch_idx += 1;
     }
 
-    // ---- Hand everything back in shard order.
+    // ---- Hand everything back: shards in shard order, streams in
+    // slot order.
     let mut out = SchedOutcome {
         metrics: Vec::with_capacity(n),
-        completions: record_completions.then(|| Vec::with_capacity(n)),
+        completions: record_completions.then(|| Vec::with_capacity(m)),
         busy: Vec::with_capacity(n),
         last_activity: Vec::with_capacity(n),
         last_spill: Vec::with_capacity(n),
         backlog: Vec::with_capacity(n),
+        streams: Vec::with_capacity(m),
+        migrations: finished_planner
+            .or(planner.map(|p| (p.completed, p.aborted)))
+            .unwrap_or((0, 0)),
     };
-    for x in 0..n {
-        let mut c = shard_cells[x].take().expect("cell is home after the run");
+    for cell in &mut shard_cells {
+        let mut c = cell.take().expect("cell is home after the run");
         flush_spills(&mut c);
         out.busy.push(c.busy);
         out.last_activity.push(c.last_activity);
@@ -1484,10 +1850,20 @@ pub(crate) fn run_scheduled(
         out.backlog
             .push((c.queue.len() + c.phase.inflight_len()) as u64);
         out.metrics.push(c.metrics);
-        let sc = stream_cells[x].take().expect("cell is home after the run");
+    }
+    for cell in &mut stream_cells {
+        let sc = cell.take().expect("cell is home after the run");
         if let Some(comps) = out.completions.as_mut() {
             comps.push(sc.completions.unwrap_or_default());
         }
+        out.streams.push(StreamOutcome {
+            tenant: sc.tenant,
+            arrivals: sc.seen,
+            admitted: sc.state.admitted,
+            spilled: sc.spilled_n,
+            shed: sc.shed_n,
+            matched: sc.matched_n,
+        });
     }
     out
 }
@@ -1518,6 +1894,8 @@ mod tests {
                     fault_idx: 0,
                     pend_spill: 0,
                     pend_spill_t: 0.0,
+                    pend_shed: 0,
+                    pend_shed_t: 0.0,
                     wake: None,
                     active: false,
                 })
@@ -1532,8 +1910,11 @@ mod tests {
             .collect();
         let cells = cell_fixture(&mut gpus);
         let placement = ShardPlacement::hashed(3);
-        let groups = conflict_groups(3, &placement, &cells);
-        assert_eq!(groups, vec![vec![0], vec![1], vec![2]]);
+        let groups = conflict_groups(3, 3, &placement, &cells);
+        assert_eq!(
+            groups,
+            vec![(vec![0], vec![0]), (vec![1], vec![1]), (vec![2], vec![2])]
+        );
     }
 
     #[test]
@@ -1543,7 +1924,7 @@ mod tests {
             .collect();
         let mut cells = cell_fixture(&mut gpus);
         let mut placement = ShardPlacement::hashed(4);
-        // Stream 2's traffic now lands on shard 0: {0, 2} conflict.
+        // Shard 2's traffic now lands on shard 0: {0, 2} conflict.
         placement.redirect(2, 0);
         // Shard 3 still holds an undrained entry of stream 1: {1, 3}.
         cells[3].as_mut().unwrap().queue.push_back(QEntry {
@@ -1551,8 +1932,31 @@ mod tests {
             seq: 0,
             arrived: 0.0,
         });
-        let groups = conflict_groups(4, &placement, &cells);
-        assert_eq!(groups, vec![vec![0, 2], vec![1, 3]]);
+        let groups = conflict_groups(4, 4, &placement, &cells);
+        assert_eq!(
+            groups,
+            vec![(vec![0, 2], vec![0, 2]), (vec![1, 3], vec![1, 3])]
+        );
+    }
+
+    #[test]
+    fn migrated_slots_group_with_their_new_home() {
+        let mut gpus: Vec<Gpu> = (0..3)
+            .map(|_| Gpu::new(simt_sim::GpuGeneration::PascalGtx1080))
+            .collect();
+        let cells = cell_fixture(&mut gpus);
+        // Four slots over three shards; slot 3 migrated from 0 to 2.
+        let mut placement = ShardPlacement::with_assignments(3, vec![0, 1, 2, 0]);
+        placement.migrate(3, 2);
+        let groups = conflict_groups(3, 4, &placement, &cells);
+        assert_eq!(
+            groups,
+            vec![
+                (vec![0], vec![0]),
+                (vec![1], vec![1]),
+                (vec![2], vec![2, 3])
+            ]
+        );
     }
 
     #[test]

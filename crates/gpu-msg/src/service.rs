@@ -372,18 +372,31 @@ pub struct ShardedServiceReport {
     pub scheduler_profile: crate::metrics::SchedulerProfile,
 }
 
-/// One shard: a persistent device, a pinned engine, and the slice of the
-/// traffic sample it owns.
+/// One shard: a persistent device and a pinned engine. The traffic it
+/// serves lives in [`ServiceStream`] slots, keyed to shards by
+/// [`ShardPlacement`] — so failover and migration move *streams*, never
+/// devices.
 pub(crate) struct ServiceShard {
     pub(crate) gpu: Gpu,
     pub(crate) choice: EngineChoice,
-    /// This shard's tuple pool, replayed cyclically as its arrivals:
+}
+
+/// One stream slot: an arrival process and the tuple pool it replays.
+pub(crate) struct ServiceStream {
+    /// The slot's tuple pool, replayed cyclically as its arrivals:
     /// stream entry `seq` carries envelope `msgs[seq % len]`, so message
     /// identity is a pure function of `(stream, seq)` — which is what
-    /// makes journal replay reproduce the fault-free matches.
+    /// makes journal replay (and migration transfer) reproduce the
+    /// fault-free matches.
     pub(crate) msgs: Vec<Envelope>,
-    /// Share of the aggregate arrival rate this shard receives.
+    /// Share of the aggregate arrival rate this slot receives.
     pub(crate) rate: f64,
+    /// Owning tenant id (0 for the implicit single tenant).
+    pub(crate) tenant: u32,
+    /// QoS admission gate; `None` admits on raw queue capacity.
+    pub(crate) qos: Option<crate::tenancy::StreamQos>,
+    /// Arrival process shape.
+    pub(crate) pattern: crate::tenancy::ArrivalPattern,
 }
 
 /// A sharded streaming match service over persistent devices.
@@ -395,6 +408,13 @@ pub struct ShardedMatchService {
     cfg: ShardedServiceConfig,
     placement: ShardPlacement,
     shards: Vec<ServiceShard>,
+    streams: Vec<ServiceStream>,
+    /// The slot → home-shard map at construction, restored before every
+    /// run so live resharding in one run never leaks into the next.
+    initial_assignments: Vec<usize>,
+    /// Tenancy layer (QoS classes, fill limits, reshard policy);
+    /// `None` runs the legacy single-tenant admission path.
+    tenancy: Option<crate::tenancy::TenancyConfig>,
     fault_tolerance: Option<FaultTolerance>,
     record_completions: bool,
     /// Coordinator-track recorder for scheduler epoch spans, present
@@ -469,23 +489,141 @@ impl ShardedMatchService {
 
         let parts = placement.split(&sample, &sample_reqs);
         let total = sample.len() as f64;
-        let shards = parts
+        let mut shards = Vec::with_capacity(cfg.shards);
+        let mut streams = Vec::with_capacity(cfg.shards);
+        for (idx, ((msg_ids, _), choice)) in parts.into_iter().zip(choices).enumerate() {
+            let msgs: Vec<Envelope> = msg_ids.iter().map(|&i| sample[i as usize]).collect();
+            let rate = cfg.arrival_rate * msgs.len() as f64 / total;
+            let mut gpu = Gpu::new(generation);
+            if cfg.trace {
+                gpu.enable_tracing(obs::tracks::shard(idx), cfg.trace_capacity);
+            }
+            shards.push(ServiceShard { gpu, choice });
+            // One stream slot per shard, homed 1:1 — the legacy shape.
+            streams.push(ServiceStream {
+                msgs,
+                rate,
+                tenant: 0,
+                qos: None,
+                pattern: crate::tenancy::ArrivalPattern::Uniform,
+            });
+        }
+
+        let initial_assignments: Vec<usize> = (0..placement.slots())
+            .map(|j| placement.home_of_slot(j))
+            .collect();
+        let sched_rec = cfg.trace.then(|| {
+            obs::sync::SharedSpanRecorder::new(obs::tracks::COORDINATOR, cfg.trace_capacity)
+        });
+        ShardedMatchService {
+            cfg,
+            placement,
+            shards,
+            streams,
+            initial_assignments,
+            tenancy: None,
+            fault_tolerance: None,
+            record_completions: false,
+            sched_rec,
+            wall_tracks: Vec::new(),
+        }
+    }
+
+    /// Build a multi-tenant service: tenant stream slots homed by
+    /// [`crate::tenancy::TenancyConfig::assignments`], per-stream QoS
+    /// admission, and (optionally) live resharding.
+    ///
+    /// Each slot carries `1 / streams` of its tenant's share of the
+    /// aggregate arrival rate and an even slice of the tenant's
+    /// token-bucket quota. Slot workloads are generated per slot with
+    /// the tenant id as the communicator, so tenants never share
+    /// match-time state — isolation is enforced at admission only.
+    ///
+    /// # Panics
+    /// Panics if the tenancy config is invalid for `cfg.shards`.
+    pub fn with_tenancy(
+        generation: GpuGeneration,
+        cfg: ShardedServiceConfig,
+        tenancy: crate::tenancy::TenancyConfig,
+    ) -> Self {
+        use crate::tenancy::{StreamQos, TokenBucket};
+        assert!(cfg.shards > 0, "a service needs at least one shard");
+        tenancy.validate(cfg.shards);
+        let assignments = tenancy.assignments(cfg.shards);
+        let slot_tenants = tenancy.slot_tenants();
+        let placement = ShardPlacement::with_assignments(cfg.shards, assignments.clone());
+        let total_share = tenancy.total_share();
+        let slots = assignments.len();
+        let per_slot = (4 * cfg.max_batch / slots.max(1)).max(64);
+
+        // Per-slot pools: tenant id as the communicator keys tenant
+        // traffic apart all the way into the match kernels' tuples.
+        let mut streams: Vec<ServiceStream> = Vec::with_capacity(slots);
+        for (slot, (&tenant, &_home)) in slot_tenants.iter().zip(assignments.iter()).enumerate() {
+            let spec = &tenancy.tenants[tenant as usize];
+            let msgs = WorkloadSpec {
+                len: per_slot,
+                peers: cfg.peers,
+                tags: 1 << 12,
+                comm: tenant as u16,
+                seed: cfg.seed.wrapping_add(slot as u64),
+                ..Default::default()
+            }
+            .generate()
+            .msgs;
+            let streams_n = spec.streams as f64;
+            let rate = cfg.arrival_rate * (spec.share / total_share) / streams_n;
+            let bucket = (spec.quota_rate > 0.0).then(|| {
+                TokenBucket::new(
+                    spec.quota_rate / streams_n,
+                    (spec.burst / streams_n).max(1.0),
+                )
+            });
+            streams.push(ServiceStream {
+                msgs,
+                rate,
+                tenant,
+                qos: Some(StreamQos {
+                    class: spec.class,
+                    bucket,
+                }),
+                pattern: spec.pattern,
+            });
+        }
+
+        // Engine per shard: under `Auto`, chosen from the combined
+        // traffic of the slots homed there (matrix when none are).
+        let engine = MatchEngine::default();
+        let choices: Vec<EngineChoice> = match cfg.policy {
+            ShardEnginePolicy::Fixed(e) => vec![e.choice(); cfg.shards],
+            ShardEnginePolicy::Auto(relax) => (0..cfg.shards)
+                .map(|x| {
+                    let msgs: Vec<Envelope> = streams
+                        .iter()
+                        .zip(assignments.iter())
+                        .filter(|(_, &h)| h == x)
+                        .flat_map(|(st, _)| st.msgs.iter().copied())
+                        .collect();
+                    if msgs.is_empty() {
+                        return EngineChoice::Matrix;
+                    }
+                    let reqs: Vec<RecvRequest> = msgs
+                        .iter()
+                        .map(|m| RecvRequest::exact(m.src, m.tag, m.comm))
+                        .collect();
+                    engine.choose(relax, &msgs, &reqs)
+                })
+                .collect(),
+        };
+        let shards = choices
             .into_iter()
-            .zip(choices)
             .enumerate()
-            .map(|(idx, ((msg_ids, _), choice))| {
-                let msgs: Vec<Envelope> = msg_ids.iter().map(|&i| sample[i as usize]).collect();
-                let rate = cfg.arrival_rate * msgs.len() as f64 / total;
+            .map(|(idx, choice)| {
                 let mut gpu = Gpu::new(generation);
                 if cfg.trace {
                     gpu.enable_tracing(obs::tracks::shard(idx), cfg.trace_capacity);
                 }
-                ServiceShard {
-                    gpu,
-                    choice,
-                    msgs,
-                    rate,
-                }
+                ServiceShard { gpu, choice }
             })
             .collect();
 
@@ -496,6 +634,9 @@ impl ShardedMatchService {
             cfg,
             placement,
             shards,
+            streams,
+            initial_assignments: assignments,
+            tenancy: Some(tenancy),
             fault_tolerance: None,
             record_completions: false,
             sched_rec,
@@ -545,6 +686,27 @@ impl ShardedMatchService {
     /// The placement keying traffic to shards.
     pub fn placement(&self) -> &ShardPlacement {
         &self.placement
+    }
+
+    /// Replace the initial slot→shard assignments — e.g. to replay a
+    /// resharded run's *final* placement as a static run for the
+    /// byte-equality oracle. Engines are not re-planned; pair with
+    /// [`ShardEnginePolicy::Fixed`] when placement feeds engine choice.
+    ///
+    /// # Panics
+    /// Panics on a slot-count mismatch or an out-of-range shard index.
+    pub fn set_assignments(&mut self, assignments: Vec<usize>) {
+        assert_eq!(
+            assignments.len(),
+            self.initial_assignments.len(),
+            "assignment list must cover every slot"
+        );
+        assert!(
+            assignments.iter().all(|&s| s < self.cfg.shards),
+            "assignment names a shard outside the service"
+        );
+        self.placement = ShardPlacement::with_assignments(self.cfg.shards, assignments.clone());
+        self.initial_assignments = assignments;
     }
 
     /// Export the shards' flight recorders as Chrome `trace_event` JSON
@@ -648,6 +810,9 @@ impl ShardedMatchService {
             cfg,
             placement,
             shards,
+            streams,
+            initial_assignments,
+            tenancy,
             fault_tolerance,
             record_completions,
             sched_rec,
@@ -656,7 +821,9 @@ impl ShardedMatchService {
         let cfg = *cfg;
         let n = shards.len();
 
-        // A clean slate per run keeps repeated runs bit-identical.
+        // A clean slate per run keeps repeated runs bit-identical:
+        // failover redirects and reshard migrations both roll back.
+        placement.set_assignments(initial_assignments.clone());
         for s in 0..n {
             placement.restore(s);
         }
@@ -676,13 +843,19 @@ impl ShardedMatchService {
             obs::wallprof::WallProfiler::new(n)
         };
 
+        let knobs = sched::RunKnobs {
+            fill: tenancy.as_ref().map(|t| t.fill).unwrap_or_default(),
+            reshard: tenancy.as_ref().and_then(|t| t.reshard),
+            record_completions: *record_completions,
+        };
         let wall_start = std::time::Instant::now();
         let out = sched::run_scheduled(
             &cfg,
             placement,
             shards,
+            streams,
             fault_tolerance.as_ref(),
-            *record_completions,
+            knobs,
             sched::ObsHooks {
                 sched_rec: sched_rec.as_ref(),
                 flow_sampler: sampler,
@@ -697,6 +870,8 @@ impl ShardedMatchService {
             last_activity,
             last_spill,
             backlog,
+            streams: stream_outcomes,
+            migrations,
         } = out;
         *wall_tracks = wallprof.wall_tracks();
 
@@ -766,8 +941,37 @@ impl ShardedMatchService {
             overflow,
             batches: metrics.iter().map(|m| m.batches).sum(),
         };
-        let service_metrics =
+        let mut service_metrics =
             ServiceMetrics::from_shards(cfg.duration, cfg.arrival_rate, elapsed, metrics);
+        let (done_migrations, aborted_migrations) = migrations;
+        service_metrics.total_migrations = done_migrations;
+        service_metrics.aborted_migrations = aborted_migrations;
+        if let Some(tc) = tenancy.as_ref() {
+            let mut tenants: Vec<crate::metrics::TenantMetrics> = tc
+                .tenants
+                .iter()
+                .enumerate()
+                .map(|(id, spec)| crate::metrics::TenantMetrics {
+                    tenant: id as u32,
+                    name: spec.name.clone(),
+                    class: spec.class.label().to_string(),
+                    streams: spec.streams as u64,
+                    arrivals: 0,
+                    admitted: 0,
+                    matched: 0,
+                    overflow: OverflowStats::default(),
+                })
+                .collect();
+            for so in &stream_outcomes {
+                let t = &mut tenants[so.tenant as usize];
+                t.arrivals += so.arrivals;
+                t.admitted += so.admitted;
+                t.matched += so.matched;
+                t.overflow.spilled += so.spilled;
+                t.overflow.shed += so.shed;
+            }
+            service_metrics.tenants = tenants;
+        }
         ShardedServiceReport {
             aggregate,
             metrics: service_metrics,

@@ -228,6 +228,15 @@ pub struct ShardPlacement {
     /// through it — a stale direct read would split one key's stream
     /// across two shards and break per-pair ordering.
     redirects: Vec<usize>,
+    /// Durable slot ownership: `assignments[slot]` is the *home* shard
+    /// of stream slot `slot`. Defaults to the identity over `shards`
+    /// (one slot per shard, the pre-tenancy layout); a tenancy config
+    /// may pin more slots than shards, and a `ReshardPlanner` rebinds
+    /// slots permanently via [`ShardPlacement::migrate`]. Resolution is
+    /// always two-level — `redirects[assignments[slot]]` — so a chain
+    /// can never be deeper than home → failover target, and cycles are
+    /// structurally impossible.
+    assignments: Vec<usize>,
 }
 
 impl ShardPlacement {
@@ -238,6 +247,7 @@ impl ShardPlacement {
             shards,
             rules: Vec::new(),
             redirects: (0..shards).collect(),
+            assignments: (0..shards).collect(),
         }
     }
 
@@ -262,6 +272,26 @@ impl ShardPlacement {
             shards,
             rules,
             redirects: (0..shards).collect(),
+            assignments: (0..shards).collect(),
+        }
+    }
+
+    /// Placement with an explicit slot → home-shard map (tenancy: slots
+    /// may outnumber shards, and several slots may share one home).
+    ///
+    /// # Panics
+    /// Panics if `assignments` is empty or names a shard `>= shards`.
+    pub fn with_assignments(shards: usize, assignments: Vec<usize>) -> Self {
+        assert!(shards > 0, "a service needs at least one shard");
+        assert!(!assignments.is_empty(), "a placement needs slots");
+        for (slot, &h) in assignments.iter().enumerate() {
+            assert!(h < shards, "slot {slot} assigned to shard {h} of {shards}");
+        }
+        ShardPlacement {
+            shards,
+            rules: Vec::new(),
+            redirects: (0..shards).collect(),
+            assignments,
         }
     }
 
@@ -305,10 +335,59 @@ impl ShardPlacement {
         self.redirects[shard] = shard;
     }
 
+    /// Number of stream slots this placement routes. Equals `shards`
+    /// until an explicit assignment map decouples the two.
+    pub fn slots(&self) -> usize {
+        self.assignments.len()
+    }
+
+    /// The home shard of stream slot `slot`, ignoring any active
+    /// failover redirect. Durable: only [`ShardPlacement::migrate`]
+    /// moves it.
+    pub fn home_of_slot(&self, slot: usize) -> usize {
+        self.assignments[slot]
+    }
+
     /// Where keys homed on `shard` are currently serviced (`shard`
-    /// itself unless a redirect is active).
-    pub fn target_of(&self, shard: usize) -> usize {
+    /// itself unless a failover redirect is active).
+    pub fn redirect_of(&self, shard: usize) -> usize {
         self.redirects[shard]
+    }
+
+    /// The shard currently servicing stream slot `slot`: its home
+    /// shard, resolved through any active failover redirect. The chain
+    /// is always exactly `slot → home → redirect target` — migration
+    /// rewrites the first hop, failover the second, so repeated
+    /// failover/handback/migration sequences can never stack into
+    /// longer chains or cycles.
+    pub fn target_of(&self, slot: usize) -> usize {
+        self.redirects[self.assignments[slot]]
+    }
+
+    /// Permanently rebind stream slot `slot` to home shard `shard` (a
+    /// reshard migration committing a drain-transfer-handback). Unlike
+    /// [`ShardPlacement::redirect`], this survives recovery of the old
+    /// home — the slot has genuinely moved.
+    ///
+    /// # Panics
+    /// Panics if either index is out of range.
+    pub fn migrate(&mut self, slot: usize, shard: usize) {
+        assert!(slot < self.assignments.len(), "slot out of range");
+        assert!(shard < self.shards, "shard out of range");
+        self.assignments[slot] = shard;
+    }
+
+    /// Replace the whole slot → home-shard map (resetting a service
+    /// between runs after migrations mutated it).
+    ///
+    /// # Panics
+    /// Panics if the map is empty or names a shard `>= shards`.
+    pub fn set_assignments(&mut self, assignments: Vec<usize>) {
+        assert!(!assignments.is_empty(), "a placement needs slots");
+        for (slot, &h) in assignments.iter().enumerate() {
+            assert!(h < self.shards, "slot {slot} assigned out of range");
+        }
+        self.assignments = assignments;
     }
 
     /// Split a batch into per-shard message/request index lists.
@@ -552,6 +631,47 @@ mod tests {
             }
             let _ = ri;
         }
+    }
+
+    #[test]
+    fn slots_default_to_one_per_shard_and_follow_redirects() {
+        let mut p = ShardPlacement::hashed(4);
+        assert_eq!(p.slots(), 4);
+        for s in 0..4 {
+            assert_eq!(p.home_of_slot(s), s);
+            assert_eq!(p.target_of(s), s);
+        }
+        p.redirect(2, 0);
+        assert_eq!(p.target_of(2), 0, "slot resolves through the redirect");
+        assert_eq!(p.home_of_slot(2), 2, "home ownership never moves");
+    }
+
+    #[test]
+    fn migration_moves_homes_durably_and_composes_with_failover() {
+        // 6 slots over 3 shards: slots 0..4 on shard 0, 4..6 spread.
+        let mut p = ShardPlacement::with_assignments(3, vec![0, 0, 0, 0, 1, 2]);
+        assert_eq!(p.slots(), 6);
+        assert_eq!(p.target_of(3), 0);
+        p.migrate(3, 2);
+        assert_eq!(p.home_of_slot(3), 2, "migration rebinds the home");
+        assert_eq!(p.target_of(3), 2);
+        // Failover of the old home no longer touches the migrated slot.
+        p.redirect(0, 1);
+        assert_eq!(p.target_of(0), 1);
+        assert_eq!(
+            p.target_of(3),
+            2,
+            "migrated slot ignores old home's redirect"
+        );
+        // Recovery of the old home keeps the migration in force.
+        p.restore(0);
+        assert_eq!(p.target_of(3), 2);
+        // Failover of the *new* home does reroute it, exactly one hop.
+        p.redirect(2, 1);
+        assert_eq!(p.target_of(3), 1);
+        assert_eq!(p.target_of(5), 1, "other slots on the new home move too");
+        p.restore(2);
+        assert_eq!(p.target_of(3), 2);
     }
 
     #[test]

@@ -87,6 +87,10 @@ pub enum SpanCategory {
     /// this instant displaced older ones, so the trace is truncated at
     /// the front.
     TraceOverflow,
+    /// A reshard migration lifecycle event (plan, drain, transfer,
+    /// handback or abort) moving a stream slot's durable home between
+    /// shards at an epoch barrier.
+    Migration,
 }
 
 impl SpanCategory {
@@ -115,6 +119,7 @@ impl SpanCategory {
             SpanCategory::Flow => "flow",
             SpanCategory::Wall => "wall",
             SpanCategory::TraceOverflow => "trace_overflow",
+            SpanCategory::Migration => "migration",
         }
     }
 }
