@@ -16,6 +16,7 @@
 //! | [`shard_scaling`] | sharded service: sustained rate vs shards × engine |
 //! | [`recovery_scaling`] | fault tolerance: crash rate × checkpoint interval |
 //! | [`obs_report`] | traced service run: span timeline, exposition, stalls |
+//! | [`prefilter`] | pre-filter screen: unexpected ratio × depth, on vs off |
 //! | [`fabric_scaling`] | simulated interconnect: eager threshold × loss × skew |
 //! | [`tenancy_scaling`] | multi-tenant QoS: Zipf tenants × shards, isolation, resharding |
 
@@ -26,6 +27,7 @@ pub mod figure4;
 pub mod figure5;
 pub mod figure6b;
 pub mod obs_report;
+pub mod prefilter;
 pub mod profile;
 pub mod recovery_scaling;
 pub mod saturation;

@@ -342,6 +342,41 @@ pub fn check_regressions(
         }
     }
 
+    // The pre-filter headline: the cycle speedup of screening the
+    // deepest, most-unexpected grid point gets the usual drop
+    // tolerance; the memory-dependency-stall claim is an invariant — a
+    // screen that stops cutting mem stalls on unexpected-heavy traffic
+    // has lost the property it exists for.
+    let base_pref = baseline.field("prefilter").map_err(|e| e.to_string())?;
+    let base_speedup = field_num(base_pref, &["headline_cycle_speedup"])?;
+    let got_speedup = field_num(service, &["prefilter", "headline", "cycle_speedup"])?;
+    if got_speedup < base_speedup * (1.0 - GOODPUT_DROP_TOLERANCE) {
+        regressions.push(format!(
+            "prefilter: headline cycle speedup {got_speedup:.3}x is more than {:.0}% \
+             below the baseline {base_speedup:.3}x",
+            GOODPUT_DROP_TOLERANCE * 100.0
+        ));
+    }
+    let stall_full = field_num(
+        service,
+        &["prefilter", "headline", "mem_dependency_stall_full"],
+    )?;
+    let stall_screened = field_num(
+        service,
+        &["prefilter", "headline", "mem_dependency_stall_screened"],
+    )?;
+    if stall_screened >= stall_full {
+        regressions.push(format!(
+            "prefilter: screening no longer reduces memory-dependency stalls at the \
+             headline point ({stall_screened:.0} >= {stall_full:.0})"
+        ));
+    }
+    if field_num(service, &["prefilter", "headline", "rejected_total"])? == 0.0 {
+        regressions.push(
+            "prefilter: the headline point rejected nothing — the sweep lost its teeth".to_string(),
+        );
+    }
+
     let base_rec = baseline.field("recovery").map_err(|e| e.to_string())?;
     let base_rate = field_num(base_rec, &["baseline_sustained_rate"])?;
     let got_rate = field_num(recovery, &["baseline_sustained_rate"])?;
@@ -605,7 +640,28 @@ mod tests {
                 "tenancy".to_string(),
                 V::Object(vec![("headline_sustained_rate".to_string(), V::F64(rate))]),
             ),
+            (
+                "prefilter".to_string(),
+                V::Object(vec![("headline_cycle_speedup".to_string(), V::F64(3.0))]),
+            ),
         ])
+    }
+
+    /// A healthy (or deliberately broken) `prefilter` service section.
+    fn prefilter_value(speedup: f64, stall_full: f64, stall_screened: f64) -> serde::Value {
+        use serde::Value as V;
+        V::Object(vec![(
+            "headline".to_string(),
+            V::Object(vec![
+                ("cycle_speedup".to_string(), V::F64(speedup)),
+                ("mem_dependency_stall_full".to_string(), V::F64(stall_full)),
+                (
+                    "mem_dependency_stall_screened".to_string(),
+                    V::F64(stall_screened),
+                ),
+                ("rejected_total".to_string(), V::F64(64.0)),
+            ]),
+        )])
     }
 
     /// A `BENCH_tenancy.json`-shaped value with healthy invariants
@@ -659,6 +715,10 @@ mod tests {
                     "matrix@8shards".to_string(),
                     V::Object(vec![("barrier_stall_fraction".to_string(), V::F64(frac))]),
                 )]),
+            ),
+            (
+                "prefilter".to_string(),
+                prefilter_value(3.0, 10_000.0, 2_000.0),
             ),
         ]);
         let recovery = V::Object(vec![
@@ -728,6 +788,39 @@ mod tests {
         assert!(
             msgs.iter().any(|m| m.contains("headline sustained rate")),
             "headline drop must be reported: {msgs:?}"
+        );
+    }
+
+    #[test]
+    fn regression_gate_watches_the_prefilter_headline() {
+        use serde::Value as V;
+        let baseline = baseline_value(8.0e6, 0.30, 0.99);
+        let tenancy = tenancy_value(8.0e6, 0.0, true);
+        let (healthy, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
+
+        let with_prefilter = |pref: serde::Value| {
+            let V::Object(mut entries) = healthy.clone() else {
+                unreachable!()
+            };
+            entries.retain(|(k, _)| k != "prefilter");
+            entries.push(("prefilter".to_string(), pref));
+            V::Object(entries)
+        };
+
+        // An 11% speedup drop trips the shared goodput tolerance.
+        let bad = with_prefilter(prefilter_value(3.0 * 0.89, 10_000.0, 2_000.0));
+        let msgs = check_regressions(&baseline, &bad, &recovery, &tenancy).expect("well-formed");
+        assert!(
+            msgs.iter().any(|m| m.contains("cycle speedup")),
+            "speedup drop must be reported: {msgs:?}"
+        );
+
+        // Screening that stops cutting mem stalls is an invariant break.
+        let bad = with_prefilter(prefilter_value(3.0, 2_000.0, 2_000.0));
+        let msgs = check_regressions(&baseline, &bad, &recovery, &tenancy).expect("well-formed");
+        assert!(
+            msgs.iter().any(|m| m.contains("memory-dependency")),
+            "stall invariant must be reported: {msgs:?}"
         );
     }
 

@@ -150,6 +150,17 @@ pub fn metrics_json(points: &[Point]) -> String {
         "scheduler_profile".to_string(),
         scheduler_profile_value(points),
     ));
+    // The engine-level pre-filter grid rides along in the service
+    // artefact so the regression gate diffs one file: a fixed-seed
+    // sweep, deterministic like everything above.
+    entries.push((
+        "prefilter".to_string(),
+        crate::experiments::prefilter::section_value(&crate::experiments::prefilter::run(
+            &crate::experiments::prefilter::DEFAULT_DEPTHS,
+            &crate::experiments::prefilter::DEFAULT_MATCH_PCTS,
+            5,
+        )),
+    ));
     let mut out = String::new();
     let tree = serde::Value::Object(entries);
     out.push_str(&serde::json::to_string_pretty(&ValueWrap(tree)));
@@ -305,12 +316,16 @@ mod tests {
             serde::Value::Object(entries) => {
                 assert_eq!(
                     entries.len(),
-                    6,
-                    "one snapshot per policy plus the wall_clock, stall_attribution and \
-                     scheduler_profile sections"
+                    7,
+                    "one snapshot per policy plus the wall_clock, stall_attribution, \
+                     scheduler_profile and prefilter sections"
                 );
                 for (k, v) in entries {
-                    if k == "wall_clock" || k == "stall_attribution" || k == "scheduler_profile" {
+                    if k == "wall_clock"
+                        || k == "stall_attribution"
+                        || k == "scheduler_profile"
+                        || k == "prefilter"
+                    {
                         continue;
                     }
                     assert!(k.ends_with("@2shards"), "best shard count wins: {k}");

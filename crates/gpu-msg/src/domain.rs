@@ -64,6 +64,22 @@ struct EndpointInner {
     inbox: Vec<Message>,
     /// Posted-but-unmatched receives (the device-resident PRQ).
     posted: Vec<(RecvHandle, RecvRequest)>,
+    /// SoA mirror of `inbox` envelopes: the maintained packed-word
+    /// column is what matrix launches upload, so the kernel path never
+    /// re-packs the queue.
+    umq_soa: EnvelopeSoa,
+    /// SoA mirror of `posted` requests (packed-word column for matrix
+    /// launches; handles stay in `posted`).
+    prq_soa: RequestSoa,
+    /// Counting-digest summary of `inbox`, probed by posted requests.
+    umq_filter: EnvelopeFilter,
+    /// Counting-digest summary of `posted`, probed by arrivals.
+    prq_filter: RequestFilter,
+    /// Screen batches through the digests before launching (see
+    /// [`DomainConfig::prefilter`]). The mirrors above are maintained
+    /// either way — the flag only gates their consultation, so flipping
+    /// it changes timing and counters, never match results.
+    prefilter: bool,
     /// Matched receives awaiting collection by the application.
     completed: Vec<Completion>,
     gpu: Gpu,
@@ -87,25 +103,62 @@ impl EndpointInner {
         if self.inbox.is_empty() || self.posted.is_empty() {
             return Ok(0);
         }
-        let msgs: Vec<Envelope> = self.inbox.iter().map(|m| m.envelope).collect();
         let reqs: Vec<RecvRequest> = self.posted.iter().map(|(_, r)| *r).collect();
         relax.validate_workload(&[], &reqs)?; // wildcard legality
 
+        // Screen through the incrementally-maintained digests: entries
+        // whose tuple can match nothing stay out of the launch, and a
+        // launch whose batch empties on either side is skipped outright.
+        let screen = if self.prefilter {
+            let s = screen_soa(&self.umq_filter, &self.prq_filter, &self.umq_soa, &reqs);
+            self.stats.prefilter_probes += (self.inbox.len() + reqs.len()) as u64;
+            self.stats.prefilter_rejections += s.rejected_msgs + s.rejected_reqs;
+            s
+        } else {
+            ScreenReport {
+                msg_keep: (0..self.inbox.len() as u32).collect(),
+                req_keep: (0..reqs.len() as u32).collect(),
+                ..Default::default()
+            }
+        };
+        if screen.skip_launch() {
+            self.stats.prefilter_skipped_launches += 1;
+            return Ok(0);
+        }
+
         let report: GpuMatchReport = match matcher {
             MatcherKind::Matrix => {
-                MatrixMatcher::default().match_iterative(&mut self.gpu, &msgs, &reqs)
+                // The SoA mirrors hold maintained packed-word columns:
+                // the launch uploads gathers of those, never re-packing.
+                let mut msg_words = Vec::new();
+                let mut req_words = Vec::new();
+                self.umq_soa
+                    .gather_words_into(&screen.msg_keep, &mut msg_words);
+                self.prq_soa
+                    .gather_words_into(&screen.req_keep, &mut req_words);
+                MatrixMatcher::default().match_iterative_words(
+                    &mut self.gpu,
+                    &msg_words,
+                    &req_words,
+                )
             }
-            MatcherKind::Partitioned(k) => PartitionedMatcher::new(k)
-                .match_batch(&mut self.gpu, &msgs, &reqs)
-                .map_err(|e| format!("rank {}: {e}", self.rank))?,
+            MatcherKind::Partitioned(k) => {
+                let mut sub_msgs = Vec::new();
+                self.umq_soa.gather_into(&screen.msg_keep, &mut sub_msgs);
+                let sub_reqs: Vec<RecvRequest> =
+                    screen.req_keep.iter().map(|&j| reqs[j as usize]).collect();
+                PartitionedMatcher::new(k)
+                    .match_batch(&mut self.gpu, &sub_msgs, &sub_reqs)
+                    .map_err(|e| format!("rank {}: {e}", self.rank))?
+            }
             MatcherKind::Hash => {
-                // The hash path processes in device-batch chunks.
-                let mut assignment: Vec<Option<u32>> = vec![None; reqs.len()];
-                let r = HashMatcher::default()
-                    .match_batch(&mut self.gpu, &msgs, &reqs)
-                    .map_err(|e| format!("rank {}: {e}", self.rank))?;
-                assignment.copy_from_slice(&r.assignment);
-                GpuMatchReport { assignment, ..r }
+                let mut sub_msgs = Vec::new();
+                self.umq_soa.gather_into(&screen.msg_keep, &mut sub_msgs);
+                let sub_reqs: Vec<RecvRequest> =
+                    screen.req_keep.iter().map(|&j| reqs[j as usize]).collect();
+                HashMatcher::default()
+                    .match_batch(&mut self.gpu, &sub_msgs, &sub_reqs)
+                    .map_err(|e| format!("rank {}: {e}", self.rank))?
             }
         };
 
@@ -113,11 +166,14 @@ impl EndpointInner {
         self.stats.kernel_seconds += report.seconds;
         self.stats.launches += report.launches as u64;
         self.stats.matches += report.matches;
+        self.stats.probe_dedups += report.probe_dedups;
 
-        // Deliver completions; retain unmatched state.
+        // Fan the screened assignment back out to full-queue indices,
+        // then deliver completions and retain unmatched state.
+        let assignment = expand_assignment(reqs.len(), &screen, &report.assignment);
         let mut matched_msgs: Vec<usize> = Vec::new();
         let mut matched_posts: Vec<usize> = Vec::new();
-        for (j, a) in report.assignment.iter().enumerate() {
+        for (j, a) in assignment.iter().enumerate() {
             if let Some(i) = a {
                 matched_msgs.push(*i as usize);
                 matched_posts.push(j);
@@ -141,10 +197,19 @@ impl EndpointInner {
                 message,
             });
         }
+        // Matched entries leave the digests before queue compaction.
+        for &i in &matched_msgs {
+            self.umq_filter.remove(&self.inbox[i].envelope);
+        }
+        for &j in &matched_posts {
+            self.prq_filter.remove(&self.posted[j].1);
+        }
         let mut drop_msgs = vec![false; self.inbox.len()];
         for &i in &matched_msgs {
             drop_msgs[i] = true;
         }
+        let keep_msgs: Vec<bool> = drop_msgs.iter().map(|&d| !d).collect();
+        self.umq_soa.compact(&keep_msgs);
         let mut keep_i = 0usize;
         self.inbox.retain(|_| {
             let k = !drop_msgs[keep_i];
@@ -155,6 +220,8 @@ impl EndpointInner {
         for &j in &matched_posts {
             drop_posts[j] = true;
         }
+        let keep_posts: Vec<bool> = drop_posts.iter().map(|&d| !d).collect();
+        self.prq_soa.compact(&keep_posts);
         let mut keep_j = 0usize;
         self.posted.retain(|_| {
             let k = !drop_posts[keep_j];
@@ -177,6 +244,10 @@ pub struct DomainConfig {
     pub matcher: MatcherKind,
     /// Semantics guaranteed to the application.
     pub relax: RelaxationConfig,
+    /// Screen match batches through per-queue counting-digest summaries
+    /// before launching the communication kernel (default on). Purely a
+    /// go-faster switch: match results are identical either way.
+    pub prefilter: bool,
     /// The wire between endpoints.
     pub transport: TransportConfig,
     /// Restore per-source order in user space: the transport is forced
@@ -216,6 +287,7 @@ impl DomainConfig {
             generation,
             matcher,
             relax,
+            prefilter: true,
             transport: TransportConfig::Direct,
             restore_order: false,
             progress_bound: None,
@@ -301,6 +373,11 @@ impl Domain {
                         rank,
                         inbox: Vec::new(),
                         posted: Vec::new(),
+                        umq_soa: EnvelopeSoa::new(),
+                        prq_soa: RequestSoa::new(),
+                        umq_filter: EnvelopeFilter::new(),
+                        prq_filter: RequestFilter::new(),
+                        prefilter: cfg.prefilter,
                         completed: Vec::new(),
                         gpu: Gpu::new(cfg.generation),
                         stats: EndpointStats::default(),
@@ -421,7 +498,11 @@ impl Domain {
                 }
                 None => vec![d.message],
             };
-            ep.inbox.extend(ready);
+            for m in ready {
+                ep.umq_soa.push(&m.envelope);
+                ep.umq_filter.insert(&m.envelope);
+                ep.inbox.push(m);
+            }
             let hw = ep.inbox.len();
             ep.stats.umq_high_water = ep.stats.umq_high_water.max(hw);
         }
@@ -494,6 +575,8 @@ impl Domain {
         let handle = RecvHandle(ep.next_handle);
         ep.next_handle += 1;
         ep.posted.push((handle, request));
+        ep.prq_soa.push(&request);
+        ep.prq_filter.insert(&request);
         let hw = ep.posted.len();
         ep.stats.prq_high_water = ep.stats.prq_high_water.max(hw);
         Ok(handle)

@@ -51,6 +51,19 @@ pub struct EndpointStats {
     pub umq_high_water: usize,
     /// High-water mark of the posted-receive queue.
     pub prq_high_water: usize,
+    /// Queue entries the kernel-launch pre-filter screened out of match
+    /// batches (see [`msg_match::prefilter`]); 0 when the domain runs
+    /// with the pre-filter disabled.
+    pub prefilter_rejections: u64,
+    /// Entries probed against the pre-filter digests (messages plus
+    /// requests, every kernel tick).
+    pub prefilter_probes: u64,
+    /// Kernel launches skipped entirely because screening emptied one
+    /// side of the batch.
+    pub prefilter_skipped_launches: u64,
+    /// Duplicate wildcard probes served by scan-ballot reuse inside the
+    /// matrix engine (see `GpuMatchReport::probe_dedups`).
+    pub probe_dedups: u64,
     /// Duplicate transport sequences dropped by this endpoint's reorder
     /// stage (only populated when the domain restores order in user
     /// space over an unordered transport).

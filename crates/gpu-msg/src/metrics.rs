@@ -252,6 +252,10 @@ pub struct EngineProfile {
     pub instr_atomic: u64,
     /// Barrier instructions.
     pub instr_barrier: u64,
+    /// Duplicate wildcard probes served by scan-ballot reuse instead of
+    /// a fresh queue pass (matrix engine; see
+    /// `msg_match::GpuMatchReport::probe_dedups`).
+    pub probe_dedups: u64,
 }
 
 impl EngineProfile {
@@ -273,6 +277,7 @@ impl EngineProfile {
         self.instr_shared_mem += smem;
         self.instr_atomic += atomic;
         self.instr_barrier += barrier;
+        self.probe_dedups += r.probe_dedups;
     }
 
     /// `(stall class label, cycles)` pairs in [`simt_sim::StallClass`]
@@ -362,6 +367,12 @@ pub struct ShardMetrics {
     /// Re-matched entries suppressed at commit because their seq was
     /// already delivered — the duplicate half of exactly-once replay.
     pub replay_duplicates: u64,
+    /// Dispatch-batch entries the pre-launch digest screen rejected as
+    /// unmatchable (see `msg_match::prefilter`). Service streams are
+    /// self-matching, so this stays 0 in healthy runs — a nonzero value
+    /// means the shard is being fed traffic its posted side never
+    /// requested.
+    pub prefilter_rejections: u64,
     /// Times this shard took over a down peer's keys.
     pub failovers_in: u64,
     /// Times this shard's keys were routed away to a failover peer.
@@ -419,6 +430,7 @@ impl ShardMetrics {
             snapshot_restored: 0,
             journal_replayed: 0,
             replay_duplicates: 0,
+            prefilter_rejections: 0,
             failovers_in: 0,
             failovers_out: 0,
             migrations_in: 0,
@@ -798,6 +810,18 @@ impl ServiceMetrics {
                 "Re-matched entries suppressed at commit (exactly-once)",
                 FamilyKind::Counter,
                 per_shard(|s| s.replay_duplicates as f64),
+            ),
+            Family::scalar(
+                "shard_prefilter_rejections_total",
+                "Dispatch entries the pre-launch digest screen rejected",
+                FamilyKind::Counter,
+                per_shard(|s| s.prefilter_rejections as f64),
+            ),
+            Family::scalar(
+                "shard_probe_dedups_total",
+                "Duplicate wildcard probes served by scan-ballot reuse",
+                FamilyKind::Counter,
+                per_shard(|s| s.profile.probe_dedups as f64),
             ),
             Family::scalar(
                 "shard_failovers_in_total",

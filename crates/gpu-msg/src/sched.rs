@@ -864,6 +864,22 @@ impl<'a> Domain<'a> {
                 }
             }
 
+            // Screen the batch through the digest pre-filters before
+            // touching the device. Service streams are self-matching
+            // (each request mirrors a message exactly), so nothing is
+            // ever rejected here and the artefacts stay byte-identical
+            // with the screen off — but the counter is the operator's
+            // canary for mismatched traffic, and the debug assert pins
+            // the soundness claim on every test run.
+            if env.cfg.prefilter {
+                let screen = screen_batch(&msgs, &reqs);
+                debug_assert!(
+                    !screen.skip_launch(),
+                    "service batches are self-matching; the screen must keep them"
+                );
+                cell.metrics.prefilter_rejections += screen.rejected_msgs + screen.rejected_reqs;
+            }
+
             // The shard's resident device: reclaim the arena, not the
             // device.
             let choice = cell.active_choice;

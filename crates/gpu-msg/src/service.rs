@@ -306,6 +306,13 @@ pub struct ShardedServiceConfig {
     /// (`tests/parallel_differential.rs` pins this); only wall-clock
     /// time differs.
     pub scheduler: Scheduler,
+    /// Screen each dispatch batch through counting-digest pre-filters
+    /// before launching (see [`msg_match::prefilter`]). Service streams
+    /// are self-matching, so in this path the screen never rejects —
+    /// artefacts are byte-identical on or off — but the rejection
+    /// counter it feeds (`shard_prefilter_rejections_total`) is the
+    /// signal an operator watches for mismatched traffic.
+    pub prefilter: bool,
 }
 
 impl Default for ShardedServiceConfig {
@@ -326,6 +333,7 @@ impl Default for ShardedServiceConfig {
             trace_capacity: 4096,
             flow_sample_every: 64,
             scheduler: Scheduler::GlobalClock,
+            prefilter: true,
         }
     }
 }

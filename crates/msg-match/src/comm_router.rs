@@ -45,6 +45,30 @@ pub struct CommRouter {
     pub placement: EnginePlacement,
 }
 
+/// Reusable per-communicator gather buffers for
+/// [`CommRouter::match_batch_with`].
+///
+/// A router splitting every batch by communicator used to allocate four
+/// fresh vectors per communicator per batch (two index lists, then an
+/// envelope clone and a request clone of each sub-batch). A long-lived
+/// caller — the sharded service runs this on every kernel tick — hands
+/// the same scratch back in and the gathers become `clear` + `extend`
+/// over retained capacity.
+#[derive(Debug, Clone, Default)]
+pub struct RouterScratch {
+    msg_ids: Vec<u32>,
+    req_ids: Vec<u32>,
+    sub_msgs: Vec<Envelope>,
+    sub_reqs: Vec<RecvRequest>,
+}
+
+impl RouterScratch {
+    /// Empty scratch; buffers grow to the working-set high-water mark.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 impl CommRouter {
     /// Router with dedicated SMs per communicator.
     pub fn new(config: RelaxationConfig) -> Self {
@@ -64,6 +88,22 @@ impl CommRouter {
         gpu: &mut Gpu,
         msgs: &[Envelope],
         reqs: &[RecvRequest],
+    ) -> Result<(Vec<(u16, EngineChoice)>, GpuMatchReport), String> {
+        self.match_batch_with(gpu, msgs, reqs, &mut RouterScratch::new())
+    }
+
+    /// [`CommRouter::match_batch`] with caller-owned gather buffers:
+    /// repeated calls reuse `scratch`'s allocations instead of cloning
+    /// each per-communicator sub-batch into fresh vectors.
+    ///
+    /// # Errors
+    /// Propagates relaxation violations and engine failures.
+    pub fn match_batch_with(
+        &self,
+        gpu: &mut Gpu,
+        msgs: &[Envelope],
+        reqs: &[RecvRequest],
+        scratch: &mut RouterScratch,
     ) -> Result<(Vec<(u16, EngineChoice)>, GpuMatchReport), String> {
         self.config.validate_workload(msgs, reqs)?;
 
@@ -92,19 +132,37 @@ impl CommRouter {
         let mut sum_stall = [0u64; simt_sim::STALL_CLASSES];
         let mut max_stall = [0u64; simt_sim::STALL_CLASSES];
 
+        let single = comms.len() == 1;
+        let mut probe_dedups = 0u64;
         for comm in comms {
-            let msg_ids: Vec<u32> = (0..msgs.len() as u32)
-                .filter(|&i| msgs[i as usize].comm == comm)
-                .collect();
-            let req_ids: Vec<u32> = (0..reqs.len() as u32)
-                .filter(|&j| reqs[j as usize].comm == comm)
-                .collect();
-            let sub_msgs: Vec<Envelope> = msg_ids.iter().map(|&i| msgs[i as usize]).collect();
-            let sub_reqs: Vec<RecvRequest> = req_ids.iter().map(|&j| reqs[j as usize]).collect();
+            scratch.msg_ids.clear();
+            scratch.req_ids.clear();
+            scratch
+                .msg_ids
+                .extend((0..msgs.len() as u32).filter(|&i| msgs[i as usize].comm == comm));
+            scratch
+                .req_ids
+                .extend((0..reqs.len() as u32).filter(|&j| reqs[j as usize].comm == comm));
+            let (sub_msgs, sub_reqs): (&[Envelope], &[RecvRequest]) = if single {
+                // One communicator owns the whole batch (the common case,
+                // per Table I): the engine runs on the caller's slices as
+                // an identity index view, no gather at all.
+                (msgs, reqs)
+            } else {
+                scratch.sub_msgs.clear();
+                scratch
+                    .sub_msgs
+                    .extend(scratch.msg_ids.iter().map(|&i| msgs[i as usize]));
+                scratch.sub_reqs.clear();
+                scratch
+                    .sub_reqs
+                    .extend(scratch.req_ids.iter().map(|&j| reqs[j as usize]));
+                (&scratch.sub_msgs, &scratch.sub_reqs)
+            };
             let t0 = gpu.obs.as_ref().map(|r| r.now_ns());
-            let (choice, report) =
-                self.engine
-                    .match_batch(gpu, self.config, &sub_msgs, &sub_reqs)?;
+            let (choice, report) = self
+                .engine
+                .match_batch(gpu, self.config, sub_msgs, sub_reqs)?;
             if let (Some(rec), Some(t0)) = (gpu.obs.as_mut(), t0) {
                 let dur = rec.now_ns().saturating_sub(t0);
                 rec.record_complete(
@@ -121,10 +179,11 @@ impl CommRouter {
             }
             for (bj, a) in report.assignment.iter().enumerate() {
                 if let Some(bi) = a {
-                    assignment[req_ids[bj] as usize] = Some(msg_ids[*bi as usize]);
+                    assignment[scratch.req_ids[bj] as usize] = Some(scratch.msg_ids[*bi as usize]);
                 }
             }
             matches += report.matches;
+            probe_dedups += report.probe_dedups;
             instructions += report.instructions;
             launches += report.launches;
             dep_stalls += report.dependency_stall_cycles;
@@ -176,6 +235,7 @@ impl CommRouter {
                 issue_busy_cycles: issue_busy,
                 mem_busy_cycles: mem_busy,
                 stall_cycles,
+                probe_dedups,
             },
         ))
     }
@@ -424,13 +484,11 @@ impl ShardPlacement {
     ) -> Vec<EngineChoice> {
         self.split(sample_msgs, sample_reqs)
             .into_iter()
-            .map(|(mi, ri)| {
+            .map(|(mi, _ri)| {
                 if mi.is_empty() {
                     return EngineChoice::Matrix;
                 }
-                let ms: Vec<Envelope> = mi.iter().map(|&i| sample_msgs[i as usize]).collect();
-                let rs: Vec<RecvRequest> = ri.iter().map(|&j| sample_reqs[j as usize]).collect();
-                engine.choose(config, &ms, &rs)
+                engine.choose_indexed(config, sample_msgs, &mi)
             })
             .collect()
     }

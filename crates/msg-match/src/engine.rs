@@ -12,7 +12,7 @@ use crate::hash::HashMatcher;
 use crate::matrix::{MatrixMatcher, MAX_BATCH};
 use crate::partitioned::PartitionedMatcher;
 use crate::relax::{DataStructure, RelaxationConfig};
-use crate::workloads::tuple_uniqueness_pct;
+use crate::workloads::{tuple_uniqueness_pct, tuple_uniqueness_pct_indexed};
 
 /// Tuning inputs for automatic engine selection.
 #[derive(Debug, Clone, Copy)]
@@ -89,6 +89,32 @@ impl MatchEngine {
             }
         }
         let _ = reqs;
+        EngineChoice::Matrix
+    }
+
+    /// [`MatchEngine::choose`] over an index view into `msgs`: scores the
+    /// sub-batch `ids` selects without gathering it into a fresh
+    /// `Vec<Envelope>` (what [`crate::comm_router::ShardPlacement::plan_engines`]
+    /// feeds it per shard).
+    pub fn choose_indexed(
+        &self,
+        config: RelaxationConfig,
+        msgs: &[Envelope],
+        ids: &[u32],
+    ) -> EngineChoice {
+        if config.data_structure() == DataStructure::HashTable
+            && tuple_uniqueness_pct_indexed(msgs, ids) <= self.policy.max_uniqueness_pct
+        {
+            return EngineChoice::Hash;
+        }
+        if config.partitionable() {
+            let peers: std::collections::BTreeSet<u32> =
+                ids.iter().map(|&i| msgs[i as usize].src).collect();
+            let queues = peers.len().clamp(1, self.policy.max_queues);
+            if queues > 1 {
+                return EngineChoice::Partitioned { queues };
+            }
+        }
         EngineChoice::Matrix
     }
 

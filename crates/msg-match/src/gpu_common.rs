@@ -42,6 +42,9 @@ pub struct GpuMatchReport {
     /// Critical-path cycles attributed per [`simt_sim::StallClass`]
     /// (summed over launches; sums to `cycles` exactly).
     pub stall_cycles: [u64; simt_sim::STALL_CLASSES],
+    /// Adjacent duplicate request probes served by scan-ballot reuse
+    /// (wildcard probe dedup); 0 for engines without the optimisation.
+    pub probe_dedups: u64,
 }
 
 impl GpuMatchReport {
@@ -84,6 +87,7 @@ impl GpuMatchReport {
                     }
                     acc
                 }),
+            probe_dedups: 0,
             assignment,
         }
     }

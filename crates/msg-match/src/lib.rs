@@ -22,6 +22,10 @@
 //!   Jenkins' 6-shift hash (~500 M matches/s).
 //! * [`compaction`] — the prefix-scan queue compaction whose cost the
 //!   *no unexpected messages* relaxation avoids (~10%).
+//! * [`prefilter`] — O(1) counting-digest queue summaries that reject
+//!   fruitless traversals without relaxing any semantics.
+//! * [`soa`] — structure-of-arrays queue backing whose maintained packed
+//!   word column uploads straight to the kernels.
 //! * [`relax`] — the Table II lattice tying guarantees to engines, with
 //!   workload validation.
 //! * [`workloads`] — the micro-benchmark generators of Section V-B.
@@ -51,13 +55,17 @@ pub mod hashed_list;
 pub mod list;
 pub mod matrix;
 pub mod partitioned;
+pub mod prefilter;
 pub mod reference;
 pub mod relax;
+pub mod soa;
 pub mod workloads;
 
 /// Convenience re-exports of the main API surface.
 pub mod prelude {
-    pub use crate::comm_router::{CommRouter, EnginePlacement, ShardPlacement, ShardRule};
+    pub use crate::comm_router::{
+        CommRouter, EnginePlacement, RouterScratch, ShardPlacement, ShardRule,
+    };
     pub use crate::engine::{engine_name, EngineChoice, MatchEngine, SelectionPolicy};
     pub use crate::envelope::{CommId, Envelope, Rank, RecvRequest, SrcSpec, Tag, TagSpec};
     pub use crate::gpu_common::{GpuMatchReport, NO_MATCH};
@@ -66,8 +74,13 @@ pub mod prelude {
     pub use crate::list::{ListMatcher, MatchPair};
     pub use crate::matrix::{MatrixMatcher, MAX_BATCH};
     pub use crate::partitioned::PartitionedMatcher;
+    pub use crate::prefilter::{
+        expand_assignment, screen_batch, screen_soa, screen_with, EnvelopeFilter, RequestFilter,
+        ScreenReport,
+    };
     pub use crate::reference::{match_queues, MatchEvent, ReferenceEngine};
     pub use crate::relax::{DataStructure, PerformanceClass, RelaxationConfig, UserImplication};
+    pub use crate::soa::{EnvelopeSoa, RequestSoa};
     pub use crate::workloads::{Workload, WorkloadSpec};
 }
 

@@ -67,6 +67,14 @@ pub struct MatrixMatcher {
     /// Disable scan/reduce pipelining (ablation): the reduce of window
     /// *k* only starts after *every* scan has finished.
     pub disable_pipelining: bool,
+    /// Wildcard probe dedup: when adjacent columns broadcast identical
+    /// request words (duplicate `(Any, tag)` / `(src, Any)` probes posted
+    /// back to back), the scan reuses the previous column's ballot
+    /// instead of re-evaluating every lane predicate. The reduce still
+    /// walks every column in posted order, so results are fanned out in
+    /// posting order and assignments are byte-identical — only
+    /// instruction and stall counts drop.
+    pub dedup_probes: bool,
 }
 
 impl Default for MatrixMatcher {
@@ -75,6 +83,7 @@ impl Default for MatrixMatcher {
             window: DEFAULT_WINDOW,
             costs: MatrixCosts::default(),
             disable_pipelining: false,
+            dedup_probes: true,
         }
     }
 }
@@ -94,6 +103,7 @@ struct MatrixKernel {
     reduce_warp: usize,
     costs: MatrixCosts,
     disable_pipelining: bool,
+    dedup: bool,
 }
 
 impl MatrixKernel {
@@ -112,6 +122,8 @@ impl MatrixKernel {
         // the standard CUDA idiom for Algorithm 1's inner loop — a naive
         // per-iteration pointer chase would serialise on memory latency.
         let mut chunk_start = 0usize;
+        // (request word, ballot) of the previous column, for probe dedup.
+        let mut prev: Option<(u64, u32)> = None;
         while chunk_start < win_len {
             let chunk = WARP_SIZE.min(win_len - chunk_start);
             let lid = w.lane_ids();
@@ -126,8 +138,21 @@ impl MatrixKernel {
                 w.charge_alu(1 + self.costs.scan_overhead);
                 let bcast = w.shfl(&req_lanes, j);
                 let req_word = bcast.get(0);
-                let preds = msg_words.zip(msg_live, |m, live| live && packed_matches(m, req_word));
-                let vote = w.ballot_dep(load_dep.take(), &preds);
+                let vote = match prev {
+                    // Probe dedup: an identical adjacent request word
+                    // yields the identical ballot, so one register
+                    // compare replaces the per-lane predicate chain.
+                    Some((pw, pv)) if self.dedup && pw == req_word => {
+                        w.charge_alu(1);
+                        pv
+                    }
+                    _ => {
+                        let preds =
+                            msg_words.zip(msg_live, |m, live| live && packed_matches(m, req_word));
+                        w.ballot_dep(load_dep.take(), &preds)
+                    }
+                };
+                prev = Some((req_word, vote));
                 // Column-major matrix: column i occupies 32 consecutive
                 // words, so the reduce's column gather is conflict free.
                 let i = chunk_start + j;
@@ -288,6 +313,7 @@ struct SmallKernel {
     n_msgs: usize,
     n_reqs: usize,
     costs: MatrixCosts,
+    dedup: bool,
 }
 
 impl CtaKernel for SmallKernel {
@@ -299,6 +325,7 @@ impl CtaKernel for SmallKernel {
         let (msgq, recvq, result) = (self.msgq, self.recvq, self.result);
         let (n_msgs, n_reqs) = (self.n_msgs, self.n_reqs);
         let costs = self.costs;
+        let dedup = self.dedup;
         cta.for_each_warp(|w| {
             let tid = w.thread_ids();
             let live = tid.map(|t| (t as usize) < n_msgs);
@@ -307,6 +334,11 @@ impl CtaKernel for SmallKernel {
             let (words, _tok) = w.ld_global(msgq, &idx);
             let mut mask: u32 = u32::MAX;
             let mut chunk_start = 0usize;
+            // (request word, unmasked ballot) of the previous request:
+            // probe dedup reuses the raw vote and skips the descriptor
+            // reload; the per-request mask update below still runs, so
+            // duplicates consume messages in posting order.
+            let mut prev: Option<(u64, u32)> = None;
             while chunk_start < n_reqs {
                 let chunk = WARP_SIZE.min(n_reqs - chunk_start);
                 let lid = w.lane_ids();
@@ -320,13 +352,24 @@ impl CtaKernel for SmallKernel {
                     w.charge_alu(1 + costs.reduce_overhead);
                     let bcast = w.shfl(&req_lanes, j);
                     let req_word = bcast.get(0);
-                    // Same per-request chain as the matrix reduce: the
-                    // match record touches the receive descriptor in
-                    // global memory.
-                    let (_req_desc, gtok) = w.ld_global_bcast(recvq, (chunk_start + j) as u32);
-                    let _ = load_dep.take();
-                    let preds = words.zip(&live, |m, l| l && packed_matches(m, req_word));
-                    let vote = w.ballot_dep(Some(gtok), &preds) & mask;
+                    let raw = match prev {
+                        Some((pw, pv)) if dedup && pw == req_word => {
+                            w.charge_alu(1);
+                            pv
+                        }
+                        _ => {
+                            // Same per-request chain as the matrix
+                            // reduce: the match record touches the
+                            // receive descriptor in global memory.
+                            let (_req_desc, gtok) =
+                                w.ld_global_bcast(recvq, (chunk_start + j) as u32);
+                            let _ = load_dep.take();
+                            let preds = words.zip(&live, |m, l| l && packed_matches(m, req_word));
+                            w.ballot_dep(Some(gtok), &preds)
+                        }
+                    };
+                    prev = Some((req_word, raw));
+                    let vote = raw & mask;
                     if vote != 0 {
                         w.charge_alu(2);
                         let bit = lanes::ffs(vote) - 1;
@@ -357,38 +400,74 @@ impl MatrixMatcher {
             msgs.len() <= MAX_BATCH && reqs.len() <= MAX_BATCH,
             "batch exceeds one-CTA capacity; use match_iterative"
         );
-        if msgs.is_empty() || reqs.is_empty() {
-            return GpuMatchReport::from_launches(vec![None; reqs.len()], &[]);
-        }
-        let (assignment, launch) = self.launch_batch(gpu, msgs, reqs);
-        GpuMatchReport::from_launches(assignment, &[launch])
-    }
-
-    fn launch_batch(
-        &self,
-        gpu: &mut Gpu,
-        msgs: &[Envelope],
-        reqs: &[RecvRequest],
-    ) -> (Vec<Option<u32>>, LaunchReport) {
-        assert!(!msgs.is_empty() && !reqs.is_empty(), "guarded by callers");
         let msg_words: Vec<u64> = msgs.iter().map(Envelope::pack).collect();
         let req_words: Vec<u64> = reqs.iter().map(RecvRequest::pack).collect();
-        let msgq = gpu.mem.alloc_from(&msg_words);
-        let recvq = gpu.mem.alloc_from(&req_words);
-        let result = gpu.mem.alloc_from(&vec![NO_MATCH; reqs.len().max(1)]);
+        self.match_words(gpu, &msg_words, &req_words)
+    }
 
-        let launch = if msgs.len() <= WARP_SIZE {
+    /// [`MatrixMatcher::match_batch`] over already-packed header words —
+    /// the entry point for structure-of-arrays queues whose maintained
+    /// `words` column ([`crate::soa::EnvelopeSoa`]) uploads directly,
+    /// skipping the per-launch AoS gather and re-pack.
+    ///
+    /// # Panics
+    /// Panics if either side exceeds [`MAX_BATCH`].
+    pub fn match_words(
+        &self,
+        gpu: &mut Gpu,
+        msg_words: &[u64],
+        req_words: &[u64],
+    ) -> GpuMatchReport {
+        assert!(
+            msg_words.len() <= MAX_BATCH && req_words.len() <= MAX_BATCH,
+            "batch exceeds one-CTA capacity; use match_iterative_words"
+        );
+        if msg_words.is_empty() || req_words.is_empty() {
+            return GpuMatchReport::from_launches(vec![None; req_words.len()], &[]);
+        }
+        let (assignment, launch) = self.launch_words(gpu, msg_words, req_words);
+        let mut report = GpuMatchReport::from_launches(assignment, &[launch]);
+        report.probe_dedups = self.count_dedups(req_words);
+        report
+    }
+
+    /// Adjacent duplicate request words the scan serves by ballot reuse.
+    fn count_dedups(&self, req_words: &[u64]) -> u64 {
+        if !self.dedup_probes {
+            return 0;
+        }
+        req_words.windows(2).filter(|w| w[0] == w[1]).count() as u64
+    }
+
+    fn launch_words(
+        &self,
+        gpu: &mut Gpu,
+        msg_words: &[u64],
+        req_words: &[u64],
+    ) -> (Vec<Option<u32>>, LaunchReport) {
+        assert!(
+            !msg_words.is_empty() && !req_words.is_empty(),
+            "guarded by callers"
+        );
+        let n_msgs = msg_words.len();
+        let n_reqs = req_words.len();
+        let msgq = gpu.mem.alloc_from(msg_words);
+        let recvq = gpu.mem.alloc_from(req_words);
+        let result = gpu.mem.alloc_from(&vec![NO_MATCH; n_reqs.max(1)]);
+
+        let launch = if n_msgs <= WARP_SIZE {
             let mut k = SmallKernel {
                 msgq,
                 recvq,
                 result,
-                n_msgs: msgs.len(),
-                n_reqs: reqs.len(),
+                n_msgs,
+                n_reqs,
                 costs: self.costs,
+                dedup: self.dedup_probes,
             };
             gpu.launch(&mut k, LaunchConfig::single_sm(1, WARP_SIZE as u32))
         } else {
-            let msg_warps = msgs.len().div_ceil(WARP_SIZE);
+            let msg_warps = n_msgs.div_ceil(WARP_SIZE);
             // The reduce warp is a dedicated warp when one is free; at 32
             // message warps it doubles up on warp 0 and pipelining dies.
             let (reduce_warp, warps) = if msg_warps < 32 {
@@ -400,13 +479,14 @@ impl MatrixMatcher {
                 msgq,
                 recvq,
                 result,
-                n_msgs: msgs.len(),
-                n_reqs: reqs.len(),
+                n_msgs,
+                n_reqs,
                 window: self.window,
                 msg_warps,
                 reduce_warp,
                 costs: self.costs,
                 disable_pipelining: self.disable_pipelining,
+                dedup: self.dedup_probes,
             };
             gpu.launch(
                 &mut k,
@@ -415,12 +495,7 @@ impl MatrixMatcher {
         };
 
         let raw = gpu.mem.read_vec(result);
-        let assignment = if reqs.is_empty() {
-            Vec::new()
-        } else {
-            decode_assignment(&raw)
-        };
-        (assignment, launch)
+        (decode_assignment(&raw), launch)
     }
 
     /// Match arbitrarily long queues by iterating head-of-queue batches
@@ -438,27 +513,44 @@ impl MatrixMatcher {
         msgs: &[Envelope],
         reqs: &[RecvRequest],
     ) -> GpuMatchReport {
-        let mut assignment: Vec<Option<u32>> = vec![None; reqs.len()];
-        let mut live_msgs: Vec<u32> = (0..msgs.len() as u32).collect();
-        let mut live_reqs: Vec<u32> = (0..reqs.len() as u32).collect();
+        let msg_words: Vec<u64> = msgs.iter().map(Envelope::pack).collect();
+        let req_words: Vec<u64> = reqs.iter().map(RecvRequest::pack).collect();
+        self.match_iterative_words(gpu, &msg_words, &req_words)
+    }
+
+    /// [`MatrixMatcher::match_iterative`] over already-packed header
+    /// words (see [`MatrixMatcher::match_words`]): the queue is packed
+    /// once — or never, when a structure-of-arrays queue maintains the
+    /// column — instead of once per iteration.
+    pub fn match_iterative_words(
+        &self,
+        gpu: &mut Gpu,
+        msg_words: &[u64],
+        req_words: &[u64],
+    ) -> GpuMatchReport {
+        let mut assignment: Vec<Option<u32>> = vec![None; req_words.len()];
+        let mut live_msgs: Vec<u32> = (0..msg_words.len() as u32).collect();
+        let mut live_reqs: Vec<u32> = (0..req_words.len() as u32).collect();
         let mut launches = Vec::new();
         let mut req_window_start = 0usize;
+        let mut probe_dedups = 0u64;
 
         while !live_reqs.is_empty() && req_window_start < live_reqs.len() {
-            let mb: Vec<Envelope> = live_msgs
+            let mb: Vec<u64> = live_msgs
                 .iter()
                 .take(MAX_BATCH)
-                .map(|&i| msgs[i as usize])
+                .map(|&i| msg_words[i as usize])
                 .collect();
-            let rb: Vec<RecvRequest> = live_reqs[req_window_start..]
+            let rb: Vec<u64> = live_reqs[req_window_start..]
                 .iter()
                 .take(MAX_BATCH)
-                .map(|&i| reqs[i as usize])
+                .map(|&i| req_words[i as usize])
                 .collect();
             if mb.is_empty() {
                 break;
             }
-            let (batch_assign, launch) = self.launch_batch(gpu, &mb, &rb);
+            let (batch_assign, launch) = self.launch_words(gpu, &mb, &rb);
+            probe_dedups += self.count_dedups(&rb);
             launches.push(launch);
 
             let mut matched_msgs = Vec::new();
@@ -492,7 +584,9 @@ impl MatrixMatcher {
             }
             req_window_start = 0;
         }
-        GpuMatchReport::from_launches(assignment, &launches)
+        let mut report = GpuMatchReport::from_launches(assignment, &launches);
+        report.probe_dedups = probe_dedups;
+        report
     }
 }
 
