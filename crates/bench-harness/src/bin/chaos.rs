@@ -1,0 +1,30 @@
+//! Cross-layer chaos sweep: crashes, hangs, slow windows, partitions
+//! and checkpoint corruption on the resharding service, composed with
+//! per-packet faults and link flaps/partitions on the simulated wire.
+//! Prints the sweep table and writes `BENCH_chaos.json`; exits non-zero
+//! if any end-to-end invariant (exactly-once, per-pair FIFO,
+//! guaranteed-class zero-loss, wire transparency) was violated. Pass
+//! `--smoke` for the reduced CI sweep.
+use bench_harness::experiments::chaos;
+
+fn main() {
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let cfg = if smoke {
+        chaos::SweepConfig::smoke()
+    } else {
+        chaos::SweepConfig::full()
+    };
+    let r = chaos::run(&cfg);
+    print!("{}", chaos::report(&r).to_text());
+    match std::fs::write("BENCH_chaos.json", chaos::to_json(&r)) {
+        Ok(()) => println!("wrote BENCH_chaos.json"),
+        Err(e) => eprintln!("could not write BENCH_chaos.json: {e}"),
+    }
+    if r.total_violations > 0 {
+        eprintln!(
+            "chaos sweep violated {} end-to-end invariant(s)",
+            r.total_violations
+        );
+        std::process::exit(1);
+    }
+}

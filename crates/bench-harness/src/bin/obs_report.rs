@@ -7,11 +7,13 @@
 //!   (`OBS_wall.prom`) and a stall-attribution table on stdout.
 //! * `obs_report --check [baseline_path]` — bench-regression gate:
 //!   diffs `BENCH_service.json` / `BENCH_recovery.json` /
-//!   `BENCH_tenancy.json` in the current directory against the
-//!   committed baseline (`docs/bench_baseline.json` by default); exits
-//!   1 on a >10% goodput or >20% barrier-stall regression, or on any
-//!   violated tenancy invariant (guaranteed-tenant loss, live/static
-//!   resharding divergence, scheduler divergence — no tolerance).
+//!   `BENCH_tenancy.json` / `BENCH_chaos.json` in the current
+//!   directory against the committed baseline
+//!   (`docs/bench_baseline.json` by default); exits 1 on a >10%
+//!   goodput or >20% barrier-stall regression, or on any violated
+//!   invariant (guaranteed-tenant loss, live/static resharding
+//!   divergence, scheduler divergence, chaos-sweep violations or a
+//!   chaos sweep that stopped landing a fault class — no tolerance).
 //! * `obs_report --overhead [duration_seconds]` — asserts flow tracing
 //!   at the default 1-in-64 sampling costs under 5% of wall-clock
 //!   matches/s against an untraced run (median of five interleaved
@@ -38,7 +40,8 @@ fn run_check(baseline_path: &str) {
     let service = read_json("BENCH_service.json");
     let recovery = read_json("BENCH_recovery.json");
     let tenancy = read_json("BENCH_tenancy.json");
-    match obs_report::check_regressions(&baseline, &service, &recovery, &tenancy) {
+    let chaos = read_json("BENCH_chaos.json");
+    match obs_report::check_regressions(&baseline, &service, &recovery, &tenancy, &chaos) {
         Ok(regressions) if regressions.is_empty() => {
             println!("bench regression gate: OK (baseline {baseline_path})");
         }

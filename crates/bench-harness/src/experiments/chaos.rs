@@ -1,0 +1,523 @@
+//! Cross-layer chaos sweep: every fault class the stack tolerates,
+//! composed on one seeded schedule, with an end-to-end invariant
+//! checker.
+//!
+//! Each point drives two layers under the same seed:
+//!
+//! * **service layer** — a resharding multi-tenant service (the hot/cold
+//!   skew keeps live migration in play) under a random fault soup of
+//!   crashes, hangs, slow windows, partitions and checkpoint corruption,
+//!   with checkpointed recovery and a partition-aware supervisor. The
+//!   oracle is a fault-free run of the identical configuration: the
+//!   per-stream committed sequences must byte-equal it (exactly-once),
+//!   every committed sequence must be dense and ascending (per-pair
+//!   FIFO), and no guaranteed-class message may be lost.
+//! * **fabric layer** — an all-to-all over the simulated wire with
+//!   per-packet drop/duplicate/reorder/corruption *and* link-lifecycle
+//!   faults (flap windows, topology partitions). The oracle is the same
+//!   workload on a clean wire: each `(src, dst)` channel must deliver
+//!   identical payloads in identical order.
+//!
+//! Any divergence increments the point's `violations`; the artefact
+//! (`BENCH_chaos.json`) carries `total_violations`, which CI and
+//! `obs_report --check` pin to zero with no tolerance. Per seed the
+//! artefact is byte-identical run to run.
+
+use std::collections::BTreeMap;
+
+use bytes::Bytes;
+use fabric::{DeliveryOrder, Fabric, FabricConfig, FaultConfig, LinkFaultConfig};
+use gpu_msg::{
+    FaultPlan, FaultRates, FaultTolerance, QosClass, RecoveryConfig, ReshardPolicy, ServiceEngine,
+    ServiceMetrics, ShardEnginePolicy, ShardedMatchService, ShardedServiceConfig, SupervisorConfig,
+    TenancyConfig, TenantSpec,
+};
+use msg_match::Envelope;
+use serde::{Deserialize, Serialize};
+use simt_sim::GpuGeneration;
+
+use crate::table::Report;
+
+/// Fault-intensity multipliers swept (1.0 ≈ one fault of each class per
+/// run at the default duration).
+pub const DEFAULT_SCALES: [f64; 2] = [1.0, 2.0];
+
+/// Seeds swept at each intensity.
+pub const DEFAULT_SEEDS: [u64; 3] = [5, 6, 7];
+
+/// Shards in the service-layer scenario.
+pub const DEFAULT_SHARDS: usize = 2;
+
+/// Offered load of the service-layer scenario (messages/s).
+pub const DEFAULT_OFFERED: f64 = 8.0e6;
+
+/// Simulated duration of the service-layer scenario (seconds).
+pub const DEFAULT_DURATION: f64 = 1.0e-3;
+
+/// Sweep shape.
+#[derive(Debug, Clone)]
+pub struct SweepConfig {
+    /// Fault-intensity multipliers.
+    pub scales: Vec<f64>,
+    /// Seeds crossed with every scale.
+    pub seeds: Vec<u64>,
+    /// Endpoints in the fabric all-to-all.
+    pub ranks: u32,
+    /// Messages per ordered pair on the fabric side.
+    pub msgs_per_pair: u32,
+}
+
+impl SweepConfig {
+    /// The full default sweep (6 points).
+    pub fn full() -> Self {
+        SweepConfig {
+            scales: DEFAULT_SCALES.to_vec(),
+            seeds: DEFAULT_SEEDS.to_vec(),
+            ranks: 3,
+            msgs_per_pair: 24,
+        }
+    }
+
+    /// The reduced CI sweep (3 points, same workload shape).
+    pub fn smoke() -> Self {
+        SweepConfig {
+            scales: vec![2.0],
+            seeds: DEFAULT_SEEDS.to_vec(),
+            ranks: 3,
+            msgs_per_pair: 24,
+        }
+    }
+}
+
+/// One sweep point: the fault classes that landed and the invariant
+/// verdicts, both layers.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosPoint {
+    /// Fault-intensity multiplier of this point.
+    pub scale: f64,
+    /// Seed of this point (workload, fault plan and wire all derive
+    /// from it).
+    pub seed: u64,
+    /// Shard crashes that landed.
+    pub crashes: u64,
+    /// Shard hangs that landed.
+    pub hangs: u64,
+    /// Shard partitions (unreachable windows) that landed.
+    pub partitions: u64,
+    /// Checkpoint snapshots corrupted in place.
+    pub corrupt_checkpoints: u64,
+    /// Restores that fell back past a corrupt newest snapshot.
+    pub snapshot_fallbacks: u64,
+    /// Stale-epoch commits fenced off after failover.
+    pub fenced_commits: u64,
+    /// Completed checkpoint/journal recoveries.
+    pub recoveries: u64,
+    /// Supervisor failover reroutes.
+    pub failovers: u64,
+    /// Live slot migrations the reshard planner executed.
+    pub migrations: u64,
+    /// Journal entries replayed during recoveries.
+    pub journal_replayed: u64,
+    /// Re-matched entries suppressed at commit (exactly-once).
+    pub replay_duplicates: u64,
+    /// Messages committed by the chaos run.
+    pub matched: u64,
+    /// Streams whose committed sequence diverged from the fault-free
+    /// oracle.
+    pub exactly_once_violations: u64,
+    /// Streams whose committed sequence was not dense ascending.
+    pub fifo_violations: u64,
+    /// Guaranteed-class commits present fault-free but missing under
+    /// chaos.
+    pub guaranteed_lost: u64,
+    /// Messages submitted on the fabric side.
+    pub fabric_messages: u64,
+    /// Messages the chaotic wire delivered (must equal submitted).
+    pub fabric_delivered: u64,
+    /// Timeout-driven retransmissions on the chaotic wire.
+    pub fabric_retransmits: u64,
+    /// Packets the fault model dropped in flight.
+    pub fabric_drops: u64,
+    /// Traversals corrupted in flight (all CRC-rejected and repaired).
+    pub fabric_corruptions: u64,
+    /// Traversals lost to a down link (flap or partition window).
+    pub fabric_link_down_drops: u64,
+    /// Retransmit exhaustions parked on a down link until its heal.
+    pub fabric_parked: u64,
+    /// Structured link-down notices emitted.
+    pub fabric_link_downs: u64,
+    /// Structured link-heal notices emitted.
+    pub fabric_link_heals: u64,
+    /// `(src, dst)` channels whose delivered payload sequence diverged
+    /// from the clean wire.
+    pub fabric_channel_mismatches: u64,
+    /// Total invariant violations at this point (must be zero).
+    pub violations: u64,
+}
+
+/// The exported artefact (`BENCH_chaos.json`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ChaosBench {
+    /// Shards in the service-layer scenario.
+    pub shards: u64,
+    /// Offered load of the service-layer scenario (messages/s).
+    pub offered_rate: f64,
+    /// Simulated duration of the service-layer scenario (seconds).
+    pub duration: f64,
+    /// Endpoints in the fabric all-to-all.
+    pub ranks: u32,
+    /// Messages per ordered pair on the fabric side.
+    pub msgs_per_pair: u32,
+    /// One entry per (scale, seed) combination.
+    pub points: Vec<ChaosPoint>,
+    /// Sum of every point's `violations` — the number CI pins to zero.
+    pub total_violations: u64,
+}
+
+/// Lossless drain-mode service config: deep queues and drain make the
+/// committed set a pure function of the arrival schedule, so
+/// byte-equality against the fault-free run is the exactly-once oracle.
+fn service_cfg(seed: u64) -> ShardedServiceConfig {
+    ShardedServiceConfig {
+        shards: DEFAULT_SHARDS,
+        arrival_rate: DEFAULT_OFFERED,
+        duration: DEFAULT_DURATION,
+        queue_capacity: 1 << 20,
+        drain: true,
+        policy: ShardEnginePolicy::Fixed(ServiceEngine::Hash),
+        seed,
+        ..Default::default()
+    }
+}
+
+/// A hot tenant pinned to shard 0 next to a cold one on shard 1, with
+/// the planner allowed to move slots — the skew keeps live migration in
+/// the fault mix. Both tenants are guaranteed-class, so any loss at all
+/// is a guaranteed-class loss.
+fn tenancy() -> TenancyConfig {
+    TenancyConfig {
+        reshard: Some(ReshardPolicy {
+            tick: 5.0e-5,
+            min_imbalance: 32,
+            max_migrations: 2,
+        }),
+        ..TenancyConfig::new(vec![
+            TenantSpec {
+                streams: 2,
+                shard_set: vec![0],
+                ..TenantSpec::new("hot", QosClass::Guaranteed, 0.875)
+            },
+            TenantSpec {
+                shard_set: vec![1],
+                ..TenantSpec::new("cold", QosClass::Guaranteed, 0.125)
+            },
+        ])
+    }
+}
+
+fn run_service(seed: u64, ft: Option<FaultTolerance>) -> (Vec<Vec<u64>>, ServiceMetrics) {
+    let mut svc = ShardedMatchService::with_tenancy(
+        GpuGeneration::PascalGtx1080,
+        service_cfg(seed),
+        tenancy(),
+    );
+    svc.set_record_completions(true);
+    svc.set_fault_tolerance(ft);
+    let r = svc.run();
+    (r.completions.expect("recording was enabled"), r.metrics)
+}
+
+/// Every fault class the scheduler knows, at `scale` expected events
+/// each over the run.
+fn chaos_rates(scale: f64) -> FaultRates {
+    let per_class = scale / DEFAULT_DURATION;
+    FaultRates {
+        crash_rate: per_class,
+        hang_rate: per_class,
+        slow_rate: per_class,
+        partition_rate: per_class,
+        corrupt_rate: per_class,
+        ..Default::default()
+    }
+}
+
+fn chaos_ft(seed: u64, scale: f64) -> FaultTolerance {
+    FaultTolerance {
+        plan: FaultPlan::random(
+            seed.wrapping_mul(0x9E37_79B9).wrapping_add(17),
+            DEFAULT_SHARDS,
+            DEFAULT_DURATION,
+            &chaos_rates(scale),
+        ),
+        recovery: RecoveryConfig::default(),
+        supervisor: Some(SupervisorConfig::default()),
+    }
+}
+
+/// Per-packet and link-lifecycle faults composed; probabilities scale
+/// with intensity but stay well under certainty so every run quiesces.
+fn chaotic_wire(seed: u64, scale: f64) -> FabricConfig {
+    let p = |base: f64| (base * scale).min(0.25);
+    FabricConfig {
+        seed,
+        order: DeliveryOrder::PerPairFifo,
+        // A small, flat retransmit budget: exhaustion completes inside
+        // a down window (parking, notifying `LinkDown`, healing later)
+        // instead of backing off past every lifecycle fault.
+        retransmit_timeout_ns: 3_000,
+        backoff: 1,
+        max_retransmits: 12,
+        fault: FaultConfig {
+            drop_prob: p(0.04),
+            duplicate_prob: p(0.02),
+            reorder_prob: p(0.15),
+            // Keep the skew under the exhaustion budget (12 × 3µs):
+            // a reordered delivery burns retransmits while it is in
+            // flight, and a skew past the budget would kill healthy
+            // packets instead of exercising the reorder buffer.
+            reorder_skew_ns: 8_000,
+            corrupt_prob: p(0.04),
+        },
+        // Down windows outlast the full retransmit budget (12 × 3µs)
+        // so a packet first sent into a window exhausts *inside* it —
+        // that is what parks it and raises the structured `LinkDown`.
+        link_fault: LinkFaultConfig {
+            flap_period_ns: 60_000,
+            flap_prob: p(0.2),
+            flap_down_ns: 45_000,
+            partition_period_ns: 100_000,
+            partition_prob: p(0.25),
+            partition_down_ns: 60_000,
+        },
+        ..Default::default()
+    }
+}
+
+/// Drive the fixed all-to-all mix (sizes straddle the eager threshold)
+/// and return every channel's delivered payloads in delivery order.
+fn fabric_channels(
+    cfg: FabricConfig,
+    ranks: u32,
+    msgs_per_pair: u32,
+) -> (BTreeMap<(u32, u32), Vec<Bytes>>, fabric::FabricStats) {
+    let mut net = Fabric::new(ranks, cfg);
+    for m in 0..msgs_per_pair {
+        for src in 0..ranks {
+            for dst in 0..ranks {
+                if src == dst {
+                    continue;
+                }
+                let len = if m % 2 == 0 { 64 } else { 2_048 };
+                let fill = (src * 31 + dst * 7 + m) as u8;
+                net.send(
+                    src,
+                    dst,
+                    Envelope::new(src, m, 0),
+                    Bytes::from(vec![fill; len]),
+                );
+            }
+        }
+    }
+    net.run_until_quiescent(60_000_000_000)
+        .expect("a chaotic wire must still quiesce — link windows heal");
+    let mut channels: BTreeMap<(u32, u32), Vec<Bytes>> = BTreeMap::new();
+    for dst in 0..ranks {
+        for d in net.take_deliveries(dst) {
+            channels.entry((d.src, d.dst)).or_default().push(d.payload);
+        }
+    }
+    (channels, net.stats())
+}
+
+fn run_point(cfg: &SweepConfig, scale: f64, seed: u64) -> ChaosPoint {
+    // Service layer: fault-free oracle, then the same seed under chaos.
+    let (want, _) = run_service(seed, None);
+    let (got, m) = run_service(seed, Some(chaos_ft(seed, scale)));
+    let exactly_once_violations = if got.len() != want.len() {
+        got.len().abs_diff(want.len()) as u64
+    } else {
+        got.iter().zip(&want).filter(|(g, w)| g != w).count() as u64
+    };
+    let fifo_violations = got
+        .iter()
+        .filter(|stream| stream.iter().enumerate().any(|(i, &s)| s != i as u64))
+        .count() as u64;
+    let committed = |c: &Vec<Vec<u64>>| c.iter().map(Vec::len).sum::<usize>() as u64;
+    let guaranteed_lost = committed(&want).saturating_sub(committed(&got));
+
+    // Fabric layer: clean-wire oracle against the chaotic wire.
+    let clean = FabricConfig {
+        seed,
+        order: DeliveryOrder::PerPairFifo,
+        ..Default::default()
+    };
+    let (want_ch, _) = fabric_channels(clean, cfg.ranks, cfg.msgs_per_pair);
+    let (got_ch, fs) = fabric_channels(chaotic_wire(seed, scale), cfg.ranks, cfg.msgs_per_pair);
+    let fabric_channel_mismatches = want_ch
+        .iter()
+        .filter(|(ch, payloads)| got_ch.get(ch) != Some(payloads))
+        .count() as u64
+        + got_ch.keys().filter(|ch| !want_ch.contains_key(ch)).count() as u64;
+
+    let sum = |f: fn(&gpu_msg::ShardMetrics) -> u64| m.shards.iter().map(f).sum::<u64>();
+    let violations = exactly_once_violations
+        + fifo_violations
+        + guaranteed_lost
+        + fabric_channel_mismatches
+        + u64::from(fs.messages_delivered != fs.messages_sent);
+    ChaosPoint {
+        scale,
+        seed,
+        crashes: m.total_crashes,
+        hangs: sum(|s| s.hangs),
+        partitions: sum(|s| s.partitions),
+        corrupt_checkpoints: sum(|s| s.corrupt_checkpoints),
+        snapshot_fallbacks: sum(|s| s.snapshot_fallbacks),
+        fenced_commits: sum(|s| s.fenced_commits),
+        recoveries: m.total_recoveries,
+        failovers: m.total_failovers,
+        migrations: m.total_migrations,
+        journal_replayed: sum(|s| s.journal_replayed),
+        replay_duplicates: sum(|s| s.replay_duplicates),
+        matched: m.total_matched,
+        exactly_once_violations,
+        fifo_violations,
+        guaranteed_lost,
+        fabric_messages: fs.messages_sent,
+        fabric_delivered: fs.messages_delivered,
+        fabric_retransmits: fs.retransmits,
+        fabric_drops: fs.drops_injected,
+        fabric_corruptions: fs.corruptions_injected,
+        fabric_link_down_drops: fs.link_down_drops,
+        fabric_parked: fs.parked_packets,
+        fabric_link_downs: fs.link_down_events,
+        fabric_link_heals: fs.link_heal_events,
+        fabric_channel_mismatches,
+        violations,
+    }
+}
+
+/// Run the sweep: scale major, seed minor.
+pub fn run(cfg: &SweepConfig) -> ChaosBench {
+    let points: Vec<ChaosPoint> = cfg
+        .scales
+        .iter()
+        .flat_map(|&scale| cfg.seeds.iter().map(move |&seed| (scale, seed)))
+        .map(|(scale, seed)| run_point(cfg, scale, seed))
+        .collect();
+    let total_violations = points.iter().map(|p| p.violations).sum();
+    ChaosBench {
+        shards: DEFAULT_SHARDS as u64,
+        offered_rate: DEFAULT_OFFERED,
+        duration: DEFAULT_DURATION,
+        ranks: cfg.ranks,
+        msgs_per_pair: cfg.msgs_per_pair,
+        points,
+        total_violations,
+    }
+}
+
+/// Render the sweep as a table.
+pub fn report(r: &ChaosBench) -> Report {
+    let mut rep = Report::new(
+        format!(
+            "Chaos sweep: composed faults, hash@{}shards+reshard {:.0} M msgs/s / {} ranks all-to-all",
+            r.shards,
+            r.offered_rate / 1e6,
+            r.ranks
+        ),
+        &[
+            "scale",
+            "seed",
+            "crash",
+            "hang",
+            "part",
+            "ckpt_corr",
+            "fenced",
+            "migr",
+            "retx",
+            "link_down",
+            "parked",
+            "viol",
+        ],
+    );
+    for p in &r.points {
+        rep.push(vec![
+            format!("{:.1}", p.scale),
+            p.seed.to_string(),
+            p.crashes.to_string(),
+            p.hangs.to_string(),
+            p.partitions.to_string(),
+            p.corrupt_checkpoints.to_string(),
+            p.fenced_commits.to_string(),
+            p.migrations.to_string(),
+            p.fabric_retransmits.to_string(),
+            p.fabric_link_downs.to_string(),
+            p.fabric_parked.to_string(),
+            p.violations.to_string(),
+        ]);
+    }
+    rep
+}
+
+/// Serialize the artefact (pretty JSON, byte-deterministic per seed).
+pub fn to_json(r: &ChaosBench) -> String {
+    serde::json::to_string_pretty(r)
+}
+
+/// Parse an artefact back (CI schema validation).
+///
+/// # Errors
+/// Malformed JSON or a mismatched schema.
+pub fn from_json(s: &str) -> Result<ChaosBench, String> {
+    serde::json::from_str(s).map_err(|e| format!("BENCH_chaos.json does not parse: {e:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn smoke_sweep_holds_every_invariant_and_keeps_its_teeth() {
+        let r = run(&SweepConfig::smoke());
+        assert_eq!(r.total_violations, 0, "invariants must hold: {r:?}");
+        let sum = |f: fn(&ChaosPoint) -> u64| r.points.iter().map(f).sum::<u64>();
+        for (class, total) in [
+            ("crash", sum(|p| p.crashes)),
+            ("hang", sum(|p| p.hangs)),
+            ("partition", sum(|p| p.partitions)),
+            ("checkpoint corruption", sum(|p| p.corrupt_checkpoints)),
+            ("migration", sum(|p| p.migrations)),
+            ("recovery", sum(|p| p.recoveries)),
+            ("wire corruption", sum(|p| p.fabric_corruptions)),
+            ("link down", sum(|p| p.fabric_link_downs)),
+            ("link heal", sum(|p| p.fabric_link_heals)),
+            ("retransmit", sum(|p| p.fabric_retransmits)),
+        ] {
+            assert!(total > 0, "sweep has no teeth: no {class} landed");
+        }
+        for p in &r.points {
+            assert_eq!(p.fabric_delivered, p.fabric_messages, "{p:?}");
+            assert_eq!(p.recoveries, p.crashes, "every crash must recover: {p:?}");
+        }
+    }
+
+    #[test]
+    fn artefact_roundtrips_and_is_deterministic() {
+        let cfg = SweepConfig {
+            scales: vec![1.0],
+            seeds: vec![5],
+            ..SweepConfig::smoke()
+        };
+        let a = to_json(&run(&cfg));
+        let b = to_json(&run(&cfg));
+        assert_eq!(a, b, "same seeds must produce a byte-identical artefact");
+        let parsed = from_json(&a).expect("roundtrip");
+        assert_eq!(parsed.points.len(), 1);
+        let c = to_json(&run(&SweepConfig {
+            seeds: vec![9],
+            ..cfg
+        }));
+        assert_ne!(a, c, "a different seed must show up in the artefact");
+    }
+}

@@ -167,6 +167,7 @@ fn fabric_config(cfg: &SweepConfig, threshold: usize, drop: f64, skew: u64) -> F
             duplicate_prob: if drop > 0.0 { drop / 2.0 } else { 0.0 },
             reorder_prob: if skew > 0 { 0.5 } else { 0.0 },
             reorder_skew_ns: skew,
+            corrupt_prob: 0.0,
         },
         ..Default::default()
     }
@@ -285,6 +286,7 @@ pub fn trace_artifact(seed: u64) -> String {
             duplicate_prob: 0.05,
             reorder_prob: 0.3,
             reorder_skew_ns: 5_000,
+            corrupt_prob: 0.05,
         },
         ..Default::default()
     };

@@ -19,8 +19,10 @@
 //! | [`prefilter`] | pre-filter screen: unexpected ratio × depth, on vs off |
 //! | [`fabric_scaling`] | simulated interconnect: eager threshold × loss × skew |
 //! | [`tenancy_scaling`] | multi-tenant QoS: Zipf tenants × shards, isolation, resharding |
+//! | [`chaos`] | cross-layer chaos: composed faults, end-to-end invariant checker |
 
 pub mod ablations;
+pub mod chaos;
 pub mod cpu_baseline;
 pub mod fabric_scaling;
 pub mod figure4;

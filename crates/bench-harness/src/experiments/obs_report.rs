@@ -294,7 +294,8 @@ pub const BARRIER_STALL_RISE_TOLERANCE: f64 = 0.20;
 /// The bench-regression gate behind `obs_report --check`: diff the
 /// wall-clock-independent goodput and stall-attribution sections of
 /// `BENCH_service.json` / `BENCH_recovery.json` / `BENCH_tenancy.json`
-/// against the committed baseline (`docs/bench_baseline.json`).
+/// / `BENCH_chaos.json` against the committed baseline
+/// (`docs/bench_baseline.json`).
 /// Returns one message per regression; an empty vector passes the gate.
 ///
 /// The benches are pure simulation at a fixed seed, so the compared
@@ -303,6 +304,10 @@ pub const BARRIER_STALL_RISE_TOLERANCE: f64 = 0.20;
 /// tenancy isolation and resharding fields are *invariants*, not
 /// measurements, so they get no tolerance at all: any guaranteed-tenant
 /// loss, failed byte-equality or scheduler divergence is a regression.
+/// The chaos sweep is held the same way: its violation count is pinned
+/// to the baseline ceiling (zero), and each fault class it claims to
+/// compose must actually have landed — a sweep that stops injecting is
+/// a regression even though it "passes".
 ///
 /// # Errors
 /// Malformed or structurally incomplete artefacts fail loudly rather
@@ -312,6 +317,7 @@ pub fn check_regressions(
     service: &serde::Value,
     recovery: &serde::Value,
     tenancy: &serde::Value,
+    chaos: &serde::Value,
 ) -> Result<Vec<String>, String> {
     let mut regressions = Vec::new();
     let base_service = baseline.field("service").map_err(|e| e.to_string())?;
@@ -461,6 +467,43 @@ pub fn check_regressions(
             regressions.push(format!(
                 "tenancy: {section} artefacts differ between GlobalClock and \
                  ThreadPerShard — scheduler independence is broken"
+            ));
+        }
+    }
+
+    // The chaos sweep: end-to-end invariants hold at the baseline
+    // ceiling (zero — no tolerance), and the sweep keeps its teeth:
+    // every composed fault class must have landed at least once across
+    // the points, or the zero-violation verdict is vacuous.
+    let base_chaos = baseline.field("chaos").map_err(|e| e.to_string())?;
+    let max_violations = field_num(base_chaos, &["max_violations"])?;
+    let got_violations = field_num(chaos, &["total_violations"])?;
+    if got_violations > max_violations {
+        regressions.push(format!(
+            "chaos: {got_violations:.0} end-to-end invariant violation(s) — the \
+             baseline ceiling is {max_violations:.0}"
+        ));
+    }
+    let points = chaos.field("points").map_err(|e| e.to_string())?;
+    let serde::Value::Array(points) = points else {
+        return Err("chaos points must be an array".to_string());
+    };
+    for (column, label) in [
+        ("crashes", "shard crash"),
+        ("hangs", "shard hang"),
+        ("partitions", "shard partition"),
+        ("corrupt_checkpoints", "checkpoint corruption"),
+        ("migrations", "live migration"),
+        ("fabric_corruptions", "wire corruption"),
+        ("fabric_link_downs", "link-down notice"),
+    ] {
+        let mut landed = 0.0;
+        for p in points {
+            landed += field_num(p, &[column])?;
+        }
+        if landed == 0.0 {
+            regressions.push(format!(
+                "chaos: sweep lost its teeth — no {label} landed at any point"
             ));
         }
     }
@@ -644,6 +687,30 @@ mod tests {
                 "prefilter".to_string(),
                 V::Object(vec![("headline_cycle_speedup".to_string(), V::F64(3.0))]),
             ),
+            (
+                "chaos".to_string(),
+                V::Object(vec![("max_violations".to_string(), V::F64(0.0))]),
+            ),
+        ])
+    }
+
+    /// A `BENCH_chaos.json`-shaped value: every fault class landed
+    /// unless `toothless`, with the given violation total.
+    fn chaos_value(violations: f64, toothless: bool) -> serde::Value {
+        use serde::Value as V;
+        let landed = if toothless { 0.0 } else { 2.0 };
+        let point = V::Object(vec![
+            ("crashes".to_string(), V::F64(landed)),
+            ("hangs".to_string(), V::F64(landed)),
+            ("partitions".to_string(), V::F64(landed)),
+            ("corrupt_checkpoints".to_string(), V::F64(landed)),
+            ("migrations".to_string(), V::F64(landed)),
+            ("fabric_corruptions".to_string(), V::F64(landed)),
+            ("fabric_link_downs".to_string(), V::F64(landed)),
+        ]);
+        V::Object(vec![
+            ("total_violations".to_string(), V::F64(violations)),
+            ("points".to_string(), V::Array(vec![point])),
         ])
     }
 
@@ -739,13 +806,16 @@ mod tests {
     fn regression_gate_passes_matching_artefacts_and_catches_drops() {
         let baseline = baseline_value(8.0e6, 0.30, 0.99);
         let tenancy = tenancy_value(8.0e6, 0.0, true);
+        let chaos = chaos_value(0.0, false);
         let (service, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
-        let ok = check_regressions(&baseline, &service, &recovery, &tenancy).expect("well-formed");
+        let ok = check_regressions(&baseline, &service, &recovery, &tenancy, &chaos)
+            .expect("well-formed");
         assert!(ok.is_empty(), "identical numbers must pass: {ok:?}");
 
         // An 11% goodput drop and a 25% barrier-stall rise both trip.
         let (service, recovery) = artefacts_value(8.0e6 * 0.89, 0.30 * 1.25 + 0.02, 0.99);
-        let bad = check_regressions(&baseline, &service, &recovery, &tenancy).expect("well-formed");
+        let bad = check_regressions(&baseline, &service, &recovery, &tenancy, &chaos)
+            .expect("well-formed");
         assert!(
             bad.iter().any(|m| m.contains("sustained rate")),
             "goodput drop must be reported: {bad:?}"
@@ -757,18 +827,21 @@ mod tests {
 
         // A malformed artefact errors instead of passing silently.
         let empty = serde::Value::Object(vec![]);
-        assert!(check_regressions(&baseline, &empty, &empty, &tenancy).is_err());
-        assert!(check_regressions(&baseline, &service, &recovery, &empty).is_err());
+        assert!(check_regressions(&baseline, &empty, &empty, &tenancy, &chaos).is_err());
+        assert!(check_regressions(&baseline, &service, &recovery, &empty, &chaos).is_err());
+        assert!(check_regressions(&baseline, &service, &recovery, &tenancy, &empty).is_err());
     }
 
     #[test]
     fn regression_gate_holds_the_tenancy_invariants_without_tolerance() {
         let baseline = baseline_value(8.0e6, 0.30, 0.99);
+        let chaos = chaos_value(0.0, false);
         let (service, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
 
         // Even one shed guaranteed message is a regression.
         let bad = tenancy_value(8.0e6, 1.0, true);
-        let msgs = check_regressions(&baseline, &service, &recovery, &bad).expect("well-formed");
+        let msgs =
+            check_regressions(&baseline, &service, &recovery, &bad, &chaos).expect("well-formed");
         assert!(
             msgs.iter().any(|m| m.contains("isolation broken")),
             "guaranteed loss must be reported: {msgs:?}"
@@ -776,7 +849,8 @@ mod tests {
 
         // A live/static divergence is a regression at any magnitude.
         let bad = tenancy_value(8.0e6, 0.0, false);
-        let msgs = check_regressions(&baseline, &service, &recovery, &bad).expect("well-formed");
+        let msgs =
+            check_regressions(&baseline, &service, &recovery, &bad, &chaos).expect("well-formed");
         assert!(
             msgs.iter().any(|m| m.contains("exactly-once")),
             "byte-equality failure must be reported: {msgs:?}"
@@ -784,7 +858,8 @@ mod tests {
 
         // A headline rate drop uses the shared goodput tolerance.
         let bad = tenancy_value(8.0e6 * 0.89, 0.0, true);
-        let msgs = check_regressions(&baseline, &service, &recovery, &bad).expect("well-formed");
+        let msgs =
+            check_regressions(&baseline, &service, &recovery, &bad, &chaos).expect("well-formed");
         assert!(
             msgs.iter().any(|m| m.contains("headline sustained rate")),
             "headline drop must be reported: {msgs:?}"
@@ -792,10 +867,57 @@ mod tests {
     }
 
     #[test]
+    fn regression_gate_pins_chaos_violations_and_teeth() {
+        let baseline = baseline_value(8.0e6, 0.30, 0.99);
+        let tenancy = tenancy_value(8.0e6, 0.0, true);
+        let (service, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
+
+        // A single end-to-end violation trips the gate — no tolerance.
+        let bad = chaos_value(1.0, false);
+        let msgs =
+            check_regressions(&baseline, &service, &recovery, &tenancy, &bad).expect("well-formed");
+        assert!(
+            msgs.iter().any(|m| m.contains("invariant violation")),
+            "chaos violations must be reported: {msgs:?}"
+        );
+
+        // Zero violations with zero injected faults is vacuous: every
+        // missing fault class is reported by name.
+        let bad = chaos_value(0.0, true);
+        let msgs =
+            check_regressions(&baseline, &service, &recovery, &tenancy, &bad).expect("well-formed");
+        for label in [
+            "shard crash",
+            "shard hang",
+            "shard partition",
+            "checkpoint corruption",
+            "live migration",
+            "wire corruption",
+            "link-down notice",
+        ] {
+            assert!(
+                msgs.iter().any(|m| m.contains(label)),
+                "missing {label} teeth must be reported: {msgs:?}"
+            );
+        }
+
+        // A point missing a teeth column errors instead of passing.
+        let truncated = serde::Value::Object(vec![
+            ("total_violations".to_string(), serde::Value::F64(0.0)),
+            (
+                "points".to_string(),
+                serde::Value::Array(vec![serde::Value::Object(vec![])]),
+            ),
+        ]);
+        assert!(check_regressions(&baseline, &service, &recovery, &tenancy, &truncated).is_err());
+    }
+
+    #[test]
     fn regression_gate_watches_the_prefilter_headline() {
         use serde::Value as V;
         let baseline = baseline_value(8.0e6, 0.30, 0.99);
         let tenancy = tenancy_value(8.0e6, 0.0, true);
+        let chaos = chaos_value(0.0, false);
         let (healthy, recovery) = artefacts_value(8.0e6, 0.30, 0.99);
 
         let with_prefilter = |pref: serde::Value| {
@@ -809,7 +931,8 @@ mod tests {
 
         // An 11% speedup drop trips the shared goodput tolerance.
         let bad = with_prefilter(prefilter_value(3.0 * 0.89, 10_000.0, 2_000.0));
-        let msgs = check_regressions(&baseline, &bad, &recovery, &tenancy).expect("well-formed");
+        let msgs =
+            check_regressions(&baseline, &bad, &recovery, &tenancy, &chaos).expect("well-formed");
         assert!(
             msgs.iter().any(|m| m.contains("cycle speedup")),
             "speedup drop must be reported: {msgs:?}"
@@ -817,7 +940,8 @@ mod tests {
 
         // Screening that stops cutting mem stalls is an invariant break.
         let bad = with_prefilter(prefilter_value(3.0, 2_000.0, 2_000.0));
-        let msgs = check_regressions(&baseline, &bad, &recovery, &tenancy).expect("well-formed");
+        let msgs =
+            check_regressions(&baseline, &bad, &recovery, &tenancy, &chaos).expect("well-formed");
         assert!(
             msgs.iter().any(|m| m.contains("memory-dependency")),
             "stall invariant must be reported: {msgs:?}"

@@ -18,6 +18,12 @@ pub struct FaultConfig {
     /// therefore *bounded*: a packet arrives at most this much later
     /// than its fault-free delivery time.
     pub reorder_skew_ns: u64,
+    /// Probability a data traversal arrives with a flipped payload bit.
+    /// The receiver's CRC32 check rejects the packet without
+    /// acknowledging it (nack-as-loss), so the retransmission repairs
+    /// it — corruption behaves like a detected drop, never like silent
+    /// damage.
+    pub corrupt_prob: f64,
 }
 
 impl FaultConfig {
@@ -27,17 +33,82 @@ impl FaultConfig {
         duplicate_prob: 0.0,
         reorder_prob: 0.0,
         reorder_skew_ns: 0,
+        corrupt_prob: 0.0,
     };
 
     /// True when no fault can ever fire.
     pub fn is_lossless(&self) -> bool {
-        self.drop_prob == 0.0 && self.duplicate_prob == 0.0 && self.reorder_prob == 0.0
+        self.drop_prob == 0.0
+            && self.duplicate_prob == 0.0
+            && self.reorder_prob == 0.0
+            && self.corrupt_prob == 0.0
     }
 }
 
 impl Default for FaultConfig {
     fn default() -> Self {
         FaultConfig::NONE
+    }
+}
+
+/// Link *lifecycle* faults: whole links (or whole topology cuts) going
+/// down for a window and coming back, on top of the per-packet
+/// [`FaultConfig`].
+///
+/// The schedule is a pure function of `(seed, link, time)`: simulated
+/// time is divided into fixed cycles, and a per-cycle hash decides
+/// whether that cycle contains a down window and where it starts. Any
+/// query at any time therefore answers identically across runs and
+/// schedulers — no RNG stream is consumed, so enabling link faults
+/// never perturbs the per-packet fault draws.
+///
+/// While a link is down, traversals that would depart or land inside
+/// the window are lost; retransmit exhaustion on a down link *parks*
+/// the packet (a structured [`crate::net::LinkEvent::Down`] notice is
+/// emitted instead of a dead-packet error) and the heal resumes
+/// selective-repeat from the surviving unacked window.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkFaultConfig {
+    /// Cycle length of the per-link flap schedule grid, in nanoseconds.
+    pub flap_period_ns: u64,
+    /// Probability a given link is down for one window within a given
+    /// cycle.
+    pub flap_prob: f64,
+    /// Length of one flap down-window, in nanoseconds (must be shorter
+    /// than the period).
+    pub flap_down_ns: u64,
+    /// Cycle length of the topology-partition schedule grid, in
+    /// nanoseconds.
+    pub partition_period_ns: u64,
+    /// Probability a given cycle contains a full topology partition: the
+    /// ranks are hashed into two sides and every cross-side link is down
+    /// for the window.
+    pub partition_prob: f64,
+    /// Length of one partition window, in nanoseconds (must be shorter
+    /// than the period).
+    pub partition_down_ns: u64,
+}
+
+impl LinkFaultConfig {
+    /// Links that never go down.
+    pub const NONE: LinkFaultConfig = LinkFaultConfig {
+        flap_period_ns: 50_000,
+        flap_prob: 0.0,
+        flap_down_ns: 10_000,
+        partition_period_ns: 200_000,
+        partition_prob: 0.0,
+        partition_down_ns: 40_000,
+    };
+
+    /// True when no link can ever go down.
+    pub fn is_quiet(&self) -> bool {
+        self.flap_prob == 0.0 && self.partition_prob == 0.0
+    }
+}
+
+impl Default for LinkFaultConfig {
+    fn default() -> Self {
+        LinkFaultConfig::NONE
     }
 }
 
@@ -90,6 +161,9 @@ pub struct FabricConfig {
     pub seed: u64,
     /// Fault model applied per traversal.
     pub fault: FaultConfig,
+    /// Link-lifecycle fault model (flap windows and topology
+    /// partitions).
+    pub link_fault: LinkFaultConfig,
     /// Record per-link span timelines (packet flights, retransmits,
     /// credit stalls, faults) for Perfetto export.
     pub trace: bool,
@@ -116,6 +190,7 @@ impl Default for FabricConfig {
             dedup: true,
             seed: 0,
             fault: FaultConfig::NONE,
+            link_fault: LinkFaultConfig::NONE,
             trace: false,
             trace_capacity: 4096,
             trace_track_base: 0,
@@ -149,6 +224,9 @@ impl FabricConfig {
             ("drop_prob", self.fault.drop_prob),
             ("duplicate_prob", self.fault.duplicate_prob),
             ("reorder_prob", self.fault.reorder_prob),
+            ("corrupt_prob", self.fault.corrupt_prob),
+            ("flap_prob", self.link_fault.flap_prob),
+            ("partition_prob", self.link_fault.partition_prob),
         ] {
             if !(0.0..=1.0).contains(&p) {
                 return Err(format!("{name} must lie in [0, 1], got {p}"));
@@ -157,7 +235,80 @@ impl FabricConfig {
         if self.fault.drop_prob >= 1.0 {
             return Err("drop_prob 1.0 can never deliver anything".into());
         }
+        let lf = &self.link_fault;
+        if lf.flap_prob > 0.0 && (lf.flap_period_ns == 0 || lf.flap_down_ns >= lf.flap_period_ns) {
+            return Err(format!(
+                "flap windows need 0 < flap_down_ns < flap_period_ns, got {} / {}",
+                lf.flap_down_ns, lf.flap_period_ns
+            ));
+        }
+        if lf.flap_prob > 0.0 && lf.flap_down_ns == 0 {
+            return Err("flap_down_ns must be non-zero when flaps are enabled".into());
+        }
+        if lf.partition_prob > 0.0
+            && (lf.partition_period_ns == 0 || lf.partition_down_ns >= lf.partition_period_ns)
+        {
+            return Err(format!(
+                "partition windows need 0 < partition_down_ns < partition_period_ns, got {} / {}",
+                lf.partition_down_ns, lf.partition_period_ns
+            ));
+        }
+        if lf.partition_prob > 0.0 && lf.partition_down_ns == 0 {
+            return Err("partition_down_ns must be non-zero when partitions are enabled".into());
+        }
         Ok(())
+    }
+
+    /// Every knob of the configuration as `(name, value)` pairs, in a
+    /// stable order — recorded into traces (as the `fabric_config`
+    /// instant's args) so an exported timeline carries the exact wire it
+    /// was produced under, link-lifecycle and corruption knobs included.
+    pub fn params(&self) -> Vec<(&'static str, String)> {
+        vec![
+            ("mtu", self.mtu.to_string()),
+            ("eager_threshold", self.eager_threshold.to_string()),
+            ("link_latency_ns", self.link_latency_ns.to_string()),
+            (
+                "bandwidth_bytes_per_ns",
+                format!("{}", self.bandwidth_bytes_per_ns),
+            ),
+            ("credits", self.credits.to_string()),
+            (
+                "retransmit_timeout_ns",
+                self.retransmit_timeout_ns.to_string(),
+            ),
+            ("backoff", self.backoff.to_string()),
+            ("max_retransmits", self.max_retransmits.to_string()),
+            (
+                "order",
+                match self.order {
+                    DeliveryOrder::PerPairFifo => "per_pair_fifo".to_string(),
+                    DeliveryOrder::Unordered => "unordered".to_string(),
+                },
+            ),
+            ("dedup", self.dedup.to_string()),
+            ("seed", self.seed.to_string()),
+            ("drop_prob", format!("{}", self.fault.drop_prob)),
+            ("duplicate_prob", format!("{}", self.fault.duplicate_prob)),
+            ("reorder_prob", format!("{}", self.fault.reorder_prob)),
+            ("reorder_skew_ns", self.fault.reorder_skew_ns.to_string()),
+            ("corrupt_prob", format!("{}", self.fault.corrupt_prob)),
+            ("flap_period_ns", self.link_fault.flap_period_ns.to_string()),
+            ("flap_prob", format!("{}", self.link_fault.flap_prob)),
+            ("flap_down_ns", self.link_fault.flap_down_ns.to_string()),
+            (
+                "partition_period_ns",
+                self.link_fault.partition_period_ns.to_string(),
+            ),
+            (
+                "partition_prob",
+                format!("{}", self.link_fault.partition_prob),
+            ),
+            (
+                "partition_down_ns",
+                self.link_fault.partition_down_ns.to_string(),
+            ),
+        ]
     }
 }
 
@@ -216,5 +367,69 @@ mod tests {
             ..FaultConfig::NONE
         }
         .is_lossless());
+        assert!(!FaultConfig {
+            corrupt_prob: 0.1,
+            ..FaultConfig::NONE
+        }
+        .is_lossless());
+        assert_eq!(FaultConfig::default(), FaultConfig::NONE);
+        assert!(LinkFaultConfig::NONE.is_quiet());
+        assert_eq!(LinkFaultConfig::default(), LinkFaultConfig::NONE);
+    }
+
+    #[test]
+    fn link_fault_windows_must_fit_their_period() {
+        for broken in [
+            LinkFaultConfig {
+                flap_prob: 0.5,
+                flap_down_ns: 50_000,
+                ..Default::default()
+            },
+            LinkFaultConfig {
+                flap_prob: 0.5,
+                flap_period_ns: 0,
+                ..Default::default()
+            },
+            LinkFaultConfig {
+                partition_prob: 0.5,
+                partition_down_ns: 200_000,
+                ..Default::default()
+            },
+        ] {
+            let cfg = FabricConfig {
+                link_fault: broken,
+                ..Default::default()
+            };
+            assert!(cfg.validate().is_err(), "{broken:?} must be rejected");
+        }
+        FabricConfig {
+            link_fault: LinkFaultConfig {
+                flap_prob: 0.5,
+                partition_prob: 0.2,
+                ..Default::default()
+            },
+            ..Default::default()
+        }
+        .validate()
+        .unwrap();
+    }
+
+    #[test]
+    fn params_cover_the_fault_knobs() {
+        let cfg = FabricConfig::default();
+        let params = cfg.params();
+        for name in [
+            "mtu",
+            "corrupt_prob",
+            "flap_prob",
+            "flap_period_ns",
+            "partition_prob",
+            "partition_down_ns",
+        ] {
+            assert!(
+                params.iter().any(|(k, _)| *k == name),
+                "params() must record {name}"
+            );
+        }
     }
 }

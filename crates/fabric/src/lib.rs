@@ -20,9 +20,19 @@
 //!   fixed number of data-packet credits modelling slots in the
 //!   destination queue; senders stall when credits run out and resume
 //!   as acknowledgements return slots.
-//! * **Fault injection** — per-traversal drop, duplication and
-//!   reordering (bounded extra skew), all driven by one seeded RNG so
-//!   runs are reproducible bit-for-bit.
+//! * **Fault injection** — per-traversal drop, duplication, reordering
+//!   (bounded extra skew) and payload bit-flip corruption, all driven by
+//!   one seeded RNG so runs are reproducible bit-for-bit; every data
+//!   packet carries a CRC32 the receiver verifies before acking, so
+//!   corruption behaves as a detected loss and retransmission repairs
+//!   it.
+//! * **Link lifecycle faults** — [`LinkFaultConfig`] adds seeded
+//!   link-down flap windows and whole-topology partitions as a pure
+//!   function of `(seed, link, time)`; traversals inside a window are
+//!   lost, retransmit exhaustion against a downed path *parks* the
+//!   packet and raises a structured [`LinkEvent`] instead of an error,
+//!   and heals resume selective repeat from the surviving unacked
+//!   window.
 //! * **Selective-repeat reliability** — every sequenced packet is acked
 //!   individually and retransmitted on timeout with exponential
 //!   backoff; the receiver suppresses duplicates, so a lossy fabric
@@ -58,8 +68,8 @@ pub mod packet;
 pub mod stats;
 pub mod vtime;
 
-pub use config::{DeliveryOrder, FabricConfig, FaultConfig};
-pub use net::{Delivery, Fabric};
-pub use packet::{Packet, PacketBody, HEADER_BYTES};
+pub use config::{DeliveryOrder, FabricConfig, FaultConfig, LinkFaultConfig};
+pub use net::{Delivery, Fabric, LinkEvent};
+pub use packet::{crc32, DeadKind, DeadPacket, Packet, PacketBody, HEADER_BYTES};
 pub use stats::FabricStats;
 pub use vtime::{VirtualClock, WatermarkExchange};

@@ -16,7 +16,11 @@
 //! packet is individually acknowledged (selective repeat). Unacked
 //! sequenced packets retransmit on timeout with exponential backoff
 //! until [`FabricConfig::max_retransmits`] is exhausted, at which point
-//! the packet is declared dead and surfaces as an error.
+//! the packet is declared dead and surfaces as an error — unless the
+//! link was *down* (a flap or partition window from
+//! [`crate::config::LinkFaultConfig`]), in which case the packet parks,
+//! a structured [`LinkEvent::Down`] notice is emitted, and the heal
+//! resumes selective repeat from the surviving unacked window.
 //!
 //! Credits model slots in the destination's landing queue: consumed at
 //! first transmission, returned when the first acknowledgement arrives
@@ -32,7 +36,7 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
 use crate::config::{DeliveryOrder, FabricConfig};
-use crate::packet::{Packet, PacketBody};
+use crate::packet::{crc32, DeadKind, DeadPacket, Packet, PacketBody};
 use crate::stats::FabricStats;
 
 /// A message released to its destination endpoint.
@@ -55,6 +59,49 @@ pub struct Delivery {
     /// Causal flow id the sender attached via [`Fabric::send_flow`],
     /// echoed back so the layer above can chain its trace points.
     pub flow: Option<u64>,
+}
+
+/// A structured link lifecycle notice, surfaced through
+/// [`Fabric::take_link_events`] (and the `Transport` seam above)
+/// instead of a hard error. Retransmit exhaustion against a down link
+/// parks the packet and emits `Down` once per episode; the first
+/// timeout processed after the window closes emits `Healed` and
+/// selective repeat resumes from the surviving unacked window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkEvent {
+    /// `src → dst` is down and has stranded at least one packet.
+    Down {
+        /// Sending endpoint of the dead link.
+        src: u32,
+        /// Receiving endpoint of the dead link.
+        dst: u32,
+        /// Simulated time the notice was raised.
+        at_ns: u64,
+    },
+    /// `src → dst` recovered; parked packets are retransmitting again.
+    Healed {
+        /// Sending endpoint of the healed link.
+        src: u32,
+        /// Receiving endpoint of the healed link.
+        dst: u32,
+        /// Simulated time the heal was observed.
+        at_ns: u64,
+    },
+}
+
+/// SplitMix64 finalizer: the cheap stateless mixer behind the link
+/// fault schedule. Quality matters less than determinism here, but it
+/// passes the usual avalanche tests.
+fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Map a hash to `[0, 1)` using its top 53 bits.
+fn unit(h: u64) -> f64 {
+    (h >> 11) as f64 / (1u64 << 53) as f64
 }
 
 #[derive(Debug)]
@@ -92,6 +139,10 @@ struct Outstanding {
     packet: Packet,
     retries: u32,
     rto_ns: u64,
+    /// When the current retransmit budget started burning: the first
+    /// send, or the last park. The exhaustion check spares the packet
+    /// if a link window overlapped any part of `[burn_start_ns, now)`.
+    burn_start_ns: u64,
     credited: bool,
 }
 
@@ -196,6 +247,17 @@ pub struct Fabric {
     recorders: BTreeMap<(u32, u32), SpanRecorder>,
     /// Human-readable records of packets that exhausted retransmission.
     dead: Vec<String>,
+    /// Typed counterparts of `dead`, in the same order.
+    dead_packets: Vec<DeadPacket>,
+    /// Retransmission exhaustions per directed link (BTreeMap:
+    /// deterministic Prometheus sample order).
+    exhausted_by_link: BTreeMap<(u32, u32), u64>,
+    /// Structured link lifecycle notices awaiting collection.
+    link_events: Vec<LinkEvent>,
+    /// Links with an emitted `Down` notice whose heal has not fired yet.
+    down_notified: BTreeSet<(u32, u32)>,
+    /// Recorder holding the one `fabric_config` instant (tracing only).
+    cfg_rec: Option<SpanRecorder>,
 }
 
 impl Fabric {
@@ -207,6 +269,16 @@ impl Fabric {
     pub fn new(ranks: u32, cfg: FabricConfig) -> Self {
         assert!(ranks > 0, "a fabric needs at least one endpoint");
         cfg.validate().expect("invalid fabric config");
+        let cfg_rec = cfg.trace.then(|| {
+            let mut rec = SpanRecorder::new(obs::tracks::fabric_config(cfg.trace_track_base), 4);
+            let args: Vec<(&'static str, ArgValue)> = cfg
+                .params()
+                .into_iter()
+                .map(|(k, v)| (k, ArgValue::Text(v)))
+                .collect();
+            rec.record_instant(SpanCategory::Config, "fabric_config", args);
+            rec
+        });
         Fabric {
             cfg,
             ranks,
@@ -221,6 +293,11 @@ impl Fabric {
             stats: FabricStats::default(),
             recorders: BTreeMap::new(),
             dead: Vec::new(),
+            dead_packets: Vec::new(),
+            exhausted_by_link: BTreeMap::new(),
+            link_events: Vec::new(),
+            down_notified: BTreeSet::new(),
+            cfg_rec,
         }
     }
 
@@ -248,6 +325,142 @@ impl Fabric {
     /// healthy run).
     pub fn errors(&self) -> &[String] {
         &self.dead
+    }
+
+    /// Typed records of the packets in [`Self::errors`], in the same
+    /// order — so supervisors can react to *which* transfer died
+    /// instead of parsing prose.
+    pub fn dead_packets(&self) -> &[DeadPacket] {
+        &self.dead_packets
+    }
+
+    /// Drain the structured link lifecycle notices accumulated so far:
+    /// down episodes that stranded traffic, and the heals that resumed
+    /// them.
+    pub fn take_link_events(&mut self) -> Vec<LinkEvent> {
+        std::mem::take(&mut self.link_events)
+    }
+
+    /// The flap down-window of `key` inside the flap cycle containing
+    /// `t_ns`, if that cycle has one, as absolute `(start, end)` ns.
+    /// Windows always fit inside their cycle (validated), so one cycle
+    /// lookup suffices.
+    fn flap_window(&self, key: (u32, u32), t_ns: u64) -> Option<(u64, u64)> {
+        let lf = &self.cfg.link_fault;
+        if lf.flap_prob <= 0.0 {
+            return None;
+        }
+        let cycle = t_ns / lf.flap_period_ns;
+        let h = mix64(
+            self.cfg.seed
+                ^ mix64((u64::from(key.0) << 32) | u64::from(key.1))
+                ^ cycle.wrapping_mul(0xA24B_AED4_963E_E407),
+        );
+        if unit(h) >= lf.flap_prob {
+            return None;
+        }
+        let start = cycle * lf.flap_period_ns + mix64(h) % (lf.flap_period_ns - lf.flap_down_ns);
+        Some((start, start + lf.flap_down_ns))
+    }
+
+    /// The topology-partition window of the partition cycle containing
+    /// `t_ns`, if that cycle has one.
+    fn partition_window(&self, t_ns: u64) -> Option<(u64, u64)> {
+        let lf = &self.cfg.link_fault;
+        if lf.partition_prob <= 0.0 {
+            return None;
+        }
+        let cycle = t_ns / lf.partition_period_ns;
+        let h = mix64(self.cfg.seed ^ 0x7061_7274 ^ cycle.wrapping_mul(0x9E6C_63D0_876A_68DD));
+        if unit(h) >= lf.partition_prob {
+            return None;
+        }
+        let start = cycle * lf.partition_period_ns
+            + mix64(h) % (lf.partition_period_ns - lf.partition_down_ns);
+        Some((start, start + lf.partition_down_ns))
+    }
+
+    /// Which side of the partition cut `rank` lands on in `cycle`.
+    fn partition_side(&self, cycle: u64, rank: u32) -> bool {
+        mix64(self.cfg.seed ^ 0x7369_6465 ^ cycle.rotate_left(17) ^ (u64::from(rank) << 40)) & 1
+            == 1
+    }
+
+    /// True when the directed link `src → dst` is inside a down window
+    /// at `t_ns` — its own flap window, or a topology partition whose
+    /// cut separates the two ranks. A pure function of `(config, link,
+    /// time)`: no RNG is consumed, so the answer is identical across
+    /// runs and schedulers.
+    pub fn link_down_at(&self, src: u32, dst: u32, t_ns: u64) -> bool {
+        if let Some((s, e)) = self.flap_window((src, dst), t_ns) {
+            if (s..e).contains(&t_ns) {
+                return true;
+            }
+        }
+        if let Some((s, e)) = self.partition_window(t_ns) {
+            if (s..e).contains(&t_ns) {
+                let cycle = t_ns / self.cfg.link_fault.partition_period_ns;
+                if self.partition_side(cycle, src) != self.partition_side(cycle, dst) {
+                    return true;
+                }
+            }
+        }
+        false
+    }
+
+    /// First time at or after `t_ns` when the link is up. Terminates:
+    /// windows never cover a whole cycle, so each iteration jumps at
+    /// least to the end of one window.
+    fn link_up_after(&self, key: (u32, u32), mut t_ns: u64) -> u64 {
+        while self.link_down_at(key.0, key.1, t_ns) {
+            let mut next = t_ns + 1;
+            if let Some((s, e)) = self.flap_window(key, t_ns) {
+                if (s..e).contains(&t_ns) {
+                    next = next.max(e);
+                }
+            }
+            if let Some((s, e)) = self.partition_window(t_ns) {
+                if (s..e).contains(&t_ns) {
+                    next = next.max(e);
+                }
+            }
+            t_ns = next;
+        }
+        t_ns
+    }
+
+    /// True when a down window on `key` *or its reverse* (the ack path)
+    /// intersects `[from, to)` — i.e. the silence that just expired a
+    /// retransmission timer is attributable to link faults rather than
+    /// a genuinely dead peer. Exhaustion is only terminal when this is
+    /// false: a budget burned against a downed path says nothing about
+    /// the path's health.
+    fn path_disturbed_between(&self, key: (u32, u32), from: u64, to: u64) -> bool {
+        let lf = &self.cfg.link_fault;
+        if lf.is_quiet() {
+            return false;
+        }
+        let overlaps = |win: Option<(u64, u64)>| win.is_some_and(|(s, e)| s < to && e > from);
+        let rev = (key.1, key.0);
+        if lf.flap_prob > 0.0 {
+            for c in from / lf.flap_period_ns..=to / lf.flap_period_ns {
+                let t = c * lf.flap_period_ns;
+                if overlaps(self.flap_window(key, t)) || overlaps(self.flap_window(rev, t)) {
+                    return true;
+                }
+            }
+        }
+        if lf.partition_prob > 0.0 {
+            for c in from / lf.partition_period_ns..=to / lf.partition_period_ns {
+                let t = c * lf.partition_period_ns;
+                if overlaps(self.partition_window(t))
+                    && self.partition_side(c, key.0) != self.partition_side(c, key.1)
+                {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// Inject `payload` from `src` to `dst` at the current simulated
@@ -330,6 +543,7 @@ impl Fabric {
             let lo = frag as usize * self.cfg.mtu;
             let hi = (lo + self.cfg.mtu).min(bytes.len());
             let chunk = Bytes::from(bytes[lo.min(bytes.len())..hi].to_vec());
+            let crc = crc32(&chunk);
             let pkt = Packet {
                 src: key.0,
                 dst: key.1,
@@ -341,6 +555,7 @@ impl Fabric {
                     frags,
                     total_len: bytes.len(),
                     envelope,
+                    crc,
                     chunk,
                 },
             };
@@ -397,6 +612,7 @@ impl Fabric {
                 packet,
                 retries: 0,
                 rto_ns: rto,
+                burn_start_ns: self.now_ns,
                 credited,
             },
         );
@@ -482,6 +698,24 @@ impl Fabric {
         }
 
         let base = start + ser + self.cfg.link_latency_ns;
+        if !self.cfg.link_fault.is_quiet()
+            && (self.link_down_at(pkt.src, pkt.dst, start)
+                || self.link_down_at(pkt.src, pkt.dst, base))
+        {
+            // The traversal departs or lands inside a down window: lost
+            // on the floor. Retransmission (or the missing ack) repairs
+            // sequenced packets; unsequenced answers are regenerated by
+            // the peer's own retransmit.
+            self.stats.link_down_drops += 1;
+            if let Some(rec) = self.rec(key) {
+                rec.record_instant(
+                    SpanCategory::LinkDown,
+                    "link_down_drop",
+                    vec![("seq", ArgValue::U64(pkt.seq))],
+                );
+            }
+            return;
+        }
         let fault = self.cfg.fault;
         let mut arrivals: Vec<u64> = Vec::new();
         if fault.drop_prob > 0.0 && self.rng.gen_bool(fault.drop_prob) {
@@ -544,7 +778,29 @@ impl Fabric {
                     vec![("seq", ArgValue::U64(seq)), ("bytes", ArgValue::U64(wire))],
                 );
             }
-            self.schedule(at, Event::Arrival(pkt.clone()));
+            let mut arriving = pkt.clone();
+            if fault.corrupt_prob > 0.0 {
+                if let PacketBody::Data { chunk, .. } = &mut arriving.body {
+                    if !chunk.is_empty() && self.rng.gen_bool(fault.corrupt_prob) {
+                        // Flip one payload bit in the arriving copy only
+                        // — the sender's unacked copy stays clean, so
+                        // the repair retransmission carries good bytes.
+                        let bit = self.rng.gen_range(0..chunk.len() * 8);
+                        let mut bytes = chunk.to_vec();
+                        bytes[bit / 8] ^= 1 << (bit % 8);
+                        *chunk = Bytes::from(bytes);
+                        self.stats.corruptions_injected += 1;
+                        if let Some(rec) = self.rec(key) {
+                            rec.record_instant(
+                                SpanCategory::Corruption,
+                                "bit_flip",
+                                vec![("seq", ArgValue::U64(seq))],
+                            );
+                        }
+                    }
+                }
+            }
+            self.schedule(at, Event::Arrival(arriving));
         }
     }
 
@@ -556,13 +812,87 @@ impl Fabric {
     }
 
     fn fire_timeout(&mut self, key: (u32, u32), seq: u64) {
-        let Some(ch) = self.senders.get_mut(&key) else {
-            return;
-        };
-        let Some(out) = ch.unacked.get_mut(&seq) else {
+        let lf_quiet = self.cfg.link_fault.is_quiet();
+        let down_now = !lf_quiet && self.link_down_at(key.0, key.1, self.now_ns);
+        // A timeout processed while the link is back up closes any open
+        // down episode on this link: the heal notice tells the layer
+        // above that parked traffic is moving again.
+        if !lf_quiet && !down_now && self.down_notified.remove(&key) {
+            self.stats.link_heal_events += 1;
+            let now = self.now_ns;
+            self.link_events.push(LinkEvent::Healed {
+                src: key.0,
+                dst: key.1,
+                at_ns: now,
+            });
+            if let Some(rec) = self.rec(key) {
+                rec.record_instant(SpanCategory::LinkDown, "link_heal", vec![]);
+            }
+        }
+        let Some((retries, burn_start)) = self
+            .senders
+            .get(&key)
+            .and_then(|ch| ch.unacked.get(&seq))
+            .map(|o| (o.retries, o.burn_start_ns))
+        else {
             return; // acknowledged in the meantime — stale timer
         };
-        if out.retries >= self.cfg.max_retransmits {
+        if retries >= self.cfg.max_retransmits {
+            // Exhaustion is only terminal when the silence cannot be
+            // blamed on link lifecycle faults: a window on this link
+            // (or its reverse, which carries the acks) overlapping any
+            // part of the interval the budget burned over means the
+            // retries were spent against a downed path, not a dead
+            // peer — including a budget that outlasts the window and
+            // only exhausts after the heal.
+            let spared = down_now || self.path_disturbed_between(key, burn_start, self.now_ns);
+            if spared {
+                // Park, don't kill: keep the packet in the unacked
+                // window with a fresh budget and re-arm its timer for
+                // the heal. A structured notice (one per link per down
+                // episode) replaces the dead-packet error.
+                let ch = self.senders.get_mut(&key).expect("channel exists");
+                let out = ch.unacked.get_mut(&seq).expect("present");
+                out.retries = 0;
+                out.rto_ns = self.cfg.retransmit_timeout_ns;
+                out.burn_start_ns = self.now_ns;
+                self.stats.parked_packets += 1;
+                let resume_at = if down_now {
+                    self.link_up_after(key, self.now_ns)
+                } else {
+                    self.now_ns + self.cfg.retransmit_timeout_ns
+                };
+                let at = resume_at.max(self.now_ns + 1);
+                self.schedule(
+                    at,
+                    Event::Timeout {
+                        src: key.0,
+                        dst: key.1,
+                        seq,
+                    },
+                );
+                if down_now && self.down_notified.insert(key) {
+                    self.stats.link_down_events += 1;
+                    let now = self.now_ns;
+                    self.link_events.push(LinkEvent::Down {
+                        src: key.0,
+                        dst: key.1,
+                        at_ns: now,
+                    });
+                    if let Some(rec) = self.rec(key) {
+                        rec.record_instant(
+                            SpanCategory::LinkDown,
+                            "link_down",
+                            vec![
+                                ("seq", ArgValue::U64(seq)),
+                                ("resume_at_ns", ArgValue::U64(at)),
+                            ],
+                        );
+                    }
+                }
+                return;
+            }
+            let ch = self.senders.get_mut(&key).expect("channel exists");
             let out = ch.unacked.remove(&seq).expect("present");
             if out.credited {
                 ch.credits += 1;
@@ -572,6 +902,17 @@ impl Fabric {
                 ch.pending_rendezvous.remove(&msg_seq);
             }
             self.stats.exhausted_retries += 1;
+            *self.exhausted_by_link.entry(key).or_insert(0) += 1;
+            let kind = match out.packet.body {
+                PacketBody::Rts { .. } => DeadKind::Rts,
+                _ => DeadKind::Data,
+            };
+            self.dead_packets.push(DeadPacket {
+                src: key.0,
+                dst: key.1,
+                seq,
+                kind,
+            });
             self.dead.push(format!(
                 "packet seq {seq} on link {}->{} dead after {} retransmits",
                 key.0, key.1, out.retries
@@ -579,8 +920,11 @@ impl Fabric {
             self.release_stalled(key);
             return;
         }
+        let backoff = self.cfg.backoff as u64;
+        let ch = self.senders.get_mut(&key).expect("channel exists");
+        let out = ch.unacked.get_mut(&seq).expect("present");
         out.retries += 1;
-        out.rto_ns = out.rto_ns.saturating_mul(self.cfg.backoff as u64);
+        out.rto_ns = out.rto_ns.saturating_mul(backoff);
         let pkt = out.packet.clone();
         let next_deadline = self.now_ns + out.rto_ns;
         self.schedule(
@@ -651,9 +995,26 @@ impl Fabric {
                 frags,
                 total_len: _,
                 envelope,
+                crc,
                 chunk,
             } => {
                 let key = (pkt.src, pkt.dst);
+                // Integrity gate *before* the ack: a corrupted fragment
+                // is dropped silently (nack-as-loss), so the sender's
+                // retransmission — whose unacked copy is clean —
+                // repairs it. Acking first would discard the only good
+                // copy's repair path.
+                if crc32(&chunk) != crc {
+                    self.stats.corrupt_packets_dropped += 1;
+                    if let Some(rec) = self.rec(key) {
+                        rec.record_instant(
+                            SpanCategory::Corruption,
+                            "crc_reject",
+                            vec![("seq", ArgValue::U64(pkt.seq))],
+                        );
+                    }
+                    return;
+                }
                 // Selective repeat: every data packet is acked, duplicates
                 // included (the original ack may have been lost).
                 self.stats.acks_sent += 1;
@@ -850,12 +1211,102 @@ impl Fabric {
         if !self.cfg.trace {
             return None;
         }
-        let tracks: Vec<(String, &SpanRecorder)> = self
-            .recorders
-            .iter()
-            .map(|((s, d), rec)| (format!("link {s}\u{2192}{d}"), rec))
-            .collect();
+        let mut tracks: Vec<(String, &SpanRecorder)> = Vec::new();
+        if let Some(rec) = &self.cfg_rec {
+            tracks.push(("fabric config".to_string(), rec));
+        }
+        tracks.extend(
+            self.recorders
+                .iter()
+                .map(|((s, d), rec)| (format!("link {s}\u{2192}{d}"), rec)),
+        );
         Some(obs::perfetto::export(&tracks))
+    }
+
+    /// Render the fabric's counters as a Prometheus text exposition,
+    /// with per-link series for retransmission exhaustion.
+    pub fn to_prometheus(&self) -> String {
+        use obs::prom::{render, Family, FamilyKind, Sample};
+        let unlabelled = |v: u64| {
+            vec![Sample {
+                labels: Vec::new(),
+                value: v as f64,
+            }]
+        };
+        let per_link: Vec<Sample> = self
+            .exhausted_by_link
+            .iter()
+            .map(|((s, d), v)| Sample {
+                labels: vec![
+                    ("src".to_string(), s.to_string()),
+                    ("dst".to_string(), d.to_string()),
+                ],
+                value: *v as f64,
+            })
+            .collect();
+        let s = &self.stats;
+        render(&[
+            Family::scalar(
+                "fabric_messages_sent_total",
+                "Messages accepted by the fabric",
+                FamilyKind::Counter,
+                unlabelled(s.messages_sent),
+            ),
+            Family::scalar(
+                "fabric_messages_delivered_total",
+                "Messages fully reassembled and released",
+                FamilyKind::Counter,
+                unlabelled(s.messages_delivered),
+            ),
+            Family::scalar(
+                "fabric_retransmits_total",
+                "Timeout-driven retransmissions",
+                FamilyKind::Counter,
+                unlabelled(s.retransmits),
+            ),
+            Family::scalar(
+                "fabric_exhausted_retries_total",
+                "Packets dead after exhausting retransmission, per directed link",
+                FamilyKind::Counter,
+                per_link,
+            ),
+            Family::scalar(
+                "fabric_link_down_drops_total",
+                "Traversals lost to link-down windows",
+                FamilyKind::Counter,
+                unlabelled(s.link_down_drops),
+            ),
+            Family::scalar(
+                "fabric_parked_packets_total",
+                "Retransmit exhaustions parked on a down link instead of dying",
+                FamilyKind::Counter,
+                unlabelled(s.parked_packets),
+            ),
+            Family::scalar(
+                "fabric_link_down_events_total",
+                "Structured link-down notices emitted",
+                FamilyKind::Counter,
+                unlabelled(s.link_down_events),
+            ),
+            Family::scalar(
+                "fabric_link_heal_events_total",
+                "Structured link-heal notices emitted",
+                FamilyKind::Counter,
+                unlabelled(s.link_heal_events),
+            ),
+            Family::scalar(
+                "fabric_corruptions_injected_total",
+                "Payload bit flips injected in flight",
+                FamilyKind::Counter,
+                unlabelled(s.corruptions_injected),
+            ),
+            Family::scalar(
+                "fabric_corrupt_packets_dropped_total",
+                "Data packets rejected on CRC mismatch (repaired by retransmit)",
+                FamilyKind::Counter,
+                unlabelled(s.corrupt_packets_dropped),
+            ),
+        ])
     }
 }
 
@@ -1082,6 +1533,7 @@ mod tests {
                     duplicate_prob: 0.1,
                     reorder_prob: 0.4,
                     reorder_skew_ns: 10_000,
+                    corrupt_prob: 0.05,
                 },
                 ..Default::default()
             };
@@ -1159,6 +1611,239 @@ mod tests {
         let err = f.run_until_quiescent(10_000_000_000).unwrap_err();
         assert!(err.contains("exhausted retransmission"), "{err}");
         assert!(f.stats().exhausted_retries > 0);
+    }
+
+    #[test]
+    fn corruption_is_detected_and_repaired_by_retransmission() {
+        let cfg = FabricConfig {
+            mtu: 32,
+            seed: 17,
+            fault: FaultConfig {
+                corrupt_prob: 0.3,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        let data: Vec<u8> = (0..400u32).map(|i| (i * 7) as u8).collect();
+        for i in 0..10u32 {
+            f.send(0, 1, env(0, i), Bytes::from(data.clone()));
+        }
+        f.run_until_quiescent(1_000_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert_eq!(got.len(), 10);
+        for d in &got {
+            assert_eq!(d.payload.to_vec(), data, "payloads arrive bit-exact");
+        }
+        let s = f.stats();
+        assert!(
+            s.corruptions_injected > 0,
+            "the bit flipper must have fired"
+        );
+        assert_eq!(
+            s.corrupt_packets_dropped, s.corruptions_injected,
+            "every flip is caught by the CRC gate"
+        );
+        assert!(s.retransmits >= s.corrupt_packets_dropped);
+    }
+
+    #[test]
+    fn link_flaps_lose_traversals_but_heal_preserves_delivery() {
+        let cfg = FabricConfig {
+            seed: 7,
+            link_fault: crate::config::LinkFaultConfig {
+                flap_prob: 0.6,
+                flap_period_ns: 40_000,
+                flap_down_ns: 20_000,
+                ..crate::config::LinkFaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..40u32 {
+            f.send(0, 1, env(0, i), payload(64, i as u8));
+            f.advance(5_000);
+        }
+        f.run_until_quiescent(100_000_000_000).unwrap();
+        let got = f.take_deliveries(1);
+        assert_eq!(got.len(), 40, "flap windows must not lose messages");
+        let s = f.stats();
+        assert!(s.link_down_drops > 0, "some traversal must hit a window");
+        assert_eq!(s.exhausted_retries, 0, "nothing dies on a flapping link");
+    }
+
+    #[test]
+    fn down_link_parks_exhausted_packets_and_notifies() {
+        // A long deterministic down window with a tiny retransmission
+        // budget: exhaustion must park (structured notice), not kill,
+        // and the heal must resume delivery.
+        let lf = crate::config::LinkFaultConfig {
+            flap_prob: 1.0,
+            flap_period_ns: 1_000_000,
+            flap_down_ns: 500_000,
+            ..crate::config::LinkFaultConfig::NONE
+        };
+        let cfg = FabricConfig {
+            seed: 3,
+            max_retransmits: 2,
+            retransmit_timeout_ns: 5_000,
+            link_fault: lf,
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        // Find a moment inside a down window to send from.
+        let mut t = 0;
+        while !f.link_down_at(0, 1, t) {
+            t += 1_000;
+        }
+        f.advance(t);
+        f.send(0, 1, env(0, 1), payload(8, 0xEE));
+        f.run_until_quiescent(100_000_000_000).unwrap();
+        assert_eq!(f.take_deliveries(1).len(), 1, "heal resumes delivery");
+        let s = f.stats();
+        assert!(s.parked_packets > 0, "exhaustion on a down link parks");
+        assert_eq!(s.exhausted_retries, 0, "parked packets are not dead");
+        assert!(s.link_down_events >= 1);
+        assert_eq!(s.link_heal_events, s.link_down_events);
+        let events = f.take_link_events();
+        assert!(
+            matches!(events[0], LinkEvent::Down { src: 0, dst: 1, .. }),
+            "{events:?}"
+        );
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, LinkEvent::Healed { src: 0, dst: 1, .. })));
+        assert!(f.take_link_events().is_empty(), "take drains");
+    }
+
+    #[test]
+    fn partitions_cut_cross_side_links_deterministically() {
+        let lf = crate::config::LinkFaultConfig {
+            partition_prob: 0.5,
+            partition_period_ns: 100_000,
+            partition_down_ns: 50_000,
+            ..crate::config::LinkFaultConfig::NONE
+        };
+        let cfg = FabricConfig {
+            seed: 19,
+            link_fault: lf,
+            ..Default::default()
+        };
+        let f = Fabric::new(4, cfg);
+        // Pure function of time: the same query answers identically on
+        // a fresh fabric, and partitions are symmetric per rank pair.
+        let g = Fabric::new(4, cfg);
+        let mut saw_down = false;
+        for t in (0..2_000_000u64).step_by(7_919) {
+            for a in 0..4u32 {
+                for b in 0..4u32 {
+                    if a == b {
+                        continue;
+                    }
+                    assert_eq!(f.link_down_at(a, b, t), g.link_down_at(a, b, t));
+                    assert_eq!(
+                        f.link_down_at(a, b, t),
+                        f.link_down_at(b, a, t),
+                        "partition cuts are symmetric"
+                    );
+                    saw_down |= f.link_down_at(a, b, t);
+                }
+            }
+        }
+        assert!(saw_down, "seed 19 must produce at least one partition");
+    }
+
+    #[test]
+    fn dead_packets_are_typed_and_exported_to_prometheus() {
+        let cfg = FabricConfig {
+            seed: 2,
+            max_retransmits: 1,
+            retransmit_timeout_ns: 1_000,
+            fault: FaultConfig {
+                drop_prob: 0.95,
+                ..FaultConfig::NONE
+            },
+            ..Default::default()
+        };
+        let mut f = Fabric::new(2, cfg);
+        for i in 0..10u32 {
+            f.send(0, 1, env(0, i), payload(8, 0));
+        }
+        let _ = f.run_until_quiescent(10_000_000_000);
+        let dead = f.dead_packets();
+        assert_eq!(dead.len(), f.errors().len(), "typed list mirrors strings");
+        assert!(!dead.is_empty());
+        assert!(dead.iter().all(|d| d.src == 0 && d.dst == 1));
+        assert_eq!(dead[0].kind.label(), "data");
+        let prom = f.to_prometheus();
+        assert!(
+            prom.contains("fabric_exhausted_retries_total{src=\"0\",dst=\"1\"}"),
+            "{prom}"
+        );
+        assert!(prom.contains("# TYPE fabric_exhausted_retries_total counter"));
+    }
+
+    #[test]
+    fn chaos_fabric_run_matches_lossless_deliveries() {
+        // The fabric-level chaos differential in miniature: everything
+        // composed at once still delivers exactly the lossless set.
+        let chaos = FabricConfig {
+            mtu: 64,
+            seed: 23,
+            fault: FaultConfig {
+                drop_prob: 0.05,
+                duplicate_prob: 0.05,
+                reorder_prob: 0.2,
+                reorder_skew_ns: 5_000,
+                corrupt_prob: 0.05,
+            },
+            link_fault: crate::config::LinkFaultConfig {
+                flap_prob: 0.3,
+                flap_period_ns: 50_000,
+                flap_down_ns: 10_000,
+                partition_prob: 0.2,
+                partition_period_ns: 200_000,
+                partition_down_ns: 40_000,
+            },
+            ..Default::default()
+        };
+        let clean = FabricConfig {
+            mtu: 64,
+            seed: 23,
+            ..Default::default()
+        };
+        let run = |cfg: FabricConfig| {
+            let mut f = Fabric::new(3, cfg);
+            for i in 0..30u32 {
+                f.send(i % 3, (i + 1) % 3, env(i % 3, i), payload(200, i as u8));
+                f.advance(2_000);
+            }
+            f.run_until_quiescent(1_000_000_000_000).unwrap();
+            let mut out = Vec::new();
+            for r in 0..3 {
+                out.push(
+                    f.take_deliveries(r)
+                        .into_iter()
+                        .map(|d| (d.src, d.dst, d.msg_seq, d.payload))
+                        .collect::<Vec<_>>(),
+                );
+            }
+            out
+        };
+        assert_eq!(run(chaos), run(clean), "chaos is invisible to consumers");
+    }
+
+    #[test]
+    fn trace_includes_the_fabric_config_instant() {
+        let cfg = FabricConfig {
+            trace: true,
+            ..Default::default()
+        };
+        let f = Fabric::new(2, cfg);
+        let json = f.trace_json().expect("tracing on");
+        assert!(json.contains("fabric_config"), "{json}");
+        assert!(json.contains("flap_prob"), "{json}");
+        assert!(json.contains("corrupt_prob"), "{json}");
     }
 
     #[test]

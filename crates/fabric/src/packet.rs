@@ -17,6 +17,76 @@ use msg_match::Envelope;
 /// moral equivalent of an NVLink flit header plus transport header).
 pub const HEADER_BYTES: usize = 32;
 
+/// CRC32 (IEEE 802.3, reflected polynomial `0xEDB88320`) over `data`.
+///
+/// This is the integrity check carried in every data packet header and
+/// every durable checkpoint: a single flipped payload bit changes the
+/// digest, so corruption is always *detected* and repaired (by
+/// retransmission, or by falling back to an older snapshot) instead of
+/// silently replayed.
+#[must_use]
+pub fn crc32(data: &[u8]) -> u32 {
+    const TABLE: [u32; 256] = {
+        let mut table = [0u32; 256];
+        let mut i = 0;
+        while i < 256 {
+            let mut c = i as u32;
+            let mut k = 0;
+            while k < 8 {
+                c = if c & 1 != 0 {
+                    0xEDB8_8320 ^ (c >> 1)
+                } else {
+                    c >> 1
+                };
+                k += 1;
+            }
+            table[i] = c;
+            i += 1;
+        }
+        table
+    };
+    let mut crc = 0xFFFF_FFFFu32;
+    for &b in data {
+        crc = TABLE[((crc ^ b as u32) & 0xFF) as usize] ^ (crc >> 8);
+    }
+    !crc
+}
+
+/// Why a packet was declared dead, in the typed dead list.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DeadKind {
+    /// A data fragment exhausted its retransmission budget.
+    Data,
+    /// A rendezvous request-to-send exhausted its budget.
+    Rts,
+}
+
+impl DeadKind {
+    /// Stable lowercase label.
+    pub fn label(self) -> &'static str {
+        match self {
+            DeadKind::Data => "data",
+            DeadKind::Rts => "rts",
+        }
+    }
+}
+
+/// A structured record of one permanently lost packet — the typed
+/// counterpart of the human-readable strings in the fabric's dead list,
+/// so supervisors can react to *which* transfer died instead of parsing
+/// prose.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DeadPacket {
+    /// Sending endpoint.
+    pub src: u32,
+    /// Receiving endpoint.
+    pub dst: u32,
+    /// Reliability sequence that exhausted its budget.
+    pub seq: u64,
+    /// Body class of the dead packet.
+    pub kind: DeadKind,
+}
+
 /// What a packet carries.
 #[derive(Debug, Clone, PartialEq)]
 pub enum PacketBody {
@@ -34,6 +104,11 @@ pub enum PacketBody {
         /// Matching header, repeated on every fragment so reassembly
         /// state is self-describing.
         envelope: Envelope,
+        /// CRC32 of the fragment bytes, computed at packetization. The
+        /// receiver recomputes it on arrival; a mismatch (bit-flip
+        /// corruption in flight) drops the packet *without* an ack, so
+        /// the sender's retransmission repairs it.
+        crc: u32,
         /// This fragment's bytes.
         chunk: Bytes,
     },
@@ -130,6 +205,7 @@ mod tests {
                 frags: 1,
                 total_len: chunk.len(),
                 envelope: Envelope::new(0, 3, 0),
+                crc: crc32(chunk),
                 chunk: Bytes::copy_from_slice(chunk),
             },
         }
@@ -176,5 +252,15 @@ mod tests {
         };
         assert!(!cts.is_sequenced() && !cts.needs_credit());
         assert_eq!(cts.kind_label(), "cts");
+    }
+
+    #[test]
+    fn crc32_matches_the_reference_vector_and_detects_flips() {
+        // The classic IEEE check value.
+        assert_eq!(crc32(b"123456789"), 0xCBF4_3926);
+        assert_eq!(crc32(b""), 0);
+        let mut corrupted = b"123456789".to_vec();
+        corrupted[4] ^= 0x10;
+        assert_ne!(crc32(&corrupted), crc32(b"123456789"));
     }
 }

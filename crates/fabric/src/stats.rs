@@ -39,6 +39,24 @@ pub struct FabricStats {
     pub credit_stall_ns: u64,
     /// Packets that exhausted their retransmission budget.
     pub exhausted_retries: u64,
+    /// Traversals the fault model corrupted (a payload bit flipped in
+    /// flight).
+    pub corruptions_injected: u64,
+    /// Data packets the receiver rejected on a CRC mismatch (dropped
+    /// without an ack, so the retransmission repairs them).
+    pub corrupt_packets_dropped: u64,
+    /// Traversals lost because their link was down (flap or partition
+    /// window) at departure or arrival time.
+    pub link_down_drops: u64,
+    /// Retransmit exhaustions that *parked* instead of dying because
+    /// the link was down — each resumes when the link heals.
+    pub parked_packets: u64,
+    /// Structured link-down notices emitted (one per link per down
+    /// episode that stranded traffic).
+    pub link_down_events: u64,
+    /// Structured link-heal notices emitted (one per emitted down
+    /// notice, once the link recovered and traffic resumed).
+    pub link_heal_events: u64,
     /// Bytes serialized onto links, headers and retransmissions
     /// included.
     pub wire_bytes: u64,

@@ -86,6 +86,7 @@ fn lossy_fabric_delivers_exactly_the_lossless_message_set() {
                 duplicate_prob: 0.08,
                 reorder_prob: 0.3,
                 reorder_skew_ns: 50_000,
+                corrupt_prob: 0.08,
             },
         ),
     ] {
@@ -123,6 +124,7 @@ fn fifo_mode_preserves_per_pair_payload_order_under_faults() {
             duplicate_prob: 0.1,
             reorder_prob: 0.5,
             reorder_skew_ns: 80_000,
+            corrupt_prob: 0.1,
         },
         ..Default::default()
     };

@@ -839,6 +839,7 @@ mod tests {
                 duplicate_prob: 0.1,
                 reorder_prob: 0.4,
                 reorder_skew_ns: 30_000,
+                corrupt_prob: 0.1,
             },
             17,
         );

@@ -32,6 +32,20 @@ pub enum FaultKind {
         /// Degraded window in simulated seconds.
         seconds: f64,
     },
+    /// The shard is cut off from the supervisor and its peers for this
+    /// long: it keeps servicing what it already holds (state intact,
+    /// unlike a crash) but is *unreachable* — the supervisor fails its
+    /// streams over under an epoch fence, so any work the partitioned
+    /// shard completes late is rejected as stale when it heals.
+    Partition {
+        /// Unreachable window in simulated seconds.
+        seconds: f64,
+    },
+    /// The newest durable checkpoint of every stream on the shard gets
+    /// a flipped checksum bit. Harmless until the next crash, when
+    /// restore must fall back to an older snapshot and replay a longer
+    /// journal window.
+    CorruptCheckpoint,
 }
 
 /// One injected fault: `kind` strikes `shard` at simulated time `at`.
@@ -62,6 +76,12 @@ pub struct FaultRates {
     pub slow_factor: f64,
     /// Duration of each slow window (seconds).
     pub slow_seconds: f64,
+    /// Partitions per simulated second.
+    pub partition_rate: f64,
+    /// Duration of each partition window (seconds).
+    pub partition_seconds: f64,
+    /// Checkpoint corruptions per simulated second.
+    pub corrupt_rate: f64,
 }
 
 impl Default for FaultRates {
@@ -73,6 +93,9 @@ impl Default for FaultRates {
             hang_seconds: 100e-6,
             slow_factor: 4.0,
             slow_seconds: 200e-6,
+            partition_rate: 0.0,
+            partition_seconds: 150e-6,
+            corrupt_rate: 0.0,
         }
     }
 }
@@ -126,6 +149,14 @@ impl FaultPlan {
         events.extend(draw(rates.slow_rate, &mut rng, &|| FaultKind::Slow {
             factor: rates.slow_factor,
             seconds: rates.slow_seconds,
+        }));
+        events.extend(draw(rates.partition_rate, &mut rng, &|| {
+            FaultKind::Partition {
+                seconds: rates.partition_seconds,
+            }
+        }));
+        events.extend(draw(rates.corrupt_rate, &mut rng, &|| {
+            FaultKind::CorruptCheckpoint
         }));
         FaultPlan::new(events)
     }
@@ -202,5 +233,33 @@ mod tests {
         assert_eq!(plan.events()[0].shard, 0);
         assert_eq!(plan.crash_count(), 1);
         assert!(FaultPlan::none().is_empty());
+    }
+
+    #[test]
+    fn partition_and_corruption_events_draw_from_their_rates() {
+        let rates = FaultRates {
+            partition_rate: 1500.0,
+            corrupt_rate: 1000.0,
+            ..Default::default()
+        };
+        let plan = FaultPlan::random(5, 4, 0.002, &rates);
+        let partitions = plan
+            .events()
+            .iter()
+            .filter(|e| matches!(e.kind, FaultKind::Partition { .. }))
+            .count();
+        let corruptions = plan
+            .events()
+            .iter()
+            .filter(|e| e.kind == FaultKind::CorruptCheckpoint)
+            .count();
+        assert_eq!(partitions, 3, "round(1500 * 0.002)");
+        assert_eq!(corruptions, 2, "round(1000 * 0.002)");
+        assert_eq!(plan.crash_count(), 0);
+        assert_eq!(
+            plan,
+            FaultPlan::random(5, 4, 0.002, &rates),
+            "partition/corruption draws are seeded"
+        );
     }
 }

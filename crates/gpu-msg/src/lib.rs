@@ -59,7 +59,7 @@ pub use metrics::{
     EngineProfile, Histogram, OverflowStats, SchedulerProfile, ServiceMetrics, ShardMetrics,
     ShardWallProfile, TenantMetrics,
 };
-pub use recovery::{RecoveryConfig, StreamState};
+pub use recovery::{RecoveryConfig, Snapshot, StreamState};
 pub use reorder::ReorderBuffer;
 pub use sched::Scheduler;
 pub use service::{

@@ -352,6 +352,9 @@ pub struct ShardMetrics {
     pub crashes: u64,
     /// Injected hangs this shard suffered (unresponsive, state kept).
     pub hangs: u64,
+    /// Injected partition windows that cut this shard off from the
+    /// supervisor and its peers (state intact, path down).
+    pub partitions: u64,
     /// Completed checkpoint/journal recoveries after crashes.
     pub recoveries: u64,
     /// In-flight batches destroyed by a crash before their matches
@@ -367,6 +370,18 @@ pub struct ShardMetrics {
     /// Re-matched entries suppressed at commit because their seq was
     /// already delivered — the duplicate half of exactly-once replay.
     pub replay_duplicates: u64,
+    /// Commits rejected because their entry was dispatched under a
+    /// placement epoch that a failover has since superseded — the
+    /// fencing half of exactly-once under partitions: a healed shard's
+    /// late work can never double-commit against its stand-in.
+    pub fenced_commits: u64,
+    /// Stream snapshots corrupted by injected checkpoint faults on this
+    /// shard (newest generation's checksum flipped).
+    pub corrupt_checkpoints: u64,
+    /// Snapshot generations skipped at restore because their checksum
+    /// failed to verify; each fallback widens the journal-replay window
+    /// by one checkpoint generation.
+    pub snapshot_fallbacks: u64,
     /// Dispatch-batch entries the pre-launch digest screen rejected as
     /// unmatchable (see `msg_match::prefilter`). Service streams are
     /// self-matching, so this stays 0 in healthy runs — a nonzero value
@@ -424,12 +439,16 @@ impl ShardMetrics {
             ever_spilled: false,
             crashes: 0,
             hangs: 0,
+            partitions: 0,
             recoveries: 0,
             lost_batches: 0,
             checkpoints: 0,
             snapshot_restored: 0,
             journal_replayed: 0,
             replay_duplicates: 0,
+            fenced_commits: 0,
+            corrupt_checkpoints: 0,
+            snapshot_fallbacks: 0,
             prefilter_rejections: 0,
             failovers_in: 0,
             failovers_out: 0,
@@ -810,6 +829,30 @@ impl ServiceMetrics {
                 "Re-matched entries suppressed at commit (exactly-once)",
                 FamilyKind::Counter,
                 per_shard(|s| s.replay_duplicates as f64),
+            ),
+            Family::scalar(
+                "shard_partitions_total",
+                "Injected partition windows that cut the shard off",
+                FamilyKind::Counter,
+                per_shard(|s| s.partitions as f64),
+            ),
+            Family::scalar(
+                "shard_fenced_commits_total",
+                "Stale-epoch commits rejected by the failover fence",
+                FamilyKind::Counter,
+                per_shard(|s| s.fenced_commits as f64),
+            ),
+            Family::scalar(
+                "shard_corrupt_checkpoints_total",
+                "Stream snapshots hit by injected checkpoint corruption",
+                FamilyKind::Counter,
+                per_shard(|s| s.corrupt_checkpoints as f64),
+            ),
+            Family::scalar(
+                "shard_snapshot_fallbacks_total",
+                "Corrupt snapshot generations skipped at restore",
+                FamilyKind::Counter,
+                per_shard(|s| s.snapshot_fallbacks as f64),
             ),
             Family::scalar(
                 "shard_prefilter_rejections_total",

@@ -68,6 +68,11 @@ pub(crate) struct QEntry {
     pub(crate) stream: usize,
     pub(crate) seq: u64,
     pub(crate) arrived: f64,
+    /// The stream's placement epoch when the entry was (re-)enqueued.
+    /// Failover bumps the epoch as it transfers a stream, so a copy
+    /// still in flight on the old owner commits under a stale epoch and
+    /// is fenced off at the commit point.
+    pub(crate) epoch: u64,
 }
 
 /// A dispatched batch occupying a shard's device until `until`.
@@ -162,6 +167,10 @@ pub(crate) struct ShardCell<'a> {
     last_spill: f64,
     slow_until: f64,
     slow_factor: f64,
+    /// Until when the shard is partitioned off (unreachable from the
+    /// supervisor and its peers, state intact, still servicing what it
+    /// holds). `NEG_INFINITY` when never partitioned.
+    partitioned_until: f64,
     next_ckpt: f64,
     active_choice: EngineChoice,
     home_choice: EngineChoice,
@@ -193,6 +202,9 @@ pub(crate) struct StreamCell<'a> {
     rate: f64,
     state: StreamState,
     seen: u64,
+    /// Placement epoch, bumped each time failover transfers the stream
+    /// to a new owner; commits stamped with an older epoch are fenced.
+    epoch: u64,
     completions: Option<Vec<u64>>,
     /// Arrival-time shape (uniform for legacy streams).
     pattern: ArrivalPattern,
@@ -307,11 +319,31 @@ fn commit_batch(
     for e in &inf.entries {
         let sp = spos(streams, e.stream);
         let sc = &mut streams[sp];
+        if e.epoch < sc.epoch {
+            // The entry was dispatched before a failover transferred
+            // the stream away: the new owner holds its own copy (from
+            // the journal window), so this late commit must not touch
+            // the watermark — the fence that keeps a partitioned shard
+            // healing back from double-committing stale work.
+            cell.metrics.fenced_commits += 1;
+            continue;
+        }
         if e.seq < sc.state.committed {
             cell.metrics.replay_duplicates += 1;
             continue;
         }
-        debug_assert_eq!(e.seq, sc.state.committed, "per-stream commits are FIFO");
+        debug_assert_eq!(
+            e.seq,
+            sc.state.committed,
+            "per-stream commits are FIFO: shard {} stream {} seq {} committed {} epoch {} sc.epoch {} until {}",
+            cell.idx,
+            e.stream,
+            e.seq,
+            sc.state.committed,
+            e.epoch,
+            sc.epoch,
+            inf.until,
+        );
         sc.state.committed = e.seq + 1;
         sc.matched_n += 1;
         cell.metrics.matched += 1;
@@ -429,6 +461,7 @@ impl<'a> Domain<'a> {
                     // An admit ends any spill/shed run.
                     flush_spills(cell);
                     let seq = streams[sp].state.admit(t);
+                    let epoch = streams[sp].epoch;
                     // A dark shard's queue died with its device;
                     // journal-only until the rebuild restores it.
                     if !cell.phase.dark() {
@@ -436,6 +469,7 @@ impl<'a> Domain<'a> {
                             stream: s,
                             seq,
                             arrived: t,
+                            epoch,
                         });
                     }
                     cell.metrics.admitted += 1;
@@ -555,6 +589,48 @@ impl<'a> Domain<'a> {
                             rec.record_instant(obs::SpanCategory::Crash, "slow", vec![]);
                         }
                     }
+                    FaultKind::Partition { seconds } => {
+                        // The shard is cut off, not down: it keeps
+                        // servicing what it holds, but health checks
+                        // see it unreachable until the window closes.
+                        cell.metrics.partitions += 1;
+                        cell.partitioned_until = cell.partitioned_until.max(ev.at + seconds);
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(
+                                obs::SpanCategory::Partition,
+                                "partition",
+                                vec![(
+                                    "until_ns",
+                                    obs::ArgValue::U64(((ev.at + seconds) * 1e9).round() as u64),
+                                )],
+                            );
+                        }
+                    }
+                    FaultKind::CorruptCheckpoint => {
+                        // Flip the newest durable snapshot of every
+                        // stream the shard checkpoints. Harmless until
+                        // the next crash, when restore must fall back a
+                        // generation and replay a longer journal.
+                        let x = cell.idx;
+                        let mut corrupted = 0u64;
+                        for sc in streams.iter_mut() {
+                            if env.placement.target_of(sc.idx) == x
+                                && sc.state.corrupt_latest_snapshot()
+                            {
+                                corrupted += 1;
+                            }
+                        }
+                        cell.metrics.corrupt_checkpoints += corrupted;
+                        if let Some(rec) = cell.gpu.obs.as_mut() {
+                            rec.set_now_ns((ev.at * 1e9).round() as u64);
+                            rec.record_instant(
+                                obs::SpanCategory::Corruption,
+                                "checkpoint_corruption",
+                                vec![("streams", obs::ArgValue::U64(corrupted))],
+                            );
+                        }
+                    }
                 }
             }
         }
@@ -585,8 +661,14 @@ impl<'a> Domain<'a> {
                             if env.placement.target_of(sc.idx) != x {
                                 continue;
                             }
+                            // Restore from the newest snapshot whose
+                            // checksum verifies; every corrupt
+                            // generation skipped is a fallback that
+                            // widens the replay window.
+                            let (snap, fallbacks) = sc.state.restore_snapshot();
+                            cell.metrics.snapshot_fallbacks += fallbacks;
                             for &(seq, _) in sc.state.journal.iter() {
-                                if seq < sc.state.ckpt_admitted {
+                                if seq < snap.admitted {
                                     cell.metrics.snapshot_restored += 1;
                                 } else {
                                     cell.metrics.journal_replayed += 1;
@@ -619,6 +701,7 @@ impl<'a> Domain<'a> {
                                     stream: sc.idx,
                                     seq,
                                     arrived: t,
+                                    epoch: sc.epoch,
                                 });
                                 let fid = obs::FlowId::service(sc.idx as u32, seq);
                                 if env.sampler.admits(fid) {
@@ -651,18 +734,15 @@ impl<'a> Domain<'a> {
                         }
                     }
                     Phase::Checkpointing { until, started } => {
+                        let r = env.recovery.expect("checkpointing implies fault tolerance");
                         let x = cell.idx;
                         for sc in streams.iter_mut() {
                             if env.placement.target_of(sc.idx) == x {
-                                sc.state.checkpoint();
+                                sc.state.checkpoint(r.snapshot_retention);
                             }
                         }
                         cell.metrics.checkpoints += 1;
-                        cell.next_ckpt = until
-                            + env
-                                .recovery
-                                .expect("checkpointing implies fault tolerance")
-                                .checkpoint_interval;
+                        cell.next_ckpt = until + r.checkpoint_interval;
                         if let Some(rec) = cell.gpu.obs.as_mut() {
                             let t0 = (started * 1e9).round() as u64;
                             let t1 = (until * 1e9).round() as u64;
@@ -1048,8 +1128,14 @@ fn supervisor_tick(
     let n = cells.len();
     let m = streams.len();
     for x in 0..n {
-        let responsive = cells[x].as_ref().unwrap().phase.responsive();
-        if responsive {
+        let (responsive, unreachable) = {
+            let c = cells[x].as_ref().unwrap();
+            (c.phase.responsive(), c.partitioned_until > tick)
+        };
+        if !unreachable {
+            sup.note_reachable(x);
+        }
+        if responsive && !unreachable {
             sup.note_up(x);
             // Observe the same backlog admission gates on (queued plus
             // in-flight), else a pegged shard alternating full queue /
@@ -1061,7 +1147,15 @@ fn supervisor_tick(
             sup.observe_depth(x, depth, capacity);
             continue;
         }
-        if !sup.note_down(x, tick) {
+        // A partition is diagnosed apart from a crash or hang: the
+        // shard is healthy, the path is cut, so the grace period
+        // applies but crash-loop detection never shortcuts it.
+        let fail_over = if unreachable {
+            sup.note_unreachable(x, tick)
+        } else {
+            sup.note_down(x, tick)
+        };
+        if !fail_over {
             continue;
         }
         // Fail the down shard's streams over to the healthiest
@@ -1071,7 +1165,10 @@ fn supervisor_tick(
             continue;
         }
         let target = (0..n)
-            .filter(|&u| u != x && cells[u].as_ref().unwrap().phase.responsive())
+            .filter(|&u| {
+                let c = cells[u].as_ref().unwrap();
+                u != x && c.phase.responsive() && c.partitioned_until <= tick
+            })
             .min_by_key(|&u| {
                 let c = cells[u].as_ref().unwrap();
                 (c.queue.len() + c.phase.inflight_len(), u)
@@ -1092,7 +1189,14 @@ fn supervisor_tick(
             // inherits. Any in-flight copies commit late and are
             // suppressed by the watermark.
             cells[x].as_mut().unwrap().queue.retain(|e| e.stream != s);
-            let sc = streams[s].as_ref().unwrap();
+            // Bump the stream's epoch as it changes hands: any copy the
+            // old owner still holds in flight (a hung batch, a
+            // partitioned shard that kept servicing) commits under the
+            // stale epoch and is fenced at the commit point, so late
+            // work can never double-commit against the new owner.
+            let sc = streams[s].as_mut().unwrap();
+            sc.epoch += 1;
+            let epoch = sc.epoch;
             let committed = sc.state.committed;
             let mut transferred = 0u64;
             let inherited: Vec<QEntry> = sc
@@ -1104,6 +1208,7 @@ fn supervisor_tick(
                     stream: s,
                     seq,
                     arrived: tm,
+                    epoch,
                 })
                 .collect();
             let home = cells[h].as_ref().unwrap().home_choice;
@@ -1153,15 +1258,27 @@ fn supervisor_tick(
     // target has drained the inherited streams, route them home.
     for h in 0..n {
         let t = placement.redirect_of(h);
-        if t == h || !cells[h].as_ref().unwrap().phase.responsive() {
+        let home_ok = {
+            let c = cells[h].as_ref().unwrap();
+            // A partitioned home must heal before it takes its keys
+            // back, or fresh admissions would land behind the cut.
+            c.phase.responsive() && c.partitioned_until <= tick
+        };
+        if t == h || !home_ok {
             continue;
         }
         let draining = {
             let tc = cells[t].as_ref().unwrap();
-            (0..m).any(|s| {
-                placement.home_of_slot(s) == h
-                    && (tc.queue.iter().any(|e| e.stream == s) || tc.phase.holds_stream(s))
-            })
+            // A crashed stand-in looks drained — the crash cleared its
+            // queue — but it still owns the inherited streams'
+            // un-replayed journal windows, and its replay skips any
+            // stream routed away in the meantime. Hold the handback
+            // until the recovery has rebuilt and re-committed them.
+            tc.phase.dark()
+                || (0..m).any(|s| {
+                    placement.home_of_slot(s) == h
+                        && (tc.queue.iter().any(|e| e.stream == s) || tc.phase.holds_stream(s))
+                })
         };
         if draining {
             continue;
@@ -1214,8 +1331,12 @@ fn reshard_tick(
             to,
             planned_at,
         } = plan;
-        let from_ok = cells[from].as_ref().unwrap().phase.responsive();
-        let to_ok = cells[to].as_ref().unwrap().phase.responsive();
+        let healthy = |x: usize| {
+            let c = cells[x].as_ref().unwrap();
+            c.phase.responsive() && c.partitioned_until <= tick
+        };
+        let from_ok = healthy(from);
+        let to_ok = healthy(to);
         let routed_clean = placement.redirect_of(from) == from && placement.redirect_of(to) == to;
         if !from_ok || !to_ok || !routed_clean {
             // A crash, hang or failover intervened between plan and
@@ -1274,6 +1395,7 @@ fn reshard_tick(
                 stream: slot,
                 seq,
                 arrived: tm,
+                epoch: sc.epoch,
             })
             .collect();
         let mut transferred = 0u64;
@@ -1336,7 +1458,7 @@ fn reshard_tick(
     let backlogs: Vec<Option<usize>> = (0..n)
         .map(|x| {
             let c = cells[x].as_ref().unwrap();
-            (c.phase.responsive() && placement.redirect_of(x) == x)
+            (c.phase.responsive() && c.partitioned_until <= tick && placement.redirect_of(x) == x)
                 .then(|| c.queue.len() + c.phase.inflight_len())
         })
         .collect();
@@ -1519,6 +1641,7 @@ pub(crate) fn run_scheduled(
             last_spill: f64::NEG_INFINITY,
             slow_until: f64::NEG_INFINITY,
             slow_factor: 1.0,
+            partitioned_until: f64::NEG_INFINITY,
             next_ckpt: recovery.map_or(f64::INFINITY, |r| r.checkpoint_interval),
             active_choice: choice,
             home_choice: choice,
@@ -1544,6 +1667,7 @@ pub(crate) fn run_scheduled(
                 rate: st.rate,
                 state: StreamState::default(),
                 seen: 0,
+                epoch: 0,
                 completions: record_completions.then(Vec::new),
                 pattern: st.pattern,
                 tenant: st.tenant,
@@ -1903,6 +2027,7 @@ mod tests {
                     last_spill: f64::NEG_INFINITY,
                     slow_until: f64::NEG_INFINITY,
                     slow_factor: 1.0,
+                    partitioned_until: f64::NEG_INFINITY,
                     next_ckpt: f64::INFINITY,
                     active_choice: EngineChoice::Matrix,
                     home_choice: EngineChoice::Matrix,
@@ -1947,6 +2072,7 @@ mod tests {
             stream: 1,
             seq: 0,
             arrived: 0.0,
+            epoch: 0,
         });
         let groups = conflict_groups(4, 4, &placement, &cells);
         assert_eq!(

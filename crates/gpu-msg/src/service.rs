@@ -1359,6 +1359,156 @@ mod tests {
     }
 
     #[test]
+    fn hung_shard_returning_late_is_fenced_under_both_schedulers() {
+        // Hang-then-return: shard 0 hangs mid-batch for longer than the
+        // failover grace period, so its streams move to shard 1 under a
+        // bumped epoch while the stuck batch is still on its device.
+        // When the hang ends the batch commits late — every entry now
+        // carries a stale epoch and must be rejected at the commit
+        // point, not double-committed against the stand-in. The offered
+        // rate outruns the two shards so they are continuously busy and
+        // the hang is guaranteed to catch a batch on the device.
+        let base = ft_cfg(2, 16.0e6);
+        let mut clean = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        clean.set_record_completions(true);
+        let want = clean.run().completions.unwrap();
+
+        let fence_run = |scheduler: Scheduler| {
+            let mut svc = ShardedMatchService::new(
+                GpuGeneration::PascalGtx1080,
+                ShardedServiceConfig { scheduler, ..base },
+            );
+            svc.set_record_completions(true);
+            svc.set_fault_tolerance(Some(FaultTolerance {
+                plan: FaultPlan::new(vec![FaultEvent {
+                    at: 0.3e-3,
+                    shard: 0,
+                    kind: FaultKind::Hang { seconds: 600e-6 },
+                }]),
+                recovery: RecoveryConfig::default(),
+                supervisor: Some(SupervisorConfig::default()),
+            }));
+            svc.run()
+        };
+        let a = fence_run(Scheduler::GlobalClock);
+        let s0 = &a.metrics.shards[0];
+        assert_eq!(s0.failovers_out, 1, "{s0:?}");
+        assert!(
+            s0.fenced_commits > 0,
+            "the returning shard's stale batch must be fenced: {s0:?}"
+        );
+        assert_eq!(
+            a.completions.as_ref().unwrap(),
+            &want,
+            "fencing must neither lose nor duplicate a match"
+        );
+        let b = fence_run(Scheduler::ThreadPerShard);
+        assert_eq!(a.completions, b.completions);
+        assert_eq!(
+            a.metrics, b.metrics,
+            "fenced runs must be byte-identical across schedulers"
+        );
+    }
+
+    #[test]
+    fn partitioned_shard_fails_over_and_heals_without_loss() {
+        let base = ShardedServiceConfig {
+            trace: true,
+            ..ft_cfg(2, 4.0e6)
+        };
+        let mut clean = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        clean.set_record_completions(true);
+        let want = clean.run().completions.unwrap();
+
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        svc.set_record_completions(true);
+        svc.set_fault_tolerance(Some(FaultTolerance {
+            plan: FaultPlan::new(vec![FaultEvent {
+                at: 0.3e-3,
+                shard: 0,
+                kind: FaultKind::Partition { seconds: 600e-6 },
+            }]),
+            recovery: RecoveryConfig::default(),
+            supervisor: Some(SupervisorConfig::default()),
+        }));
+        let r = svc.run();
+
+        let (s0, s1) = (&r.metrics.shards[0], &r.metrics.shards[1]);
+        assert_eq!(s0.partitions, 1, "{s0:?}");
+        assert_eq!(s0.crashes, 0, "a partition is not a crash: {s0:?}");
+        assert_eq!(s0.hangs, 0);
+        assert_eq!(
+            s0.failovers_out, 1,
+            "a sustained partition fails the shard's streams over: {s0:?}"
+        );
+        assert_eq!(s1.failovers_in, 1, "{s1:?}");
+        assert!(s1.transferred_in > 0, "{s1:?}");
+        assert_eq!(
+            svc.placement().target_of(0),
+            0,
+            "the stream must be handed back once the partition heals"
+        );
+        assert_eq!(
+            r.completions.unwrap(),
+            want,
+            "a partition plus failover must not lose or duplicate a match"
+        );
+        let json = svc.trace_json().unwrap();
+        assert!(json.contains("\"cat\":\"partition\""));
+        assert!(json.contains("\"name\":\"handback\""));
+    }
+
+    #[test]
+    fn corrupt_checkpoints_fall_back_a_generation_at_restore() {
+        let base = ShardedServiceConfig {
+            trace: true,
+            ..ft_cfg(2, 4.0e6)
+        };
+        let mut clean = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        clean.set_record_completions(true);
+        let want = clean.run().completions.unwrap();
+
+        // Corrupt shard 0's newest snapshots, then crash it: restore
+        // must skip the corrupt generation, start from an older valid
+        // snapshot and replay the longer journal window it kept.
+        let mut svc = ShardedMatchService::new(GpuGeneration::PascalGtx1080, base);
+        svc.set_record_completions(true);
+        svc.set_fault_tolerance(Some(FaultTolerance {
+            plan: FaultPlan::new(vec![
+                FaultEvent {
+                    at: 0.55e-3,
+                    shard: 0,
+                    kind: FaultKind::CorruptCheckpoint,
+                },
+                FaultEvent {
+                    at: 0.6e-3,
+                    shard: 0,
+                    kind: FaultKind::Crash,
+                },
+            ]),
+            recovery: RecoveryConfig::default(),
+            supervisor: None,
+        }));
+        let r = svc.run();
+
+        let s0 = &r.metrics.shards[0];
+        assert!(s0.corrupt_checkpoints > 0, "{s0:?}");
+        assert_eq!(s0.crashes, 1);
+        assert_eq!(s0.recoveries, 1);
+        assert!(
+            s0.snapshot_fallbacks > 0,
+            "restore must skip the corrupted generation: {s0:?}"
+        );
+        assert_eq!(
+            r.completions.unwrap(),
+            want,
+            "fallback restore still converges on the fault-free matches"
+        );
+        let json = svc.trace_json().unwrap();
+        assert!(json.contains("\"name\":\"checkpoint_corruption\""));
+    }
+
+    #[test]
     fn overloaded_shards_shed_past_the_deadline() {
         let mut svc = ShardedMatchService::new(
             GpuGeneration::PascalGtx1080,

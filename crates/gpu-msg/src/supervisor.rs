@@ -53,8 +53,15 @@ pub struct Supervisor {
     cfg: SupervisorConfig,
     /// When each shard was first observed unresponsive (None = up).
     down_since: Vec<Option<f64>>,
+    /// When each shard was first observed *unreachable* — partitioned
+    /// off, state intact — as distinct from unresponsive (None =
+    /// reachable). Tracked separately so a partition never feeds
+    /// crash-loop detection: the shard is healthy, the path is not.
+    unreachable_since: Vec<Option<f64>>,
     /// Crashes observed per shard over the run.
     crash_counts: Vec<u64>,
+    /// Partition episodes observed per shard over the run.
+    partition_counts: Vec<u64>,
     /// Consecutive overload observations per shard.
     overload_streak: Vec<u32>,
     /// Whether deadline shedding is engaged per shard.
@@ -67,7 +74,9 @@ impl Supervisor {
         Supervisor {
             cfg,
             down_since: vec![None; shards],
+            unreachable_since: vec![None; shards],
             crash_counts: vec![0; shards],
+            partition_counts: vec![0; shards],
             overload_streak: vec![0; shards],
             shedding: vec![false; shards],
         }
@@ -94,6 +103,35 @@ impl Supervisor {
     /// Health check: `shard` observed responsive again.
     pub fn note_up(&mut self, shard: usize) {
         self.down_since[shard] = None;
+    }
+
+    /// Health check: `shard` observed *unreachable* (partitioned) at
+    /// `now`. Unlike [`Self::note_down`], this never consults crash-loop
+    /// state — the shard is fine, the path is cut — but the same grace
+    /// period applies before its keys fail over. Returns true when the
+    /// partition has lasted long enough to fail over.
+    pub fn note_unreachable(&mut self, shard: usize, now: f64) -> bool {
+        if self.unreachable_since[shard].is_none() {
+            self.partition_counts[shard] += 1;
+        }
+        let since = *self.unreachable_since[shard].get_or_insert(now);
+        now - since >= self.cfg.failover_after
+    }
+
+    /// Health check: `shard` observed reachable again (partition
+    /// healed).
+    pub fn note_reachable(&mut self, shard: usize) {
+        self.unreachable_since[shard] = None;
+    }
+
+    /// Is `shard` currently marked unreachable?
+    pub fn is_unreachable(&self, shard: usize) -> bool {
+        self.unreachable_since[shard].is_some()
+    }
+
+    /// Partition episodes observed on `shard` so far.
+    pub fn partition_count(&self, shard: usize) -> u64 {
+        self.partition_counts[shard]
     }
 
     /// Has `shard` crashed often enough to count as crash-looping?
@@ -154,6 +192,30 @@ mod tests {
         }
         assert!(s.crash_looping(0));
         assert!(s.note_down(0, 1e-6), "crash-looping fails over immediately");
+    }
+
+    #[test]
+    fn unreachable_is_tracked_apart_from_crashes() {
+        let cfg = SupervisorConfig::default();
+        let mut s = Supervisor::new(2, cfg);
+        // Crash-looping shortcut must NOT apply to partitions: the
+        // shard is healthy, only the path is cut.
+        for _ in 0..5 {
+            s.note_crash(0);
+        }
+        assert!(!s.note_unreachable(0, 1e-6), "grace period still applies");
+        assert!(s.is_unreachable(0));
+        assert_eq!(s.partition_count(0), 1);
+        assert!(
+            s.note_unreachable(0, 1e-6 + cfg.failover_after),
+            "sustained partition fails over"
+        );
+        assert_eq!(s.partition_count(0), 1, "one episode, not per check");
+        s.note_reachable(0);
+        assert!(!s.is_unreachable(0));
+        assert!(!s.note_unreachable(0, 1.0), "heal resets the clock");
+        assert_eq!(s.partition_count(0), 2, "a new episode counts again");
+        assert_eq!(s.partition_count(1), 0);
     }
 
     #[test]

@@ -20,7 +20,7 @@
 use std::collections::HashMap;
 
 use bytes::Bytes;
-use fabric::{Fabric, FabricConfig, FabricStats};
+use fabric::{Fabric, FabricConfig, FabricStats, LinkEvent};
 use msg_match::Envelope;
 
 use crate::message::Message;
@@ -104,6 +104,15 @@ pub trait Transport: Send {
     /// Fabric counters, when the wire is a fabric.
     fn fabric_stats(&self) -> Option<FabricStats> {
         None
+    }
+
+    /// Drain structured link lifecycle notices (down episodes that
+    /// stranded traffic, and their heals) raised since the last call.
+    /// Wires without link faults return nothing. These are
+    /// *notifications*, not errors: the transport keeps repairing
+    /// parked traffic across a heal on its own.
+    fn take_link_events(&mut self) -> Vec<LinkEvent> {
+        Vec::new()
     }
 
     /// Per-link trace JSON, when the wire is a traced fabric.
@@ -292,6 +301,10 @@ impl Transport for FabricTransport {
 
     fn fabric_stats(&self) -> Option<FabricStats> {
         Some(self.net.stats())
+    }
+
+    fn take_link_events(&mut self) -> Vec<LinkEvent> {
+        self.net.take_link_events()
     }
 
     fn trace_json(&self) -> Option<String> {

@@ -91,6 +91,20 @@ pub enum SpanCategory {
     /// handback or abort) moving a stream slot's durable home between
     /// shards at an epoch barrier.
     Migration,
+    /// A fabric link lifecycle event: a traversal lost to a down
+    /// window, a structured down notice (retransmit exhaustion parked
+    /// on a dead link), or the heal that resumed it.
+    LinkDown,
+    /// A topology partition event: a shard (or link group) unreachable
+    /// for a window, and the epoch-fenced rejection of stale work when
+    /// it returns.
+    Partition,
+    /// A data-integrity event: an injected bit-flip, a CRC rejection,
+    /// or a corrupted checkpoint forcing a snapshot fallback.
+    Corruption,
+    /// A configuration snapshot recorded into the trace (e.g. the
+    /// fabric's knobs as one instant's args).
+    Config,
 }
 
 impl SpanCategory {
@@ -120,6 +134,10 @@ impl SpanCategory {
             SpanCategory::Wall => "wall",
             SpanCategory::TraceOverflow => "trace_overflow",
             SpanCategory::Migration => "migration",
+            SpanCategory::LinkDown => "link_down",
+            SpanCategory::Partition => "partition",
+            SpanCategory::Corruption => "corruption",
+            SpanCategory::Config => "config",
         }
     }
 }

@@ -43,6 +43,14 @@ pub fn fabric_link(base: u32, src: u32, dst: u32) -> u32 {
     0x0300_0000 + base + src * 4096 + dst
 }
 
+/// Configuration track of a traced fabric: one instant carrying the
+/// fabric's knobs as args. Uses the last slot of the instance's link
+/// window, which a real link can only reach at 4096 ranks.
+#[must_use]
+pub fn fabric_config(base: u32) -> u32 {
+    0x0300_0000 + base + 0x0000_FFFF
+}
+
 /// Flow track of domain endpoint `rank`; `base` offsets whole domains
 /// (pass 0 for a single domain).
 #[must_use]

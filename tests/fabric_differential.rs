@@ -23,6 +23,7 @@ fn lossy_fault() -> FaultConfig {
         duplicate_prob: 0.08,
         reorder_prob: 0.4,
         reorder_skew_ns: 40_000,
+        corrupt_prob: 0.08,
     }
 }
 
